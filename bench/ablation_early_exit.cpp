@@ -1,0 +1,57 @@
+// Ablation — golden-trace hash early exit: the software substitute for
+// AWAN's raw speed. Must change wall-clock only, never a single outcome.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 n = opt.full ? 4000 : 600;
+  bench::print_scale_note(opt, "600 flips per mode", "4000 flips per mode");
+
+  const avp::Testcase tc = bench::standard_testcase();
+
+  inject::CampaignConfig fast;
+  fast.seed = opt.seed;
+  fast.num_injections = n;
+  const inject::CampaignResult with_exit = inject::run_campaign(tc, fast);
+
+  inject::CampaignConfig slow = fast;
+  slow.run.early_exit = false;
+  const inject::CampaignResult without_exit = inject::run_campaign(tc, slow);
+
+  std::cout << report::section(
+      "Ablation: golden-trace early exit (speed vs fidelity)");
+  report::Table t({"config", "inj/s", "cycles evaluated", "wall s"});
+  t.add_row({"early-exit ON",
+             report::Table::num(with_exit.injections_per_second(), 0),
+             report::Table::count(with_exit.cycles_evaluated),
+             report::Table::num(with_exit.wall_seconds)});
+  t.add_row({"early-exit OFF",
+             report::Table::num(without_exit.injections_per_second(), 0),
+             report::Table::count(without_exit.cycles_evaluated),
+             report::Table::num(without_exit.wall_seconds)});
+  std::cout << t.to_string();
+
+  bool identical = true;
+  for (std::size_t i = 0; i < with_exit.records.size(); ++i) {
+    if (with_exit.records[i].outcome != without_exit.records[i].outcome) {
+      identical = false;
+      std::cout << "MISMATCH at injection " << i << "\n";
+    }
+  }
+  std::cout << "\noutcomes identical injection-for-injection: "
+            << (identical ? "yes" : "NO") << "\n";
+  std::cout << "speedup: "
+            << report::Table::num(without_exit.wall_seconds /
+                                      std::max(1e-9, with_exit.wall_seconds),
+                                  1)
+            << "x (cycles evaluated: "
+            << report::Table::num(
+                   static_cast<double>(without_exit.cycles_evaluated) /
+                       std::max<u64>(1, with_exit.cycles_evaluated),
+                   1)
+            << "x fewer)\n";
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Ablation — post-injection horizon: the paper clocks 500,000 cycles after
+// each injection "to ensure that all possible effects of the fault ...
+// have been identified and serviced". This bench shows where outcome
+// classifications saturate for Pearl6 (justifying the scaled default).
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 n = opt.full ? 3000 : 500;
+  bench::print_scale_note(opt, "500 flips per horizon",
+                          "3000 flips per horizon");
+
+  const avp::Testcase tc = bench::standard_testcase();
+
+  std::cout << report::section(
+      "Ablation: classification vs post-injection horizon (hang margin)");
+  report::Table t(bench::outcome_headers("margin (cycles)"));
+
+  std::array<u64, inject::kNumOutcomes> prev{};
+  bool saturated = false;
+  for (const Cycle margin : {Cycle{100}, Cycle{400}, Cycle{1600},
+                             Cycle{6400}, Cycle{25600}}) {
+    inject::CampaignConfig cfg;
+    cfg.seed = opt.seed;  // identical fault list at every horizon
+    cfg.num_injections = n;
+    cfg.run.hang_margin = margin;
+    cfg.run.horizon = margin + 100000;
+    const inject::CampaignResult r = inject::run_campaign(tc, cfg);
+    t.add_row(bench::outcome_row(report::Table::count(margin), r.counts));
+    if (r.counts.counts == prev) saturated = true;
+    prev = r.counts.counts;
+  }
+  std::cout << t.to_string();
+  std::cout << "\nclassifications saturate once the margin covers a full "
+               "recovery (flush + 51-cycle restore + refetch): "
+            << (saturated ? "confirmed" : "still moving at the largest margin")
+            << ".\nThe paper's 500k-cycle horizon is the same guarantee at "
+               "POWER6's recovery latency scale.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation — toggle vs sticky fault mode (paper §2: "the fault may exist
+// for the duration of a cycle (toggle mode) or for a larger number of
+// cycles (sticky mode)"). Sticky faults model stuck-ats / latent upsets:
+// recovery restores state, the fault re-corrupts it, and the recovery
+// threshold escalates — so sticky campaigns shift mass from Corrected to
+// Checkstop.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 n = opt.full ? 3000 : 500;
+  bench::print_scale_note(opt, "500 flips per mode", "3000 flips per mode");
+
+  const avp::Testcase tc = bench::standard_testcase();
+
+  std::cout << report::section("Ablation: toggle vs sticky fault mode");
+  report::Table t(bench::outcome_headers("fault mode"));
+
+  inject::CampaignConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.num_injections = n;
+  const inject::CampaignResult toggle = inject::run_campaign(tc, cfg);
+  t.add_row(bench::outcome_row("toggle (1 cycle)", toggle.counts));
+
+  for (const Cycle dur : {Cycle{16}, Cycle{256}}) {
+    inject::CampaignConfig scfg = cfg;
+    scfg.mode = inject::FaultMode::Sticky;
+    scfg.sticky_duration = dur;
+    const inject::CampaignResult sticky = inject::run_campaign(tc, scfg);
+    t.add_row(bench::outcome_row(
+        "sticky " + std::to_string(dur) + " cycles", sticky.counts));
+  }
+  std::cout << t.to_string();
+  std::cout << "\nexpected shift: longer stuck faults escalate from "
+               "Vanished/Corrected toward Checkstop (recovery livelock "
+               "breaker) and Hang\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared scaffolding for the paper-reproduction benches.
+//
+// Every bench runs at a scaled-down default (these run on a laptop-class
+// single core in seconds) and accepts --full for paper-scale numbers, plus
+// --seed N. The workload is the standard AVP testcase unless the bench
+// says otherwise.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "avp/testgen.hpp"
+#include "report/table.hpp"
+#include "sfi/campaign.hpp"
+
+namespace sfi::bench {
+
+struct Options {
+  bool full = false;
+  u64 seed = 42;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      opt.full = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: " << argv[0] << " [--full] [--seed N]\n"
+                << "  --full  paper-scale sample sizes (slower)\n";
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+/// The standard AVP workload used across benches.
+inline avp::Testcase standard_testcase(u64 seed = 2026) {
+  avp::TestcaseConfig cfg;
+  cfg.seed = seed;
+  cfg.num_instructions = 160;
+  return avp::generate_testcase(cfg);
+}
+
+inline void print_scale_note(const Options& opt, const std::string& deflt,
+                             const std::string& full) {
+  std::cout << (opt.full ? "[--full: " + full + "]\n"
+                         : "[scaled default: " + deflt +
+                               "; run with --full for paper scale]\n");
+}
+
+/// Outcome row formatting shared by several benches.
+inline std::vector<std::string> outcome_row(
+    const std::string& label, const inject::OutcomeCounts& c) {
+  return {label,
+          report::Table::count(c.total()),
+          report::Table::pct(c.fraction(inject::Outcome::Vanished)),
+          report::Table::pct(c.fraction(inject::Outcome::Corrected)),
+          report::Table::pct(c.fraction(inject::Outcome::Hang)),
+          report::Table::pct(c.fraction(inject::Outcome::Checkstop)),
+          report::Table::pct(c.fraction(inject::Outcome::BadArchState))};
+}
+
+inline std::vector<std::string> outcome_headers(const std::string& first) {
+  return {first,   "flips",     "vanished", "corrected",
+          "hangs", "checkstop", "SDC"};
+}
+
+}  // namespace sfi::bench

@@ -1,0 +1,83 @@
+// Extension — periphery injection into the memory subsystem.
+//
+// The paper closes with "current and future work involves fault injections
+// in the periphery of the core, such as the I/O subsystem, memory subsystem
+// and so on". This bench performs that experiment against the SEC-DED
+// protected main store: single-bit strikes into DRAM data/check bits across
+// the exposure window, classified with full-machine observability, plus a
+// small double-bit (uncorrectable) sweep.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "sfi/runner.hpp"
+#include "stats/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 singles = opt.full ? 3000 : 400;
+  const u32 doubles = opt.full ? 300 : 60;
+  bench::print_scale_note(opt, "400 single + 60 double strikes",
+                          "3000 single + 300 double strikes");
+
+  const avp::Testcase tc = bench::standard_testcase();
+  const avp::GoldenResult golden = avp::run_golden(tc);
+  core::Pearl6Model model;
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+  emu.reset();
+  const emu::Checkpoint cp = emu.save_checkpoint();
+
+  inject::RunConfig rc;
+  rc.early_exit = false;  // DRAM is outside the latch hash
+  inject::InjectionRunner runner(model, emu, cp, trace, golden, rc);
+
+  const u64 bits = model.memory().storage_bits();
+  stats::Xoshiro256 rng(opt.seed);
+
+  const auto strike_run = [&](u32 nbits) {
+    // Reload, clock to a random point, strike nbits random bits of one
+    // random word, then let the runner's classification loop finish.
+    const Cycle at = 1 + rng.below(trace.completion_cycle - 1);
+    emu.restore_checkpoint(cp);
+    emu.run(at);
+    const u64 word = rng.below(bits / 72);
+    for (u32 k = 0; k < nbits; ++k) {
+      model.memory().flip_storage_bit(word * 72 + rng.below(72));
+    }
+    // Classify manually (mirrors InjectionRunner::run after injection).
+    while (true) {
+      emu.step();
+      const emu::RasStatus ras = model.ras_status(emu.state());
+      if (ras.checkstop || ras.hang_detected) {
+        return runner.classify_now(false, false);
+      }
+      if (ras.test_finished) return runner.classify_now(true, false);
+      if (emu.cycle() >= trace.completion_cycle + rc.hang_margin) {
+        return runner.classify_now(false, false);
+      }
+    }
+  };
+
+  inject::OutcomeCounts single_counts;
+  for (u32 i = 0; i < singles; ++i) single_counts.add(strike_run(1).outcome);
+  inject::OutcomeCounts double_counts;
+  for (u32 i = 0; i < doubles; ++i) double_counts.add(strike_run(2).outcome);
+
+  std::cout << report::section(
+      "Extension: fault injection into the main-store periphery");
+  report::Table t(bench::outcome_headers("strike type"));
+  t.add_row(bench::outcome_row("single-bit", single_counts));
+  t.add_row(bench::outcome_row("double-bit (same word)", double_counts));
+  std::cout << t.to_string();
+  std::cout
+      << "\nexpected: single-bit strikes are fully absorbed — corrected on "
+         "access, by the patrol scrub, or at the end-of-test readout; "
+         "double-bit strikes checkstop via the controller's uncorrectable "
+         "report the moment the word is touched\n";
+  std::cout << "SDC from single-bit main-store strikes: "
+            << report::Table::count(
+                   single_counts.of(inject::Outcome::BadArchState))
+            << " (must be 0)\n";
+  return single_counts.of(inject::Outcome::BadArchState) == 0 ? 0 : 1;
+}

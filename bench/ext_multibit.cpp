@@ -1,0 +1,118 @@
+// Extension — multi-bit upsets (MBU).
+//
+// The paper models single-event single-bit flips (the dominant mechanism at
+// its technology node); later nodes made *adjacent multi-bit* upsets a
+// first-order concern. This bench injects adjacent-double upsets and shows
+// the coverage cliff the protection codes predict:
+//   - latches: two adjacent latch bits usually belong to different parity
+//     domains → detection mostly survives,
+//   - parity arrays (caches): an adjacent double inside one entry has even
+//     parity → the checker is BLIND to it (the classic argument for
+//     interleaving or ECC on dense SRAM),
+//   - SEC-DED arrays (RUT checkpoint): detected-uncorrectable → checkstop
+//     rather than corruption.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 n = opt.full ? 3000 : 500;
+  bench::print_scale_note(opt, "500 strikes per experiment",
+                          "3000 strikes per experiment");
+
+  const avp::Testcase tc = bench::standard_testcase();
+
+  std::cout << report::section("Extension: adjacent multi-bit upsets");
+  report::Table t(bench::outcome_headers("experiment"));
+
+  // Latch campaigns: single vs adjacent-double.
+  for (const u8 width : {u8{1}, u8{2}}) {
+    inject::CampaignConfig cfg;
+    cfg.seed = opt.seed;
+    cfg.num_injections = n;
+    // The campaign engine samples single-bit specs; widen them here by
+    // post-processing is not exposed, so run via the generic filter +
+    // adjacent width support below (sampler patch): emulate by running a
+    // manual loop for width 2.
+    if (width == 1) {
+      const auto r = inject::run_campaign(tc, cfg);
+      t.add_row(bench::outcome_row("latches, single-bit", r.counts));
+      continue;
+    }
+    // Width-2 latch strikes: manual loop over pre-sampled specs.
+    const avp::GoldenResult golden = avp::run_golden(tc);
+    core::Pearl6Model model;
+    emu::Emulator emu(model);
+    const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+    emu.reset();
+    const emu::Checkpoint cp = emu.save_checkpoint();
+    inject::InjectionRunner runner(model, emu, cp, trace, golden, {});
+    inject::OutcomeCounts counts;
+    for (u32 i = 0; i < n; ++i) {
+      stats::Xoshiro256 rng(stats::derive_seed(cfg.seed, i));
+      inject::FaultSpec f;
+      f.index = static_cast<u32>(rng.below(model.registry().num_latches()));
+      f.cycle = 1 + rng.below(trace.completion_cycle - 1);
+      f.adjacent_bits = 2;
+      counts.add(runner.run(f).outcome);
+    }
+    t.add_row(bench::outcome_row("latches, adjacent-double", counts));
+  }
+
+  // Array strikes: single vs adjacent-double, per protection flavour.
+  {
+    const avp::GoldenResult golden = avp::run_golden(tc);
+    core::Pearl6Model model;
+    emu::Emulator emu(model);
+    const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+    emu.reset();
+    const emu::Checkpoint cp = emu.save_checkpoint();
+    inject::RunConfig rc;
+    rc.early_exit = false;
+    inject::InjectionRunner runner(model, emu, cp, trace, golden, rc);
+
+    // Array layout: [icache data (parity), dcache data (parity), rut ckpt
+    // (SEC-DED)]. Partition the global bit space accordingly.
+    const u64 icache_bits = model.ifu().icache().data_array().storage_bits();
+    const u64 dcache_bits = model.lsu().dcache().data_array().storage_bits();
+    const u64 parity_bits = icache_bits + dcache_bits;
+    const u64 total_bits = model.arrays().total_storage_bits();
+
+    const auto run_strikes = [&](const char* label, u64 base, u64 span,
+                                 u8 width) {
+      inject::OutcomeCounts counts;
+      for (u32 i = 0; i < n; ++i) {
+        stats::Xoshiro256 rng(stats::derive_seed(opt.seed + width, i));
+        inject::FaultSpec f;
+        f.target = inject::FaultTarget::ArrayCell;
+        f.array_bit = base + rng.below(span - 1);
+        f.cycle = 1 + rng.below(trace.completion_cycle - 1);
+        f.adjacent_bits = width;
+        counts.add(runner.run(f).outcome);
+      }
+      t.add_row(bench::outcome_row(label, counts));
+      return counts;
+    };
+
+    run_strikes("parity arrays, single-bit", 0, parity_bits, 1);
+    const auto parity_double =
+        run_strikes("parity arrays, adjacent-double", 0, parity_bits, 2);
+    run_strikes("SEC-DED array, single-bit", parity_bits,
+                total_bits - parity_bits, 1);
+    run_strikes("SEC-DED array, adjacent-double", parity_bits,
+                total_bits - parity_bits, 2);
+
+    std::cout << t.to_string();
+    std::cout << "\nthe coverage cliff: adjacent doubles inside one "
+                 "parity-protected entry have even parity — undetectable "
+                 "(SDC "
+              << report::Table::pct(
+                     parity_double.fraction(inject::Outcome::BadArchState))
+              << " above), while SEC-DED converts them into detected "
+                 "uncorrectable stops. This is the standard argument for "
+                 "bit interleaving or ECC on dense SRAM.\n";
+  }
+  return 0;
+}

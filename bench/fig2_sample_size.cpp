@@ -1,0 +1,83 @@
+// Figure 2 — "Accuracy of SFI with increasing number of flips":
+// σ/µ of each outcome category versus the number of bit flips X, with 10
+// random samples of size X per point (paper §2.1).
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "sfi/sample_size.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  // One large uniform campaign provides the record pool; Figure 2 then
+  // resamples subsets — statistically identical to re-running campaigns of
+  // every size, at a fraction of the cost.
+  const u32 pool_size = opt.full ? 24000 : 3600;
+  std::vector<std::size_t> flips;
+  if (opt.full) {
+    for (std::size_t x = 2000; x <= 20000; x += 2000) flips.push_back(x);
+  } else {
+    for (std::size_t x = 200; x <= 2000; x += 200) flips.push_back(x);
+  }
+  bench::print_scale_note(
+      opt, "pool 3600 flips, X = 200..2000",
+      "pool 24000 flips, X = 2k..20k (the paper's axis)");
+
+  const avp::Testcase tc = bench::standard_testcase();
+  inject::CampaignConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.num_injections = pool_size;
+  const inject::CampaignResult pool = inject::run_campaign(tc, cfg);
+
+  std::cout << report::section(
+      "Figure 2: stddev/mean of each category vs number of flips");
+  std::cout << "pool: " << pool.records.size() << " injections over "
+            << pool.population_size << " latches ("
+            << report::Table::num(pool.injections_per_second(), 0)
+            << " inj/s)\n\n";
+
+  inject::SampleSizeConfig scfg;
+  scfg.seed = opt.seed + 1;
+  scfg.samples_per_point = 10;  // the paper's choice
+  scfg.flip_counts = flips;
+  const auto pts = inject::sample_size_study(pool.records, scfg);
+
+  report::Table t({"flips", "vanished", "recovered", "hangs", "checkstops",
+                   "SDC"});
+  for (const auto& pt : pts) {
+    t.add_row({report::Table::count(pt.flips),
+               report::Table::num(
+                   pt.stddev_over_mean[static_cast<std::size_t>(
+                       inject::Outcome::Vanished)], 4),
+               report::Table::num(
+                   pt.stddev_over_mean[static_cast<std::size_t>(
+                       inject::Outcome::Corrected)], 4),
+               report::Table::num(
+                   pt.stddev_over_mean[static_cast<std::size_t>(
+                       inject::Outcome::Hang)], 4),
+               report::Table::num(
+                   pt.stddev_over_mean[static_cast<std::size_t>(
+                       inject::Outcome::Checkstop)], 4),
+               report::Table::num(
+                   pt.stddev_over_mean[static_cast<std::size_t>(
+                       inject::Outcome::BadArchState)], 4)});
+  }
+  std::cout << t.to_string();
+
+  const auto corrected = static_cast<std::size_t>(inject::Outcome::Corrected);
+  std::cout << "\nshape check (paper: error falls steeply with sample size): "
+            << "sigma/mu[corrected] " <<
+      report::Table::num(pts.front().stddev_over_mean[corrected], 4)
+            << " @" << pts.front().flips << " -> "
+            << report::Table::num(pts.back().stddev_over_mean[corrected], 4)
+            << " @" << pts.back().flips << "\n";
+
+  // Analytic cross-check: the Wilson-interval sample size needed for a
+  // ±0.5% estimate of the corrected proportion.
+  const double p = pool.counts.fraction(inject::Outcome::Corrected);
+  std::cout << "Wilson sample size for +/-0.5% on the corrected rate (p="
+            << report::Table::pct(p) << "): "
+            << stats::required_sample_size(p, 0.005) << " flips\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 3 — "SER of different micro-architecture units": targeted
+// injection into each unit (IFU, IDU, FXU, FPU, LSU, RUT, Core pervasive),
+// outcome distribution per unit. The beam cannot focus on units; SFI can —
+// this is the paper's headline targeted capability.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 per_unit = opt.full ? 3000 : 450;
+  bench::print_scale_note(opt, "450 flips per unit",
+                          "3000 flips per unit (~the paper's 20k total)");
+
+  const avp::Testcase tc = bench::standard_testcase();
+
+  std::cout << report::section(
+      "Figure 3: outcome distribution per micro-architectural unit");
+  report::Table t(bench::outcome_headers("unit"));
+
+  double min_vanish = 1.0;
+  netlist::Unit min_unit = netlist::Unit::IFU;
+  for (const auto unit : netlist::kAllUnits) {
+    inject::CampaignConfig cfg;
+    cfg.seed = opt.seed + static_cast<u64>(unit);
+    cfg.num_injections = per_unit;
+    cfg.filter = [unit](const netlist::LatchMeta& m) {
+      return m.unit == unit;
+    };
+    const inject::CampaignResult r = inject::run_campaign(tc, cfg);
+    t.add_row(bench::outcome_row(std::string(to_string(unit)), r.counts));
+    const double v = r.counts.fraction(inject::Outcome::Vanished);
+    if (v < min_vanish) {
+      min_vanish = v;
+      min_unit = unit;
+    }
+  }
+  std::cout << t.to_string();
+  std::cout << "\nlowest-derating unit: " << to_string(min_unit) << " ("
+            << report::Table::pct(min_vanish)
+            << " vanished) — the paper finds the RUT lowest (~92%) because "
+               "its control state is unprotected-by-construction\n";
+  return 0;
+}

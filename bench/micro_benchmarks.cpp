@@ -1,0 +1,137 @@
+// google-benchmark microbenchmarks: the primitive rates that determine
+// campaign throughput — state-vector ops, hashing, ECC, core cycle
+// evaluation, golden-model execution, checkpoint reload, and end-to-end
+// injections per second.
+#include <benchmark/benchmark.h>
+
+#include "avp/runner.hpp"
+#include "avp/testgen.hpp"
+#include "common/hash.hpp"
+#include "core/core_model.hpp"
+#include "emu/emulator.hpp"
+#include "netlist/ecc.hpp"
+#include "sfi/runner.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace sfi;
+
+void BM_StateVectorFlip(benchmark::State& state) {
+  netlist::StateVector sv(16384);
+  u32 i = 7;
+  for (auto _ : state) {
+    sv.flip_bit(i);
+    i = (i * 2654435761u) % 16384;
+    benchmark::DoNotOptimize(sv);
+  }
+}
+BENCHMARK(BM_StateVectorFlip);
+
+void BM_MaskedHash(benchmark::State& state) {
+  core::Pearl6Model model;
+  netlist::StateVector sv(model.registry().total_bits());
+  const auto& masks = model.registry().hash_masks();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sv.masked_hash(masks));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(masks.size() * 8));
+}
+BENCHMARK(BM_MaskedHash);
+
+void BM_EccEncodeDecode(benchmark::State& state) {
+  stats::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const u64 v = rng.next();
+    const u8 c = netlist::ecc_encode(v);
+    benchmark::DoNotOptimize(netlist::ecc_decode(v ^ 1, c));
+  }
+}
+BENCHMARK(BM_EccEncodeDecode);
+
+void BM_CoreCycle(benchmark::State& state) {
+  const avp::Testcase tc = [&] {
+    avp::TestcaseConfig cfg;
+    cfg.seed = 3;
+    cfg.num_instructions = 4000;  // long enough to not finish mid-benchmark
+    return avp::generate_testcase(cfg);
+  }();
+  core::Pearl6Model model;
+  model.load_workload(tc.program, tc.init);
+  emu::Emulator emu(model);
+  emu.reset();
+  for (auto _ : state) {
+    emu.step();
+    if (model.ras_status(emu.state()).test_finished) emu.reset();
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CoreCycle);
+
+void BM_GoldenModelInstruction(benchmark::State& state) {
+  const avp::Testcase tc = [&] {
+    avp::TestcaseConfig cfg;
+    cfg.seed = 4;
+    cfg.num_instructions = 4000;
+    return avp::generate_testcase(cfg);
+  }();
+  isa::GoldenModel gm(1u << 16);
+  gm.reset(tc.program, tc.init);
+  for (auto _ : state) {
+    if (gm.step() != isa::GoldenModel::Status::Running) {
+      gm.reset(tc.program, tc.init);
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_GoldenModelInstruction);
+
+void BM_CheckpointReload(benchmark::State& state) {
+  const avp::Testcase tc = [&] {
+    avp::TestcaseConfig cfg;
+    cfg.seed = 5;
+    return avp::generate_testcase(cfg);
+  }();
+  core::Pearl6Model model;
+  model.load_workload(tc.program, tc.init);
+  emu::Emulator emu(model);
+  emu.reset();
+  const emu::Checkpoint cp = emu.save_checkpoint();
+  for (auto _ : state) {
+    emu.restore_checkpoint(cp);
+    benchmark::DoNotOptimize(emu.cycle());
+  }
+}
+BENCHMARK(BM_CheckpointReload);
+
+void BM_InjectionRun(benchmark::State& state) {
+  const avp::Testcase tc = [&] {
+    avp::TestcaseConfig cfg;
+    cfg.seed = 6;
+    cfg.num_instructions = 160;
+    return avp::generate_testcase(cfg);
+  }();
+  const avp::GoldenResult golden = avp::run_golden(tc);
+  core::Pearl6Model model;
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+  emu.reset();
+  const emu::Checkpoint cp = emu.save_checkpoint();
+  inject::InjectionRunner runner(model, emu, cp, trace, golden, {});
+
+  stats::Xoshiro256 rng(9);
+  const u32 latches = model.registry().num_latches();
+  for (auto _ : state) {
+    inject::FaultSpec f;
+    f.index = static_cast<u32>(rng.below(latches));
+    f.cycle = 1 + rng.below(trace.completion_cycle - 1);
+    benchmark::DoNotOptimize(runner.run(f));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_InjectionRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

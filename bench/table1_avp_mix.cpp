@@ -1,0 +1,63 @@
+// Table 1 — "Comparison of the AVP to SPECInt 2000": instruction mix
+// (top classes) and CPI for 11 SPECInt-like components (Low/High/Average)
+// and for the AVP, all measured on the Pearl6 core.
+#include <iostream>
+
+#include "avp/runner.hpp"
+#include "bench/common.hpp"
+#include "workload/spec_profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 instrs = opt.full ? 800 : 220;
+  bench::print_scale_note(opt, "220-instruction testcases",
+                          "800-instruction testcases");
+
+  std::cout << report::section(
+      "Table 1: instruction mix & CPI — AVP vs SPECInt-2000-like components");
+
+  const workload::MixEnvelope env =
+      workload::measure_envelope(opt.seed, instrs);
+
+  avp::TestcaseConfig avp_cfg;
+  avp_cfg.seed = opt.seed;
+  avp_cfg.num_instructions = instrs;
+  const avp::MixReport avp_rep =
+      avp::measure_mix(avp::generate_testcase(avp_cfg));
+
+  const auto cls = [](isa::InstrClass c) { return static_cast<std::size_t>(c); };
+  report::Table t({"class", "Low", "High", "Average", "AVP"});
+  const std::pair<const char*, isa::InstrClass> rows[] = {
+      {"Load", isa::InstrClass::Load},
+      {"Store", isa::InstrClass::Store},
+      {"Fixed Point", isa::InstrClass::FixedPoint},
+      {"Floating Point", isa::InstrClass::FloatingPoint},
+      {"Comparison", isa::InstrClass::Comparison},
+      {"Branch", isa::InstrClass::Branch},
+  };
+  for (const auto& [name, c] : rows) {
+    t.add_row({name, report::Table::pct(env.low[cls(c)], 1),
+               report::Table::pct(env.high[cls(c)], 1),
+               report::Table::pct(env.average[cls(c)], 1),
+               report::Table::pct(avp_rep.fractions[cls(c)], 1)});
+  }
+  t.add_row({"CPI", report::Table::num(env.cpi_low),
+             report::Table::num(env.cpi_high),
+             report::Table::num(env.cpi_average),
+             report::Table::num(avp_rep.cpi)});
+  std::cout << t.to_string();
+
+  // The paper's claim: the AVP sits inside the SPECInt envelope.
+  bool inside = avp_rep.cpi >= env.cpi_low * 0.9 &&
+                avp_rep.cpi <= env.cpi_high * 1.1;
+  for (const auto& [name, c] : rows) {
+    const double f = avp_rep.fractions[cls(c)];
+    if (f < env.low[cls(c)] - 0.05 || f > env.high[cls(c)] + 0.05) {
+      inside = false;
+    }
+  }
+  std::cout << "\nAVP within the measured SPECInt envelope (±5% slack): "
+            << (inside ? "yes" : "NO") << "\n";
+  return 0;
+}

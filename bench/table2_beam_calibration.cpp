@@ -1,0 +1,66 @@
+// Table 2 — "Error state proportions for SFI and Proton Beam experiments":
+// the calibration that validates SFI. The same model and workload are
+// exposed to (a) a latch-targeted SFI campaign and (b) a simulated proton
+// beam (Poisson strikes over latches AND protected arrays, beam-grade
+// observability only); the outcome proportions must match.
+#include <iostream>
+
+#include "beam/beam.hpp"
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 sfi_n = opt.full ? 10000 : 1500;
+  const u32 beam_n = opt.full ? 4000 : 700;
+  bench::print_scale_note(opt, "1500 SFI flips / 700 beam events",
+                          "10000 SFI flips / 4000 beam events");
+
+  const avp::Testcase tc = bench::standard_testcase();
+
+  inject::CampaignConfig sfi_cfg;
+  sfi_cfg.seed = opt.seed;
+  sfi_cfg.num_injections = sfi_n;
+  const inject::CampaignResult sfi_res = inject::run_campaign(tc, sfi_cfg);
+
+  beam::BeamConfig beam_cfg;
+  beam_cfg.seed = opt.seed + 17;
+  beam_cfg.num_events = beam_n;
+  const beam::BeamResult beam_res = beam::run_beam_experiment(tc, beam_cfg);
+
+  // The paper's Table 2 compares like-for-like populations (SFI injects
+  // latches only, and the published beam proportions are dominated by the
+  // logic region). Separate the beam's latch strikes from its array strikes
+  // to make the same comparison, then show the full-exposure row as well.
+  inject::OutcomeCounts beam_latch;
+  inject::OutcomeCounts beam_array;
+  for (const auto& rec : beam_res.records) {
+    if (rec.fault.target == inject::FaultTarget::Latch) {
+      beam_latch.add(rec.outcome);
+    } else {
+      beam_array.add(rec.outcome);
+    }
+  }
+
+  std::cout << report::section(
+      "Table 2: error state proportions — SFI vs (simulated) proton beam");
+  report::Table t(bench::outcome_headers("experiment"));
+  t.add_row(bench::outcome_row("SFI (latches)", sfi_res.counts));
+  t.add_row(bench::outcome_row("Beam, latch strikes", beam_latch));
+  t.add_row(bench::outcome_row("Beam, array strikes", beam_array));
+  t.add_row(bench::outcome_row("Beam, all", beam_res.counts));
+  std::cout << t.to_string();
+
+  std::cout << "\nbeam events: " << beam_res.latch_events << " latch strikes, "
+            << beam_res.array_events
+            << " array strikes (array upsets are ECC/parity absorbed — the "
+               "paper's '5600+ fully recovered events including SRAM array "
+               "events')\n";
+
+  const double dv = sfi_res.counts.fraction(inject::Outcome::Vanished) -
+                    beam_latch.fraction(inject::Outcome::Vanished);
+  std::cout << "calibration delta on vanished (like-for-like latch rows): "
+            << report::Table::pct(dv < 0 ? -dv : dv)
+            << " (paper: 0.41% between SFI 95.48% and beam 95.89%)\n";
+  return 0;
+}

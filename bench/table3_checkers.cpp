@@ -1,0 +1,51 @@
+// Table 3 — "Understanding the effect of checkers": the same latch
+// campaign with all low-level hardware checkers masked ("Raw") and enabled
+// ("Check"). With checkers on, silent/hang outcomes convert into
+// recoveries and checkstops — the detection coverage the checkers buy.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 n = opt.full ? 8000 : 1200;
+  bench::print_scale_note(opt, "1200 flips per configuration",
+                          "8000 flips per configuration");
+
+  const avp::Testcase tc = bench::standard_testcase();
+
+  inject::CampaignConfig raw;
+  raw.seed = opt.seed;
+  raw.num_injections = n;
+  raw.core.checkers_enabled = false;
+  const inject::CampaignResult raw_res = inject::run_campaign(tc, raw);
+
+  inject::CampaignConfig chk;
+  chk.seed = opt.seed;  // identical faults: a paired experiment
+  chk.num_injections = n;
+  const inject::CampaignResult chk_res = inject::run_campaign(tc, chk);
+
+  std::cout << report::section(
+      "Table 3: effect of low-level hardware checkers (Raw vs Check)");
+  report::Table t(bench::outcome_headers("config"));
+  t.add_row(bench::outcome_row("Raw   (masked)", raw_res.counts));
+  t.add_row(bench::outcome_row("Check (enabled)", chk_res.counts));
+  std::cout << t.to_string();
+
+  std::cout << "\npaper shape: Raw has no recoveries/checkstops (errors pass "
+               "silently or hang); Check converts them into detected, "
+               "recovered or checkstopped outcomes\n";
+  std::cout << "detected coverage gained: "
+            << report::Table::pct(
+                   chk_res.counts.fraction(inject::Outcome::Corrected) +
+                   chk_res.counts.fraction(inject::Outcome::Checkstop))
+            << " of flips; silent corruption reduced from "
+            << report::Table::pct(
+                   raw_res.counts.fraction(inject::Outcome::BadArchState))
+            << " to "
+            << report::Table::pct(
+                   chk_res.counts.fraction(inject::Outcome::BadArchState))
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Checker-effectiveness what-if (the paper's §3.3 use case): how much
+// detection coverage does each checker family buy? Masks one checker group
+// at a time and measures the change in silent corruption and recovery
+// coverage — the experiment a RAS architect runs before committing checker
+// hardware.
+//
+// Usage: ./build/examples/checker_whatif [flips]
+#include <cstdlib>
+#include <iostream>
+
+#include "avp/testgen.hpp"
+#include "report/table.hpp"
+#include "sfi/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const u32 n = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 400;
+
+  avp::TestcaseConfig tc_cfg;
+  tc_cfg.seed = 15;
+  tc_cfg.num_instructions = 150;
+  const avp::Testcase tc = avp::generate_testcase(tc_cfg);
+
+  struct Scenario {
+    const char* name;
+    u64 masked_bits;  // checker_mask bits to CLEAR
+  };
+  const auto bit = [](core::CheckerId id) {
+    return u64{1} << static_cast<unsigned>(id);
+  };
+  const Scenario scenarios[] = {
+      {"all checkers on", 0},
+      {"no register-file parity", bit(core::CheckerId::FxuGprParity) |
+                                      bit(core::CheckerId::FpuFprParity)},
+      {"no residue/result codes", bit(core::CheckerId::FxuResidue) |
+                                      bit(core::CheckerId::FxuOperandParity) |
+                                      bit(core::CheckerId::FpuResultParity)},
+      {"no cache parity", bit(core::CheckerId::IfuIcacheTagParity) |
+                              bit(core::CheckerId::IfuIcacheDataParity) |
+                              bit(core::CheckerId::LsuDcacheTagParity) |
+                              bit(core::CheckerId::LsuDcacheDataParity)},
+      {"no control parity", bit(core::CheckerId::IduDecodeParity) |
+                                bit(core::CheckerId::IduControlParity) |
+                                bit(core::CheckerId::IfuIbufParity)},
+      {"no watchdog", bit(core::CheckerId::CoreWatchdog)},
+      {"all checkers off", ~u64{0}},
+  };
+
+  std::cout << report::section(
+      "checker what-if: masking one checker family at a time");
+  report::Table t({"configuration", "vanished", "corrected", "hang", "chkstop",
+                   "SDC"});
+  for (const Scenario& s : scenarios) {
+    inject::CampaignConfig cfg;
+    cfg.seed = 55;  // identical fault list across scenarios
+    cfg.num_injections = n;
+    cfg.core.checker_mask = ~s.masked_bits;
+    if (s.masked_bits == ~u64{0}) cfg.core.checkers_enabled = false;
+    const inject::CampaignResult r = inject::run_campaign(tc, cfg);
+    t.add_row({s.name,
+               report::Table::pct(r.counts.fraction(inject::Outcome::Vanished)),
+               report::Table::pct(r.counts.fraction(inject::Outcome::Corrected)),
+               report::Table::pct(r.counts.fraction(inject::Outcome::Hang)),
+               report::Table::pct(r.counts.fraction(inject::Outcome::Checkstop)),
+               report::Table::pct(
+                   r.counts.fraction(inject::Outcome::BadArchState))});
+  }
+  std::cout << t.to_string();
+  std::cout << "\nreading: each masked family moves its share of Corrected "
+               "back into Vanished (undetected-but-lucky) and SDC "
+               "(undetected-and-fatal)\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Latch-hardening study (the paper's §3.2 use case): which latch *types*
+// deserve hardened cells? Compares outcome severity per latch type and
+// estimates the benefit of hardening the scan-only latches — the paper's
+// concrete recommendation ("the results motivate the hardening of scan-only
+// latches in the core").
+//
+// Usage: ./build/examples/latch_hardening [flips_per_type]
+#include <cstdlib>
+#include <iostream>
+
+#include "avp/testgen.hpp"
+#include "report/table.hpp"
+#include "sfi/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const u32 per_type = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 300;
+
+  avp::TestcaseConfig tcfg;
+  tcfg.seed = 21;
+  tcfg.num_instructions = 150;
+  const avp::Testcase tc = avp::generate_testcase(tcfg);
+
+  core::Pearl6Model model;
+  const auto counts_by_type = model.registry().latch_count_by_type();
+  u64 total_latches = 0;
+  for (const u32 c : counts_by_type) total_latches += c;
+
+  std::cout << report::section("latch-type hardening study");
+  report::Table t({"latch type", "latches", "vanished", "severe",
+                   "severe contribution"});
+
+  std::array<double, netlist::kNumLatchTypes> severe_rate{};
+  for (const auto type : netlist::kAllLatchTypes) {
+    inject::CampaignConfig cfg;
+    cfg.seed = 77 + static_cast<u64>(type);
+    cfg.num_injections = per_type;
+    cfg.filter = [type](const netlist::LatchMeta& m) {
+      return m.type == type;
+    };
+    const inject::CampaignResult r = inject::run_campaign(tc, cfg);
+    const auto idx = static_cast<std::size_t>(type);
+    severe_rate[idx] = r.counts.fraction(inject::Outcome::Checkstop) +
+                       r.counts.fraction(inject::Outcome::Hang) +
+                       r.counts.fraction(inject::Outcome::BadArchState);
+    const double weight = static_cast<double>(counts_by_type[idx]) /
+                          static_cast<double>(total_latches);
+    t.add_row({std::string(to_string(type)),
+               report::Table::count(counts_by_type[idx]),
+               report::Table::pct(r.counts.fraction(inject::Outcome::Vanished)),
+               report::Table::pct(severe_rate[idx]),
+               report::Table::pct(severe_rate[idx] * weight, 3)});
+  }
+  std::cout << t.to_string();
+
+  // Hardening estimate: a hardened cell reduces its upset cross-section by
+  // ~10x. What does hardening only the scan-only latches buy at chip level?
+  double severe_total = 0.0;
+  double severe_after = 0.0;
+  for (const auto type : netlist::kAllLatchTypes) {
+    const auto idx = static_cast<std::size_t>(type);
+    const double weight = static_cast<double>(counts_by_type[idx]) /
+                          static_cast<double>(total_latches);
+    severe_total += severe_rate[idx] * weight;
+    severe_after += severe_rate[idx] * weight *
+                    (netlist::is_scan_only(type) ? 0.1 : 1.0);
+  }
+  std::cout << "\nchip-level severe-outcome rate per uniform flip: "
+            << report::Table::pct(severe_total, 3) << " -> "
+            << report::Table::pct(severe_after, 3)
+            << " if scan-only latches are hardened (10x cell)\n"
+            << "scan-only latches are "
+            << report::Table::pct(
+                   static_cast<double>(
+                       counts_by_type[static_cast<std::size_t>(
+                           netlist::LatchType::Mode)] +
+                       counts_by_type[static_cast<std::size_t>(
+                           netlist::LatchType::Gptr)]) /
+                   static_cast<double>(total_latches))
+            << " of the latch population — a cheap hardening target\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "avp/runner.hpp"
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace sfi::avp {
+
+GoldenResult run_golden(const Testcase& tc, u64 max_instrs) {
+  isa::GoldenModel gm(core::CoreConfig::kMemBytes);
+  gm.reset(tc.program, tc.init);
+  const auto status = gm.run(max_instrs);
+  ensure(status == isa::GoldenModel::Status::Stopped,
+         "AVP testcase did not terminate on the golden model");
+  GoldenResult r;
+  r.final_state = gm.state();
+  r.final_mem_hash = gm.memory().range_hash(0, gm.memory().size());
+  r.instructions = gm.instructions_retired();
+  r.class_counts = gm.class_counts();
+  return r;
+}
+
+emu::GoldenTrace run_reference(core::Pearl6Model& model, emu::Emulator& emu,
+                               const Testcase& tc, Cycle max_cycles) {
+  model.load_workload(tc.program, tc.init);
+  emu::GoldenTrace trace = emu::record_golden_trace(emu, max_cycles);
+  ensure(trace.completed, "AVP testcase did not complete on the core");
+  return trace;
+}
+
+MixReport measure_mix(const Testcase& tc, const core::CoreConfig& cfg) {
+  const GoldenResult golden = run_golden(tc);
+
+  core::Pearl6Model model(cfg);
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = run_reference(model, emu, tc);
+
+  MixReport rep;
+  rep.instructions = golden.instructions;
+  rep.cycles = trace.completion_cycle;
+  rep.cpi = rep.instructions == 0
+                ? 0.0
+                : static_cast<double>(rep.cycles) /
+                      static_cast<double>(rep.instructions);
+  for (std::size_t c = 0; c < isa::kNumInstrClasses; ++c) {
+    rep.fractions[c] = rep.instructions == 0
+                           ? 0.0
+                           : static_cast<double>(golden.class_counts[c]) /
+                                 static_cast<double>(golden.instructions);
+  }
+  return rep;
+}
+
+Verdict check_against_golden(core::Pearl6Model& model,
+                             const netlist::StateVector& sv,
+                             const GoldenResult& golden) {
+  Verdict v;
+  const isa::ArchState st = model.arch_state(sv);
+  const std::string d = st.diff(golden.final_state);
+  v.state_matches = d.empty();
+  // Compare what software would read: the controller's corrected view
+  // (a latent single-bit main-store upset is not a corruption).
+  v.memory_matches =
+      model.memory().corrected_hash(0, model.memory().size()) ==
+      golden.final_mem_hash;
+  if (!v.state_matches) {
+    v.first_diff = d;
+  } else if (!v.memory_matches) {
+    v.first_diff = "memory image differs";
+  }
+  return v;
+}
+
+}  // namespace sfi::avp

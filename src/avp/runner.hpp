@@ -1,0 +1,60 @@
+// AVP execution and checking: runs a testcase on the ISA golden model and on
+// the Pearl6 core, compares final architected state *and* memory, and
+// measures the instruction mix and CPI (paper Table 1's rows).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "avp/testgen.hpp"
+#include "core/core_model.hpp"
+#include "emu/emulator.hpp"
+#include "emu/golden_trace.hpp"
+#include "isa/golden.hpp"
+
+namespace sfi::avp {
+
+/// Result of running a testcase on the golden model.
+struct GoldenResult {
+  isa::ArchState final_state;
+  u64 final_mem_hash = 0;  ///< hash of the whole memory image at STOP
+  u64 instructions = 0;
+  std::array<u64, isa::kNumInstrClasses> class_counts{};
+};
+
+[[nodiscard]] GoldenResult run_golden(const Testcase& tc,
+                                      u64 max_instrs = 1u << 20);
+
+/// Fault-free run of a testcase on a Pearl6 model: returns the golden trace
+/// (hash-per-cycle reference) after asserting completion.
+[[nodiscard]] emu::GoldenTrace run_reference(core::Pearl6Model& model,
+                                             emu::Emulator& emu,
+                                             const Testcase& tc,
+                                             Cycle max_cycles = 200000);
+
+/// Instruction mix (per class, as fractions) and CPI of a testcase on the
+/// core — the numbers Table 1 compares against SPECInt.
+struct MixReport {
+  std::array<double, isa::kNumInstrClasses> fractions{};
+  double cpi = 0.0;
+  u64 instructions = 0;
+  Cycle cycles = 0;
+};
+
+[[nodiscard]] MixReport measure_mix(const Testcase& tc,
+                                    const core::CoreConfig& cfg = {});
+
+/// End-of-test verdict for an injected (or fault-free) run.
+struct Verdict {
+  bool state_matches = false;
+  bool memory_matches = false;
+  std::string first_diff;  ///< empty when everything matches
+};
+
+/// Non-const: reading memory goes through the ECC controller (corrections
+/// are a machine side effect, exactly as on hardware).
+[[nodiscard]] Verdict check_against_golden(core::Pearl6Model& model,
+                                           const netlist::StateVector& sv,
+                                           const GoldenResult& golden);
+
+}  // namespace sfi::avp

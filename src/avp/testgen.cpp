@@ -1,0 +1,290 @@
+#include "avp/testgen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "isa/encoding.hpp"
+#include "stats/rng.hpp"
+#include "stats/sampling.hpp"
+
+namespace sfi::avp {
+
+namespace {
+using isa::enc_b;
+using isa::enc_d;
+using isa::enc_fp;
+using isa::enc_i;
+using isa::enc_x;
+using stats::Xoshiro256;
+
+// r30/r31 hold the data-region base and are never written.
+constexpr u32 kBaseRegA = 30;
+constexpr u32 kBaseRegB = 31;
+
+/// Class selector indices into the weight vector.
+enum ClassIdx : std::size_t {
+  kLoad = 0,
+  kStore,
+  kFixed,
+  kFp,
+  kCmp,
+  kBranch,
+  kNumClasses,
+};
+
+// Real code has a hot working set: most operands come from a few registers
+// (this is what lets flips in the cold registers vanish, as they do on real
+// hardware). 75% of sources and destinations use r1..r10.
+constexpr u32 kHotRegs = 10;
+
+u32 random_dest_gpr(Xoshiro256& rng) {
+  // Destinations avoid r30/r31 (reserved base registers).
+  if (rng.chance(0.75)) return 1 + static_cast<u32>(rng.below(kHotRegs));
+  return static_cast<u32>(rng.below(30));
+}
+
+u32 random_src_gpr(Xoshiro256& rng) {
+  if (rng.chance(0.75)) return 1 + static_cast<u32>(rng.below(kHotRegs));
+  return static_cast<u32>(rng.below(isa::kNumGprs));
+}
+
+u32 random_fpr(Xoshiro256& rng) {
+  if (rng.chance(0.75)) return static_cast<u32>(rng.below(4));
+  return static_cast<u32>(rng.below(isa::kNumFprs));
+}
+
+/// A memory displacement inside the data region, respecting locality.
+u16 random_disp(Xoshiro256& rng, const TestcaseConfig& cfg, u32 size) {
+  const bool hot = rng.uniform() < cfg.mix.locality;
+  const u32 window = hot ? 256u : cfg.data_size;
+  u32 off = static_cast<u32>(rng.below(window));
+  off &= ~(size - 1);          // naturally aligned
+  off &= cfg.data_size - 1;
+  // The displacement itself must fit a signed 16-bit field; data_size and
+  // window are well inside that.
+  return static_cast<u16>(off);
+}
+
+}  // namespace
+
+MixProfile MixProfile::avp() {
+  MixProfile m;
+  m.load = 0.294;
+  m.store = 0.236;
+  m.fixed = 0.167;
+  m.fp = 0.025;  // paper reports 0% in the top-90% mix; small share keeps
+                 // FPU paths live
+  m.cmp = 0.049;
+  m.branch = 0.146;
+  m.locality = 0.7;
+  return m;
+}
+
+Testcase generate_testcase(const TestcaseConfig& cfg) {
+  require(cfg.num_instructions >= 8, "testcase needs >= 8 instructions");
+  require((cfg.data_size & (cfg.data_size - 1)) == 0, "data_size power of 2");
+  require(cfg.mix.total() > 0.0, "mix must have positive weight");
+
+  Xoshiro256 rng(cfg.seed);
+  Testcase tc;
+  tc.config = cfg;
+
+  // --- initial architected state ---
+  for (u32 i = 0; i < isa::kNumGprs; ++i) tc.init.gpr[i] = rng.next();
+  tc.init.gpr[kBaseRegA] = cfg.data_base;
+  tc.init.gpr[kBaseRegB] = cfg.data_base + cfg.data_size / 2;
+  for (u32 i = 0; i < isa::kNumFprs; ++i) {
+    // Finite doubles in a tame range: (mantissa ∈ [1,2)) * 2^[-8,8).
+    const double mant = 1.0 + rng.uniform();
+    const int exp = static_cast<int>(rng.below(16)) - 8;
+    tc.init.fpr[i] = std::bit_cast<u64>(std::ldexp(mant, exp));
+  }
+  tc.init.cr = static_cast<u32>(rng.next());
+  tc.init.ctr = 0;
+  tc.init.lr = 0;
+
+  // --- data region image ---
+  isa::Program::DataBlob blob;
+  blob.addr = cfg.data_base;
+  blob.bytes.resize(cfg.data_size);
+  for (auto& b : blob.bytes) b = static_cast<u8>(rng.next());
+  tc.program.data.push_back(std::move(blob));
+
+  // --- code ---
+  const std::array<double, kNumClasses> weights = {
+      cfg.mix.load, cfg.mix.store, cfg.mix.fixed,
+      cfg.mix.fp,   cfg.mix.cmp,   cfg.mix.branch};
+
+  std::vector<u32>& code = tc.program.code;
+  code.reserve(cfg.num_instructions + 8);
+
+  // Pending CTR-loop back-edges: (bdnz position is fixed when the loop
+  // closes). Only one loop open at a time keeps termination trivial.
+  i32 open_loop_top = -1;
+  u32 open_loop_close_at = 0;
+  // Furthest word any already-emitted forward branch can land on. A loop
+  // may only open once no in-flight branch can jump into its prologue or
+  // body (skipping the mtctr would leave a stale CTR for the bdnz).
+  u32 max_branch_target = 0;
+
+  while (code.size() < cfg.num_instructions) {
+    const u32 remaining =
+        cfg.num_instructions - static_cast<u32>(code.size());
+
+    // Close an open CTR loop when its body is long enough.
+    if (open_loop_top >= 0 && code.size() >= open_loop_close_at) {
+      const i32 disp = (open_loop_top - static_cast<i32>(code.size())) * 4;
+      code.push_back(enc_b(isa::kBoDnz, 0, disp, false));
+      open_loop_top = -1;
+      continue;
+    }
+
+    switch (stats::weighted_index(weights, rng)) {
+      case kLoad: {
+        const u32 base = rng.chance(0.5) ? kBaseRegA : kBaseRegB;
+        const u32 dest = random_dest_gpr(rng);
+        switch (rng.below(4)) {
+          case 0:
+            code.push_back(enc_d(isa::kOpLbz, dest, base,
+                                 random_disp(rng, cfg, 1)));
+            break;
+          case 1:
+            code.push_back(enc_d(isa::kOpLwz, dest, base,
+                                 random_disp(rng, cfg, 4)));
+            break;
+          case 2:
+            code.push_back(enc_d(isa::kOpLd, dest, base,
+                                 random_disp(rng, cfg, 8)));
+            break;
+          default:
+            code.push_back(enc_d(isa::kOpLfd,
+                                 random_fpr(rng),
+                                 base, random_disp(rng, cfg, 8)));
+            break;
+        }
+        break;
+      }
+      case kStore: {
+        const u32 base = rng.chance(0.5) ? kBaseRegA : kBaseRegB;
+        const u32 src = random_src_gpr(rng);
+        switch (rng.below(4)) {
+          case 0:
+            code.push_back(enc_d(isa::kOpStb, src, base,
+                                 random_disp(rng, cfg, 1)));
+            break;
+          case 1:
+            code.push_back(enc_d(isa::kOpStw, src, base,
+                                 random_disp(rng, cfg, 4)));
+            break;
+          case 2:
+            code.push_back(enc_d(isa::kOpStd, src, base,
+                                 random_disp(rng, cfg, 8)));
+            break;
+          default:
+            code.push_back(enc_d(isa::kOpStfd, random_fpr(rng), base,
+                                 random_disp(rng, cfg, 8)));
+            break;
+        }
+        break;
+      }
+      case kFixed: {
+        const u32 dest = random_dest_gpr(rng);
+        const u32 a = random_src_gpr(rng);
+        const u32 b = random_src_gpr(rng);
+        switch (rng.below(12)) {
+          case 0: code.push_back(enc_x(dest, a, b, isa::kXoAdd)); break;
+          case 1: code.push_back(enc_x(dest, a, b, isa::kXoSubf)); break;
+          case 2: code.push_back(enc_x(dest, a, b, isa::kXoAnd)); break;
+          case 3: code.push_back(enc_x(dest, a, b, isa::kXoOr)); break;
+          case 4: code.push_back(enc_x(dest, a, b, isa::kXoXor)); break;
+          case 5: code.push_back(enc_x(dest, a, b, isa::kXoNor)); break;
+          case 6: code.push_back(enc_x(dest, a, b, isa::kXoSld)); break;
+          case 7: code.push_back(enc_x(dest, a, b, isa::kXoSrad)); break;
+          case 8: code.push_back(enc_x(dest, a, b, isa::kXoMulld)); break;
+          case 9: code.push_back(enc_x(dest, a, b, isa::kXoDivd)); break;
+          case 10:
+            code.push_back(enc_d(isa::kOpAddi, dest, a,
+                                 static_cast<u16>(rng.next())));
+            break;
+          default:
+            code.push_back(enc_d(isa::kOpOri, dest, a,
+                                 static_cast<u16>(rng.next())));
+            break;
+        }
+        break;
+      }
+      case kFp: {
+        const u32 dest = random_fpr(rng);
+        const u32 a = random_fpr(rng);
+        const u32 b = random_fpr(rng);
+        switch (rng.below(4)) {
+          case 0: code.push_back(enc_fp(dest, a, b, isa::kFpAdd)); break;
+          case 1: code.push_back(enc_fp(dest, a, b, isa::kFpSub)); break;
+          case 2: code.push_back(enc_fp(dest, a, b, isa::kFpMul)); break;
+          default: code.push_back(enc_fp(dest, a, b, isa::kFpDiv)); break;
+        }
+        break;
+      }
+      case kCmp: {
+        const auto crf = static_cast<u32>(rng.below(8));
+        const u32 a = random_src_gpr(rng);
+        if (rng.chance(0.5)) {
+          code.push_back(enc_x(crf, a, random_src_gpr(rng),
+                               rng.chance(0.5) ? isa::kXoCmp : isa::kXoCmpl));
+        } else {
+          code.push_back(enc_d(rng.chance(0.5) ? isa::kOpCmpi : isa::kOpCmpli,
+                               crf, a, static_cast<u16>(rng.below(1024))));
+        }
+        break;
+      }
+      case kBranch: {
+        // Loops need room for prologue+body+bdnz; otherwise emit forward
+        // conditional/unconditional branches (always terminating).
+        if (open_loop_top < 0 && remaining > 10 &&
+            max_branch_target <= code.size() && rng.chance(0.25)) {
+          const u32 dest = random_dest_gpr(rng);
+          const auto count = static_cast<u16>(2 + rng.below(5));
+          code.push_back(enc_d(isa::kOpAddi, dest, 0, count));
+          code.push_back(enc_x(dest, isa::kSprCtr & 31,
+                               (isa::kSprCtr >> 5) & 31, isa::kXoMtspr));
+          open_loop_top = static_cast<i32>(code.size());
+          open_loop_close_at =
+              static_cast<u32>(code.size()) + 2 + static_cast<u32>(rng.below(5));
+        } else {
+          const auto skip = static_cast<i32>(1 + rng.below(5));
+          if (rng.chance(0.3)) {
+            code.push_back(enc_i(skip * 4 + 4, false));
+          } else {
+            const u32 bo = rng.chance(0.5) ? isa::kBoTrue : isa::kBoFalse;
+            const auto bi = static_cast<u32>(rng.below(32));
+            code.push_back(enc_b(bo, bi, skip * 4 + 4, false));
+          }
+          max_branch_target =
+              std::max(max_branch_target,
+                       static_cast<u32>(code.size()) + static_cast<u32>(skip));
+        }
+        break;
+      }
+      default:
+        throw InternalError("testgen: bad class index");
+    }
+  }
+
+  // Close a dangling loop, then pad the landing zone for the longest
+  // possible forward branch (5 skips) before the STOP.
+  if (open_loop_top >= 0) {
+    const i32 disp = (open_loop_top - static_cast<i32>(code.size())) * 4;
+    code.push_back(enc_b(isa::kBoDnz, 0, disp, false));
+  }
+  for (int i = 0; i < 6; ++i) {
+    code.push_back(enc_d(isa::kOpOri, 0, 0, 0));  // nop landing pad
+  }
+  code.push_back(isa::kStopWord);
+  return tc;
+}
+
+}  // namespace sfi::avp

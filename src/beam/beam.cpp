@@ -1,0 +1,132 @@
+#include "beam/beam.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace sfi::beam {
+
+namespace {
+using inject::FaultSpec;
+using inject::FaultTarget;
+using inject::InjectionRecord;
+using inject::InjectionRunner;
+using inject::RunResult;
+}  // namespace
+
+BeamResult run_beam_experiment(const avp::Testcase& tc,
+                               const BeamConfig& cfg) {
+  require(cfg.num_events > 0, "beam needs events");
+  require(cfg.latch_cross_section >= 0.0 && cfg.array_cross_section >= 0.0,
+          "cross-sections must be non-negative");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const avp::GoldenResult golden = avp::run_golden(tc);
+  core::Pearl6Model ref_model(cfg.core);
+  emu::Emulator ref_emu(ref_model);
+  const emu::GoldenTrace trace = avp::run_reference(ref_model, ref_emu, tc);
+
+  const u64 latch_bits = ref_model.registry().num_latches();
+  const u64 array_bits = ref_model.arrays().total_storage_bits();
+  const double latch_weight =
+      static_cast<double>(latch_bits) * cfg.latch_cross_section;
+  const double array_weight =
+      static_cast<double>(array_bits) * cfg.array_cross_section;
+  require(latch_weight + array_weight > 0.0, "beam sees no sensitive bits");
+
+  // Pre-generate strikes: uniform arrival over the exposure window, target
+  // cell weighted by cross-section.
+  std::vector<FaultSpec> strikes(cfg.num_events);
+  u64 latch_events = 0;
+  u64 array_events = 0;
+  for (u32 i = 0; i < cfg.num_events; ++i) {
+    stats::Xoshiro256 rng(stats::derive_seed(cfg.seed, i));
+    FaultSpec f;
+    f.cycle = 1 + rng.below(trace.completion_cycle - 1);
+    const double pick = rng.uniform() * (latch_weight + array_weight);
+    if (pick < latch_weight) {
+      f.target = FaultTarget::Latch;
+      f.index = static_cast<u32>(rng.below(latch_bits));
+      ++latch_events;
+    } else {
+      f.target = FaultTarget::ArrayCell;
+      f.array_bit = rng.below(array_bits);
+      ++array_events;
+    }
+    strikes[i] = f;
+  }
+
+  const u32 threads =
+      cfg.threads != 0
+          ? cfg.threads
+          : std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<InjectionRecord> records(cfg.num_events);
+  std::atomic<u32> next{0};
+
+  // Beam observability: the experimenter cannot watch internal state, so
+  // the golden-hash early exit is off — classification uses only RAS
+  // reporting and the end-of-test compare, like the real irradiation runs.
+  inject::RunConfig run_cfg = cfg.run;
+  run_cfg.early_exit = false;
+
+  const auto work = [&](core::Pearl6Model& model, emu::Emulator& emu) {
+    emu.reset();
+    const emu::Checkpoint reset_cp = emu.save_checkpoint();
+    InjectionRunner runner(model, emu, reset_cp, trace, golden, run_cfg);
+    while (true) {
+      const u32 i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cfg.num_events) break;
+      const RunResult rr = runner.run(strikes[i]);
+      InjectionRecord rec;
+      rec.fault = strikes[i];
+      rec.outcome = rr.outcome;
+      if (strikes[i].target == FaultTarget::Latch) {
+        const auto& meta = model.registry().meta_of_ordinal(strikes[i].index);
+        rec.unit = meta.unit;
+        rec.type = meta.type;
+      } else {
+        rec.unit = model.arrays().locate(strikes[i].array_bit).array->unit();
+      }
+      rec.end_cycle = rr.end_cycle;
+      rec.recoveries = rr.recoveries;
+      records[i] = rec;
+    }
+  };
+
+  if (threads <= 1) {
+    core::Pearl6Model model(cfg.core);
+    model.load_workload(tc.program, tc.init);
+    emu::Emulator emu(model);
+    work(model, emu);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (u32 t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        core::Pearl6Model model(cfg.core);
+        model.load_workload(tc.program, tc.init);
+        emu::Emulator emu(model);
+        work(model, emu);
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  BeamResult result;
+  result.records = std::move(records);
+  result.latch_events = latch_events;
+  result.array_events = array_events;
+  for (const InjectionRecord& rec : result.records) {
+    result.counts.add(rec.outcome);
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace sfi::beam

@@ -1,0 +1,42 @@
+// Proton-beam experiment simulator (the paper's §2.2 calibration baseline).
+//
+// The physical beam upsets storage cells uncontrollably: strikes arrive as a
+// Poisson process in time and land uniformly over *all* storage — latches
+// and protected SRAM arrays alike, weighted by per-bit cross-section. Each
+// observed upset event is simulated as one run (conditional on one strike,
+// its arrival time is uniform over the exposure window). Observability is
+// beam-like: only the machine's own RAS reporting and the end-of-test AVP
+// compare — no golden-trace shortcuts, no knowledge of which bit flipped.
+#pragma once
+
+#include <vector>
+
+#include "sfi/campaign.hpp"
+
+namespace sfi::beam {
+
+struct BeamConfig {
+  u64 seed = 1234;
+  u32 num_events = 1000;   ///< observed upset events to simulate
+  u32 threads = 0;
+  /// Relative per-bit sensitivities (device cross-sections). SRAM cells are
+  /// typically somewhat more sensitive than hardened latches.
+  double latch_cross_section = 1.0;
+  double array_cross_section = 1.0;
+  inject::RunConfig run;
+  core::CoreConfig core;
+};
+
+struct BeamResult {
+  inject::OutcomeCounts counts;
+  u64 latch_events = 0;
+  u64 array_events = 0;
+  std::vector<inject::InjectionRecord> records;
+  double wall_seconds = 0.0;
+};
+
+/// Simulate a beam exposure of `testcase` under `config`.
+[[nodiscard]] BeamResult run_beam_experiment(const avp::Testcase& testcase,
+                                             const BeamConfig& config);
+
+}  // namespace sfi::beam

@@ -1,0 +1,31 @@
+#include "common/bits.hpp"
+
+#include <array>
+
+namespace sfi {
+
+std::string to_binary(u64 v, unsigned width) {
+  require(width >= 1 && width <= 64, "to_binary width in [1,64]");
+  std::string s(width, '0');
+  for (unsigned i = 0; i < width; ++i) {
+    if ((v >> (width - 1 - i)) & 1) s[i] = '1';
+  }
+  return s;
+}
+
+std::string to_hex(u64 v) {
+  static constexpr std::array<char, 16> digits = {'0', '1', '2', '3', '4', '5',
+                                                  '6', '7', '8', '9', 'a', 'b',
+                                                  'c', 'd', 'e', 'f'};
+  std::string s = "0x";
+  bool started = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const auto nib = static_cast<unsigned>((v >> shift) & 0xF);
+    if (nib != 0) started = true;
+    if (started) s.push_back(digits[nib]);
+  }
+  if (!started) s.push_back('0');
+  return s;
+}
+
+}  // namespace sfi

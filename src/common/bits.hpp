@@ -1,0 +1,63 @@
+// Bit-manipulation helpers used by the netlist substrate, the checkers and
+// the ISA. All operate on explicit widths; widths are in [0, 64].
+#pragma once
+
+#include <bit>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sfi {
+
+/// A mask with the low `width` bits set. width 64 yields all-ones.
+[[nodiscard]] constexpr u64 mask_low(unsigned width) {
+  return width >= 64 ? ~u64{0} : (u64{1} << width) - 1;
+}
+
+/// Extract `width` bits starting at `lsb` from `v`.
+[[nodiscard]] constexpr u64 extract(u64 v, unsigned lsb, unsigned width) {
+  return (v >> lsb) & mask_low(width);
+}
+
+/// Insert the low `width` bits of `field` into `v` at `lsb`.
+[[nodiscard]] constexpr u64 insert(u64 v, unsigned lsb, unsigned width, u64 field) {
+  const u64 m = mask_low(width) << lsb;
+  return (v & ~m) | ((field << lsb) & m);
+}
+
+/// Even parity over `width` bits of `v`: 1 when the population count is odd,
+/// so that word⊕parity has even parity overall.
+[[nodiscard]] constexpr u32 parity(u64 v, unsigned width = 64) {
+  return static_cast<u32>(std::popcount(v & mask_low(width)) & 1);
+}
+
+/// Sign-extend the low `width` bits of `v` to 64 bits.
+[[nodiscard]] constexpr i64 sign_extend(u64 v, unsigned width) {
+  ensure(width >= 1 && width <= 64, "sign_extend width");
+  const u64 m = mask_low(width);
+  const u64 sign = u64{1} << (width - 1);
+  const u64 x = v & m;
+  return static_cast<i64>((x ^ sign) - sign);
+}
+
+/// Modulo-3 residue of a 64-bit value. Used by the FXU residue checker:
+/// residue(a) + residue(b) ≡ residue(a+b) (mod 3).
+[[nodiscard]] constexpr u32 residue3(u64 v) {
+  // Fold by 32/16/8/4/2-bit halves; 2^k mod 3 alternates 1,2 so pairwise
+  // folding with weights keeps the residue. Simpler: builtin remainder.
+  return static_cast<u32>(v % 3);
+}
+
+/// Number of 64-bit words needed to hold `bits` bits.
+[[nodiscard]] constexpr std::size_t words_for_bits(std::size_t bits) {
+  return (bits + 63) / 64;
+}
+
+/// Render `v` as a fixed-width binary string (msb first), for diagnostics.
+[[nodiscard]] std::string to_binary(u64 v, unsigned width);
+
+/// Render `v` as 0x-prefixed hex, for diagnostics.
+[[nodiscard]] std::string to_hex(u64 v);
+
+}  // namespace sfi

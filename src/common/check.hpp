@@ -1,0 +1,35 @@
+// Contract checking. SFI is a simulator: an internal invariant violation is a
+// bug in the tool, never a modelled fault, so checks throw (they must not be
+// confused with the modelled machine's checkstops).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sfi {
+
+/// Thrown when an internal invariant of the simulator itself is violated.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown on invalid arguments at public API boundaries.
+class UsageError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Verify an internal invariant; throws InternalError when violated.
+/// constexpr so it can guard constant-evaluated helpers (a failing check in a
+/// constant expression is a compile error, which is exactly right).
+constexpr void ensure(bool cond, const char* what) {
+  if (!cond) throw InternalError(std::string("sfi internal error: ") + what);
+}
+
+/// Validate a precondition of a public API; throws UsageError when violated.
+constexpr void require(bool cond, const char* what) {
+  if (!cond) throw UsageError(std::string("sfi usage error: ") + what);
+}
+
+}  // namespace sfi

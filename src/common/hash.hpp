@@ -1,0 +1,49 @@
+// A small, fast, non-cryptographic 64-bit hash (xxhash/wyhash-style mixing).
+// Used for golden-trace state fingerprints: the SFI classifier declares a
+// fault "vanished" when the injected run's functional-state hash re-matches
+// the fault-free run's hash at the same cycle.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace sfi {
+
+/// Strong 64-bit mix (splitmix64 finalizer).
+[[nodiscard]] constexpr u64 mix64(u64 x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash a span of 64-bit words with positional mixing. Order-sensitive.
+[[nodiscard]] inline u64 hash_words(std::span<const u64> words, u64 seed = 0) {
+  u64 h = mix64(seed ^ 0x5851F42D4C957F2DULL);
+  u64 pos = 0;
+  for (const u64 w : words) {
+    h = mix64(h ^ mix64(w + (++pos) * 0x9E3779B97F4A7C15ULL));
+  }
+  return mix64(h ^ (static_cast<u64>(words.size()) << 1));
+}
+
+/// Hash arbitrary bytes (for program images, memory regions).
+[[nodiscard]] inline u64 hash_bytes(std::span<const u8> bytes, u64 seed = 0) {
+  u64 h = mix64(seed ^ 0xA0761D6478BD642FULL);
+  u64 acc = 0;
+  unsigned nacc = 0;
+  u64 pos = 0;
+  for (const u8 b : bytes) {
+    acc |= static_cast<u64>(b) << (8 * nacc);
+    if (++nacc == 8) {
+      h = mix64(h ^ mix64(acc + (++pos) * 0x9E3779B97F4A7C15ULL));
+      acc = 0;
+      nacc = 0;
+    }
+  }
+  if (nacc != 0) h = mix64(h ^ mix64(acc + 0xE7037ED1A0B428DBULL));
+  return mix64(h ^ (static_cast<u64>(bytes.size()) << 1));
+}
+
+}  // namespace sfi

@@ -1,0 +1,24 @@
+// Fundamental width-explicit types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace sfi {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// A simulation cycle count. Cycle 0 is the first evaluated cycle.
+using Cycle = std::uint64_t;
+
+/// Index of a single latch bit within the model's StateVector.
+using BitIndex = std::uint32_t;
+
+}  // namespace sfi

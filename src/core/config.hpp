@@ -1,0 +1,82 @@
+// CoreConfig: build-time-fixed structure sizes and reset-time configuration
+// of the Pearl6 core.
+//
+// The checker enables mirror the paper's §3.3 experiment ("disabling and
+// enabling checkers in various parts of the core through masking of
+// checkers"): they are loaded into scan-only MODE latches at reset, so both
+// legitimate reconfiguration (Table 3's Raw vs Check) and fault injection
+// into the mask latches themselves behave identically.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace sfi::core {
+
+/// Identifiers for every low-level hardware checker in the core. Each has a
+/// MODE enable latch in its owning unit's scan ring.
+enum class CheckerId : u8 {
+  IfuIcacheTagParity,
+  IfuIbufParity,
+  IfuIcacheDataParity,
+  IduDecodeParity,
+  IduControlParity,
+  FxuGprParity,
+  FxuOperandParity,
+  FxuResidue,
+  FpuFprParity,
+  FpuStageParity,
+  FpuResultParity,
+  LsuStqParity,
+  LsuDcacheTagParity,
+  LsuDcacheDataParity,
+  LsuEratParity,
+  RutEccReport,
+  RutFsmCheck,
+  CoreWatchdog,
+  CoreRecoveryProtocol,
+  /// Main-store (DRAM) ECC reporting. The memory controller is outside the
+  /// core's checker masking: it reports regardless of CoreConfig masks,
+  /// like the real machine's nest logic.
+  MemEcc,
+};
+inline constexpr std::size_t kNumCheckers = 20;
+
+struct CoreConfig {
+  // --- structure sizes (fixed: changing them changes the latch inventory,
+  //     which is part of the modelled design, not a tunable) ---
+  static constexpr u32 kMemBytes = 1u << 16;
+  static constexpr u32 kIcacheLines = 16;   ///< direct-mapped, 16B lines
+  static constexpr u32 kDcacheLines = 32;   ///< direct-mapped, 16B lines
+  static constexpr u32 kLineBytes = 16;
+  static constexpr u32 kFetchBufEntries = 4;
+  static constexpr u32 kStqEntries = 8;
+  static constexpr u32 kEratEntries = 16;   ///< 4 KiB pages over 64 KiB
+  static constexpr u32 kMemLatency = 6;     ///< cycles per memory access
+  static constexpr u32 kEratFillLatency = 3;
+  static constexpr u32 kMulLatency = 3;
+  static constexpr u32 kDivLatency = 12;
+  static constexpr u32 kFpuStages = 4;
+
+  // --- reset-time configuration (loaded into MODE latches) ---
+  /// Master switch for all low-level checkers (Table 3 Raw = false).
+  bool checkers_enabled = true;
+  /// Per-checker override: checker i is enabled iff checkers_enabled is true
+  /// and checker_mask bit i is set. Default: all on.
+  u64 checker_mask = ~u64{0};
+  /// Completion watchdog timeout in cycles (hang detection).
+  u32 watchdog_timeout = 600;
+  /// Recoveries without an intervening completion before escalating to
+  /// checkstop (breaks recovery livelock on persistent faults).
+  u32 recovery_threshold = 3;
+  /// Recovery sequencer watchdog: max cycles for one recovery action.
+  u32 recovery_timeout = 200;
+  /// Allow recovery at all (false: any detected error checkstops).
+  bool recovery_enabled = true;
+
+  [[nodiscard]] bool checker_on(CheckerId id) const {
+    return checkers_enabled &&
+           ((checker_mask >> static_cast<unsigned>(id)) & 1) != 0;
+  }
+};
+
+}  // namespace sfi::core

@@ -1,0 +1,177 @@
+#include "core/dcache.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace sfi::core {
+
+namespace {
+using netlist::ArrayProtection;
+using netlist::ArrayReadStatus;
+using netlist::LatchType;
+using netlist::Unit;
+
+constexpr u32 tag_parity_word(u64 tag, bool valid) {
+  return parity(tag | (static_cast<u64>(valid) << 7), 8);
+}
+}  // namespace
+
+DCache::DCache(netlist::LatchRegistry& reg, u8 scan_ring)
+    : data_("lsu.dcache.data", Unit::LSU, ArrayProtection::Parity, kLines * 2,
+            64) {
+  valid_.reserve(kLines);
+  tag_.reserve(kLines);
+  tag_par_.reserve(kLines);
+  for (u32 i = 0; i < kLines; ++i) {
+    const std::string n = "lsu.dcache.t" + std::to_string(i);
+    valid_.emplace_back(
+        reg.add(n + ".v", Unit::LSU, LatchType::Func, scan_ring, 1));
+    tag_.emplace_back(
+        reg.add(n + ".tag", Unit::LSU, LatchType::Func, scan_ring, 7));
+    tag_par_.emplace_back(
+        reg.add(n + ".p", Unit::LSU, LatchType::Func, scan_ring, 1));
+  }
+  busy_ = netlist::Flag(
+      reg.add("lsu.dcache.miss.busy", Unit::LSU, LatchType::Func, scan_ring, 1));
+  pend_cached_ = netlist::Flag(reg.add("lsu.dcache.miss.cached", Unit::LSU,
+                                       LatchType::Func, scan_ring, 1));
+  pend_addr_ = netlist::Field(reg.add("lsu.dcache.miss.addr", Unit::LSU,
+                                      LatchType::Func, scan_ring, 16));
+  pend_size_ = netlist::Field(reg.add("lsu.dcache.miss.size", Unit::LSU,
+                                      LatchType::Func, scan_ring, 2));
+  wait_ = netlist::Field(
+      reg.add("lsu.dcache.miss.wait", Unit::LSU, LatchType::Func, scan_ring, 4));
+}
+
+DCache::Plan DCache::plan_load(const netlist::CycleFrame& f, u32 addr,
+                               u32 size, bool want, const ModeRing& mode,
+                               Signals& sig, mem::EccMemory& mem) {
+  Plan plan;
+  plan.want = want;
+  plan.addr = addr & 0xFFFF;
+  plan.size = size;
+  plan.line = line_of(plan.addr);
+
+  if (busy_.get(f)) {
+    if (wait_.get(f) == 0) {
+      plan.finish = true;
+      const auto paddr = static_cast<u32>(pend_addr_.get(f));
+      const u32 psize = decode_size(static_cast<u32>(pend_size_.get(f)));
+      // Fill-forward only to the access that started the miss; a squashed
+      // request's refill completes silently and the new access retries.
+      if (want && paddr == plan.addr && psize == size) {
+        plan.done = true;
+        plan.data = mem.load(paddr, psize);
+      }
+      plan.line = line_of(paddr);
+    }
+    return plan;
+  }
+  if (!want) return plan;
+
+  const u32 off8 = plan.addr & 7;
+  if (off8 + size > 8) {
+    plan.start_uncached = true;
+    return plan;
+  }
+
+  const u32 line = plan.line;
+  const bool v = valid_[line].get(f);
+  const u64 tag = tag_[line].get(f);
+  const bool tag_ok =
+      tag_parity_word(tag, v) ==
+      static_cast<u32>(tag_par_[line].get(f) ? 1 : 0);
+
+  if (!tag_ok && mode.checker_on(f, CheckerId::LsuDcacheTagParity)) {
+    sig.raise(CheckerId::LsuDcacheTagParity, Unit::LSU, false,
+              "dcache tag parity");
+    plan.invalidate = true;
+    plan.start_miss = true;
+    return plan;
+  }
+  if (!v || tag != tag_of(plan.addr)) {
+    plan.start_miss = true;
+    return plan;
+  }
+
+  const u32 entry = line * 2 + ((plan.addr >> 3) & 1);
+  const auto rr = data_.read(entry);
+  if (rr.status == ArrayReadStatus::Detected &&
+      mode.checker_on(f, CheckerId::LsuDcacheDataParity)) {
+    sig.raise(CheckerId::LsuDcacheDataParity, Unit::LSU, false,
+              "dcache data parity");
+    plan.invalidate = true;
+    plan.start_miss = true;
+    return plan;
+  }
+  plan.done = true;
+  plan.data = (rr.value >> (off8 * 8)) & mask_low(size * 8);
+  return plan;
+}
+
+void DCache::update(const netlist::CycleFrame& f, const Plan& plan,
+                    mem::EccMemory& mem) {
+  if (plan.invalidate) valid_[plan.line].set(f, false);
+
+  if (busy_.get(f)) {
+    const u64 w = wait_.get(f);
+    if (w > 0) {
+      wait_.set(f, w - 1);
+      return;
+    }
+    if (pend_cached_.get(f)) {
+      // Refill the whole line alongside the forwarded data.
+      const auto addr = static_cast<u32>(pend_addr_.get(f));
+      const u32 line = line_of(addr);
+      const u32 base = addr & ~(kLineBytes - 1);
+      data_.write(line * 2 + 0, mem.load_u64(base));
+      data_.write(line * 2 + 1, mem.load_u64(base + 8));
+      valid_[line].set(f, true);
+      tag_[line].set(f, tag_of(addr));
+      tag_par_[line].set(f, tag_parity_word(tag_of(addr), true) != 0);
+    }
+    busy_.set(f, false);
+    return;
+  }
+
+  if (plan.start_miss || plan.start_uncached) {
+    busy_.set(f, true);
+    pend_cached_.set(f, plan.start_miss);
+    pend_addr_.set(f, plan.addr);
+    pend_size_.set(f, encode_size(plan.size));
+    wait_.set(f, CoreConfig::kMemLatency);
+  }
+}
+
+void DCache::commit_store(const netlist::CycleFrame& f, u32 addr, u32 size,
+                          u64 value, mem::EccMemory& mem) {
+  addr &= 0xFFFF;
+  mem.store(addr, value, size);
+  // Invalidate every line the store bytes touch (at most two).
+  const auto drop = [&](u32 a) {
+    const u32 line = line_of(a);
+    if (valid_[line].get(f) && tag_[line].get(f) == tag_of(a)) {
+      valid_[line].set(f, false);
+      tag_par_[line].set(f,
+                         tag_parity_word(tag_[line].get(f), false) != 0);
+    }
+  };
+  drop(addr);
+  if (line_of(addr + size - 1) != line_of(addr)) drop(addr + size - 1);
+}
+
+void DCache::reset(netlist::StateVector& sv) {
+  for (u32 i = 0; i < kLines; ++i) {
+    valid_[i].poke(sv, false);
+    tag_[i].poke(sv, 0);
+    tag_par_[i].poke(sv, false);
+  }
+  busy_.poke(sv, false);
+  pend_cached_.poke(sv, false);
+  pend_addr_.poke(sv, 0);
+  pend_size_.poke(sv, 0);
+  wait_.poke(sv, 0);
+  data_.fill_zero();
+}
+
+}  // namespace sfi::core

@@ -1,0 +1,94 @@
+// Data cache: direct-mapped, 32 lines × 16 bytes, write-through,
+// no-allocate-on-store, blocking miss with fill-forwarding.
+//
+// Memory is always authoritative (write-through), so a parity-damaged line
+// is recoverable by invalidate+refetch — the recovery path the LSU checker
+// events trigger. Loads that cross an 8-byte boundary use an uncached
+// memory access (same latency as a miss, no refill).
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "core/mode_ring.hpp"
+#include "core/signals.hpp"
+#include "mem/ecc_memory.hpp"
+#include "netlist/array.hpp"
+#include "netlist/field.hpp"
+#include "netlist/registry.hpp"
+
+namespace sfi::core {
+
+class DCache {
+ public:
+  DCache(netlist::LatchRegistry& reg, u8 scan_ring);
+
+  struct Plan {
+    bool want = false;
+    bool done = false;         ///< load data available this cycle
+    u64 data = 0;
+    bool start_miss = false;   ///< begin a cacheable refill
+    bool start_uncached = false;
+    bool invalidate = false;   ///< parity casualty: drop the line
+    bool finish = false;       ///< outstanding access completes this cycle
+    u32 line = 0;
+    u32 addr = 0;
+    u32 size = 0;
+  };
+
+  /// Detect phase: attempt the load of `size` bytes at physical `addr`.
+  [[nodiscard]] Plan plan_load(const netlist::CycleFrame& f, u32 addr,
+                               u32 size, bool want, const ModeRing& mode,
+                               Signals& sig, mem::EccMemory& mem);
+
+  /// Update phase for the plan returned by plan_load.
+  void update(const netlist::CycleFrame& f, const Plan& plan,
+              mem::EccMemory& mem);
+
+  /// Commit-time store: writes through to memory and invalidates any line
+  /// the store touches (no-allocate keeps the array trivially coherent).
+  void commit_store(const netlist::CycleFrame& f, u32 addr, u32 size,
+                    u64 value, mem::EccMemory& mem);
+
+  [[nodiscard]] bool busy(const netlist::CycleFrame& f) const {
+    return busy_.get(f);
+  }
+
+  void reset(netlist::StateVector& sv);
+
+  [[nodiscard]] netlist::ProtectedArray& data_array() { return data_; }
+  [[nodiscard]] const netlist::ProtectedArray& data_array() const {
+    return data_;
+  }
+
+ private:
+  static constexpr u32 kLines = CoreConfig::kDcacheLines;
+  static constexpr u32 kLineBytes = CoreConfig::kLineBytes;
+
+  [[nodiscard]] static u32 line_of(u32 addr) {
+    return (addr / kLineBytes) % kLines;
+  }
+  [[nodiscard]] static u32 tag_of(u32 addr) {
+    return (addr & 0xFFFF) / (kLineBytes * kLines);
+  }
+  [[nodiscard]] static u32 encode_size(u32 size) {
+    return size == 1 ? 0 : size == 4 ? 1 : 2;
+  }
+  [[nodiscard]] static u32 decode_size(u32 enc) {
+    return enc == 0 ? 1 : enc == 1 ? 4 : 8;
+  }
+
+  std::vector<netlist::Flag> valid_;
+  std::vector<netlist::Field> tag_;     // 7-bit tag
+  std::vector<netlist::Flag> tag_par_;  // parity over {valid, tag}
+
+  netlist::Flag busy_;
+  netlist::Flag pend_cached_;
+  netlist::Field pend_addr_;  // 16
+  netlist::Field pend_size_;  // 2 (encoded)
+  netlist::Field wait_;       // 4
+
+  netlist::ProtectedArray data_;  // kLines*2 entries of 64 bits, parity
+};
+
+}  // namespace sfi::core

@@ -1,0 +1,135 @@
+#include "core/icache.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace sfi::core {
+
+namespace {
+using netlist::ArrayProtection;
+using netlist::ArrayReadStatus;
+using netlist::LatchType;
+using netlist::Unit;
+}  // namespace
+
+ICache::ICache(netlist::LatchRegistry& reg, u8 scan_ring)
+    : data_("ifu.icache.data", Unit::IFU, ArrayProtection::Parity, kLines * 2,
+            64) {
+  valid_.reserve(kLines);
+  tag_.reserve(kLines);
+  tag_par_.reserve(kLines);
+  for (u32 i = 0; i < kLines; ++i) {
+    const std::string n = "ifu.icache.t" + std::to_string(i);
+    valid_.emplace_back(
+        reg.add(n + ".v", Unit::IFU, LatchType::Func, scan_ring, 1));
+    tag_.emplace_back(
+        reg.add(n + ".tag", Unit::IFU, LatchType::Func, scan_ring, 8));
+    tag_par_.emplace_back(
+        reg.add(n + ".p", Unit::IFU, LatchType::Func, scan_ring, 1));
+  }
+  busy_ = netlist::Flag(
+      reg.add("ifu.icache.miss.busy", Unit::IFU, LatchType::Func, scan_ring, 1));
+  miss_addr_ = netlist::Field(reg.add("ifu.icache.miss.addr", Unit::IFU,
+                                      LatchType::Func, scan_ring, 16));
+  wait_ = netlist::Field(
+      reg.add("ifu.icache.miss.wait", Unit::IFU, LatchType::Func, scan_ring, 4));
+}
+
+ICache::Plan ICache::plan_fetch(const netlist::CycleFrame& f, u32 addr,
+                                bool want, const ModeRing& mode,
+                                Signals& sig) {
+  Plan plan;
+  plan.want = want;
+  plan.addr = addr & 0xFFFC;  // word-aligned physical address
+  plan.line = line_of(plan.addr);
+
+  // A completing refill takes priority this cycle; the fetch retries next
+  // cycle and hits.
+  if (busy_.get(f)) {
+    if (wait_.get(f) == 0) {
+      plan.refill = true;
+      plan.line = line_of(static_cast<u32>(miss_addr_.get(f)));
+    }
+    return plan;
+  }
+  if (!want) return plan;
+
+  const u32 line = plan.line;
+  const bool v = valid_[line].get(f);
+  const u64 tag = tag_[line].get(f);
+  const bool tag_ok =
+      parity(tag | (static_cast<u64>(v) << 8), 9) ==
+      static_cast<u32>(tag_par_[line].get(f) ? 1 : 0);
+
+  if (!tag_ok && mode.checker_on(f, CheckerId::IfuIcacheTagParity)) {
+    sig.raise(CheckerId::IfuIcacheTagParity, Unit::IFU, false,
+              "icache tag parity");
+    plan.invalidate = true;
+    plan.start_miss = true;
+    return plan;
+  }
+  if (!v || tag != tag_of(plan.addr)) {
+    plan.start_miss = true;
+    return plan;
+  }
+
+  // Tag hit: read the 64-bit data entry holding the word.
+  const u32 entry = line * 2 + ((plan.addr >> 3) & 1);
+  const auto rr = data_.read(entry);
+  if (rr.status == ArrayReadStatus::Detected &&
+      mode.checker_on(f, CheckerId::IfuIcacheDataParity)) {
+    sig.raise(CheckerId::IfuIcacheDataParity, Unit::IFU, false,
+              "icache data parity");
+    plan.invalidate = true;
+    plan.start_miss = true;
+    return plan;
+  }
+  plan.hit = true;
+  plan.word = static_cast<u32>(rr.value >> (((plan.addr >> 2) & 1) * 32));
+  return plan;
+}
+
+void ICache::update(const netlist::CycleFrame& f, const Plan& plan,
+                    mem::EccMemory& mem) {
+  if (plan.invalidate) valid_[plan.line].set(f, false);
+
+  if (busy_.get(f)) {
+    const u64 w = wait_.get(f);
+    if (w > 0) {
+      wait_.set(f, w - 1);
+      return;
+    }
+    // Refill: write both 64-bit entries of the line from memory, set tag.
+    const auto addr = static_cast<u32>(miss_addr_.get(f));
+    const u32 line = line_of(addr);
+    const u32 base = addr & ~(kLineBytes - 1);
+    data_.write(line * 2 + 0, mem.load_u64(base));
+    data_.write(line * 2 + 1, mem.load_u64(base + 8));
+    valid_[line].set(f, true);
+    tag_[line].set(f, tag_of(addr));
+    tag_par_[line].set(
+        f, parity(static_cast<u64>(tag_of(addr)) | (u64{1} << 8), 9) != 0);
+    busy_.set(f, false);
+    return;
+  }
+
+  if (plan.start_miss) {
+    busy_.set(f, true);
+    miss_addr_.set(f, plan.addr & 0xFFFF);
+    wait_.set(f, CoreConfig::kMemLatency);
+  }
+}
+
+void ICache::reset(netlist::StateVector& sv) {
+  for (u32 i = 0; i < kLines; ++i) {
+    valid_[i].poke(sv, false);
+    tag_[i].poke(sv, 0);
+    tag_par_[i].poke(sv, false);
+  }
+  busy_.poke(sv, false);
+  miss_addr_.poke(sv, 0);
+  wait_.poke(sv, 0);
+  data_.fill_zero();
+}
+
+}  // namespace sfi::core

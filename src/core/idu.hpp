@@ -1,0 +1,157 @@
+// IDU — instruction decode, hazard/issue and completion unit.
+//
+// Holds the DEC latch (one instruction being decoded), the architected
+// CR/LR/CTR specials (parity-protected), the register scoreboard, the
+// stop-seen flag and the WB/completion latch bundle. Issue resolves branches
+// (redirecting the IFU), reads operands with parity verification and
+// WB-stage forwarding, and stages an IssueBundle into exactly one execution
+// unit. Completion re-verifies control parity and result integrity codes
+// before anything architects.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/fpu.hpp"
+#include "core/fxu.hpp"
+#include "core/ifu.hpp"
+#include "core/lsu.hpp"
+#include "core/mode_ring.hpp"
+#include "core/pipeline_types.hpp"
+#include "core/signals.hpp"
+#include "core/spare_chain.hpp"
+#include "netlist/field.hpp"
+#include "netlist/registry.hpp"
+
+namespace sfi::core {
+
+enum class IssueTarget : u8 { None, Fxu, Fpu, Lsu };
+
+class Idu {
+ public:
+  explicit Idu(netlist::LatchRegistry& reg);
+
+  /// The instruction currently in the WB/completion latches.
+  [[nodiscard]] WbData wb_view(const netlist::CycleFrame& f) const;
+
+  /// Completion-time integrity verification for the WB instruction (detect
+  /// phase; events via sig). Control parity is the IDU's own checker; the
+  /// value parity / residue codes are verified against the *producing*
+  /// unit's checker enables. Returns false when a check failed.
+  bool verify_completion(const netlist::CycleFrame& f, const WbData& wb,
+                         Signals& sig, u32 checkpoint_pc,
+                         const ModeRing& fxu_mode, const ModeRing& fpu_mode,
+                         const ModeRing& lsu_mode) const;
+
+  struct IssuePlan {
+    bool held = false;
+    bool take_fetch = false;  ///< consume the IFU head into DEC
+    bool issue = false;
+    IssueTarget target = IssueTarget::None;
+    IssueBundle bundle;
+    bool set_stop_seen = false;
+    // Scoreboard bits to set at issue.
+    bool busy_gpr = false;
+    u8 busy_gpr_idx = 0;
+    bool busy_fpr = false;
+    u8 busy_fpr_idx = 0;
+    bool busy_cr = false;
+    bool busy_lr = false;
+    bool busy_ctr = false;
+  };
+
+  /// Detect phase: decode DEC, resolve hazards and branches, plan the issue.
+  [[nodiscard]] IssuePlan plan_issue(const netlist::CycleFrame& f,
+                                     Signals& sig, Ifu& ifu, Fxu& fxu,
+                                     Fpu& fpu, Lsu& lsu);
+
+  /// Update phase: DEC movement, scoreboard set, stop_seen, WB staging.
+  /// `wb_next` is the (at most one) WB bundle produced by a unit this cycle.
+  void update(const netlist::CycleFrame& f, const IssuePlan& plan,
+              const Controls& ctl, const WbData& wb_next);
+
+  /// Stage a new DEC entry (the IFU head consumed this cycle).
+  void stage_dec(const netlist::CycleFrame& f, u32 instr, u32 pc) const;
+
+  // --- completion/restore write paths (update phase; called by the model) ---
+  /// Returns the full CR value after the write (for the RUT checkpoint).
+  u32 write_cr_field(const netlist::CycleFrame& f, u32 crf, u32 field) const;
+  void write_cr_whole(const netlist::CycleFrame& f, u32 value) const;
+  void write_lr(const netlist::CycleFrame& f, u64 value) const;
+  void write_ctr(const netlist::CycleFrame& f, u64 value) const;
+  /// Clear the scoreboard bits the completing instruction owned.
+  void release_scoreboard(const netlist::CycleFrame& f, const WbData& wb) const;
+
+  // --- architected-state peeks (reset / extraction) ---
+  [[nodiscard]] u32 peek_cr(const netlist::StateVector& sv) const;
+  [[nodiscard]] u64 peek_lr(const netlist::StateVector& sv) const;
+  [[nodiscard]] u64 peek_ctr(const netlist::StateVector& sv) const;
+
+  [[nodiscard]] ModeRing& mode() { return mode_; }
+
+  void reset(netlist::StateVector& sv, const isa::ArchState& init,
+             const CoreConfig& cfg);
+
+ private:
+  struct SourceRead {
+    bool ok = true;       ///< hazard-free (issueable)
+    u64 value = 0;
+  };
+  [[nodiscard]] SourceRead read_gpr(const netlist::CycleFrame& f, Fxu& fxu,
+                                    u32 idx, const WbData& wb, Signals& sig,
+                                    bool& parity_bad) const;
+  [[nodiscard]] SourceRead read_fpr(const netlist::CycleFrame& f, Fpu& fpu,
+                                    u32 idx, const WbData& wb, Signals& sig,
+                                    bool& parity_bad) const;
+
+  ModeRing mode_;
+  SpareChain spares_;
+
+  // DEC latch.
+  netlist::Flag dec_v_;
+  netlist::Field dec_instr_;  // 32
+  netlist::Field dec_pc_;     // 16
+  netlist::Flag dec_par_;
+
+  // Supervisor SPR file: SPRG/SRR/DAR-style registers PearlISA software
+  // never touches — the cold majority of a real core's REGFILE population.
+  std::vector<netlist::Field> spr_;
+  std::vector<netlist::Flag> spr_par_;
+
+  // Architected specials.
+  netlist::Field cr_;  // 32
+  netlist::Flag cr_par_;
+  netlist::Field lr_;  // 64
+  netlist::Flag lr_par_;
+  netlist::Field ctr_;  // 64
+  netlist::Flag ctr_par_;
+
+  // Scoreboard.
+  netlist::Field sb_gpr_lo_;  // 32 (gpr 0..31 busy bits)
+  netlist::Field sb_fpr_;     // 16
+  netlist::Flag sb_cr_;
+  netlist::Flag sb_lr_;
+  netlist::Flag sb_ctr_;
+  netlist::Flag stop_seen_;
+
+  // WB/completion latches.
+  netlist::Flag wb_v_;
+  netlist::Field wb_mn_;    // 6
+  netlist::Field wb_dk_;    // 2
+  netlist::Field wb_dest_;  // 5
+  netlist::Field wb_val_;   // 64
+  netlist::Flag wb_vpar_;
+  netlist::Field wb_res2_;  // 2
+  netlist::Field wb_pc_;    // 16
+  netlist::Field wb_pcn_;   // 16
+  netlist::Flag wb_st_;
+  netlist::Flag wb_stop_;
+  netlist::Flag wb_wlr_;
+  netlist::Field wb_lrval_;  // 64
+  netlist::Flag wb_wctr_;
+  netlist::Field wb_ctrval_;  // 64
+  netlist::Flag wb_ctlpar_;
+};
+
+}  // namespace sfi::core

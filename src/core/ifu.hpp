@@ -1,0 +1,89 @@
+// IFU — instruction fetch unit.
+//
+// Fetches one word per cycle through the I-cache into a 4-entry fetch
+// buffer, tracks the fetch PC (parity-protected), honours branch redirects
+// and recovery refetches, and halts at a fetched STOP word. Latches: fetch
+// PC + parity, halt flag, buffer entries (valid, instr, pc, parity), FIFO
+// pointers, I-cache tags and miss FSM, plus the unit's MODE/GPTR ring.
+#pragma once
+
+#include "common/bits.hpp"
+#include "core/icache.hpp"
+#include "core/mode_ring.hpp"
+#include "core/signals.hpp"
+#include "core/spare_chain.hpp"
+#include "mem/ecc_memory.hpp"
+#include "netlist/field.hpp"
+#include "netlist/registry.hpp"
+
+namespace sfi::core {
+
+class Ifu {
+ public:
+  explicit Ifu(netlist::LatchRegistry& reg);
+
+  struct Plan {
+    ICache::Plan ic;
+    bool enqueue = false;
+    u32 instr = 0;
+    u32 pc = 0;
+    bool held = false;  ///< clocks stopped: stage nothing
+  };
+
+  /// Detect phase: attempt a fetch (checker events via sig). While the RUT
+  /// sequencer is rebuilding state (`quiesced`) the IFU neither fetches nor
+  /// re-checks the (possibly faulty, already-reported) fetch PC — the
+  /// recovery refetch rewrites it with fresh parity.
+  [[nodiscard]] Plan detect(const netlist::CycleFrame& f, Signals& sig,
+                            bool quiesced);
+
+  /// Oldest buffered instruction, for the IDU.
+  struct Head {
+    bool valid = false;
+    u32 instr = 0;
+    u32 pc = 0;
+  };
+  [[nodiscard]] Head head(const netlist::CycleFrame& f) const;
+
+  /// Verify the head entry's parity (raises IfuIbufParity). Call only when
+  /// head().valid.
+  [[nodiscard]] bool head_ok(const netlist::CycleFrame& f, Signals& sig) const;
+
+  /// Update phase. `dequeue`: the IDU consumed the head entry this cycle.
+  void update(const netlist::CycleFrame& f, const Plan& plan,
+              const Controls& ctl, const Signals& sig, bool dequeue,
+              mem::EccMemory& mem);
+
+  void reset(netlist::StateVector& sv, u32 entry_pc, const CoreConfig& cfg);
+
+  [[nodiscard]] ModeRing& mode() { return mode_; }
+  [[nodiscard]] ICache& icache() { return icache_; }
+  [[nodiscard]] const ICache& icache() const { return icache_; }
+
+ private:
+  static constexpr u32 kEntries = CoreConfig::kFetchBufEntries;
+
+  [[nodiscard]] static bool entry_parity(u32 instr, u32 pc) {
+    return parity(static_cast<u64>(instr) ^ (static_cast<u64>(pc) << 32)) != 0;
+  }
+  void clear_buffer(const netlist::CycleFrame& f) const;
+  void set_fetch_pc(const netlist::CycleFrame& f, u32 pc) const;
+
+  ModeRing mode_;
+  SpareChain spares_;
+  ICache icache_;
+
+  netlist::Field fetch_pc_;   // 16
+  netlist::Flag fetch_pc_par_;
+  netlist::Flag halt_;
+
+  std::vector<netlist::Flag> v_;
+  std::vector<netlist::Field> instr_;
+  std::vector<netlist::Field> pc_;
+  std::vector<netlist::Flag> par_;
+  netlist::Field head_;   // 2
+  netlist::Field tail_;   // 2
+  netlist::Field count_;  // 3
+};
+
+}  // namespace sfi::core

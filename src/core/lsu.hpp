@@ -1,0 +1,145 @@
+// LSU — load/store unit.
+//
+// Two execution stages (EX1: ERAT address translation, EX2: D-cache access /
+// store-queue insert), an 8-entry store queue drained at commit, a 16-entry
+// ERAT (parity-protected identity translation over 4 KiB pages) with a fill
+// sequencer, and the D-cache. Stores drain to memory at the commit instant;
+// a parity error found at drain blocks the completion and recovers (the
+// store re-executes from the checkpoint). Uncommitted stores die on flush.
+#pragma once
+
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/dcache.hpp"
+#include "core/mode_ring.hpp"
+#include "core/pipeline_types.hpp"
+#include "core/signals.hpp"
+#include "core/spare_chain.hpp"
+#include "mem/ecc_memory.hpp"
+#include "netlist/field.hpp"
+#include "netlist/registry.hpp"
+
+namespace sfi::core {
+
+class Lsu {
+ public:
+  explicit Lsu(netlist::LatchRegistry& reg);
+
+  struct Plan {
+    bool held = false;
+    WbData wb;
+    bool advance_ex1 = false;   ///< EX1 moves to EX2
+    bool retire_ex2 = false;    ///< EX2 produced its WB / inserted its store
+    bool stq_insert = false;
+    u32 stq_addr = 0;
+    u32 stq_size = 0;
+    u64 stq_data = 0;
+    bool start_erat_fill = false;
+    bool erat_invalidate = false;  ///< parity casualty: drop the translation
+    u32 erat_page = 0;
+    DCache::Plan dc;
+  };
+
+  [[nodiscard]] Plan detect(const netlist::CycleFrame& f, Signals& sig,
+                            mem::EccMemory& mem);
+
+  void update(const netlist::CycleFrame& f, const Plan& plan,
+              const Controls& ctl, const std::optional<IssueBundle>& issue,
+              mem::EccMemory& mem);
+
+  /// Plan the commit-time drain of the store-queue head (detect phase; only
+  /// when a store is completing this cycle).
+  struct DrainPlan {
+    bool valid = false;
+    u32 addr = 0;
+    u32 size = 0;
+    u64 data = 0;
+  };
+  [[nodiscard]] DrainPlan plan_drain(const netlist::CycleFrame& f,
+                                     Signals& sig) const;
+
+  /// Apply the drain (update phase, when the completion was not blocked).
+  void apply_drain(const netlist::CycleFrame& f, const DrainPlan& plan,
+                   mem::EccMemory& mem);
+
+  [[nodiscard]] bool any_valid(const netlist::CycleFrame& f) const {
+    return ex1_v_.get(f) || ex2_v_.get(f);
+  }
+  [[nodiscard]] bool stq_empty(const netlist::CycleFrame& f) const {
+    return stq_count_.get(f) == 0;
+  }
+  [[nodiscard]] bool stq_full(const netlist::CycleFrame& f) const {
+    return stq_count_.get(f) >= CoreConfig::kStqEntries;
+  }
+
+  [[nodiscard]] ModeRing& mode() { return mode_; }
+  [[nodiscard]] DCache& dcache() { return dcache_; }
+  [[nodiscard]] const DCache& dcache() const { return dcache_; }
+
+  void reset(netlist::StateVector& sv, const CoreConfig& cfg);
+
+ private:
+  static constexpr u32 kStq = CoreConfig::kStqEntries;
+  static constexpr u32 kErat = CoreConfig::kEratEntries;
+
+  [[nodiscard]] static u32 size_of(isa::Mnemonic mn);
+  [[nodiscard]] static bool is_store_mn(isa::Mnemonic mn);
+
+  ModeRing mode_;
+  SpareChain spares_;
+  DCache dcache_;
+
+  // EX1: post-issue, pre-translation.
+  netlist::Flag ex1_v_;
+  netlist::Field ex1_mn_;    // 6
+  netlist::Field ex1_dest_;  // 5
+  netlist::Field ex1_ea_;    // 16
+  netlist::Flag ex1_eapar_;
+  netlist::Field ex1_sd_;    // 64 store data
+  netlist::Flag ex1_sdpar_;
+  netlist::Field ex1_pc_;    // 16
+  netlist::Field ex1_pcn_;   // 16
+  netlist::Flag ex1_ctlpar_;
+  netlist::Field ex1_dk_;    // 2
+
+  // EX2: post-translation, cache access.
+  netlist::Flag ex2_v_;
+  netlist::Field ex2_mn_;
+  netlist::Field ex2_dest_;
+  netlist::Field ex2_pa_;    // 16 physical address
+  netlist::Flag ex2_papar_;
+  netlist::Field ex2_sd_;
+  netlist::Flag ex2_sdpar_;
+  netlist::Field ex2_pc_;
+  netlist::Field ex2_pcn_;
+  netlist::Flag ex2_ctlpar_;
+  netlist::Field ex2_dk_;
+
+  // Store queue.
+  struct StqEntry {
+    netlist::Flag v;
+    netlist::Field addr;  // 16
+    netlist::Flag apar;
+    netlist::Field data;  // 64
+    netlist::Flag dpar;
+    netlist::Field size;  // 2 (encoded 1/4/8)
+  };
+  std::vector<StqEntry> stq_;
+  netlist::Field stq_head_;   // 3
+  netlist::Field stq_tail_;   // 3
+  netlist::Field stq_count_;  // 4
+
+  // ERAT.
+  struct EratEntry {
+    netlist::Flag v;
+    netlist::Field ppn;  // 4
+    netlist::Flag par;
+  };
+  std::vector<EratEntry> erat_;
+  netlist::Flag erat_busy_;
+  netlist::Field erat_page_;  // 4
+  netlist::Field erat_wait_;  // 2
+};
+
+}  // namespace sfi::core

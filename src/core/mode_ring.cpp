@@ -1,0 +1,61 @@
+#include "core/mode_ring.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace sfi::core {
+
+namespace {
+using netlist::LatchType;
+}
+
+ModeRing::ModeRing(netlist::LatchRegistry& reg, const std::string& unit_name,
+                   netlist::Unit unit, u8 scan_ring, CheckerId checker_base,
+                   u32 num_checkers, u32 spare_mode_bits, u32 spare_gptr_bits)
+    : checker_base_(checker_base), num_checkers_(num_checkers) {
+  require(num_checkers >= 1 && num_checkers <= 8, "mode ring checker count");
+  // Benign configuration (a flip cannot alter a fault-free run): excluded
+  // from the golden-trace hash. Wedge controls (clock stop / error forcing /
+  // scan enables) have functional reach and stay hashable.
+  enables_ = netlist::Field(reg.add(unit_name + ".mode.chk_en", unit,
+                                    LatchType::Mode, scan_ring, num_checkers,
+                                    /*hashable=*/false));
+  clock_stop_ = netlist::Flag(reg.add(unit_name + ".mode.clock_stop", unit,
+                                      LatchType::Mode, scan_ring, 1));
+  force_error_ = netlist::Flag(reg.add(unit_name + ".mode.force_error", unit,
+                                       LatchType::Mode, scan_ring, 1));
+  spare_mode_ = netlist::Field(reg.add(unit_name + ".mode.spare", unit,
+                                       LatchType::Mode, scan_ring,
+                                       spare_mode_bits, /*hashable=*/false));
+  gptr_hold_ = netlist::Flag(reg.add(unit_name + ".gptr.hold", unit,
+                                     LatchType::Gptr, scan_ring, 1));
+  gptr_scan_en_ = netlist::Flag(reg.add(unit_name + ".gptr.scan_en", unit,
+                                        LatchType::Gptr, scan_ring, 1));
+  spare_gptr_ = netlist::Field(reg.add(unit_name + ".gptr.spare", unit,
+                                       LatchType::Gptr, scan_ring,
+                                       spare_gptr_bits, /*hashable=*/false));
+}
+
+void ModeRing::reset(netlist::StateVector& sv, const CoreConfig& cfg) const {
+  u64 en = 0;
+  for (u32 i = 0; i < num_checkers_; ++i) {
+    const auto id = static_cast<CheckerId>(
+        static_cast<u32>(checker_base_) + i);
+    if (cfg.checker_on(id)) en |= u64{1} << i;
+  }
+  enables_.poke(sv, en);
+  clock_stop_.poke(sv, false);
+  force_error_.poke(sv, false);
+  spare_mode_.poke(sv, 0);
+  gptr_hold_.poke(sv, false);
+  gptr_scan_en_.poke(sv, false);
+  spare_gptr_.poke(sv, 0);
+}
+
+bool ModeRing::checker_on(const netlist::CycleFrame& f, CheckerId id) const {
+  const auto idx = static_cast<u32>(id) - static_cast<u32>(checker_base_);
+  ensure(idx < num_checkers_, "checker id outside this unit's ring");
+  return ((enables_.get(f) >> idx) & 1) != 0;
+}
+
+}  // namespace sfi::core

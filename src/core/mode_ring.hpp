@@ -1,0 +1,64 @@
+// Per-unit scan-only configuration ring (MODE + GPTR latches).
+//
+// These latches are written only at scan/reset time, never during functional
+// operation — so an injected flip *persists for the whole run*. That is the
+// mechanism behind the paper's Figure 5 finding that scan-only latches have
+// a larger system-level impact than read-write latches. The ring carries:
+//   - checker enable bits (a flip silently disables / spuriously arms a
+//     checker),
+//   - clock-stop and force-error control bits (reset 0; a 0→1 flip stops the
+//     unit's clocks or injects a permanent false error),
+//   - a GPTR hold bit (test hardware that freezes the unit's interfaces),
+//   - benign spare MODE/GPTR bits (debug selects, unused test registers).
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "netlist/field.hpp"
+#include "netlist/registry.hpp"
+
+namespace sfi::core {
+
+class ModeRing {
+ public:
+  /// `checker_base` is the CheckerId of the unit's first checker and
+  /// `num_checkers` how many consecutive ids the unit owns.
+  ModeRing(netlist::LatchRegistry& reg, const std::string& unit_name,
+           netlist::Unit unit, u8 scan_ring, CheckerId checker_base,
+           u32 num_checkers, u32 spare_mode_bits = 6,
+           u32 spare_gptr_bits = 6);
+
+  /// Load reset values from the config (enables per checker_mask).
+  void reset(netlist::StateVector& sv, const CoreConfig& cfg) const;
+
+  /// Is this unit's checker enabled *in the latched configuration*?
+  [[nodiscard]] bool checker_on(const netlist::CycleFrame& f,
+                                CheckerId id) const;
+
+  /// Clock-stop control erroneously engaged: the unit must hold all state.
+  /// The GPTR hold and scan-shift-enable bits have the same effect — test
+  /// hardware engaged during functional operation wedges the unit.
+  [[nodiscard]] bool clocks_stopped(const netlist::CycleFrame& f) const {
+    return clock_stop_.get(f) || gptr_hold_.get(f) || gptr_scan_en_.get(f);
+  }
+
+  /// Error-inject control engaged: the unit raises a permanent false error
+  /// on its first checker (when that checker is enabled).
+  [[nodiscard]] bool force_error(const netlist::CycleFrame& f) const {
+    return force_error_.get(f);
+  }
+
+ private:
+  CheckerId checker_base_;
+  u32 num_checkers_;
+  netlist::Field enables_;     // MODE: one bit per checker
+  netlist::Flag clock_stop_;   // MODE: reset 0
+  netlist::Flag force_error_;  // MODE: reset 0
+  netlist::Field spare_mode_;  // MODE: benign
+  netlist::Flag gptr_hold_;     // GPTR: reset 0
+  netlist::Flag gptr_scan_en_;  // GPTR: reset 0 (scan shift in functional mode)
+  netlist::Field spare_gptr_;   // GPTR: benign
+};
+
+}  // namespace sfi::core

@@ -1,0 +1,95 @@
+// Pervasive (Core) logic: fault isolation registers, the completion
+// watchdog, recovery arbitration and checkstop escalation — plus the global
+// scan-only configuration (watchdog timeout, recovery enable/thresholds)
+// and the chip-level GPTR test registers.
+//
+// Flips here are disproportionately dangerous by construction: FIR bits
+// checkstop or trigger spurious recoveries directly, the redundant
+// recovery-active flag is cross-checked against the RUT sequencer, and the
+// watchdog configuration is scan-only state (paper Figures 3–5).
+#pragma once
+
+#include "core/config.hpp"
+#include "core/mode_ring.hpp"
+#include "core/signals.hpp"
+#include "core/spare_chain.hpp"
+#include "netlist/field.hpp"
+#include "netlist/registry.hpp"
+
+namespace sfi::core {
+
+class Pervasive {
+ public:
+  explicit Pervasive(netlist::LatchRegistry& reg);
+
+  /// Machine can no longer make progress (checkstop/hang latched or the
+  /// workload finished): the model freezes all latches.
+  [[nodiscard]] bool frozen(const netlist::StateVector& sv) const;
+
+  /// Decide this cycle's controls from the detect-phase signals.
+  /// `rut_active` is the RUT sequencer's current state.
+  [[nodiscard]] Controls decide(const netlist::CycleFrame& f,
+                                const Signals& sig, bool rut_active);
+
+  /// Update phase: FIRs, counters, watchdog, terminal latches.
+  void update(const netlist::CycleFrame& f, const Signals& sig,
+              const Controls& ctl, bool rut_active);
+
+  // --- RAS observability (peek interface) ---
+  [[nodiscard]] bool checkstop_peek(const netlist::StateVector& sv) const;
+  [[nodiscard]] bool hang_peek(const netlist::StateVector& sv) const;
+  [[nodiscard]] bool done_peek(const netlist::StateVector& sv) const;
+  [[nodiscard]] u32 recovery_count_peek(const netlist::StateVector& sv) const;
+  [[nodiscard]] u32 corrected_count_peek(const netlist::StateVector& sv) const;
+
+  [[nodiscard]] ModeRing& mode() { return mode_; }
+
+  void reset(netlist::StateVector& sv, const CoreConfig& cfg);
+
+ private:
+  ModeRing mode_;
+
+  // Fault isolation registers (one bit per unit).
+  netlist::Field rec_fir_;    // 7
+  netlist::Field fatal_fir_;  // 7
+  netlist::Flag first_err_v_;
+  netlist::Field first_err_unit_;  // 3
+  netlist::Field first_err_chk_;   // 5
+
+  // Terminal state.
+  netlist::Flag checkstop_;
+  netlist::Flag hang_;
+  netlist::Flag done_;
+
+  // Watchdog & recovery bookkeeping.
+  netlist::Field wd_counter_;  // 12
+  netlist::Field rec_cycles_;  // 8: cycles in current recovery
+  netlist::Field rec_since_completion_;  // 3
+  netlist::Field recovery_count_;        // 8, saturating
+  netlist::Field corrected_count_;       // 8, saturating
+  netlist::Flag rec_active_flag_;  // redundant copy of the RUT state
+
+  // Free-running timebase (excluded from the golden-trace hash).
+  netlist::Field timebase_;  // 24
+
+  // Scan-only global configuration (MODE).
+  netlist::Field cfg_wd_timeout_;   // 12
+  netlist::Field cfg_rec_thresh_;   // 3
+  netlist::Field cfg_rec_timeout_;  // 8
+  netlist::Flag cfg_rec_enable_;
+
+  // Chip-level GPTR test registers (benign).
+  netlist::Field gptr_test_;  // 16
+  netlist::Field gptr_ring_;  // 8
+
+  // Performance-monitor counters (free-running, architecturally invisible,
+  // excluded from the golden-trace hash like the timebase).
+  netlist::Field pm_completions_;  // 32
+  netlist::Field pm_recoveries_;   // 32
+  netlist::Field pm_events_;       // 32
+  netlist::Field pm_stall_;        // 32
+
+  SpareChain spares_;
+};
+
+}  // namespace sfi::core

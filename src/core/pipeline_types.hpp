@@ -1,0 +1,87 @@
+// Shared pipeline bundle formats: what the IDU stages into an execution
+// unit at issue, and what an execution unit stages into the WB/completion
+// latches. The control-field parity accompanies the bundle through the
+// machine and is re-verified at completion (a flip in any staged control
+// latch is caught before it can architect state).
+#pragma once
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+#include "isa/encoding.hpp"
+
+namespace sfi::core {
+
+enum class DestKind : u8 { None = 0, Gpr = 1, Fpr = 2, Cr = 3 };
+
+/// Values captured at issue time and carried through execution.
+struct IssueBundle {
+  isa::Mnemonic mn = isa::Mnemonic::ILLEGAL;
+  DestKind dest_kind = DestKind::None;
+  u8 dest = 0;
+  u64 a = 0;       ///< first operand / effective address (LSU)
+  u64 b = 0;       ///< second operand / immediate / store data (LSU)
+  u32 pc = 0;      ///< the instruction's own PC (completion sequence check)
+  u32 pc_next = 0; ///< architected next-PC after this instruction
+  bool is_store = false;
+  bool is_stop = false;
+  bool write_lr = false;
+  u64 lr_val = 0;
+  bool write_ctr = false;
+  u64 ctr_val = 0;
+};
+
+/// What a unit hands to the WB/completion stage.
+struct WbData {
+  bool valid = false;
+  isa::Mnemonic mn = isa::Mnemonic::ILLEGAL;
+  DestKind dest_kind = DestKind::None;
+  u8 dest = 0;
+  u64 value = 0;
+  bool vpar = false;          ///< parity of value as staged by the producer
+  u8 res2 = 0;                ///< mod-3 residue code of value (FXU results)
+  u32 pc = 0;                 ///< own PC (must equal the checkpoint PC)
+  u32 pc_next = 0;
+  bool is_store = false;
+  bool is_stop = false;
+  bool write_lr = false;
+  u64 lr_val = 0;
+  bool write_ctr = false;
+  u64 ctr_val = 0;
+  bool ctl_par = false;       ///< control parity staged at issue
+};
+
+/// Parity over every control field of a bundle (data fields have their own
+/// parity latches). Producers fold the same fields so a flip in any staged
+/// control latch shows up at completion.
+[[nodiscard]] inline bool control_parity(isa::Mnemonic mn, DestKind dk,
+                                         u8 dest, u32 pc, u32 pc_next,
+                                         bool is_store, bool is_stop,
+                                         bool write_lr, bool write_ctr) {
+  u64 x = static_cast<u64>(mn);
+  x ^= static_cast<u64>(dk) << 8;
+  x ^= static_cast<u64>(dest) << 12;
+  x ^= static_cast<u64>(pc_next) << 20;
+  x ^= static_cast<u64>(is_store) << 40;
+  x ^= static_cast<u64>(is_stop) << 41;
+  x ^= static_cast<u64>(write_lr) << 42;
+  x ^= static_cast<u64>(write_ctr) << 43;
+  x ^= static_cast<u64>(pc) << 44;
+  return parity(x) != 0;
+}
+
+/// Does the completion stage verify the mod-3 residue code for this result?
+/// True for every GPR result produced by the FXU datapath (ALU/mul/div/SPR
+/// reads); loads carry plain parity instead.
+[[nodiscard]] inline bool residue_checked(isa::Mnemonic mn, DestKind dk) {
+  if (dk != DestKind::Gpr) return false;
+  switch (mn) {
+    case isa::Mnemonic::LWZ:
+    case isa::Mnemonic::LBZ:
+    case isa::Mnemonic::LD:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace sfi::core

@@ -1,0 +1,54 @@
+#include "core/regfile.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace sfi::core {
+
+ParityRegFile::ParityRegFile(netlist::LatchRegistry& reg,
+                             const std::string& base_name, netlist::Unit unit,
+                             u8 scan_ring, u32 entries, u32 width)
+    : width_(width) {
+  require(entries >= 1, "regfile entries");
+  data_.reserve(entries);
+  parity_.reserve(entries);
+  for (u32 i = 0; i < entries; ++i) {
+    const std::string n = base_name + std::to_string(i);
+    data_.emplace_back(reg.add(n, unit, netlist::LatchType::RegFile, scan_ring,
+                               width));
+    parity_.emplace_back(reg.add(n + ".p", unit, netlist::LatchType::RegFile,
+                                 scan_ring, 1));
+  }
+}
+
+ParityRegFile::ReadResult ParityRegFile::read(const netlist::CycleFrame& f,
+                                              u32 idx) const {
+  require(idx < entries(), "regfile read index");
+  ReadResult r;
+  r.value = data_[idx].get(f);
+  r.parity_ok = parity(r.value, width_) ==
+                static_cast<u32>(parity_[idx].get(f) ? 1 : 0);
+  return r;
+}
+
+void ParityRegFile::write(const netlist::CycleFrame& f, u32 idx,
+                          u64 value) const {
+  require(idx < entries(), "regfile write index");
+  value &= mask_low(width_);
+  data_[idx].set(f, value);
+  parity_[idx].set(f, parity(value, width_) != 0);
+}
+
+u64 ParityRegFile::peek(const netlist::StateVector& sv, u32 idx) const {
+  require(idx < entries(), "regfile peek index");
+  return data_[idx].peek(sv);
+}
+
+void ParityRegFile::poke(netlist::StateVector& sv, u32 idx, u64 value) const {
+  require(idx < entries(), "regfile poke index");
+  value &= mask_low(width_);
+  data_[idx].poke(sv, value);
+  parity_[idx].poke(sv, parity(value, width_) != 0);
+}
+
+}  // namespace sfi::core

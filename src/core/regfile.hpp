@@ -1,0 +1,48 @@
+// Parity-protected register files built from REGFILE-type latches.
+//
+// Every entry is a 64-bit data field plus one parity latch, all injectable.
+// Reads verify parity (a flipped data bit fires the owning unit's
+// register-file checker; a flipped parity bit fires a false positive —
+// both trigger recovery, exactly like real parity hardware).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/field.hpp"
+#include "netlist/registry.hpp"
+
+namespace sfi::core {
+
+class ParityRegFile {
+ public:
+  /// Registers `entries` data+parity latch pairs in `unit`'s REGFILE ring.
+  ParityRegFile(netlist::LatchRegistry& reg, const std::string& base_name,
+                netlist::Unit unit, u8 scan_ring, u32 entries,
+                u32 width = 64);
+
+  [[nodiscard]] u32 entries() const { return static_cast<u32>(data_.size()); }
+  [[nodiscard]] u32 width() const { return width_; }
+
+  struct ReadResult {
+    u64 value = 0;
+    bool parity_ok = true;
+  };
+
+  /// Combinational read with parity verification.
+  [[nodiscard]] ReadResult read(const netlist::CycleFrame& f, u32 idx) const;
+
+  /// Stage a write (data + regenerated parity) for the next cycle.
+  void write(const netlist::CycleFrame& f, u32 idx, u64 value) const;
+
+  /// Out-of-band accessors for reset and architected-state extraction.
+  [[nodiscard]] u64 peek(const netlist::StateVector& sv, u32 idx) const;
+  void poke(netlist::StateVector& sv, u32 idx, u64 value) const;
+
+ private:
+  std::vector<netlist::Field> data_;
+  std::vector<netlist::Flag> parity_;
+  u32 width_;
+};
+
+}  // namespace sfi::core

@@ -1,0 +1,133 @@
+// RUT — recovery unit.
+//
+// Holds the ECC-protected architected-state checkpoint (a SEC-DED array:
+// GPRs, FPRs, CR, LR, CTR; the checkpoint PC is a parity-protected latch),
+// the completion-side write ports, the restore sequencer that rebuilds the
+// working register files after a detected error, and a background scrubber
+// that sweeps the array for accumulated upsets. The sequencer state is a
+// one-hot latch with a consistency checker: control flips here are
+// *unrecoverable by construction* — the paper's observation that the RUT is
+// the least-derated unit comes from exactly this property.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/mode_ring.hpp"
+#include "core/pipeline_types.hpp"
+#include "core/signals.hpp"
+#include "core/spare_chain.hpp"
+#include "isa/arch_state.hpp"
+#include "netlist/array.hpp"
+#include "netlist/field.hpp"
+#include "netlist/registry.hpp"
+
+namespace sfi::core {
+
+class Rut {
+ public:
+  explicit Rut(netlist::LatchRegistry& reg);
+
+  /// Checkpoint array layout.
+  static constexpr u32 kGprBase = 0;
+  static constexpr u32 kFprBase = 32;
+  static constexpr u32 kCrEntry = 48;
+  static constexpr u32 kLrEntry = 49;
+  static constexpr u32 kCtrEntry = 50;
+  static constexpr u32 kRestoreEntries = 51;  ///< entries restored per pass
+  static constexpr u32 kArrayEntries = 64;    ///< incl. spare rows
+
+  struct RestoreWrite {
+    bool valid = false;
+    u32 entry = 0;  ///< checkpoint entry index being restored
+    u64 value = 0;
+  };
+
+  struct Plan {
+    bool held = false;
+    RestoreWrite restore;
+    bool finish_restore = false;
+    bool port_write[2] = {false, false};
+    u32 port_idx[2] = {0, 0};
+    u64 port_val[2] = {0, 0};
+    bool scrub = false;
+  };
+
+  /// Detect phase: restore step / scrub / write-port verification.
+  [[nodiscard]] Plan detect(const netlist::CycleFrame& f, Signals& sig);
+
+  /// Is the restore sequencer active?
+  [[nodiscard]] bool active(const netlist::CycleFrame& f) const;
+  [[nodiscard]] bool active_peek(const netlist::StateVector& sv) const;
+
+  /// Update phase. `start_recovery` comes from pervasive's decision.
+  void update(const netlist::CycleFrame& f, const Plan& plan,
+              const Controls& ctl);
+
+  // --- completion-side interface (update phase) ---
+  /// Queue a checkpoint write through a staging port (slot 0 or 1).
+  void stage_port(const netlist::CycleFrame& f, u32 slot, u32 entry,
+                  u64 value) const;
+  /// Record the architected next-PC and bump the completion counter.
+  /// STOP completes (pc checkpointed) but is not a counted instruction —
+  /// the counter matches the golden model's retired-instruction count.
+  void on_completion(const netlist::CycleFrame& f, u32 pc_next,
+                     bool count) const;
+
+  // --- observability ---
+  [[nodiscard]] u64 completion_count(const netlist::StateVector& sv) const;
+  [[nodiscard]] u32 completion_pc_peek(const netlist::StateVector& sv) const;
+  /// Current-cycle checkpoint PC (completion sequence reference).
+  [[nodiscard]] u32 completion_pc(const netlist::CycleFrame& f) const;
+  /// Architected state straight from the ECC checkpoint (the master copy).
+  [[nodiscard]] isa::ArchState arch_state(const netlist::StateVector& sv) const;
+
+  /// RAS view of a full checkpoint readout: how many entries decode with a
+  /// correctable upset, and whether any used entry is uncorrectable (reading
+  /// it on the real machine would checkstop).
+  struct ReadoutRas {
+    u32 corrected = 0;
+    bool fatal = false;
+  };
+  [[nodiscard]] ReadoutRas checkpoint_readout_ras() const;
+
+  [[nodiscard]] ModeRing& mode() { return mode_; }
+  [[nodiscard]] netlist::ProtectedArray& checkpoint_array() { return ckpt_; }
+  [[nodiscard]] const netlist::ProtectedArray& checkpoint_array() const {
+    return ckpt_;
+  }
+
+  void reset(netlist::StateVector& sv, const isa::ArchState& init, u32 entry_pc,
+             const CoreConfig& cfg);
+
+ private:
+  ModeRing mode_;
+  SpareChain spares_;
+  netlist::ProtectedArray ckpt_;
+
+  // Sequencer: one-hot {idle, restore}.
+  netlist::Field fsm_;          // 2, one-hot
+  netlist::Field restore_cnt_;  // 6
+
+  // Checkpoint PC.
+  netlist::Field cpc_;  // 16
+  netlist::Flag cpc_par_;
+  netlist::Field ccount_;  // 16 completion counter
+
+  // Captured refetch PC during restore.
+  netlist::Field refetch_pc_;  // 16
+  netlist::Flag refetch_par_;
+
+  // Write ports (two staging slots).
+  struct Port {
+    netlist::Flag v;
+    netlist::Field idx;   // 6
+    netlist::Field data;  // 64
+    netlist::Flag par;
+  };
+  Port port_[2];
+
+  // Scrubber.
+  netlist::Field scrub_idx_;    // 6
+  netlist::Field scrub_timer_;  // 6
+};
+
+}  // namespace sfi::core

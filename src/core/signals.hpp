@@ -1,0 +1,76 @@
+// Cross-unit combinational signals for one cycle of the Pearl6 core.
+//
+// Evaluation is two-phase: every unit first *detects* (pure reads of the
+// current state: checker verdicts, branch resolution, completion intent),
+// pervasive logic then *decides* (recovery / checkstop / flush), and the
+// units finally *update* (stage next-cycle latch values honouring the
+// decision). The two-phase split models the real property that a detected
+// error combinationally blocks the completion of the erroring instruction.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "netlist/latch.hpp"
+
+namespace sfi::core {
+
+/// One checker firing during the detect phase.
+struct CheckerEvent {
+  CheckerId id{};
+  netlist::Unit unit = netlist::Unit::Core;
+  bool fatal = false;       ///< true: escalates straight to checkstop
+  const char* what = "";    ///< static description for the tracer
+};
+
+/// Everything pervasive logic decides for the current cycle.
+struct Controls {
+  bool flush = false;             ///< squash all in-flight instructions
+  bool block_completion = false;  ///< suppress this cycle's completion
+  bool block_issue = false;       ///< suppress this cycle's issue/fetch
+  bool start_recovery = false;    ///< RUT begins its recovery sequence
+  bool recovery_active = false;   ///< RUT sequence in progress (incl. start)
+  bool checkstop = false;         ///< machine stops at the end of this cycle
+  bool hang = false;              ///< watchdog hang detected this cycle
+};
+
+/// Accumulates detect-phase outputs. Unit-specific plans live inside the
+/// unit classes; this struct carries only what crosses unit boundaries.
+struct Signals {
+  std::vector<CheckerEvent> events;
+
+  /// Completion intent (from the WB stage; consumed by pervasive watchdog
+  /// and the RUT checkpoint).
+  bool completion = false;
+  bool completion_is_stop = false;
+
+  /// Branch redirect resolved this cycle (consumed by the IFU).
+  bool redirect = false;
+  u32 redirect_pc = 0;
+
+  /// RUT finished restoring: refetch from the checkpoint PC.
+  bool recovery_refetch = false;
+  u32 recovery_refetch_pc = 0;
+
+  /// In-line corrected events (array ECC scrub) this cycle.
+  u32 corrected = 0;
+
+  void raise(CheckerId id, netlist::Unit unit, bool fatal, const char* what) {
+    events.push_back(CheckerEvent{id, unit, fatal, what});
+  }
+  [[nodiscard]] bool any_recoverable() const {
+    for (const auto& e : events) {
+      if (!e.fatal) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool any_fatal() const {
+    for (const auto& e : events) {
+      if (e.fatal) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace sfi::core

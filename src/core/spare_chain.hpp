@@ -1,0 +1,46 @@
+// Engineering spare / debug-trace latch chains.
+//
+// A large fraction of a production core's latch count is not pipeline
+// state: debug trace buses, ABIST/LBIST engines, engineering spares, SCOM
+// status staging. These latches hold scan-loaded values and are not read
+// during functional operation — which is precisely why real designs derate
+// so strongly (most of the paper's 95% vanished flips land in state the
+// current execution never consumes). Each Pearl6 unit instantiates a chain
+// sized to its real-design proportion (the LSU, the most debug-instrumented
+// unit, carries the largest; see DESIGN.md scale notes).
+//
+// Chains are FUNC latches excluded from the golden-trace hash: they feed no
+// functional logic, so a flip in them provably cannot alter execution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/field.hpp"
+#include "netlist/registry.hpp"
+
+namespace sfi::core {
+
+class SpareChain {
+ public:
+  SpareChain(netlist::LatchRegistry& reg, const std::string& name,
+             netlist::Unit unit, u8 scan_ring, u32 bits) {
+    u32 idx = 0;
+    while (bits > 0) {
+      const u32 w = bits > 48 ? 48 : bits;
+      fields_.emplace_back(reg.add(name + ".dbg" + std::to_string(idx++),
+                                   unit, netlist::LatchType::Func, scan_ring,
+                                   w, /*hashable=*/false));
+      bits -= w;
+    }
+  }
+
+  void reset(netlist::StateVector& sv) const {
+    for (const netlist::Field& f : fields_) f.poke(sv, 0);
+  }
+
+ private:
+  std::vector<netlist::Field> fields_;
+};
+
+}  // namespace sfi::core

@@ -1,0 +1,96 @@
+#include "emu/emulator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sfi::emu {
+
+Emulator::Emulator(Model& model)
+    : model_(model),
+      cur_(model.registry().total_bits()),
+      nxt_(model.registry().total_bits()) {
+  require(model.registry().finalized(),
+          "Emulator requires a finalized LatchRegistry");
+  reset();
+}
+
+void Emulator::reset() {
+  cur_.fill_zero();
+  model_.reset(cur_);
+  cycle_ = 0;
+  forces_.clear();
+}
+
+void Emulator::step() {
+  // Latch semantics: unwritten fields carry their value to the next cycle.
+  nxt_ = cur_;
+  model_.evaluate(netlist::CycleFrame{cur_, nxt_});
+  std::swap(cur_, nxt_);
+  ++cycle_;
+  ++cycles_evaluated_;
+  if (!forces_.empty()) apply_forces();
+}
+
+void Emulator::run(Cycle n) {
+  for (Cycle i = 0; i < n; ++i) step();
+}
+
+void Emulator::run_polled(Cycle max_cycles, Cycle interval,
+                          const std::function<bool(const Emulator&)>& poll) {
+  require(interval >= 1, "run_polled interval >= 1");
+  Cycle done = 0;
+  while (done < max_cycles) {
+    const Cycle chunk = std::min(interval, max_cycles - done);
+    run(chunk);
+    done += chunk;
+    ++hostlink_.status_reads;
+    if (poll(*this)) return;
+  }
+}
+
+void Emulator::flip_latch(BitIndex bit) {
+  cur_.flip_bit(bit);
+  ++hostlink_.injections;
+}
+
+void Emulator::force_latch(BitIndex bit, bool value, Cycle duration) {
+  require(duration >= 1, "force_latch duration >= 1");
+  cur_.set_bit(bit, value);
+  ++hostlink_.injections;
+  forces_.push_back(Force{bit, value, duration});
+}
+
+void Emulator::clear_forces() { forces_.clear(); }
+
+void Emulator::apply_forces() {
+  for (Force& f : forces_) {
+    cur_.set_bit(f.bit, f.value);
+    --f.remaining;
+  }
+  std::erase_if(forces_, [](const Force& f) { return f.remaining == 0; });
+}
+
+RasStatus Emulator::ras() {
+  ++hostlink_.status_reads;
+  return model_.ras_status(cur_);
+}
+
+Checkpoint Emulator::save_checkpoint() {
+  Checkpoint cp;
+  cp.latches = cur_;
+  cp.cycle = cycle_;
+  model_.save_aux(cp.aux);
+  ++hostlink_.checkpoint_ops;
+  return cp;
+}
+
+void Emulator::restore_checkpoint(const Checkpoint& cp) {
+  cur_ = cp.latches;
+  cycle_ = cp.cycle;
+  forces_.clear();
+  model_.restore_aux(cp.aux);
+  ++hostlink_.checkpoint_ops;
+}
+
+}  // namespace sfi::emu

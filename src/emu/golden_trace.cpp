@@ -1,0 +1,34 @@
+#include "emu/golden_trace.hpp"
+
+#include "common/check.hpp"
+
+namespace sfi::emu {
+
+GoldenTrace record_golden_trace(Emulator& emu, Cycle max_cycles,
+                                Cycle margin) {
+  emu.reset();
+  const auto& masks = emu.model().registry().hash_masks();
+
+  GoldenTrace trace;
+  trace.hashes.reserve(max_cycles / 4);
+
+  Cycle extra = 0;
+  for (Cycle c = 0; c < max_cycles; ++c) {
+    emu.step();
+    trace.hashes.push_back(emu.state().masked_hash(masks));
+    const RasStatus ras = emu.model().ras_status(emu.state());
+    ensure(!ras.checkstop && !ras.hang_detected && ras.recovery_count == 0,
+           "golden run reported an error: the fault-free model is broken");
+    if (ras.test_finished) {
+      if (!trace.completed) {
+        trace.completed = true;
+        trace.completion_cycle = emu.cycle();
+        trace.final_state = emu.model().arch_state(emu.state());
+      }
+      if (++extra >= margin) break;
+    }
+  }
+  return trace;
+}
+
+}  // namespace sfi::emu

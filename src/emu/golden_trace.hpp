@@ -1,0 +1,43 @@
+// GoldenTrace: the fault-free reference execution.
+//
+// Before a campaign, the workload is run once without faults and the
+// per-cycle fingerprint of the functional latch state is recorded. An
+// injected run that re-matches the fingerprint at the same cycle — with a
+// clean RAS status — has provably converged back onto the fault-free
+// execution and can be classified VANISHED immediately. This early exit is
+// what makes software SFI approach hardware-emulation campaign sizes.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "emu/emulator.hpp"
+#include "isa/arch_state.hpp"
+
+namespace sfi::emu {
+
+struct GoldenTrace {
+  /// hash[c] = functional-state fingerprint observed at the *end* of cycle c
+  /// (i.e. the state entering cycle c+1). Recorded until completion+margin.
+  std::vector<u64> hashes;
+
+  /// Cycle at which the workload's STOP was first observed complete.
+  Cycle completion_cycle = 0;
+  bool completed = false;
+
+  /// Architected state at completion (equals the ISA golden model's result
+  /// for a correct core — asserted by the integration tests).
+  isa::ArchState final_state;
+
+  /// Fingerprint valid at cycle c?
+  [[nodiscard]] bool has_cycle(Cycle c) const { return c < hashes.size(); }
+};
+
+/// Run the emulator's current workload fault-free from reset and record the
+/// trace. `margin` extra cycles are recorded past completion so that
+/// injections landing near the end still have reference fingerprints.
+/// The emulator is left in the completed state.
+[[nodiscard]] GoldenTrace record_golden_trace(Emulator& emu, Cycle max_cycles,
+                                              Cycle margin = 64);
+
+}  // namespace sfi::emu

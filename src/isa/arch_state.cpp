@@ -1,0 +1,47 @@
+#include "isa/arch_state.hpp"
+
+#include "common/bits.hpp"
+#include "common/hash.hpp"
+
+namespace sfi::isa {
+
+u64 ArchState::hash() const {
+  u64 h = mix64(0xA5C1157A7E5EEDULL);
+  for (const u64 g : gpr) h = mix64(h ^ mix64(g + 0x9E3779B97F4A7C15ULL));
+  for (const u64 f : fpr) h = mix64(h ^ mix64(f + 0xC2B2AE3D27D4EB4FULL));
+  h = mix64(h ^ cr);
+  h = mix64(h ^ lr);
+  h = mix64(h ^ ctr);
+  h = mix64(h ^ pc);
+  return h;
+}
+
+std::string ArchState::diff(const ArchState& other, bool ignore_pc) const {
+  for (unsigned i = 0; i < kNumGprs; ++i) {
+    if (gpr[i] != other.gpr[i]) {
+      return "gpr[" + std::to_string(i) + "]: " + to_hex(gpr[i]) +
+             " != " + to_hex(other.gpr[i]);
+    }
+  }
+  for (unsigned i = 0; i < kNumFprs; ++i) {
+    if (fpr[i] != other.fpr[i]) {
+      return "fpr[" + std::to_string(i) + "]: " + to_hex(fpr[i]) +
+             " != " + to_hex(other.fpr[i]);
+    }
+  }
+  if (cr != other.cr) {
+    return "cr: " + to_hex(cr) + " != " + to_hex(other.cr);
+  }
+  if (lr != other.lr) {
+    return "lr: " + to_hex(lr) + " != " + to_hex(other.lr);
+  }
+  if (ctr != other.ctr) {
+    return "ctr: " + to_hex(ctr) + " != " + to_hex(other.ctr);
+  }
+  if (!ignore_pc && pc != other.pc) {
+    return "pc: " + to_hex(pc) + " != " + to_hex(other.pc);
+  }
+  return {};
+}
+
+}  // namespace sfi::isa

@@ -1,0 +1,35 @@
+// Architected state: the contract surface the AVP compares at end of test.
+// A run whose final ArchState differs from the golden model's — with no
+// error having been reported by the hardware — is the paper's "incorrect
+// architected state" (silent data corruption) outcome.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/encoding.hpp"
+
+namespace sfi::isa {
+
+struct ArchState {
+  std::array<u64, kNumGprs> gpr{};
+  std::array<u64, kNumFprs> fpr{};  ///< IEEE double bit patterns
+  u32 cr = 0;
+  u64 lr = 0;
+  u64 ctr = 0;
+  u64 pc = 0;
+
+  friend bool operator==(const ArchState&, const ArchState&) = default;
+
+  /// Order-stable fingerprint of the full architected state.
+  [[nodiscard]] u64 hash() const;
+
+  /// Human-readable first-difference description ("gpr[7]: 0x2a != 0x2b"),
+  /// empty when equal. `ignore_pc` skips the PC (useful when comparing a
+  /// stopped pipeline whose PC convention differs from the golden model's).
+  [[nodiscard]] std::string diff(const ArchState& other,
+                                 bool ignore_pc = false) const;
+};
+
+}  // namespace sfi::isa

@@ -1,0 +1,359 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/bits.hpp"
+
+namespace sfi::isa {
+namespace {
+
+struct Line {
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  std::size_t source_line = 0;
+};
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw AsmError("asm line " + std::to_string(line_no) + ": " + msg);
+}
+
+std::string trim(std::string_view s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Parse "r7"/"f3" register token.
+u32 parse_reg(const Line& ln, const std::string& tok, char kind) {
+  if (tok.size() < 2 || std::tolower(tok[0]) != kind) {
+    fail(ln.source_line, "expected register '" + std::string(1, kind) +
+                             "N', got '" + tok + "'");
+  }
+  u32 n = 0;
+  for (std::size_t i = 1; i < tok.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[i]))) {
+      fail(ln.source_line, "bad register '" + tok + "'");
+    }
+    n = n * 10 + static_cast<u32>(tok[i] - '0');
+  }
+  const u32 limit = kind == 'r' ? kNumGprs : kNumFprs;
+  if (n >= limit) fail(ln.source_line, "register out of range: " + tok);
+  return n;
+}
+
+i64 parse_int(const Line& ln, const std::string& tok) {
+  try {
+    std::size_t pos = 0;
+    const i64 v = std::stoll(tok, &pos, 0);
+    if (pos != tok.size()) fail(ln.source_line, "bad integer '" + tok + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    fail(ln.source_line, "bad integer '" + tok + "'");
+  }
+}
+
+/// Parse "disp(rN)" memory operand.
+std::pair<i64, u32> parse_mem(const Line& ln, const std::string& tok) {
+  const auto open = tok.find('(');
+  const auto close = tok.find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    fail(ln.source_line, "expected disp(rN), got '" + tok + "'");
+  }
+  const i64 disp = parse_int(ln, tok.substr(0, open));
+  const u32 ra = parse_reg(ln, tok.substr(open + 1, close - open - 1), 'r');
+  return {disp, ra};
+}
+
+u16 check_imm16s(const Line& ln, i64 v) {
+  if (v < -32768 || v > 32767) fail(ln.source_line, "immediate out of i16");
+  return static_cast<u16>(v);
+}
+
+u16 check_imm16u(const Line& ln, i64 v) {
+  if (v < 0 || v > 65535) fail(ln.source_line, "immediate out of u16");
+  return static_cast<u16>(v);
+}
+
+}  // namespace
+
+std::vector<u32> assemble(std::string_view source) {
+  // Pass 1: tokenize, record label word offsets.
+  std::vector<Line> lines;
+  std::map<std::string, i64> labels;  // label -> word offset
+  std::size_t line_no = 0;
+  std::istringstream stream{std::string(source)};
+  std::string raw;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    std::string text = raw;
+    if (const auto hash = text.find('#'); hash != std::string::npos) {
+      text = text.substr(0, hash);
+    }
+    text = trim(text);
+    while (!text.empty()) {
+      const auto colon = text.find(':');
+      const auto space = text.find_first_of(" \t");
+      if (colon != std::string::npos &&
+          (space == std::string::npos || colon < space)) {
+        const std::string label = lower(trim(text.substr(0, colon)));
+        if (label.empty()) fail(line_no, "empty label");
+        if (labels.contains(label)) fail(line_no, "duplicate label " + label);
+        labels[label] = static_cast<i64>(lines.size());
+        text = trim(text.substr(colon + 1));
+        continue;
+      }
+      break;
+    }
+    if (text.empty()) continue;
+
+    Line ln;
+    ln.source_line = line_no;
+    const auto sp = text.find_first_of(" \t");
+    ln.mnemonic = lower(text.substr(0, sp));
+    if (sp != std::string::npos) {
+      std::string rest = text.substr(sp + 1);
+      std::string cur;
+      for (const char c : rest) {
+        if (c == ',') {
+          ln.operands.push_back(lower(trim(cur)));
+          cur.clear();
+        } else {
+          cur += c;
+        }
+      }
+      if (!trim(cur).empty()) ln.operands.push_back(lower(trim(cur)));
+    }
+    lines.push_back(std::move(ln));
+  }
+
+  // Pass 2: encode.
+  const auto branch_disp = [&](const Line& ln, const std::string& tok,
+                               std::size_t word_index) -> i32 {
+    const auto it = labels.find(tok);
+    if (it == labels.end()) fail(ln.source_line, "unknown label '" + tok + "'");
+    return static_cast<i32>((it->second - static_cast<i64>(word_index)) * 4);
+  };
+  const auto want = [&](const Line& ln, std::size_t n) {
+    if (ln.operands.size() != n) {
+      fail(ln.source_line, ln.mnemonic + " expects " + std::to_string(n) +
+                               " operands, got " +
+                               std::to_string(ln.operands.size()));
+    }
+  };
+
+  std::vector<u32> out;
+  out.reserve(lines.size());
+  for (std::size_t w = 0; w < lines.size(); ++w) {
+    const Line& ln = lines[w];
+    const std::string& m = ln.mnemonic;
+    const auto& ops = ln.operands;
+
+    const auto enc_dform = [&](u32 opcd, bool unsigned_imm) {
+      want(ln, 3);
+      const u32 rt = parse_reg(ln, ops[0], 'r');
+      const u32 ra = parse_reg(ln, ops[1], 'r');
+      const i64 v = parse_int(ln, ops[2]);
+      return enc_d(opcd, rt, ra,
+                   unsigned_imm ? check_imm16u(ln, v) : check_imm16s(ln, v));
+    };
+    const auto enc_xform3 = [&](u32 xo) {
+      want(ln, 3);
+      return enc_x(parse_reg(ln, ops[0], 'r'), parse_reg(ln, ops[1], 'r'),
+                   parse_reg(ln, ops[2], 'r'), xo);
+    };
+    const auto enc_mem = [&](u32 opcd, char kind) {
+      want(ln, 2);
+      const u32 rt = parse_reg(ln, ops[0], kind);
+      const auto [disp, ra] = parse_mem(ln, ops[1]);
+      return enc_d(opcd, rt, ra, check_imm16s(ln, disp));
+    };
+    const auto enc_fp3 = [&](u32 xo) {
+      want(ln, 3);
+      return enc_fp(parse_reg(ln, ops[0], 'f'), parse_reg(ln, ops[1], 'f'),
+                    parse_reg(ln, ops[2], 'f'), xo);
+    };
+    const auto enc_cmp_imm = [&](u32 opcd, bool unsigned_imm) {
+      want(ln, 3);
+      const i64 crf = parse_int(ln, ops[0]);
+      if (crf < 0 || crf > 7) fail(ln.source_line, "crf out of range");
+      const u32 ra = parse_reg(ln, ops[1], 'r');
+      const i64 v = parse_int(ln, ops[2]);
+      return enc_d(opcd, static_cast<u32>(crf), ra,
+                   unsigned_imm ? check_imm16u(ln, v) : check_imm16s(ln, v));
+    };
+    const auto enc_cmp_reg = [&](u32 xo) {
+      want(ln, 3);
+      const i64 crf = parse_int(ln, ops[0]);
+      if (crf < 0 || crf > 7) fail(ln.source_line, "crf out of range");
+      return enc_x(static_cast<u32>(crf), parse_reg(ln, ops[1], 'r'),
+                   parse_reg(ln, ops[2], 'r'), xo);
+    };
+    const auto enc_cond_alias = [&](u32 bo, u32 bit) {
+      want(ln, 2);
+      const i64 crf = parse_int(ln, ops[0]);
+      if (crf < 0 || crf > 7) fail(ln.source_line, "crf out of range");
+      return enc_b(bo, static_cast<u32>(crf) * 4 + bit,
+                   branch_disp(ln, ops[1], w), false);
+    };
+
+    u32 word = 0;
+    if (m == "addi") word = enc_dform(kOpAddi, false);
+    else if (m == "addis") word = enc_dform(kOpAddis, false);
+    else if (m == "ori") word = enc_dform(kOpOri, true);
+    else if (m == "xori") word = enc_dform(kOpXori, true);
+    else if (m == "andi") word = enc_dform(kOpAndi, true);
+    else if (m == "li") {
+      want(ln, 2);
+      word = enc_d(kOpAddi, parse_reg(ln, ops[0], 'r'), 0,
+                   check_imm16s(ln, parse_int(ln, ops[1])));
+    } else if (m == "mr") {
+      want(ln, 2);
+      const u32 rt = parse_reg(ln, ops[0], 'r');
+      const u32 ra = parse_reg(ln, ops[1], 'r');
+      word = enc_x(rt, ra, ra, kXoOr);
+    } else if (m == "nop") {
+      want(ln, 0);
+      word = enc_d(kOpOri, 0, 0, 0);
+    } else if (m == "add") word = enc_xform3(kXoAdd);
+    else if (m == "subf") word = enc_xform3(kXoSubf);
+    else if (m == "and") word = enc_xform3(kXoAnd);
+    else if (m == "or") word = enc_xform3(kXoOr);
+    else if (m == "xor") word = enc_xform3(kXoXor);
+    else if (m == "nor") word = enc_xform3(kXoNor);
+    else if (m == "sld") word = enc_xform3(kXoSld);
+    else if (m == "srd") word = enc_xform3(kXoSrd);
+    else if (m == "srad") word = enc_xform3(kXoSrad);
+    else if (m == "mulld") word = enc_xform3(kXoMulld);
+    else if (m == "divd") word = enc_xform3(kXoDivd);
+    else if (m == "neg" || m == "extsw") {
+      want(ln, 2);
+      word = enc_x(parse_reg(ln, ops[0], 'r'), parse_reg(ln, ops[1], 'r'), 0,
+                   m == "neg" ? kXoNeg : kXoExtsw);
+    } else if (m == "cmpi") word = enc_cmp_imm(kOpCmpi, false);
+    else if (m == "cmpli") word = enc_cmp_imm(kOpCmpli, true);
+    else if (m == "cmp") word = enc_cmp_reg(kXoCmp);
+    else if (m == "cmpl") word = enc_cmp_reg(kXoCmpl);
+    else if (m == "lwz") word = enc_mem(kOpLwz, 'r');
+    else if (m == "lbz") word = enc_mem(kOpLbz, 'r');
+    else if (m == "ld") word = enc_mem(kOpLd, 'r');
+    else if (m == "stw") word = enc_mem(kOpStw, 'r');
+    else if (m == "stb") word = enc_mem(kOpStb, 'r');
+    else if (m == "std") word = enc_mem(kOpStd, 'r');
+    else if (m == "lfd") word = enc_mem(kOpLfd, 'f');
+    else if (m == "stfd") word = enc_mem(kOpStfd, 'f');
+    else if (m == "fadd") word = enc_fp3(kFpAdd);
+    else if (m == "fsub") word = enc_fp3(kFpSub);
+    else if (m == "fmul") word = enc_fp3(kFpMul);
+    else if (m == "fdiv") word = enc_fp3(kFpDiv);
+    else if (m == "b" || m == "bl") {
+      want(ln, 1);
+      word = enc_i(branch_disp(ln, ops[0], w), m == "bl");
+    } else if (m == "bc") {
+      want(ln, 3);
+      const i64 bo = parse_int(ln, ops[0]);
+      const i64 bi = parse_int(ln, ops[1]);
+      word = enc_b(static_cast<u32>(bo), static_cast<u32>(bi),
+                   branch_disp(ln, ops[2], w), false);
+    } else if (m == "bdnz") {
+      want(ln, 1);
+      word = enc_b(kBoDnz, 0, branch_disp(ln, ops[0], w), false);
+    } else if (m == "beq") word = enc_cond_alias(kBoTrue, 2);
+    else if (m == "bne") word = enc_cond_alias(kBoFalse, 2);
+    else if (m == "blt") word = enc_cond_alias(kBoTrue, 0);
+    else if (m == "bgt") word = enc_cond_alias(kBoTrue, 1);
+    else if (m == "blr") {
+      want(ln, 0);
+      word = enc_xl(kBoAlways, 0, kXlBclr);
+    } else if (m == "bctr") {
+      want(ln, 0);
+      word = enc_xl(kBoAlways, 0, kXlBcctr);
+    } else if (m == "mflr" || m == "mfctr") {
+      want(ln, 1);
+      const u32 spr = m == "mflr" ? kSprLr : kSprCtr;
+      word = enc_x(parse_reg(ln, ops[0], 'r'), spr & 31, (spr >> 5) & 31,
+                   kXoMfspr);
+    } else if (m == "mtlr" || m == "mtctr") {
+      want(ln, 1);
+      const u32 spr = m == "mtlr" ? kSprLr : kSprCtr;
+      word = enc_x(parse_reg(ln, ops[0], 'r'), spr & 31, (spr >> 5) & 31,
+                   kXoMtspr);
+    } else if (m == "stop") {
+      want(ln, 0);
+      word = kStopWord;
+    } else {
+      fail(ln.source_line, "unknown mnemonic '" + m + "'");
+    }
+    out.push_back(word);
+  }
+  return out;
+}
+
+std::string disassemble(const Instr& in) {
+  std::ostringstream os;
+  os << to_string(in.mn);
+  const auto r = [](unsigned n) { return " r" + std::to_string(n); };
+  const auto f = [](unsigned n) { return " f" + std::to_string(n); };
+  switch (in.mn) {
+    case Mnemonic::ADDI: case Mnemonic::ADDIS: case Mnemonic::ORI:
+    case Mnemonic::XORI: case Mnemonic::ANDI:
+      os << r(in.rt) << "," << r(in.ra) << ", " << in.imm;
+      break;
+    case Mnemonic::ADD: case Mnemonic::SUBF: case Mnemonic::AND:
+    case Mnemonic::OR: case Mnemonic::XOR: case Mnemonic::NOR:
+    case Mnemonic::SLD: case Mnemonic::SRD: case Mnemonic::SRAD:
+    case Mnemonic::MULLD: case Mnemonic::DIVD:
+      os << r(in.rt) << "," << r(in.ra) << "," << r(in.rb);
+      break;
+    case Mnemonic::NEG: case Mnemonic::EXTSW:
+      os << r(in.rt) << "," << r(in.ra);
+      break;
+    case Mnemonic::CMP: case Mnemonic::CMPL:
+      os << " " << unsigned{in.crf} << "," << r(in.ra) << "," << r(in.rb);
+      break;
+    case Mnemonic::CMPI: case Mnemonic::CMPLI:
+      os << " " << unsigned{in.crf} << "," << r(in.ra) << ", " << in.imm;
+      break;
+    case Mnemonic::LWZ: case Mnemonic::LBZ: case Mnemonic::LD:
+    case Mnemonic::STW: case Mnemonic::STB: case Mnemonic::STD:
+      os << r(in.rt) << ", " << in.imm << "(r" << unsigned{in.ra} << ")";
+      break;
+    case Mnemonic::LFD: case Mnemonic::STFD:
+      os << f(in.rt) << ", " << in.imm << "(r" << unsigned{in.ra} << ")";
+      break;
+    case Mnemonic::MFSPR: case Mnemonic::MTSPR:
+      os << r(in.rt) << ", spr" << in.imm;
+      break;
+    case Mnemonic::B:
+      os << (in.lk ? "l" : "") << " ." << (in.imm >= 0 ? "+" : "") << in.imm;
+      break;
+    case Mnemonic::BC:
+      os << " " << unsigned{in.bo} << "," << unsigned{in.bi} << ", ."
+         << (in.imm >= 0 ? "+" : "") << in.imm;
+      break;
+    case Mnemonic::BCLR: case Mnemonic::BCCTR:
+      os << " " << unsigned{in.bo} << "," << unsigned{in.bi};
+      break;
+    case Mnemonic::FADD: case Mnemonic::FSUB: case Mnemonic::FMUL:
+    case Mnemonic::FDIV:
+      os << f(in.rt) << "," << f(in.ra) << "," << f(in.rb);
+      break;
+    case Mnemonic::STOP:
+    case Mnemonic::ILLEGAL:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace sfi::isa

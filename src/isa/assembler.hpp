@@ -1,0 +1,43 @@
+// A small two-pass text assembler and a disassembler for PearlISA.
+// Used by tests, examples and trace output; the AVP generator emits encoded
+// words directly.
+//
+// Syntax (one instruction per line, '#' comments, "label:" definitions):
+//   addi  r3, r0, 42        ; dest-first operand order
+//   lwz   r4, 8(r5)
+//   cmpi  0, r3, 5          ; CR field first
+//   bc    12, 1, loop       ; raw BO/BI form
+//   beq   0, done           ; alias: bc 12, crf*4+2
+//   bdnz  loop              ; alias: bc 16, 0
+//   fadd  f1, f2, f3
+//   li r3, 42 / mr r3, r4 / nop / blr / b label / bl label / stop
+//   mtlr r3 / mflr r3 / mtctr r3 / mfctr r3
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/encoding.hpp"
+
+namespace sfi::isa {
+
+/// Thrown on malformed assembly input.
+class AsmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Assemble source text into instruction words. Branch displacements are
+/// resolved against labels; `base` only matters for error messages.
+[[nodiscard]] std::vector<u32> assemble(std::string_view source);
+
+/// Render one decoded instruction as assembly text.
+[[nodiscard]] std::string disassemble(const Instr& in);
+[[nodiscard]] inline std::string disassemble(u32 word) {
+  return disassemble(decode(word));
+}
+
+}  // namespace sfi::isa

@@ -1,0 +1,291 @@
+#include "isa/encoding.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace sfi::isa {
+namespace {
+
+constexpr u32 bits(u32 w, unsigned msb, unsigned lsb) {
+  return static_cast<u32>(extract(w, lsb, msb - lsb + 1));
+}
+
+Instr make(u32 raw, Mnemonic mn, InstrClass cls) {
+  Instr in;
+  in.raw = raw;
+  in.mn = mn;
+  in.cls = cls;
+  return in;
+}
+
+Instr decode_x(u32 w) {
+  const u32 xo = bits(w, 10, 1);
+  Instr in;
+  in.raw = w;
+  in.rt = static_cast<u8>(bits(w, 25, 21));
+  in.ra = static_cast<u8>(bits(w, 20, 16));
+  in.rb = static_cast<u8>(bits(w, 15, 11));
+  in.cls = InstrClass::FixedPoint;
+  switch (xo) {
+    case kXoAdd:   in.mn = Mnemonic::ADD; break;
+    case kXoSubf:  in.mn = Mnemonic::SUBF; break;
+    case kXoAnd:   in.mn = Mnemonic::AND; break;
+    case kXoOr:    in.mn = Mnemonic::OR; break;
+    case kXoXor:   in.mn = Mnemonic::XOR; break;
+    case kXoNor:   in.mn = Mnemonic::NOR; break;
+    case kXoSld:   in.mn = Mnemonic::SLD; break;
+    case kXoSrd:   in.mn = Mnemonic::SRD; break;
+    case kXoSrad:  in.mn = Mnemonic::SRAD; break;
+    case kXoNeg:   in.mn = Mnemonic::NEG; break;
+    case kXoExtsw: in.mn = Mnemonic::EXTSW; break;
+    case kXoMulld: in.mn = Mnemonic::MULLD; break;
+    case kXoDivd:  in.mn = Mnemonic::DIVD; break;
+    case kXoCmp:
+      in.mn = Mnemonic::CMP;
+      in.cls = InstrClass::Comparison;
+      in.crf = static_cast<u8>(in.rt & 7);
+      break;
+    case kXoCmpl:
+      in.mn = Mnemonic::CMPL;
+      in.cls = InstrClass::Comparison;
+      in.crf = static_cast<u8>(in.rt & 7);
+      break;
+    case kXoMfspr:
+      in.mn = Mnemonic::MFSPR;
+      in.cls = InstrClass::System;
+      // SPR number carried in the RA/RB fields (RA = low half).
+      in.imm = static_cast<i64>(in.ra) | (static_cast<i64>(in.rb) << 5);
+      break;
+    case kXoMtspr:
+      in.mn = Mnemonic::MTSPR;
+      in.cls = InstrClass::System;
+      in.imm = static_cast<i64>(in.ra) | (static_cast<i64>(in.rb) << 5);
+      break;
+    default:
+      return make(w, Mnemonic::ILLEGAL, InstrClass::System);
+  }
+  return in;
+}
+
+}  // namespace
+
+Instr decode(u32 w) {
+  if (w == kStopWord) return make(w, Mnemonic::STOP, InstrClass::System);
+
+  const u32 opcd = bits(w, 31, 26);
+  Instr in;
+  in.raw = w;
+  in.rt = static_cast<u8>(bits(w, 25, 21));
+  in.ra = static_cast<u8>(bits(w, 20, 16));
+  in.imm = sign_extend(bits(w, 15, 0), 16);
+
+  switch (opcd) {
+    case kOpAddi:  in.mn = Mnemonic::ADDI;  in.cls = InstrClass::FixedPoint; return in;
+    case kOpAddis: in.mn = Mnemonic::ADDIS; in.cls = InstrClass::FixedPoint; return in;
+    case kOpOri:
+      in.mn = Mnemonic::ORI;
+      in.cls = InstrClass::FixedPoint;
+      in.imm = static_cast<i64>(bits(w, 15, 0));  // logical imms zero-extend
+      return in;
+    case kOpXori:
+      in.mn = Mnemonic::XORI;
+      in.cls = InstrClass::FixedPoint;
+      in.imm = static_cast<i64>(bits(w, 15, 0));
+      return in;
+    case kOpAndi:
+      in.mn = Mnemonic::ANDI;
+      in.cls = InstrClass::FixedPoint;
+      in.imm = static_cast<i64>(bits(w, 15, 0));
+      return in;
+    case kOpCmpi:
+      in.mn = Mnemonic::CMPI;
+      in.cls = InstrClass::Comparison;
+      in.crf = static_cast<u8>(in.rt & 7);
+      return in;
+    case kOpCmpli:
+      in.mn = Mnemonic::CMPLI;
+      in.cls = InstrClass::Comparison;
+      in.crf = static_cast<u8>(in.rt & 7);
+      in.imm = static_cast<i64>(bits(w, 15, 0));
+      return in;
+    case kOpLwz: in.mn = Mnemonic::LWZ; in.cls = InstrClass::Load; return in;
+    case kOpLbz: in.mn = Mnemonic::LBZ; in.cls = InstrClass::Load; return in;
+    case kOpLd:  in.mn = Mnemonic::LD;  in.cls = InstrClass::Load; return in;
+    case kOpLfd: in.mn = Mnemonic::LFD; in.cls = InstrClass::Load; return in;
+    case kOpStw: in.mn = Mnemonic::STW; in.cls = InstrClass::Store; return in;
+    case kOpStb: in.mn = Mnemonic::STB; in.cls = InstrClass::Store; return in;
+    case kOpStd: in.mn = Mnemonic::STD; in.cls = InstrClass::Store; return in;
+    case kOpStfd: in.mn = Mnemonic::STFD; in.cls = InstrClass::Store; return in;
+    case kOpB:
+      in.mn = Mnemonic::B;
+      in.cls = InstrClass::Branch;
+      in.imm = sign_extend(bits(w, 25, 2), 24) * 4;
+      in.lk = (w & 1) != 0;
+      return in;
+    case kOpBc:
+      in.mn = Mnemonic::BC;
+      in.cls = InstrClass::Branch;
+      in.bo = static_cast<u8>(bits(w, 25, 21));
+      in.bi = static_cast<u8>(bits(w, 20, 16));
+      in.imm = sign_extend(bits(w, 15, 2), 14) * 4;
+      in.lk = (w & 1) != 0;
+      return in;
+    case kOpXl: {
+      const u32 xo = bits(w, 10, 1);
+      in.bo = static_cast<u8>(bits(w, 25, 21));
+      in.bi = static_cast<u8>(bits(w, 20, 16));
+      in.cls = InstrClass::Branch;
+      if (xo == kXlBclr) {
+        in.mn = Mnemonic::BCLR;
+        in.lk = (w & 1) != 0;
+        return in;
+      }
+      if (xo == kXlBcctr) {
+        in.mn = Mnemonic::BCCTR;
+        in.lk = (w & 1) != 0;
+        return in;
+      }
+      return make(w, Mnemonic::ILLEGAL, InstrClass::System);
+    }
+    case kOpX:
+      return decode_x(w);
+    case kOpFp: {
+      const u32 xo = bits(w, 5, 1);
+      in.rt = static_cast<u8>(bits(w, 25, 21) % kNumFprs);
+      in.ra = static_cast<u8>(bits(w, 20, 16) % kNumFprs);
+      in.rb = static_cast<u8>(bits(w, 15, 11) % kNumFprs);
+      in.cls = InstrClass::FloatingPoint;
+      in.imm = 0;
+      switch (xo) {
+        case kFpAdd: in.mn = Mnemonic::FADD; return in;
+        case kFpSub: in.mn = Mnemonic::FSUB; return in;
+        case kFpMul: in.mn = Mnemonic::FMUL; return in;
+        case kFpDiv: in.mn = Mnemonic::FDIV; return in;
+        default: return make(w, Mnemonic::ILLEGAL, InstrClass::System);
+      }
+    }
+    default:
+      return make(w, Mnemonic::ILLEGAL, InstrClass::System);
+  }
+}
+
+bool Instr::writes_gpr() const {
+  switch (mn) {
+    case Mnemonic::ADDI: case Mnemonic::ADDIS: case Mnemonic::ORI:
+    case Mnemonic::XORI: case Mnemonic::ANDI: case Mnemonic::ADD:
+    case Mnemonic::SUBF: case Mnemonic::AND: case Mnemonic::OR:
+    case Mnemonic::XOR: case Mnemonic::NOR: case Mnemonic::SLD:
+    case Mnemonic::SRD: case Mnemonic::SRAD: case Mnemonic::NEG:
+    case Mnemonic::EXTSW: case Mnemonic::MULLD: case Mnemonic::DIVD:
+    case Mnemonic::LWZ: case Mnemonic::LBZ: case Mnemonic::LD:
+    case Mnemonic::MFSPR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Instr::writes_fpr() const {
+  switch (mn) {
+    case Mnemonic::LFD: case Mnemonic::FADD: case Mnemonic::FSUB:
+    case Mnemonic::FMUL: case Mnemonic::FDIV:
+      return true;
+    default:
+      return false;
+  }
+}
+
+u32 enc_d(u32 opcd, u32 rt, u32 ra, u16 d) {
+  return (opcd << 26) | ((rt & 31) << 21) | ((ra & 31) << 16) | d;
+}
+
+u32 enc_x(u32 rt, u32 ra, u32 rb, u32 xo) {
+  return (u32{kOpX} << 26) | ((rt & 31) << 21) | ((ra & 31) << 16) |
+         ((rb & 31) << 11) | ((xo & 0x3FF) << 1);
+}
+
+u32 enc_i(i32 byte_disp, bool lk) {
+  ensure(byte_disp % 4 == 0, "branch displacement word-aligned");
+  const u32 li = static_cast<u32>(byte_disp / 4) & mask_low(24);
+  return (u32{kOpB} << 26) | (li << 2) | (lk ? 1u : 0u);
+}
+
+u32 enc_b(u32 bo, u32 bi, i32 byte_disp, bool lk) {
+  ensure(byte_disp % 4 == 0, "branch displacement word-aligned");
+  const u32 bd = static_cast<u32>(byte_disp / 4) & mask_low(14);
+  return (u32{kOpBc} << 26) | ((bo & 31) << 21) | ((bi & 31) << 16) |
+         (bd << 2) | (lk ? 1u : 0u);
+}
+
+u32 enc_xl(u32 bo, u32 bi, u32 xo) {
+  return (u32{kOpXl} << 26) | ((bo & 31) << 21) | ((bi & 31) << 16) |
+         ((xo & 0x3FF) << 1);
+}
+
+u32 enc_fp(u32 frt, u32 fra, u32 frb, u32 xo) {
+  return (u32{kOpFp} << 26) | ((frt & 31) << 21) | ((fra & 31) << 16) |
+         ((frb & 31) << 11) | ((xo & 31) << 1);
+}
+
+std::string_view to_string(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::ADDI: return "addi";
+    case Mnemonic::ADDIS: return "addis";
+    case Mnemonic::ORI: return "ori";
+    case Mnemonic::XORI: return "xori";
+    case Mnemonic::ANDI: return "andi";
+    case Mnemonic::CMPI: return "cmpi";
+    case Mnemonic::CMPLI: return "cmpli";
+    case Mnemonic::CMP: return "cmp";
+    case Mnemonic::CMPL: return "cmpl";
+    case Mnemonic::ADD: return "add";
+    case Mnemonic::SUBF: return "subf";
+    case Mnemonic::AND: return "and";
+    case Mnemonic::OR: return "or";
+    case Mnemonic::XOR: return "xor";
+    case Mnemonic::NOR: return "nor";
+    case Mnemonic::SLD: return "sld";
+    case Mnemonic::SRD: return "srd";
+    case Mnemonic::SRAD: return "srad";
+    case Mnemonic::NEG: return "neg";
+    case Mnemonic::EXTSW: return "extsw";
+    case Mnemonic::MULLD: return "mulld";
+    case Mnemonic::DIVD: return "divd";
+    case Mnemonic::MFSPR: return "mfspr";
+    case Mnemonic::MTSPR: return "mtspr";
+    case Mnemonic::LWZ: return "lwz";
+    case Mnemonic::LBZ: return "lbz";
+    case Mnemonic::LD: return "ld";
+    case Mnemonic::STW: return "stw";
+    case Mnemonic::STB: return "stb";
+    case Mnemonic::STD: return "std";
+    case Mnemonic::LFD: return "lfd";
+    case Mnemonic::STFD: return "stfd";
+    case Mnemonic::B: return "b";
+    case Mnemonic::BC: return "bc";
+    case Mnemonic::BCLR: return "bclr";
+    case Mnemonic::BCCTR: return "bcctr";
+    case Mnemonic::FADD: return "fadd";
+    case Mnemonic::FSUB: return "fsub";
+    case Mnemonic::FMUL: return "fmul";
+    case Mnemonic::FDIV: return "fdiv";
+    case Mnemonic::STOP: return "stop";
+    case Mnemonic::ILLEGAL: return "illegal";
+  }
+  return "?";
+}
+
+std::string_view to_string(InstrClass c) {
+  switch (c) {
+    case InstrClass::Load: return "Load";
+    case InstrClass::Store: return "Store";
+    case InstrClass::FixedPoint: return "FixedPoint";
+    case InstrClass::FloatingPoint: return "FloatingPoint";
+    case InstrClass::Comparison: return "Comparison";
+    case InstrClass::Branch: return "Branch";
+    case InstrClass::System: return "System";
+  }
+  return "?";
+}
+
+}  // namespace sfi::isa

@@ -1,0 +1,167 @@
+#include "isa/exec.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace sfi::isa {
+
+u64 alu_exec(Mnemonic mn, u64 a, u64 b) {
+  switch (mn) {
+    case Mnemonic::ADDI:
+    case Mnemonic::ADD:
+      return a + b;
+    case Mnemonic::ADDIS:
+      return a + (static_cast<u64>(static_cast<i64>(b)) << 16);
+    case Mnemonic::SUBF:
+      return b - a;  // POWER convention: RT = RB - RA
+    case Mnemonic::ORI:
+    case Mnemonic::OR:
+      return a | b;
+    case Mnemonic::XORI:
+    case Mnemonic::XOR:
+      return a ^ b;
+    case Mnemonic::ANDI:
+    case Mnemonic::AND:
+      return a & b;
+    case Mnemonic::NOR:
+      return ~(a | b);
+    case Mnemonic::NEG:
+      return 0 - a;
+    case Mnemonic::EXTSW:
+      return static_cast<u64>(sign_extend(a, 32));
+    case Mnemonic::SLD: {
+      const u64 sh = b & 127;
+      return sh >= 64 ? 0 : a << sh;
+    }
+    case Mnemonic::SRD: {
+      const u64 sh = b & 127;
+      return sh >= 64 ? 0 : a >> sh;
+    }
+    case Mnemonic::SRAD: {
+      const u64 sh = b & 127;
+      const auto sa = static_cast<i64>(a);
+      if (sh >= 64) return sa < 0 ? ~u64{0} : 0;
+      return static_cast<u64>(sa >> sh);
+    }
+    case Mnemonic::MULLD:
+      return a * b;
+    case Mnemonic::DIVD: {
+      const auto sa = static_cast<i64>(a);
+      const auto sb = static_cast<i64>(b);
+      // Architected boundary cases: defined results, no trap.
+      if (sb == 0) return 0;
+      if (sa == std::numeric_limits<i64>::min() && sb == -1) {
+        return static_cast<u64>(sa);
+      }
+      return static_cast<u64>(sa / sb);
+    }
+    default:
+      // Reached only with a fault-corrupted opcode field: hardware produces
+      // *some* deterministic value; we architect 0.
+      return 0;
+  }
+}
+
+u32 compare(u64 a, u64 b, bool is_signed) {
+  bool lt;
+  bool gt;
+  if (is_signed) {
+    lt = static_cast<i64>(a) < static_cast<i64>(b);
+    gt = static_cast<i64>(a) > static_cast<i64>(b);
+  } else {
+    lt = a < b;
+    gt = a > b;
+  }
+  u32 f = 0;
+  if (lt) f |= 1u << kCrLt;
+  if (gt) f |= 1u << kCrGt;
+  if (!lt && !gt) f |= 1u << kCrEq;
+  return f;
+}
+
+u32 cr_insert(u32 cr, u32 crf, u32 field) {
+  ensure(crf < kNumCrFields, "cr_insert crf");
+  const u32 shift = (7 - crf) * 4;  // field 0 occupies the high nibble
+  const u32 m = 0xFu << shift;
+  return (cr & ~m) | ((field & 0xF) << shift);
+}
+
+u32 cr_extract(u32 cr, u32 crf) {
+  ensure(crf < kNumCrFields, "cr_extract crf");
+  return (cr >> ((7 - crf) * 4)) & 0xF;
+}
+
+u32 cr_bit(u32 cr, u32 bi) {
+  // bi counts from the msb: bi 0 = CR field 0's LT bit.
+  return (cr >> (31 - (bi & 31))) & 1;
+}
+
+BranchEval eval_branch(u32 bo, u32 bi, u32 cr, u64 ctr) {
+  BranchEval ev;
+  ev.ctr_after = ctr;
+  switch (bo) {
+    case kBoAlways:
+      ev.taken = true;
+      return ev;
+    case kBoTrue:
+      ev.taken = cr_bit(cr, bi) != 0;
+      return ev;
+    case kBoFalse:
+      ev.taken = cr_bit(cr, bi) == 0;
+      return ev;
+    case kBoDnz:
+      ev.ctr_after = ctr - 1;
+      ev.taken = ev.ctr_after != 0;
+      return ev;
+    default:
+      // Unknown BO (possibly fault-corrupted): architected as not-taken,
+      // no CTR side effect.
+      ev.taken = false;
+      return ev;
+  }
+}
+
+u64 fpu_exec(Mnemonic mn, u64 a, u64 b) {
+  const double fa = std::bit_cast<double>(a);
+  const double fb = std::bit_cast<double>(b);
+  double r = 0.0;
+  switch (mn) {
+    case Mnemonic::FADD: r = fa + fb; break;
+    case Mnemonic::FSUB: r = fa - fb; break;
+    case Mnemonic::FMUL: r = fa * fb; break;
+    case Mnemonic::FDIV: r = fa / fb; break;
+    default:
+      // Fault-corrupted opcode field: deterministic fallback.
+      return 0;
+  }
+  return std::bit_cast<u64>(r);
+}
+
+u64 agen(u64 ra_value, bool ra_is_zero, i64 disp) {
+  const u64 base = ra_is_zero ? 0 : ra_value;
+  return base + static_cast<u64>(disp);
+}
+
+u32 access_size(Mnemonic mn) {
+  switch (mn) {
+    case Mnemonic::LBZ:
+    case Mnemonic::STB:
+      return 1;
+    case Mnemonic::LWZ:
+    case Mnemonic::STW:
+      return 4;
+    case Mnemonic::LD:
+    case Mnemonic::STD:
+    case Mnemonic::LFD:
+    case Mnemonic::STFD:
+      return 8;
+    default:
+      // Fault-corrupted opcode field: narrowest access.
+      return 1;
+  }
+}
+
+}  // namespace sfi::isa

@@ -1,0 +1,50 @@
+// Shared execution semantics.
+//
+// Both the ISA-level golden model and the Pearl6 pipeline's execution units
+// call these helpers, so the two can only disagree through a genuine
+// microarchitectural effect (or an injected fault) — never through duplicated
+// semantics drifting apart.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/encoding.hpp"
+
+namespace sfi::isa {
+
+/// CR field bit positions within a 4-bit field value.
+inline constexpr u32 kCrLt = 3;  ///< bit 3: less-than
+inline constexpr u32 kCrGt = 2;  ///< bit 2: greater-than
+inline constexpr u32 kCrEq = 1;  ///< bit 1: equal
+inline constexpr u32 kCrSo = 0;  ///< bit 0: summary overflow (always 0 here)
+
+/// Fixed-point ALU. `a` = RA operand, `b` = RB operand or immediate.
+/// Valid for every FixedPoint mnemonic; anything else is an internal error.
+[[nodiscard]] u64 alu_exec(Mnemonic mn, u64 a, u64 b);
+
+/// Signed/unsigned compare producing a 4-bit CR field value.
+[[nodiscard]] u32 compare(u64 a, u64 b, bool is_signed);
+
+/// Replace CR field `crf` (0..7) inside the packed 32-bit CR.
+[[nodiscard]] u32 cr_insert(u32 cr, u32 crf, u32 field);
+/// Extract CR field `crf` from the packed 32-bit CR.
+[[nodiscard]] u32 cr_extract(u32 cr, u32 crf);
+/// Extract a single CR bit by its 0..31 index (bi field of BC).
+[[nodiscard]] u32 cr_bit(u32 cr, u32 bi);
+
+/// Branch condition evaluation shared by BC/BCLR/BCCTR.
+struct BranchEval {
+  bool taken = false;
+  u64 ctr_after = 0;
+};
+[[nodiscard]] BranchEval eval_branch(u32 bo, u32 bi, u32 cr, u64 ctr);
+
+/// Floating point (operands/results are IEEE-754 double bit patterns).
+[[nodiscard]] u64 fpu_exec(Mnemonic mn, u64 a, u64 b);
+
+/// Effective address generation: (RA|0) + displacement.
+[[nodiscard]] u64 agen(u64 ra_value, bool ra_is_zero, i64 disp);
+
+/// Bytes accessed by a load/store mnemonic (1, 4 or 8).
+[[nodiscard]] u32 access_size(Mnemonic mn);
+
+}  // namespace sfi::isa

@@ -1,0 +1,171 @@
+#include "isa/golden.hpp"
+
+#include "common/check.hpp"
+#include "isa/exec.hpp"
+
+namespace sfi::isa {
+
+GoldenModel::GoldenModel(u32 mem_size_bytes) : mem_(mem_size_bytes) {}
+
+void GoldenModel::reset(const Program& prog, const ArchState& init) {
+  mem_.fill_zero();
+  prog.load_into(mem_);
+  state_ = init;
+  state_.pc = prog.entry;
+  retired_ = 0;
+  stopped_ = false;
+  class_counts_.fill(0);
+}
+
+GoldenModel::Status GoldenModel::step() {
+  if (stopped_) return Status::Stopped;
+  const u32 word = mem_.load_u32(state_.pc);
+  const Instr in = decode(word);
+  if (in.mn == Mnemonic::STOP) {
+    stopped_ = true;
+    return Status::Stopped;
+  }
+  execute(in);
+  ++retired_;
+  class_counts_[static_cast<std::size_t>(in.cls)] += 1;
+  return Status::Running;
+}
+
+GoldenModel::Status GoldenModel::run(u64 max_instrs) {
+  for (u64 i = 0; i < max_instrs; ++i) {
+    if (step() == Status::Stopped) return Status::Stopped;
+  }
+  return stopped_ ? Status::Stopped : Status::LimitReached;
+}
+
+void GoldenModel::execute(const Instr& in) {
+  ArchState& st = state_;
+  const u64 next_pc = st.pc + 4;
+
+  switch (in.mn) {
+    // ---- fixed point, immediate forms ----
+    case Mnemonic::ADDI:
+    case Mnemonic::ADDIS: {
+      // RA = 0 reads as the constant zero ("load immediate" idiom).
+      const u64 a = in.ra == 0 ? 0 : st.gpr[in.ra];
+      st.gpr[in.rt] = alu_exec(in.mn, a, static_cast<u64>(in.imm));
+      break;
+    }
+    case Mnemonic::ORI:
+    case Mnemonic::XORI:
+    case Mnemonic::ANDI:
+      st.gpr[in.rt] =
+          alu_exec(in.mn, st.gpr[in.ra], static_cast<u64>(in.imm));
+      break;
+
+    // ---- fixed point, register forms ----
+    case Mnemonic::ADD: case Mnemonic::SUBF: case Mnemonic::AND:
+    case Mnemonic::OR: case Mnemonic::XOR: case Mnemonic::NOR:
+    case Mnemonic::SLD: case Mnemonic::SRD: case Mnemonic::SRAD:
+    case Mnemonic::MULLD: case Mnemonic::DIVD:
+      st.gpr[in.rt] = alu_exec(in.mn, st.gpr[in.ra], st.gpr[in.rb]);
+      break;
+    case Mnemonic::NEG:
+    case Mnemonic::EXTSW:
+      st.gpr[in.rt] = alu_exec(in.mn, st.gpr[in.ra], 0);
+      break;
+
+    // ---- compares ----
+    case Mnemonic::CMP:
+      st.cr = cr_insert(st.cr, in.crf,
+                        compare(st.gpr[in.ra], st.gpr[in.rb], true));
+      break;
+    case Mnemonic::CMPL:
+      st.cr = cr_insert(st.cr, in.crf,
+                        compare(st.gpr[in.ra], st.gpr[in.rb], false));
+      break;
+    case Mnemonic::CMPI:
+      st.cr = cr_insert(
+          st.cr, in.crf,
+          compare(st.gpr[in.ra], static_cast<u64>(in.imm), true));
+      break;
+    case Mnemonic::CMPLI:
+      st.cr = cr_insert(
+          st.cr, in.crf,
+          compare(st.gpr[in.ra], static_cast<u64>(in.imm), false));
+      break;
+
+    // ---- SPR moves ----
+    case Mnemonic::MFSPR:
+      st.gpr[in.rt] = in.imm == kSprLr    ? st.lr
+                      : in.imm == kSprCtr ? st.ctr
+                                          : 0;
+      break;
+    case Mnemonic::MTSPR:
+      if (in.imm == kSprLr) st.lr = st.gpr[in.rt];
+      if (in.imm == kSprCtr) st.ctr = st.gpr[in.rt];
+      break;
+
+    // ---- memory ----
+    case Mnemonic::LWZ: case Mnemonic::LBZ: case Mnemonic::LD: {
+      const u64 ea = agen(st.gpr[in.ra], in.ra == 0, in.imm);
+      st.gpr[in.rt] = mem_.load(ea, access_size(in.mn));
+      break;
+    }
+    case Mnemonic::LFD: {
+      const u64 ea = agen(st.gpr[in.ra], in.ra == 0, in.imm);
+      st.fpr[in.rt % kNumFprs] = mem_.load_u64(ea);
+      break;
+    }
+    case Mnemonic::STW: case Mnemonic::STB: case Mnemonic::STD: {
+      const u64 ea = agen(st.gpr[in.ra], in.ra == 0, in.imm);
+      mem_.store(ea, st.gpr[in.rt], access_size(in.mn));
+      break;
+    }
+    case Mnemonic::STFD: {
+      const u64 ea = agen(st.gpr[in.ra], in.ra == 0, in.imm);
+      mem_.store_u64(ea, st.fpr[in.rt % kNumFprs]);
+      break;
+    }
+
+    // ---- floating point ----
+    case Mnemonic::FADD: case Mnemonic::FSUB: case Mnemonic::FMUL:
+    case Mnemonic::FDIV:
+      st.fpr[in.rt] = fpu_exec(in.mn, st.fpr[in.ra], st.fpr[in.rb]);
+      break;
+
+    // ---- branches ----
+    case Mnemonic::B:
+      if (in.lk) st.lr = next_pc;
+      st.pc = st.pc + static_cast<u64>(in.imm);
+      return;
+    case Mnemonic::BC: {
+      const BranchEval ev = eval_branch(in.bo, in.bi, st.cr, st.ctr);
+      if (in.bo == kBoDnz) st.ctr = ev.ctr_after;
+      if (in.lk) st.lr = next_pc;
+      st.pc = ev.taken ? st.pc + static_cast<u64>(in.imm) : next_pc;
+      return;
+    }
+    case Mnemonic::BCLR: {
+      const BranchEval ev = eval_branch(in.bo, in.bi, st.cr, st.ctr);
+      if (in.bo == kBoDnz) st.ctr = ev.ctr_after;
+      const u64 target = st.lr & ~u64{3};
+      if (in.lk) st.lr = next_pc;
+      st.pc = ev.taken ? target : next_pc;
+      return;
+    }
+    case Mnemonic::BCCTR: {
+      const BranchEval ev = eval_branch(in.bo, in.bi, st.cr, st.ctr);
+      // BCCTR with decrement is architecturally invalid; CTR unchanged.
+      const u64 target = st.ctr & ~u64{3};
+      if (in.lk) st.lr = next_pc;
+      st.pc = ev.taken ? target : next_pc;
+      return;
+    }
+
+    case Mnemonic::ILLEGAL:
+      // Architected as a no-op (Pearl6 has no interrupt architecture; see
+      // DESIGN.md). Only fault-corrupted instruction streams reach this.
+      break;
+    case Mnemonic::STOP:
+      throw InternalError("GoldenModel::execute on STOP");
+  }
+  st.pc = next_pc;
+}
+
+}  // namespace sfi::isa

@@ -1,0 +1,58 @@
+// The ISA-level golden model: architecturally exact, microarchitecture-free.
+//
+// This plays the role of the paper's AVP result checker: the Pearl6 pipeline
+// and the golden model run the same program from the same initial state, and
+// any *undetected* divergence in final architected state is classified as
+// "incorrect architected state" (SDC).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "isa/arch_state.hpp"
+#include "isa/encoding.hpp"
+#include "isa/memory.hpp"
+#include "isa/program.hpp"
+
+namespace sfi::isa {
+
+class GoldenModel {
+ public:
+  explicit GoldenModel(u32 mem_size_bytes);
+
+  /// Load a program, zeroing memory, and set the initial architected state.
+  void reset(const Program& prog, const ArchState& init);
+
+  enum class Status : u8 {
+    Running,       ///< more instructions to execute
+    Stopped,       ///< executed STOP
+    LimitReached,  ///< run() hit its instruction cap
+  };
+
+  /// Execute one instruction.
+  Status step();
+  /// Execute until STOP or `max_instrs`.
+  Status run(u64 max_instrs);
+
+  [[nodiscard]] const ArchState& state() const { return state_; }
+  [[nodiscard]] ArchState& state() { return state_; }
+  [[nodiscard]] const Memory& memory() const { return mem_; }
+  [[nodiscard]] Memory& memory() { return mem_; }
+
+  [[nodiscard]] u64 instructions_retired() const { return retired_; }
+  /// Retired-instruction histogram by class (Table 1's mix numerator).
+  [[nodiscard]] const std::array<u64, kNumInstrClasses>& class_counts() const {
+    return class_counts_;
+  }
+
+ private:
+  void execute(const Instr& in);
+
+  Memory mem_;
+  ArchState state_;
+  u64 retired_ = 0;
+  bool stopped_ = false;
+  std::array<u64, kNumInstrClasses> class_counts_{};
+};
+
+}  // namespace sfi::isa

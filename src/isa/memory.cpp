@@ -1,0 +1,91 @@
+#include "isa/memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace sfi::isa {
+
+Memory::Memory(u32 size_bytes) : bytes_(size_bytes, 0), mask_(size_bytes - 1) {
+  require(size_bytes >= 64 && (size_bytes & (size_bytes - 1)) == 0,
+          "memory size must be a power of two >= 64");
+}
+
+u8 Memory::load_u8(u64 addr) const { return bytes_[wrap(addr)]; }
+
+u32 Memory::load_u32(u64 addr) const {
+  u32 v = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    v |= static_cast<u32>(bytes_[wrap(addr + i)]) << (8 * i);
+  }
+  return v;
+}
+
+u64 Memory::load_u64(u64 addr) const {
+  u64 v = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    v |= static_cast<u64>(bytes_[wrap(addr + i)]) << (8 * i);
+  }
+  return v;
+}
+
+u64 Memory::load(u64 addr, u32 size) const {
+  switch (size) {
+    case 1: return load_u8(addr);
+    case 4: return load_u32(addr);
+    case 8: return load_u64(addr);
+    default: throw InternalError("Memory::load bad size");
+  }
+}
+
+void Memory::store_u8(u64 addr, u8 v) { bytes_[wrap(addr)] = v; }
+
+void Memory::store_u32(u64 addr, u32 v) {
+  for (unsigned i = 0; i < 4; ++i) {
+    bytes_[wrap(addr + i)] = static_cast<u8>(v >> (8 * i));
+  }
+}
+
+void Memory::store_u64(u64 addr, u64 v) {
+  for (unsigned i = 0; i < 8; ++i) {
+    bytes_[wrap(addr + i)] = static_cast<u8>(v >> (8 * i));
+  }
+}
+
+void Memory::store(u64 addr, u64 v, u32 size) {
+  switch (size) {
+    case 1: store_u8(addr, static_cast<u8>(v)); return;
+    case 4: store_u32(addr, static_cast<u32>(v)); return;
+    case 8: store_u64(addr, v); return;
+    default: throw InternalError("Memory::store bad size");
+  }
+}
+
+void Memory::write_block(u64 addr, std::span<const u8> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    bytes_[wrap(addr + i)] = data[i];
+  }
+}
+
+u64 Memory::range_hash(u64 addr, u32 len) const {
+  // Gather (handles wrap) then hash.
+  std::vector<u8> buf(len);
+  for (u32 i = 0; i < len; ++i) buf[i] = bytes_[wrap(addr + i)];
+  return hash_bytes(buf);
+}
+
+void Memory::fill_zero() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+void Memory::save(std::vector<u8>& out) const {
+  out.insert(out.end(), bytes_.begin(), bytes_.end());
+}
+
+void Memory::load_snapshot(std::span<const u8>& in) {
+  require(in.size() >= bytes_.size(), "memory snapshot underrun");
+  std::memcpy(bytes_.data(), in.data(), bytes_.size());
+  in = in.subspan(bytes_.size());
+}
+
+}  // namespace sfi::isa

@@ -1,0 +1,51 @@
+// Flat little-endian memory with power-of-two size and wrap-around
+// addressing. Wrapping (rather than faulting) matters for fault injection:
+// a corrupted address register must produce a *defined* wrong access, never
+// a simulator crash.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sfi::isa {
+
+class Memory {
+ public:
+  explicit Memory(u32 size_bytes);
+
+  [[nodiscard]] u32 size() const { return static_cast<u32>(bytes_.size()); }
+
+  [[nodiscard]] u8 load_u8(u64 addr) const;
+  [[nodiscard]] u32 load_u32(u64 addr) const;
+  [[nodiscard]] u64 load_u64(u64 addr) const;
+  [[nodiscard]] u64 load(u64 addr, u32 size) const;  ///< size in {1,4,8}
+
+  void store_u8(u64 addr, u8 v);
+  void store_u32(u64 addr, u32 v);
+  void store_u64(u64 addr, u64 v);
+  void store(u64 addr, u64 v, u32 size);
+
+  /// Bulk image write (program loading).
+  void write_block(u64 addr, std::span<const u8> data);
+
+  /// Fingerprint of a byte range (AVP data-region compare).
+  [[nodiscard]] u64 range_hash(u64 addr, u32 len) const;
+
+  void fill_zero();
+
+  void save(std::vector<u8>& out) const;
+  void load_snapshot(std::span<const u8>& in);
+
+  friend bool operator==(const Memory&, const Memory&) = default;
+
+ private:
+  [[nodiscard]] u32 wrap(u64 addr) const {
+    return static_cast<u32>(addr) & mask_;
+  }
+  std::vector<u8> bytes_;
+  u32 mask_;
+};
+
+}  // namespace sfi::isa

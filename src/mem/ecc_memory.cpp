@@ -1,0 +1,145 @@
+#include "mem/ecc_memory.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "netlist/ecc.hpp"
+
+namespace sfi::mem {
+
+EccMemory::EccMemory(u32 size_bytes)
+    : data_(size_bytes), check_(size_bytes / 8, 0) {
+  require(size_bytes % 8 == 0, "EccMemory size must be word-multiple");
+  fill_zero();
+}
+
+void EccMemory::encode_word(u32 word) {
+  check_[word] = netlist::ecc_encode(data_.load_u64(static_cast<u64>(word) * 8));
+}
+
+void EccMemory::verify_word(u32 word) {
+  const u64 raw = data_.load_u64(static_cast<u64>(word) * 8);
+  const netlist::EccDecode d = netlist::ecc_decode(raw, check_[word]);
+  switch (d.status) {
+    case netlist::EccStatus::Clean:
+      return;
+    case netlist::EccStatus::CorrectedData:
+      data_.store_u64(static_cast<u64>(word) * 8, d.data);
+      check_[word] = netlist::ecc_encode(d.data);
+      ++corrected_pending_;
+      return;
+    case netlist::EccStatus::CorrectedCheck:
+      check_[word] = netlist::ecc_encode(d.data);
+      ++corrected_pending_;
+      return;
+    case netlist::EccStatus::Uncorrectable:
+      fatal_pending_ = true;
+      return;
+  }
+}
+
+u64 EccMemory::load(u64 addr, u32 size) {
+  verify_word(word_of(addr));
+  if (((addr & 7) + size) > 8) verify_word(word_of(addr + size - 1));
+  return data_.load(addr, size);
+}
+
+void EccMemory::store(u64 addr, u64 v, u32 size) {
+  // Read-modify-write at word granularity: verify first so a partial store
+  // never launders a latent error into a "fresh" code word silently.
+  verify_word(word_of(addr));
+  if (((addr & 7) + size) > 8) verify_word(word_of(addr + size - 1));
+  data_.store(addr, v, size);
+  encode_word(word_of(addr));
+  if (((addr & 7) + size) > 8) encode_word(word_of(addr + size - 1));
+}
+
+void EccMemory::write_block(u64 addr, std::span<const u8> bytes) {
+  data_.write_block(addr, bytes);
+  if (bytes.empty()) return;
+  const u32 first = word_of(addr);
+  const u32 last = word_of(addr + bytes.size() - 1);
+  // The block may wrap; walk words modulo the store size.
+  for (u32 w = first;; w = (w + 1) % num_words()) {
+    encode_word(w);
+    if (w == last) break;
+  }
+}
+
+void EccMemory::fill_zero() {
+  data_.fill_zero();
+  const u8 zero_check = netlist::ecc_encode(0);
+  std::fill(check_.begin(), check_.end(), zero_check);
+}
+
+void EccMemory::scrub_step() {
+  if (scrub_timer_ != 0) {
+    --scrub_timer_;
+    return;
+  }
+  scrub_timer_ = kScrubInterval - 1;
+  verify_word(scrub_pos_);
+  scrub_pos_ = (scrub_pos_ + 1) % num_words();
+}
+
+u32 EccMemory::take_corrected() {
+  const u32 n = corrected_pending_;
+  corrected_pending_ = 0;
+  return n;
+}
+
+bool EccMemory::take_fatal() {
+  const bool f = fatal_pending_;
+  fatal_pending_ = false;
+  return f;
+}
+
+u64 EccMemory::corrected_hash(u64 addr, u32 len) {
+  if (len != 0) {
+    const u32 first = word_of(addr);
+    const u32 last = word_of(addr + len - 1);
+    for (u32 w = first;; w = (w + 1) % num_words()) {
+      verify_word(w);
+      if (w == last) break;
+    }
+  }
+  return data_.range_hash(addr, len);
+}
+
+void EccMemory::flip_storage_bit(u64 bit) {
+  require(bit < storage_bits(), "EccMemory flip out of range");
+  const auto word = static_cast<u32>(bit / 72);
+  const auto local = static_cast<u32>(bit % 72);
+  if (local < 64) {
+    const u64 a = static_cast<u64>(word) * 8;
+    data_.store_u64(a, data_.load_u64(a) ^ (u64{1} << local));
+  } else {
+    check_[word] ^= static_cast<u8>(1u << (local - 64));
+  }
+}
+
+void EccMemory::save(std::vector<u8>& out) const {
+  data_.save(out);
+  out.insert(out.end(), check_.begin(), check_.end());
+  const u32 header[4] = {corrected_pending_,
+                         static_cast<u32>(fatal_pending_), scrub_pos_,
+                         scrub_timer_};
+  const auto* p = reinterpret_cast<const u8*>(header);
+  out.insert(out.end(), p, p + sizeof(header));
+}
+
+void EccMemory::load_snapshot(std::span<const u8>& in) {
+  data_.load_snapshot(in);
+  require(in.size() >= check_.size() + 16, "EccMemory snapshot underrun");
+  std::memcpy(check_.data(), in.data(), check_.size());
+  in = in.subspan(check_.size());
+  u32 header[4];
+  std::memcpy(header, in.data(), sizeof(header));
+  in = in.subspan(sizeof(header));
+  corrected_pending_ = header[0];
+  fatal_pending_ = header[1] != 0;
+  scrub_pos_ = header[2];
+  scrub_timer_ = header[3];
+}
+
+}  // namespace sfi::mem

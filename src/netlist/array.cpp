@@ -1,0 +1,146 @@
+#include "netlist/array.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace sfi::netlist {
+
+ProtectedArray::ProtectedArray(std::string name, Unit unit,
+                               ArrayProtection prot, u32 num_entries,
+                               u32 data_width)
+    : name_(std::move(name)),
+      unit_(unit),
+      prot_(prot),
+      num_entries_(num_entries),
+      data_width_(data_width),
+      check_width_(prot == ArrayProtection::Parity ? 1 : kEccCheckBits),
+      data_(num_entries, 0),
+      check_(num_entries, 0) {
+  require(num_entries >= 1, "array needs entries");
+  require(data_width >= 1 && data_width <= 64, "array data width in [1,64]");
+  require(prot != ArrayProtection::SecDed || data_width == 64,
+          "SEC-DED arrays are 64 bits wide");
+  // Initialize check bits consistently with all-zero data.
+  for (u32 i = 0; i < num_entries; ++i) write(i, 0);
+}
+
+void ProtectedArray::write(u32 entry, u64 value) {
+  require(entry < num_entries_, "array write out of range");
+  value &= mask_low(data_width_);
+  data_[entry] = value;
+  check_[entry] = prot_ == ArrayProtection::Parity
+                      ? static_cast<u8>(parity(value, data_width_))
+                      : ecc_encode(value);
+}
+
+ProtectedArray::ReadResult ProtectedArray::read(u32 entry) {
+  require(entry < num_entries_, "array read out of range");
+  ReadResult r;
+  if (prot_ == ArrayProtection::Parity) {
+    r.value = data_[entry];
+    r.status = parity(data_[entry], data_width_) == (check_[entry] & 1)
+                   ? ArrayReadStatus::Clean
+                   : ArrayReadStatus::Detected;
+    return r;
+  }
+  const EccDecode d = ecc_decode(data_[entry], check_[entry]);
+  r.value = d.data;
+  switch (d.status) {
+    case EccStatus::Clean:
+      r.status = ArrayReadStatus::Clean;
+      break;
+    case EccStatus::CorrectedData:
+    case EccStatus::CorrectedCheck:
+      r.status = ArrayReadStatus::Corrected;
+      // Scrub on read: restore a clean code word.
+      write(entry, d.data);
+      break;
+    case EccStatus::Uncorrectable:
+      r.status = ArrayReadStatus::Detected;
+      break;
+  }
+  return r;
+}
+
+ProtectedArray::ReadResult ProtectedArray::peek_decoded(u32 entry) const {
+  require(entry < num_entries_, "peek_decoded out of range");
+  ReadResult r;
+  if (prot_ == ArrayProtection::Parity) {
+    r.value = data_[entry];
+    r.status = parity(data_[entry], data_width_) == (check_[entry] & 1)
+                   ? ArrayReadStatus::Clean
+                   : ArrayReadStatus::Detected;
+    return r;
+  }
+  const EccDecode d = ecc_decode(data_[entry], check_[entry]);
+  r.value = d.data;
+  r.status = d.status == EccStatus::Clean ? ArrayReadStatus::Clean
+             : d.status == EccStatus::Uncorrectable
+                 ? ArrayReadStatus::Detected
+                 : ArrayReadStatus::Corrected;
+  return r;
+}
+
+u64 ProtectedArray::raw_data(u32 entry) const {
+  require(entry < num_entries_, "raw_data out of range");
+  return data_[entry];
+}
+
+u8 ProtectedArray::raw_check(u32 entry) const {
+  require(entry < num_entries_, "raw_check out of range");
+  return check_[entry];
+}
+
+void ProtectedArray::flip_storage_bit(u64 bit) {
+  require(bit < storage_bits(), "flip_storage_bit out of range");
+  const u64 per_entry = data_width_ + check_width_;
+  const auto entry = static_cast<u32>(bit / per_entry);
+  const auto local = static_cast<u32>(bit % per_entry);
+  if (local < data_width_) {
+    data_[entry] ^= u64{1} << local;
+  } else {
+    check_[entry] ^= static_cast<u8>(1u << (local - data_width_));
+  }
+}
+
+void ProtectedArray::fill_zero() {
+  for (u32 i = 0; i < num_entries_; ++i) write(i, 0);
+}
+
+void ProtectedArray::save(std::vector<u8>& out) const {
+  const std::size_t base = out.size();
+  out.resize(base + data_.size() * sizeof(u64) + check_.size());
+  std::memcpy(out.data() + base, data_.data(), data_.size() * sizeof(u64));
+  std::memcpy(out.data() + base + data_.size() * sizeof(u64), check_.data(),
+              check_.size());
+}
+
+void ProtectedArray::load(std::span<const u8>& in) {
+  const std::size_t need = data_.size() * sizeof(u64) + check_.size();
+  require(in.size() >= need, "array snapshot underrun");
+  std::memcpy(data_.data(), in.data(), data_.size() * sizeof(u64));
+  std::memcpy(check_.data(), in.data() + data_.size() * sizeof(u64),
+              check_.size());
+  in = in.subspan(need);
+}
+
+void ArrayRegistry::add(ProtectedArray& arr) {
+  arrays_.push_back(&arr);
+  total_bits_ += arr.storage_bits();
+  cumulative_bits_.push_back(total_bits_);
+}
+
+ArrayRegistry::Target ArrayRegistry::locate(u64 global_bit) const {
+  require(global_bit < total_bits_, "ArrayRegistry::locate out of range");
+  const auto it = std::upper_bound(cumulative_bits_.begin(),
+                                   cumulative_bits_.end(), global_bit);
+  const auto idx =
+      static_cast<std::size_t>(std::distance(cumulative_bits_.begin(), it));
+  const u64 base = idx == 0 ? 0 : cumulative_bits_[idx - 1];
+  return Target{arrays_[idx], global_bit - base};
+}
+
+}  // namespace sfi::netlist

@@ -1,0 +1,108 @@
+#include "netlist/ecc.hpp"
+
+#include <array>
+#include <bit>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace sfi::netlist {
+namespace {
+
+// Extended Hamming(72,64): code positions 1..72; positions that are powers
+// of two hold the 7 syndrome check bits; the remaining 65 positions hold
+// data (we use the first 64). Check bit 7 is the overall parity bit.
+
+constexpr bool is_pow2(unsigned x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// data_position[i] = code position of data bit i.
+constexpr std::array<u8, 64> make_data_positions() {
+  std::array<u8, 64> pos{};
+  unsigned idx = 0;
+  for (unsigned p = 1; idx < 64; ++p) {
+    if (!is_pow2(p)) pos[idx++] = static_cast<u8>(p);
+  }
+  return pos;
+}
+constexpr std::array<u8, 64> kDataPos = make_data_positions();
+
+/// For syndrome bit k (k in 0..6), the mask of data bits covered.
+constexpr std::array<u64, 7> make_coverage() {
+  std::array<u64, 7> cov{};
+  for (unsigned k = 0; k < 7; ++k) {
+    u64 m = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+      if (kDataPos[i] & (1u << k)) m |= u64{1} << i;
+    }
+    cov[k] = m;
+  }
+  return cov;
+}
+constexpr std::array<u64, 7> kCoverage = make_coverage();
+
+/// Map a code position back to the data bit index, or -1 for check bits.
+constexpr std::array<i8, 73> make_pos_to_data() {
+  std::array<i8, 73> map{};
+  for (auto& v : map) v = -1;
+  for (unsigned i = 0; i < 64; ++i) map[kDataPos[i]] = static_cast<i8>(i);
+  return map;
+}
+constexpr std::array<i8, 73> kPosToData = make_pos_to_data();
+
+u8 syndrome_bits(u64 data) {
+  u8 s = 0;
+  for (unsigned k = 0; k < 7; ++k) {
+    s |= static_cast<u8>(parity(data & kCoverage[k]) << k);
+  }
+  return s;
+}
+
+}  // namespace
+
+u8 ecc_encode(u64 data) {
+  const u8 synd = syndrome_bits(data);
+  // Overall parity over data bits and the 7 syndrome check bits.
+  const u32 overall = parity(data) ^ parity(synd, 7);
+  return static_cast<u8>(synd | (overall << 7));
+}
+
+EccDecode ecc_decode(u64 data, u8 check) {
+  const u8 stored_synd = check & 0x7F;
+  const u8 stored_overall = (check >> 7) & 1;
+  const u8 synd = static_cast<u8>(syndrome_bits(data) ^ stored_synd);
+  const u8 overall_now =
+      static_cast<u8>(parity(data) ^ parity(stored_synd, 7) ^ stored_overall);
+
+  EccDecode d;
+  d.data = data;
+  if (synd == 0 && overall_now == 0) {
+    d.status = EccStatus::Clean;
+    return d;
+  }
+  if (overall_now == 0) {
+    // Non-zero syndrome but overall parity consistent: even error count.
+    d.status = EccStatus::Uncorrectable;
+    return d;
+  }
+  // Odd number of errored bits with overall parity flagged: single-bit case.
+  if (synd == 0) {
+    // The overall parity bit itself flipped.
+    d.status = EccStatus::CorrectedCheck;
+    return d;
+  }
+  if (synd <= 72 && kPosToData[synd] >= 0) {
+    d.data = data ^ (u64{1} << static_cast<unsigned>(kPosToData[synd]));
+    d.status = EccStatus::CorrectedData;
+    return d;
+  }
+  if (is_pow2(synd)) {
+    // A syndrome check bit flipped; data is intact.
+    d.status = EccStatus::CorrectedCheck;
+    return d;
+  }
+  // Syndrome points outside the code word: multi-bit error.
+  d.status = EccStatus::Uncorrectable;
+  return d;
+}
+
+}  // namespace sfi::netlist

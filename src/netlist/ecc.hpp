@@ -1,0 +1,39 @@
+// SEC-DED error-correcting code over 64-bit words (Hamming(72,64) with an
+// overall parity bit, Hsiao-style behaviour).
+//
+// Used by the "protected arrays" of the model: the RUT's architected-state
+// checkpoint and the cache data arrays. The paper notes that a large portion
+// of the RUT consists of arrays which are protected — single-bit strikes in
+// those arrays are *corrected* events, and a double-bit pattern is an
+// uncorrectable error that escalates to checkstop.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace sfi::netlist {
+
+/// Decode result for one protected word.
+enum class EccStatus : u8 {
+  Clean,          ///< syndrome 0: data as stored
+  CorrectedData,  ///< single data-bit error corrected
+  CorrectedCheck, ///< single check-bit error (data unaffected)
+  Uncorrectable,  ///< double-bit (or worse) error detected
+};
+
+/// 8 check bits: 7 Hamming syndrome bits + 1 overall parity bit.
+inline constexpr unsigned kEccCheckBits = 8;
+
+/// Compute check bits for a 64-bit data word.
+[[nodiscard]] u8 ecc_encode(u64 data);
+
+/// Decoded word: possibly corrected data plus the decode status.
+struct EccDecode {
+  u64 data = 0;
+  EccStatus status = EccStatus::Clean;
+};
+
+/// Decode a stored (data, check) pair, correcting a single-bit error in
+/// either data or check bits.
+[[nodiscard]] EccDecode ecc_decode(u64 data, u8 check);
+
+}  // namespace sfi::netlist

@@ -1,0 +1,113 @@
+#include "netlist/registry.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace sfi::netlist {
+
+FieldRef LatchRegistry::add(std::string name, Unit unit, LatchType type,
+                            u8 scan_ring, u32 width, bool hashable) {
+  require(!finalized_, "LatchRegistry::add after finalize");
+  require(width >= 1 && width <= 64, "field width in [1,64]");
+
+  // Keep every field inside one 64-bit word for single-load access.
+  const u32 word_remainder = 64 - (next_bit_ % 64);
+  if (width > word_remainder) next_bit_ += word_remainder;
+
+  LatchMeta meta;
+  meta.name = std::move(name);
+  meta.unit = unit;
+  meta.type = type;
+  meta.scan_ring = scan_ring;
+  meta.bit_offset = next_bit_;
+  meta.width = width;
+  meta.ordinal_start = next_ordinal_;
+  // `hashable` is authoritative. Callers exclude free-running counters and
+  // *benign* scan-only latches (their flips provably cannot alter
+  // execution, so golden-trace convergence stays sound); scan-only bits
+  // with functional reach (clock stops, error forcing, scan enables) MUST
+  // stay hashable — a flip there never re-converges and therefore never
+  // takes the early exit.
+  meta.hashable = hashable;
+
+  next_bit_ += width;
+  next_ordinal_ += width;
+  fields_.push_back(std::move(meta));
+  return FieldRef{fields_.back().bit_offset, width};
+}
+
+void LatchRegistry::finalize() {
+  require(!finalized_, "LatchRegistry::finalize called twice");
+  require(!fields_.empty(), "LatchRegistry::finalize with no fields");
+  finalized_ = true;
+
+  hash_masks_.assign(words_for_bits(next_bit_), 0);
+  for (const LatchMeta& f : fields_) {
+    if (!f.hashable) continue;
+    const u32 word = f.bit_offset / 64;
+    const u32 lsb = f.bit_offset % 64;
+    ensure(lsb + f.width <= 64, "field straddles a word");
+    hash_masks_[word] |= mask_low(f.width) << lsb;
+  }
+}
+
+std::size_t LatchRegistry::field_index_of_ordinal(u32 ordinal) const {
+  require(ordinal < next_ordinal_, "ordinal out of range");
+  // Binary search for the last field with ordinal_start <= ordinal.
+  auto it = std::upper_bound(
+      fields_.begin(), fields_.end(), ordinal,
+      [](u32 ord, const LatchMeta& m) { return ord < m.ordinal_start; });
+  ensure(it != fields_.begin(), "ordinal before first field");
+  return static_cast<std::size_t>(std::distance(fields_.begin(), it)) - 1;
+}
+
+BitIndex LatchRegistry::bit_of_ordinal(u32 ordinal) const {
+  const LatchMeta& m = fields_[field_index_of_ordinal(ordinal)];
+  return m.bit_offset + (ordinal - m.ordinal_start);
+}
+
+const LatchMeta& LatchRegistry::meta_of_ordinal(u32 ordinal) const {
+  return fields_[field_index_of_ordinal(ordinal)];
+}
+
+std::string LatchRegistry::name_of_ordinal(u32 ordinal) const {
+  const LatchMeta& m = meta_of_ordinal(ordinal);
+  const u32 bit = ordinal - m.ordinal_start;
+  if (m.width == 1) return m.name;
+  return m.name + "[" + std::to_string(bit) + "]";
+}
+
+std::vector<u32> LatchRegistry::collect_ordinals(
+    const std::function<bool(const LatchMeta&)>& pred) const {
+  std::vector<u32> out;
+  for (const LatchMeta& m : fields_) {
+    if (!pred(m)) continue;
+    for (u32 i = 0; i < m.width; ++i) out.push_back(m.ordinal_start + i);
+  }
+  return out;
+}
+
+std::array<u32, kNumUnits> LatchRegistry::latch_count_by_unit() const {
+  std::array<u32, kNumUnits> counts{};
+  for (const LatchMeta& m : fields_) {
+    counts[static_cast<std::size_t>(m.unit)] += m.width;
+  }
+  return counts;
+}
+
+std::array<u32, kNumLatchTypes> LatchRegistry::latch_count_by_type() const {
+  std::array<u32, kNumLatchTypes> counts{};
+  for (const LatchMeta& m : fields_) {
+    counts[static_cast<std::size_t>(m.type)] += m.width;
+  }
+  return counts;
+}
+
+const std::vector<u64>& LatchRegistry::hash_masks() const {
+  require(finalized_, "hash_masks before finalize");
+  return hash_masks_;
+}
+
+}  // namespace sfi::netlist

@@ -1,0 +1,83 @@
+// LatchRegistry: the model's latch inventory.
+//
+// During model construction every unit registers its latch fields here; the
+// registry assigns each field a bit range in the StateVector and an
+// *injectable ordinal* range. Ordinals number real latch bits densely
+// (0..num_latches-1) with no padding, so "choose k random latches from all
+// latches in the design" (paper Figure 1, step 2) is a uniform draw over
+// ordinals.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "netlist/latch.hpp"
+
+namespace sfi::netlist {
+
+/// Lightweight handle to a registered field; used by Field accessors.
+struct FieldRef {
+  u32 bit_offset = 0;
+  u32 width = 0;
+};
+
+class LatchRegistry {
+ public:
+  LatchRegistry() = default;
+
+  /// Register a latch field of `width` bits (1..64). Fields never straddle a
+  /// 64-bit word: the allocator pads to the next word when needed (padding
+  /// bits are not injectable and not hashed). `hashable` is authoritative:
+  /// pass false ONLY for state a flip provably cannot feed back into
+  /// execution (free-running counters, engineering spares, benign scan-only
+  /// configuration) — the golden-trace early exit's soundness rests on it.
+  FieldRef add(std::string name, Unit unit, LatchType type, u8 scan_ring,
+               u32 width, bool hashable = true);
+
+  /// Freeze the registry: computes per-word hash masks and ordinal lookup
+  /// structures. No further add() calls are allowed.
+  void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  /// Total bits allocated in the StateVector (including padding).
+  [[nodiscard]] u32 total_bits() const { return next_bit_; }
+  /// Number of injectable latch bits (excludes padding).
+  [[nodiscard]] u32 num_latches() const { return next_ordinal_; }
+  [[nodiscard]] std::size_t num_fields() const { return fields_.size(); }
+
+  [[nodiscard]] const std::vector<LatchMeta>& fields() const { return fields_; }
+
+  /// Map an injectable ordinal to its StateVector bit index.
+  [[nodiscard]] BitIndex bit_of_ordinal(u32 ordinal) const;
+  /// Metadata of the field containing an injectable ordinal.
+  [[nodiscard]] const LatchMeta& meta_of_ordinal(u32 ordinal) const;
+  /// Fully-qualified bit name, e.g. "lsu.stq3.data[17]".
+  [[nodiscard]] std::string name_of_ordinal(u32 ordinal) const;
+
+  /// All ordinals whose metadata satisfies `pred`. Used for targeted
+  /// injection (per-unit, per-latch-type, per-scan-ring campaigns).
+  [[nodiscard]] std::vector<u32> collect_ordinals(
+      const std::function<bool(const LatchMeta&)>& pred) const;
+
+  /// Latch-bit counts per unit / per latch type (paper Figure 4 weighting).
+  [[nodiscard]] std::array<u32, kNumUnits> latch_count_by_unit() const;
+  [[nodiscard]] std::array<u32, kNumLatchTypes> latch_count_by_type() const;
+
+  /// Per-word AND-masks selecting hashable bits; size == words_for_bits
+  /// (total_bits). Valid after finalize().
+  [[nodiscard]] const std::vector<u64>& hash_masks() const;
+
+ private:
+  [[nodiscard]] std::size_t field_index_of_ordinal(u32 ordinal) const;
+
+  std::vector<LatchMeta> fields_;
+  std::vector<u64> hash_masks_;
+  u32 next_bit_ = 0;
+  u32 next_ordinal_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace sfi::netlist

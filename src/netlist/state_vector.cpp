@@ -1,0 +1,73 @@
+#include "netlist/state_vector.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace sfi::netlist {
+
+StateVector::StateVector(u32 num_bits)
+    : words_(words_for_bits(num_bits), 0), num_bits_(num_bits) {}
+
+bool StateVector::get_bit(BitIndex i) const {
+  require(i < num_bits_, "StateVector::get_bit out of range");
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void StateVector::set_bit(BitIndex i, bool v) {
+  require(i < num_bits_, "StateVector::set_bit out of range");
+  const u64 m = u64{1} << (i % 64);
+  if (v) {
+    words_[i / 64] |= m;
+  } else {
+    words_[i / 64] &= ~m;
+  }
+}
+
+void StateVector::flip_bit(BitIndex i) {
+  require(i < num_bits_, "StateVector::flip_bit out of range");
+  words_[i / 64] ^= u64{1} << (i % 64);
+}
+
+u64 StateVector::read(u32 offset, u32 width) const {
+  ensure(offset + width <= num_bits_, "StateVector::read out of range");
+  const u32 lsb = offset % 64;
+  ensure(lsb + width <= 64, "StateVector::read straddles a word");
+  return (words_[offset / 64] >> lsb) & mask_low(width);
+}
+
+void StateVector::write(u32 offset, u32 width, u64 v) {
+  ensure(offset + width <= num_bits_, "StateVector::write out of range");
+  const u32 lsb = offset % 64;
+  ensure(lsb + width <= 64, "StateVector::write straddles a word");
+  u64& w = words_[offset / 64];
+  w = insert(w, lsb, width, v);
+}
+
+u64 StateVector::masked_hash(std::span<const u64> masks) const {
+  ensure(masks.size() == words_.size(), "mask/word size mismatch");
+  u64 h = mix64(0x533F1B05CA11ED01ULL);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    h = mix64(h ^ mix64((words_[i] & masks[i]) +
+                        (i + 1) * 0x9E3779B97F4A7C15ULL));
+  }
+  return h;
+}
+
+u32 StateVector::masked_distance(const StateVector& other,
+                                 std::span<const u64> masks) const {
+  ensure(words_.size() == other.words_.size(), "StateVector size mismatch");
+  ensure(masks.size() == words_.size(), "mask/word size mismatch");
+  u32 d = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    d += static_cast<u32>(
+        std::popcount((words_[i] ^ other.words_[i]) & masks[i]));
+  }
+  return d;
+}
+
+void StateVector::fill_zero() { std::fill(words_.begin(), words_.end(), 0); }
+
+}  // namespace sfi::netlist

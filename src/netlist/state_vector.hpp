@@ -1,0 +1,52 @@
+// StateVector: the dense bit image of every latch in the model.
+//
+// This is the single source of truth for sequential state. The core's units
+// read the *current* vector and write the *next* vector each cycle (see
+// emu::CycleFrame), so flipping any bit here genuinely perturbs the machine —
+// the property that makes arbitrary-latch fault injection meaningful.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace sfi::netlist {
+
+class StateVector {
+ public:
+  StateVector() = default;
+  explicit StateVector(u32 num_bits);
+
+  [[nodiscard]] u32 num_bits() const { return num_bits_; }
+  [[nodiscard]] std::span<const u64> words() const { return words_; }
+
+  [[nodiscard]] bool get_bit(BitIndex i) const;
+  void set_bit(BitIndex i, bool v);
+  void flip_bit(BitIndex i);
+
+  /// Read a field of `width` bits at `offset`. The field must not straddle a
+  /// word (guaranteed by LatchRegistry's allocator).
+  [[nodiscard]] u64 read(u32 offset, u32 width) const;
+  /// Write the low `width` bits of `v` into the field at `offset`.
+  void write(u32 offset, u32 width, u64 v);
+
+  /// Fingerprint of the bits selected by `masks` (one AND-mask per word, as
+  /// produced by LatchRegistry::hash_masks()).
+  [[nodiscard]] u64 masked_hash(std::span<const u64> masks) const;
+
+  /// Number of bit positions (under `masks`) where *this differs from other.
+  [[nodiscard]] u32 masked_distance(const StateVector& other,
+                                    std::span<const u64> masks) const;
+
+  void fill_zero();
+
+  friend bool operator==(const StateVector&, const StateVector&) = default;
+
+ private:
+  std::vector<u64> words_;
+  u32 num_bits_ = 0;
+};
+
+}  // namespace sfi::netlist

@@ -1,0 +1,71 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace sfi::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "table needs headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string Table::num(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string Table::count(u64 value) { return std::to_string(value); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  ";
+      // First column left-aligned (labels), the rest right-aligned.
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      } else {
+        os << std::right << std::setw(static_cast<int>(width[c])) << row[c];
+      }
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string section(const std::string& title) {
+  return "\n=== " + title + " ===\n";
+}
+
+}  // namespace sfi::report

@@ -1,0 +1,35 @@
+// Aligned ASCII table rendering for the benchmark harnesses — every bench
+// prints the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sfi::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row (must match the header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: percentage / fixed-point formatting.
+  [[nodiscard]] static std::string pct(double fraction, int decimals = 2);
+  [[nodiscard]] static std::string num(double value, int decimals = 2);
+  [[nodiscard]] static std::string count(u64 value);
+
+  /// Render with a separator under the header, columns padded to content.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A titled section wrapper ("=== Table 2: ... ===") used by the benches.
+[[nodiscard]] std::string section(const std::string& title);
+
+}  // namespace sfi::report

@@ -1,0 +1,132 @@
+#include "sfi/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace sfi::inject {
+
+namespace {
+
+/// Everything one worker thread owns privately.
+struct Worker {
+  std::unique_ptr<core::Pearl6Model> model;
+  std::unique_ptr<emu::Emulator> emu;
+  emu::Checkpoint reset_cp;
+  std::unique_ptr<InjectionRunner> runner;
+
+  Worker(const avp::Testcase& tc, const CampaignConfig& cfg,
+         const emu::GoldenTrace& trace, const avp::GoldenResult& golden) {
+    model = std::make_unique<core::Pearl6Model>(cfg.core);
+    model->load_workload(tc.program, tc.init);
+    emu = std::make_unique<emu::Emulator>(*model);
+    emu->reset();
+    reset_cp = emu->save_checkpoint();
+    runner = std::make_unique<InjectionRunner>(*model, *emu, reset_cp, trace,
+                                               golden, cfg.run);
+  }
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const avp::Testcase& tc,
+                            const CampaignConfig& cfg) {
+  require(cfg.num_injections > 0, "campaign needs injections");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Reference executions (shared, read-only).
+  const avp::GoldenResult golden = avp::run_golden(tc);
+
+  core::Pearl6Model ref_model(cfg.core);
+  emu::Emulator ref_emu(ref_model);
+  const emu::GoldenTrace trace = avp::run_reference(ref_model, ref_emu, tc);
+
+  // Population & sampler (identical across workers).
+  const LatchPopulation population =
+      cfg.filter ? LatchPopulation::filtered(ref_model.registry(), cfg.filter)
+                 : LatchPopulation::all(ref_model.registry());
+  FaultSampler sampler;
+  sampler.population = &population;
+  sampler.window_begin = cfg.window_begin;
+  sampler.window_end =
+      cfg.window_end != 0 ? cfg.window_end : trace.completion_cycle;
+  require(sampler.window_end > sampler.window_begin,
+          "injection window is empty (workload too short?)");
+  sampler.mode = cfg.mode;
+  sampler.sticky_duration = cfg.sticky_duration;
+
+  // Pre-generate every fault spec so results are thread-count independent.
+  std::vector<FaultSpec> faults(cfg.num_injections);
+  for (u32 i = 0; i < cfg.num_injections; ++i) {
+    stats::Xoshiro256 rng(stats::derive_seed(cfg.seed, i));
+    faults[i] = sampler.sample(rng);
+  }
+
+  const u32 threads =
+      cfg.threads != 0
+          ? cfg.threads
+          : std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<InjectionRecord> records(cfg.num_injections);
+  std::atomic<u32> next{0};
+  std::atomic<u64> cycles_evaluated{0};
+
+  const auto work = [&](Worker& w) {
+    while (true) {
+      const u32 i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cfg.num_injections) break;
+      const RunResult rr = w.runner->run(faults[i]);
+      const netlist::LatchMeta& meta =
+          w.model->registry().meta_of_ordinal(faults[i].index);
+      InjectionRecord rec;
+      rec.fault = faults[i];
+      rec.outcome = rr.outcome;
+      rec.unit = meta.unit;
+      rec.type = meta.type;
+      rec.end_cycle = rr.end_cycle;
+      rec.early_exited = rr.early_exited;
+      rec.recoveries = rr.recoveries;
+      records[i] = rec;
+    }
+    cycles_evaluated.fetch_add(w.emu->cycles_evaluated(),
+                               std::memory_order_relaxed);
+  };
+
+  if (threads <= 1) {
+    Worker w(tc, cfg, trace, golden);
+    work(w);
+  } else {
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.reserve(threads);
+    for (u32 t = 0; t < threads; ++t) {
+      workers.push_back(std::make_unique<Worker>(tc, cfg, trace, golden));
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (u32 t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] { work(*workers[t]); });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  CampaignResult result;
+  result.records = std::move(records);
+  result.population_size = population.size();
+  result.workload_cycles = trace.completion_cycle;
+  result.workload_instructions = golden.instructions;
+  result.cycles_evaluated = cycles_evaluated.load();
+  for (const InjectionRecord& rec : result.records) {
+    result.counts.add(rec.outcome);
+    result.by_unit[static_cast<std::size_t>(rec.unit)].add(rec.outcome);
+    result.by_type[static_cast<std::size_t>(rec.type)].add(rec.outcome);
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace sfi::inject

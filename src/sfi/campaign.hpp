@@ -1,0 +1,73 @@
+// Campaign: a statistically sized batch of fault injections over one
+// workload, with per-unit / per-latch-type breakdowns and full per-injection
+// records (the raw material of every table and figure in the paper's
+// evaluation).
+//
+// Campaigns are deterministic and thread-count-independent: injection i
+// derives its RNG stream from (campaign seed, i), each worker owns a private
+// model+emulator ("multiple concurrent copies of the simulation environment",
+// paper §2.2), and aggregation is order-insensitive.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "avp/testgen.hpp"
+#include "sfi/outcome.hpp"
+#include "sfi/runner.hpp"
+#include "sfi/sampler.hpp"
+
+namespace sfi::inject {
+
+struct CampaignConfig {
+  u64 seed = 42;
+  u32 num_injections = 2000;
+  u32 threads = 0;  ///< 0: hardware concurrency
+  RunConfig run;
+  FaultMode mode = FaultMode::Toggle;
+  Cycle sticky_duration = 0;
+  /// Restrict the latch population (empty: whole design).
+  std::function<bool(const netlist::LatchMeta&)> filter;
+  /// Injection window [begin, end) in cycles; end == 0 uses the workload's
+  /// completion cycle.
+  Cycle window_begin = 1;
+  Cycle window_end = 0;
+  /// Core configuration (checker masks etc. — Table 3's knob).
+  core::CoreConfig core;
+};
+
+/// One injection's record (kept for resampling and tracing).
+struct InjectionRecord {
+  FaultSpec fault;
+  Outcome outcome = Outcome::Vanished;
+  netlist::Unit unit = netlist::Unit::Core;
+  netlist::LatchType type = netlist::LatchType::Func;
+  Cycle end_cycle = 0;
+  bool early_exited = false;
+  u32 recoveries = 0;
+};
+
+struct CampaignResult {
+  OutcomeCounts counts;
+  std::array<OutcomeCounts, netlist::kNumUnits> by_unit;
+  std::array<OutcomeCounts, netlist::kNumLatchTypes> by_type;
+  std::vector<InjectionRecord> records;
+  std::size_t population_size = 0;
+  Cycle workload_cycles = 0;
+  u64 workload_instructions = 0;
+  double wall_seconds = 0.0;
+  u64 cycles_evaluated = 0;
+
+  [[nodiscard]] double injections_per_second() const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(records.size()) / wall_seconds;
+  }
+};
+
+/// Run a fault-injection campaign for `testcase` under `config`.
+[[nodiscard]] CampaignResult run_campaign(const avp::Testcase& testcase,
+                                          const CampaignConfig& config);
+
+}  // namespace sfi::inject

@@ -1,0 +1,100 @@
+#include "sfi/derating.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace sfi::inject {
+
+namespace {
+
+double frac(u64 part, u64 whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+DeratingReport compute_derating(const CampaignResult& campaign,
+                                const netlist::LatchRegistry& registry,
+                                const DeratingConfig& config) {
+  require(campaign.counts.total() > 0, "derating needs campaign results");
+  require(config.raw_fit_per_latch > 0.0, "raw FIT must be positive");
+
+  DeratingReport rep;
+  const u64 total = campaign.counts.total();
+  const u64 vanished = campaign.counts.of(Outcome::Vanished);
+  const u64 corrected = campaign.counts.of(Outcome::Corrected);
+  const u64 severe = campaign.counts.of(Outcome::Hang) +
+                     campaign.counts.of(Outcome::Checkstop) +
+                     campaign.counts.of(Outcome::BadArchState);
+  rep.overall_derating = frac(vanished + corrected, total);
+  rep.recovered_fraction = frac(corrected, total);
+  rep.severe_fraction = frac(severe, total);
+  rep.sdc_fraction = frac(campaign.counts.of(Outcome::BadArchState), total);
+
+  const auto unit_counts = registry.latch_count_by_unit();
+  u64 latch_total = 0;
+  for (const u32 c : unit_counts) latch_total += c;
+  rep.raw_fit = static_cast<double>(latch_total) * config.raw_fit_per_latch;
+  rep.sdc_fit = rep.raw_fit * rep.sdc_fraction;
+  rep.unrecoverable_fit =
+      rep.raw_fit * (frac(campaign.counts.of(Outcome::Hang), total) +
+                     frac(campaign.counts.of(Outcome::Checkstop), total));
+  rep.recovered_fit = rep.raw_fit * rep.recovered_fraction;
+
+  for (const auto unit : netlist::kAllUnits) {
+    const auto idx = static_cast<std::size_t>(unit);
+    const OutcomeCounts& c = campaign.by_unit[idx];
+    UnitDerating u;
+    u.unit = unit;
+    u.latch_bits = unit_counts[idx];
+    u.flips = c.total();
+    if (u.flips > 0) {
+      u.derating = c.fraction(Outcome::Vanished) + c.fraction(Outcome::Corrected);
+      u.severe_rate = c.fraction(Outcome::Hang) +
+                      c.fraction(Outcome::Checkstop) +
+                      c.fraction(Outcome::BadArchState);
+      u.sdc_rate = c.fraction(Outcome::BadArchState);
+    }
+    u.severe_fit = static_cast<double>(u.latch_bits) *
+                   config.raw_fit_per_latch * u.severe_rate;
+    rep.by_unit.push_back(u);
+  }
+  std::sort(rep.by_unit.begin(), rep.by_unit.end(),
+            [](const UnitDerating& a, const UnitDerating& b) {
+              return a.severe_fit > b.severe_fit;
+            });
+
+  for (const auto type : netlist::kAllLatchTypes) {
+    const auto idx = static_cast<std::size_t>(type);
+    const OutcomeCounts& c = campaign.by_type[idx];
+    if (c.total() > 0) {
+      rep.derating_by_type[idx] =
+          c.fraction(Outcome::Vanished) + c.fraction(Outcome::Corrected);
+    }
+  }
+  return rep;
+}
+
+std::string DeratingReport::summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "overall derating (no uncorrected effect): "
+     << overall_derating * 100.0 << "%\n";
+  os << "recovered: " << recovered_fraction * 100.0
+     << "%  severe: " << severe_fraction * 100.0
+     << "%  SDC: " << sdc_fraction * 100.0 << "%\n";
+  os << "chip FIT — raw latch: " << raw_fit << ", SDC: " << sdc_fit
+     << ", unrecoverable stop: " << unrecoverable_fit
+     << ", recovered (harmless): " << recovered_fit << "\n";
+  os << "hardening priority (severe FIT, descending):";
+  for (const UnitDerating& u : by_unit) {
+    os << " " << netlist::to_string(u.unit) << "=" << u.severe_fit;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace sfi::inject

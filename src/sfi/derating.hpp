@@ -1,0 +1,67 @@
+// Derating analysis — the paper's concluding use case: "understand the
+// derating of these errors by various layers of logic and use this derating
+// to their advantage", and "optimally allocate and apportion any additional
+// resources to provide soft error protection".
+//
+// Converts a campaign's outcome records into the numbers a RAS architect
+// actually budgets with: per-unit/per-type derating factors, the chip-level
+// visible-error FIT split (SDC vs unrecoverable-stop vs recovered), and a
+// ranked hardening-benefit table (population-weighted severe-outcome
+// exposure, i.e. where a hardened cell buys the most).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "netlist/registry.hpp"
+#include "sfi/campaign.hpp"
+
+namespace sfi::inject {
+
+/// FIT = failures per 10^9 device-hours. `raw_fit_per_latch` is the
+/// unmasked upset rate of one latch bit (a technology number; the default is
+/// a representative 1e-4 FIT/bit for 65 nm-class latches).
+struct DeratingConfig {
+  double raw_fit_per_latch = 1e-4;
+};
+
+struct UnitDerating {
+  netlist::Unit unit{};
+  u64 latch_bits = 0;
+  u64 flips = 0;
+  double derating = 0.0;      ///< fraction with no uncorrected machine effect
+  double severe_rate = 0.0;   ///< hang+checkstop+SDC fraction
+  double sdc_rate = 0.0;
+  /// Chip FIT contributed by this unit's severe outcomes.
+  double severe_fit = 0.0;
+};
+
+struct DeratingReport {
+  /// Overall microarchitectural derating (paper: ~95% of flips vanish; with
+  /// recoveries counted, >99% have no uncorrected effect).
+  double overall_derating = 0.0;
+  double recovered_fraction = 0.0;
+  double severe_fraction = 0.0;
+  double sdc_fraction = 0.0;
+
+  /// Chip-level FIT split.
+  double raw_fit = 0.0;        ///< latches × raw per-latch FIT
+  double sdc_fit = 0.0;
+  double unrecoverable_fit = 0.0;  ///< hang + checkstop
+  double recovered_fit = 0.0;      ///< visible but harmless
+
+  std::vector<UnitDerating> by_unit;  ///< sorted by severe_fit, descending
+  std::array<double, netlist::kNumLatchTypes> derating_by_type{};
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compute the report from a whole-design campaign result. The campaign
+/// must have sampled uniformly (no filter) for the FIT projection to be
+/// unbiased; per-unit rates use the campaign's own per-unit records.
+[[nodiscard]] DeratingReport compute_derating(
+    const CampaignResult& campaign, const netlist::LatchRegistry& registry,
+    const DeratingConfig& config = {});
+
+}  // namespace sfi::inject

@@ -1,0 +1,32 @@
+// Fault specifications: what to flip, when, and for how long.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace sfi::inject {
+
+/// Where the flip lands.
+enum class FaultTarget : u8 {
+  Latch,       ///< an injectable latch ordinal (SFI's target space)
+  ArrayCell,   ///< a protected-array storage bit (beam strikes reach these)
+};
+
+/// Temporal model (paper §2: "the fault may exist for the duration of a
+/// cycle (toggle mode) or for a larger number of cycles (sticky mode)").
+enum class FaultMode : u8 { Toggle, Sticky };
+
+struct FaultSpec {
+  FaultTarget target = FaultTarget::Latch;
+  u32 index = 0;        ///< latch ordinal, or global array storage bit
+  u64 array_bit = 0;    ///< used when target == ArrayCell
+  Cycle cycle = 0;      ///< injection cycle (machine cycles from reset)
+  FaultMode mode = FaultMode::Toggle;
+  Cycle sticky_duration = 0;  ///< cycles the value is forced (Sticky only)
+  bool sticky_value = true;   ///< level forced in sticky mode
+  /// Multi-bit upset extension: number of *adjacent* bits upset by one
+  /// strike (1 = the paper's single-event model). Clamped to the target
+  /// structure's bounds by the runner.
+  u8 adjacent_bits = 1;
+};
+
+}  // namespace sfi::inject

@@ -1,0 +1,27 @@
+#include "sfi/outcome.hpp"
+
+namespace sfi::inject {
+
+void OutcomeCounts::merge(const OutcomeCounts& other) {
+  for (std::size_t i = 0; i < kNumOutcomes; ++i) counts[i] += other.counts[i];
+}
+
+u64 OutcomeCounts::total() const {
+  u64 t = 0;
+  for (const u64 c : counts) t += c;
+  return t;
+}
+
+double OutcomeCounts::fraction(Outcome o) const {
+  const u64 t = total();
+  return t == 0 ? 0.0
+               : static_cast<double>(of(o)) / static_cast<double>(t);
+}
+
+stats::Interval OutcomeCounts::interval(Outcome o) const {
+  const u64 t = total();
+  if (t == 0) return {};
+  return stats::wilson(of(o), t);
+}
+
+}  // namespace sfi::inject

@@ -1,0 +1,50 @@
+// Outcome taxonomy: the paper's bit-flip destinies.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "stats/intervals.hpp"
+
+namespace sfi::inject {
+
+/// What became of one injected bit flip (paper Figure 1's arrows, plus the
+/// hang category of Figures 2–4).
+enum class Outcome : u8 {
+  Vanished,      ///< no architectural or reported effect
+  Corrected,     ///< detected and recovered / ECC-corrected
+  Hang,          ///< loss of forward progress (watchdog or harness)
+  Checkstop,     ///< machine stopped itself (unrecoverable detected error)
+  BadArchState,  ///< run "succeeded" with wrong architected state (SDC)
+};
+inline constexpr std::size_t kNumOutcomes = 5;
+
+[[nodiscard]] constexpr std::string_view to_string(Outcome o) {
+  constexpr std::array<std::string_view, kNumOutcomes> names = {
+      "Vanished", "Corrected", "Hang", "Checkstop", "BadArchState"};
+  return names[static_cast<std::size_t>(o)];
+}
+
+inline constexpr std::array<Outcome, kNumOutcomes> kAllOutcomes = {
+    Outcome::Vanished, Outcome::Corrected, Outcome::Hang, Outcome::Checkstop,
+    Outcome::BadArchState};
+
+/// Histogram over outcomes with proportion/confidence helpers.
+struct OutcomeCounts {
+  std::array<u64, kNumOutcomes> counts{};
+
+  void add(Outcome o) { ++counts[static_cast<std::size_t>(o)]; }
+  void merge(const OutcomeCounts& other);
+
+  [[nodiscard]] u64 total() const;
+  [[nodiscard]] u64 of(Outcome o) const {
+    return counts[static_cast<std::size_t>(o)];
+  }
+  /// Fraction of all injections with this outcome (0 when empty).
+  [[nodiscard]] double fraction(Outcome o) const;
+  /// 95% Wilson interval on the proportion.
+  [[nodiscard]] stats::Interval interval(Outcome o) const;
+};
+
+}  // namespace sfi::inject

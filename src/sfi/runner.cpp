@@ -1,0 +1,148 @@
+#include "sfi/runner.hpp"
+
+#include "common/check.hpp"
+
+namespace sfi::inject {
+
+InjectionRunner::InjectionRunner(core::Pearl6Model& model, emu::Emulator& emu,
+                                 const emu::Checkpoint& reset_checkpoint,
+                                 const emu::GoldenTrace& trace,
+                                 const avp::GoldenResult& golden,
+                                 RunConfig cfg)
+    : model_(model),
+      emu_(emu),
+      reset_cp_(reset_checkpoint),
+      trace_(trace),
+      golden_(golden),
+      cfg_(cfg) {
+  require(trace.completed, "InjectionRunner needs a completed golden trace");
+}
+
+RunResult InjectionRunner::classify_now(bool finished,
+                                        bool early_exited) const {
+  const emu::RasStatus ras = model_.ras_status(emu_.state());
+  RunResult r;
+  r.end_cycle = emu_.cycle();
+  r.early_exited = early_exited;
+  r.recoveries = ras.recovery_count;
+  r.corrected = ras.corrected_count;
+
+  if (ras.checkstop) {
+    r.outcome = Outcome::Checkstop;
+    return r;
+  }
+  if (ras.hang_detected || !finished) {
+    r.outcome = Outcome::Hang;
+    return r;
+  }
+  if (early_exited) {
+    // Converged back onto the fault-free execution with a clean RAS window:
+    // the remaining run is provably identical to the reference.
+    r.outcome = ras.recovery_count > 0 || ras.corrected_count > 0
+                    ? Outcome::Corrected
+                    : Outcome::Vanished;
+    return r;
+  }
+  const avp::Verdict v =
+      avp::check_against_golden(model_, emu_.state(), golden_);
+  // The end-of-test readout goes through the memory controller: latent
+  // main-store upsets surface here. A correctable one is a (late) corrected
+  // event; an uncorrectable one stops the machine the moment software
+  // touches the word — a checkstop, never silent corruption.
+  u32 late_corrected = model_.memory().take_corrected();
+  bool readout_fatal = model_.memory().take_fatal();
+  // Same for the RUT's architected checkpoint: the compare above read it
+  // through its ECC.
+  const core::Rut::ReadoutRas ckpt =
+      model_.rut().checkpoint_readout_ras();
+  late_corrected += ckpt.corrected;
+  readout_fatal = readout_fatal || ckpt.fatal;
+  if (readout_fatal) {
+    r.outcome = Outcome::Checkstop;
+    return r;
+  }
+  r.corrected += late_corrected;
+  if (!v.state_matches || !v.memory_matches) {
+    r.outcome = Outcome::BadArchState;
+    r.first_diff = v.first_diff;
+    return r;
+  }
+  r.outcome = ras.recovery_count > 0 || r.corrected > 0
+                  ? Outcome::Corrected
+                  : Outcome::Vanished;
+  return r;
+}
+
+RunResult InjectionRunner::run(const FaultSpec& fault) {
+  emu_.restore_checkpoint(reset_cp_);
+  ensure(emu_.cycle() == 0, "reset checkpoint must be at cycle 0");
+
+  // Clock up to the injection point fault-free.
+  emu_.run(fault.cycle);
+
+  // Inject (adjacent_bits > 1 models a multi-bit upset from one strike).
+  const u32 width = std::max<u32>(1, fault.adjacent_bits);
+  switch (fault.target) {
+    case FaultTarget::Latch: {
+      for (u32 k = 0; k < width; ++k) {
+        const u32 ordinal = fault.index + k;
+        if (ordinal >= model_.registry().num_latches()) break;
+        const BitIndex bit = model_.registry().bit_of_ordinal(ordinal);
+        if (fault.mode == FaultMode::Toggle) {
+          emu_.flip_latch(bit);
+        } else {
+          emu_.force_latch(bit, fault.sticky_value,
+                           std::max<Cycle>(1, fault.sticky_duration));
+        }
+      }
+      break;
+    }
+    case FaultTarget::ArrayCell: {
+      for (u32 k = 0; k < width; ++k) {
+        const u64 gbit = fault.array_bit + k;
+        if (gbit >= model_.arrays().total_storage_bits()) break;
+        const auto target = model_.arrays().locate(gbit);
+        target.array->flip_storage_bit(target.local_bit);
+      }
+      break;
+    }
+  }
+
+  const auto& masks = model_.registry().hash_masks();
+  const Cycle deadline = trace_.completion_cycle + cfg_.hang_margin;
+  const Cycle hard_stop = fault.cycle + cfg_.horizon;
+  const bool sticky = fault.mode == FaultMode::Sticky;
+  // Array contents are not part of the latch-state hash, so convergence
+  // proves nothing about a struck array cell (it may be corrected — and
+  // reported — much later by a scrub). Run those to completion.
+  const bool early_exit =
+      cfg_.early_exit && fault.target == FaultTarget::Latch;
+
+  while (true) {
+    emu_.step();
+    const Cycle now = emu_.cycle();
+
+    const emu::RasStatus ras = model_.ras_status(emu_.state());
+    if (ras.checkstop || ras.hang_detected) {
+      return classify_now(/*finished=*/false, /*early_exited=*/false);
+    }
+    if (ras.test_finished) {
+      return classify_now(/*finished=*/true, /*early_exited=*/false);
+    }
+
+    // Golden-hash convergence check (invalid while a sticky force remains
+    // armed or a recovery is rebuilding state).
+    if (early_exit && !ras.recovery_active && trace_.has_cycle(now - 1) &&
+        !(sticky && now <= fault.cycle + fault.sticky_duration)) {
+      if (emu_.state().masked_hash(masks) == trace_.hashes[now - 1]) {
+        return classify_now(/*finished=*/true, /*early_exited=*/true);
+      }
+    }
+
+    if (now >= deadline || now >= hard_stop) {
+      return classify_now(/*finished=*/false, /*early_exited=*/false);
+    }
+  }
+}
+
+}  // namespace sfi::inject

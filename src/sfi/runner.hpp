@@ -1,0 +1,69 @@
+// InjectionRunner: executes one fault-injection experiment end to end.
+//
+// Per injection (paper Figure 1): reload the checkpoint, clock to the
+// injection cycle, flip the chosen bit, clock onward while watching the
+// RAS status, and classify. Two accelerations make software campaigns
+// practical: (1) the post-reset machine state is snapshotted once and
+// reloaded per injection, (2) an injected run whose functional-state hash
+// re-matches the fault-free trace at the same cycle — with a clean RAS
+// window — is classified Vanished immediately.
+#pragma once
+
+#include "avp/runner.hpp"
+#include "core/core_model.hpp"
+#include "emu/emulator.hpp"
+#include "emu/golden_trace.hpp"
+#include "sfi/fault.hpp"
+#include "sfi/outcome.hpp"
+
+namespace sfi::inject {
+
+struct RunConfig {
+  /// Extra cycles allowed past the fault-free completion cycle before the
+  /// harness declares a hang (covers recovery latency: flush + restore).
+  Cycle hang_margin = 2000;
+  /// Hard cap on post-injection cycles (the paper clocks 500k; outcomes for
+  /// this design saturate far earlier — see bench/ablation_horizon).
+  Cycle horizon = 50000;
+  /// Enable the golden-trace hash early exit.
+  bool early_exit = true;
+};
+
+struct RunResult {
+  Outcome outcome = Outcome::Vanished;
+  Cycle end_cycle = 0;         ///< cycle the run was classified at
+  bool early_exited = false;   ///< vanished via golden-hash convergence
+  u32 recoveries = 0;
+  u32 corrected = 0;
+  std::string first_diff;      ///< arch-state diff for BadArchState
+};
+
+class InjectionRunner {
+ public:
+  /// All references must outlive the runner. `reset_checkpoint` must be the
+  /// post-reset machine snapshot for the same workload the trace/golden
+  /// describe.
+  InjectionRunner(core::Pearl6Model& model, emu::Emulator& emu,
+                  const emu::Checkpoint& reset_checkpoint,
+                  const emu::GoldenTrace& trace,
+                  const avp::GoldenResult& golden, RunConfig cfg = {});
+
+  /// Run one injection experiment and classify its outcome.
+  [[nodiscard]] RunResult run(const FaultSpec& fault);
+
+  /// Classify the machine's current terminal state (used by run(), exposed
+  /// for the tracer which drives the emulator itself).
+  [[nodiscard]] RunResult classify_now(bool finished, bool early_exited) const;
+
+  [[nodiscard]] const RunConfig& config() const { return cfg_; }
+
+ private:
+  core::Pearl6Model& model_;
+  emu::Emulator& emu_;
+  const emu::Checkpoint& reset_cp_;
+  const emu::GoldenTrace& trace_;
+  const avp::GoldenResult& golden_;
+  RunConfig cfg_;
+};
+
+}  // namespace sfi::inject

@@ -1,0 +1,53 @@
+#include "sfi/sample_size.hpp"
+
+#include "common/check.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/sampling.hpp"
+
+namespace sfi::inject {
+
+std::vector<SampleSizePoint> sample_size_study(
+    const std::vector<InjectionRecord>& pool, const SampleSizeConfig& cfg) {
+  require(!pool.empty(), "sample_size_study needs a record pool");
+  require(cfg.samples_per_point >= 2, "need >= 2 samples per point");
+
+  std::vector<SampleSizePoint> out;
+  out.reserve(cfg.flip_counts.size());
+
+  stats::Xoshiro256 rng(cfg.seed);
+  for (const std::size_t flips : cfg.flip_counts) {
+    require(flips >= 1, "flip count must be >= 1");
+    SampleSizePoint pt;
+    pt.flips = flips;
+
+    std::array<stats::RunningStats, kNumOutcomes> acc;
+    for (u32 s = 0; s < cfg.samples_per_point; ++s) {
+      std::array<u64, kNumOutcomes> counts{};
+      if (flips <= pool.size()) {
+        const auto idx =
+            stats::sample_without_replacement(pool.size(), flips, rng);
+        for (const u64 i : idx) {
+          ++counts[static_cast<std::size_t>(pool[i].outcome)];
+        }
+      } else {
+        // Bootstrap when asked for more flips than the pool holds.
+        for (std::size_t i = 0; i < flips; ++i) {
+          const auto& rec = pool[rng.below(pool.size())];
+          ++counts[static_cast<std::size_t>(rec.outcome)];
+        }
+      }
+      for (std::size_t c = 0; c < kNumOutcomes; ++c) {
+        acc[c].add(static_cast<double>(counts[c]));
+      }
+    }
+    for (std::size_t c = 0; c < kNumOutcomes; ++c) {
+      const stats::Summary s = acc[c].summary();
+      pt.stddev_over_mean[c] = s.stddev_over_mean();
+      pt.mean_counts[c] = s.mean;
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace sfi::inject

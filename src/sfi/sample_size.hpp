@@ -1,0 +1,37 @@
+// Sample-size accuracy study (paper §2.1 / Figure 2).
+//
+// "For a given number of bit-flips X, 10 random samples each consisting of
+// X latch bits are chosen ... the standard deviation as a fraction of the
+// mean of each outcome category is computed." Given a pool of injection
+// records, this module draws the samples and computes exactly that curve.
+#pragma once
+
+#include <vector>
+
+#include "sfi/campaign.hpp"
+
+namespace sfi::inject {
+
+struct SampleSizePoint {
+  std::size_t flips = 0;
+  /// σ/µ per outcome category across the samples (0 when a category never
+  /// occurs).
+  std::array<double, kNumOutcomes> stddev_over_mean{};
+  /// Mean count per category (sanity column; the paper notes these stay
+  /// fairly constant).
+  std::array<double, kNumOutcomes> mean_counts{};
+};
+
+struct SampleSizeConfig {
+  u64 seed = 7;
+  u32 samples_per_point = 10;  ///< the paper uses 10
+  std::vector<std::size_t> flip_counts;  ///< the X axis (e.g. 2k..20k)
+};
+
+/// Compute the Figure 2 curve from a record pool. Samples are drawn without
+/// replacement when the pool is large enough, with replacement otherwise
+/// (bootstrap) — the estimator of sampling error is the same.
+[[nodiscard]] std::vector<SampleSizePoint> sample_size_study(
+    const std::vector<InjectionRecord>& pool, const SampleSizeConfig& cfg);
+
+}  // namespace sfi::inject

@@ -1,0 +1,56 @@
+#include "sfi/sampler.hpp"
+
+#include "common/check.hpp"
+
+namespace sfi::inject {
+
+LatchPopulation LatchPopulation::all(const netlist::LatchRegistry& reg) {
+  return filtered(reg, [](const netlist::LatchMeta&) { return true; });
+}
+
+LatchPopulation LatchPopulation::unit(const netlist::LatchRegistry& reg,
+                                      netlist::Unit unit) {
+  return filtered(reg,
+                  [unit](const netlist::LatchMeta& m) { return m.unit == unit; });
+}
+
+LatchPopulation LatchPopulation::latch_type(const netlist::LatchRegistry& reg,
+                                            netlist::LatchType type) {
+  return filtered(reg,
+                  [type](const netlist::LatchMeta& m) { return m.type == type; });
+}
+
+LatchPopulation LatchPopulation::scan_ring(const netlist::LatchRegistry& reg,
+                                           u8 ring) {
+  return filtered(reg, [ring](const netlist::LatchMeta& m) {
+    return m.scan_ring == ring;
+  });
+}
+
+LatchPopulation LatchPopulation::filtered(
+    const netlist::LatchRegistry& reg,
+    const std::function<bool(const netlist::LatchMeta&)>& pred) {
+  LatchPopulation p;
+  p.ordinals_ = reg.collect_ordinals(pred);
+  require(!p.ordinals_.empty(), "latch population is empty");
+  return p;
+}
+
+u32 LatchPopulation::pick(stats::Xoshiro256& rng) const {
+  return ordinals_[rng.below(ordinals_.size())];
+}
+
+FaultSpec FaultSampler::sample(stats::Xoshiro256& rng) const {
+  require(population != nullptr, "FaultSampler needs a population");
+  require(window_end > window_begin, "FaultSampler window is empty");
+  FaultSpec f;
+  f.target = FaultTarget::Latch;
+  f.index = population->pick(rng);
+  f.cycle = window_begin + rng.below(window_end - window_begin);
+  f.mode = mode;
+  f.sticky_duration = sticky_duration;
+  f.sticky_value = rng.chance(0.5);
+  return f;
+}
+
+}  // namespace sfi::inject

@@ -1,0 +1,57 @@
+// Fault-spec samplers: "randomly choose latches from all latches in the
+// design" (paper Figure 1), plus the targeted variants used for the
+// per-unit (Figure 3/4), per-latch-type (Figure 5) and per-scan-ring
+// experiments.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "netlist/registry.hpp"
+#include "sfi/fault.hpp"
+#include "stats/rng.hpp"
+
+namespace sfi::inject {
+
+/// The population a campaign samples from.
+class LatchPopulation {
+ public:
+  /// Entire design.
+  static LatchPopulation all(const netlist::LatchRegistry& reg);
+  /// One microarchitectural unit.
+  static LatchPopulation unit(const netlist::LatchRegistry& reg,
+                              netlist::Unit unit);
+  /// One latch type (MODE/GPTR/REGFILE/FUNC).
+  static LatchPopulation latch_type(const netlist::LatchRegistry& reg,
+                                    netlist::LatchType type);
+  /// One scan ring.
+  static LatchPopulation scan_ring(const netlist::LatchRegistry& reg,
+                                   u8 ring);
+  /// Arbitrary predicate over latch metadata.
+  static LatchPopulation filtered(
+      const netlist::LatchRegistry& reg,
+      const std::function<bool(const netlist::LatchMeta&)>& pred);
+
+  [[nodiscard]] std::size_t size() const { return ordinals_.size(); }
+  [[nodiscard]] const std::vector<u32>& ordinals() const { return ordinals_; }
+
+  /// Uniform draw of one ordinal.
+  [[nodiscard]] u32 pick(stats::Xoshiro256& rng) const;
+
+ private:
+  std::vector<u32> ordinals_;
+};
+
+/// Sampler producing complete fault specs: ordinal uniform over the
+/// population, injection cycle uniform over the workload's execution window.
+struct FaultSampler {
+  const LatchPopulation* population = nullptr;
+  Cycle window_begin = 1;
+  Cycle window_end = 0;  ///< exclusive; typically the completion cycle
+  FaultMode mode = FaultMode::Toggle;
+  Cycle sticky_duration = 0;
+
+  [[nodiscard]] FaultSpec sample(stats::Xoshiro256& rng) const;
+};
+
+}  // namespace sfi::inject

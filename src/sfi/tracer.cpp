@@ -1,0 +1,110 @@
+#include "sfi/tracer.hpp"
+
+#include <sstream>
+
+namespace sfi::inject {
+
+std::string_view to_string(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::CheckerFired: return "checker";
+    case TraceEvent::Kind::RecoveryStarted: return "recovery-start";
+    case TraceEvent::Kind::RecoveryCompleted: return "recovery-complete";
+    case TraceEvent::Kind::EccCorrected: return "ecc-corrected";
+    case TraceEvent::Kind::Checkstop: return "CHECKSTOP";
+    case TraceEvent::Kind::Hang: return "HANG";
+  }
+  return "?";
+}
+
+InjectionTrace trace_injection(core::Pearl6Model& model, emu::Emulator& emu,
+                               const emu::Checkpoint& reset_checkpoint,
+                               const emu::GoldenTrace& trace,
+                               const avp::GoldenResult& golden,
+                               const FaultSpec& fault, RunConfig cfg) {
+  InjectionTrace out;
+  out.fault = fault;
+  if (fault.target == FaultTarget::Latch) {
+    const netlist::LatchMeta& meta =
+        model.registry().meta_of_ordinal(fault.index);
+    out.latch_name = model.registry().name_of_ordinal(fault.index);
+    out.unit = meta.unit;
+    out.type = meta.type;
+  } else {
+    const auto target = model.arrays().locate(fault.array_bit);
+    out.latch_name = target.array->name() + "[bit " +
+                     std::to_string(target.local_bit) + "]";
+    out.unit = target.array->unit();
+  }
+
+  model.set_cycle_observer([&](const core::Signals& sig,
+                               const core::Controls& ctl) {
+    const Cycle cyc = emu.cycle();  // pre-increment cycle index
+    for (const core::CheckerEvent& e : sig.events) {
+      TraceEvent te;
+      te.kind = TraceEvent::Kind::CheckerFired;
+      te.cycle = cyc;
+      te.unit = e.unit;
+      te.checker = e.id;
+      te.fatal = e.fatal;
+      te.what = e.what;
+      out.events.push_back(te);
+    }
+    const auto push = [&](TraceEvent::Kind kind, const char* what) {
+      TraceEvent te;
+      te.kind = kind;
+      te.cycle = cyc;
+      te.what = what;
+      out.events.push_back(te);
+    };
+    if (sig.corrected > 0) push(TraceEvent::Kind::EccCorrected, "array scrub");
+    if (ctl.start_recovery) {
+      push(TraceEvent::Kind::RecoveryStarted, "flush + checkpoint restore");
+    }
+    if (sig.recovery_refetch) {
+      push(TraceEvent::Kind::RecoveryCompleted, "refetch from checkpoint pc");
+    }
+    if (ctl.checkstop) push(TraceEvent::Kind::Checkstop, "machine stopped");
+    if (ctl.hang) push(TraceEvent::Kind::Hang, "completion watchdog");
+  });
+
+  // Tracing must observe the whole propagation; disable the early exit.
+  cfg.early_exit = false;
+  InjectionRunner runner(model, emu, reset_checkpoint, trace, golden, cfg);
+  out.result = runner.run(fault);
+  model.clear_cycle_observer();
+  return out;
+}
+
+std::string format_trace(const InjectionTrace& trace) {
+  std::ostringstream os;
+  os << "injection: " << trace.latch_name << " ("
+     << netlist::to_string(trace.unit) << ", "
+     << netlist::to_string(trace.type) << ") at cycle " << trace.fault.cycle
+     << (trace.fault.mode == FaultMode::Sticky ? " [sticky]" : " [toggle]")
+     << "\n";
+  if (trace.events.empty()) {
+    os << "  (no RAS events: fault masked silently)\n";
+  }
+  for (const TraceEvent& e : trace.events) {
+    os << "  cycle " << e.cycle << ": " << to_string(e.kind);
+    if (e.kind == TraceEvent::Kind::CheckerFired) {
+      os << " [" << netlist::to_string(e.unit) << "] "
+         << (e.fatal ? "(fatal) " : "") << e.what;
+    } else if (!e.what.empty()) {
+      os << " — " << e.what;
+    }
+    os << "\n";
+  }
+  os << "  outcome: " << to_string(trace.result.outcome) << " at cycle "
+     << trace.result.end_cycle;
+  if (trace.detected()) {
+    os << " (detection latency " << trace.detection_latency() << " cycles)";
+  }
+  if (!trace.result.first_diff.empty()) {
+    os << "\n  first architected difference: " << trace.result.first_diff;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace sfi::inject

@@ -1,0 +1,64 @@
+// Cause→effect tracing (the paper's third headline capability: "tracing of
+// system errors (effect) to the originating bit flip (cause) in a
+// full-system environment").
+//
+// A traced injection re-runs one fault with a cycle observer attached and
+// records every checker fire, recovery start/completion, checkstop and hang
+// with its cycle — yielding the full causal chain from the flipped latch to
+// the machine-level outcome.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sfi/runner.hpp"
+
+namespace sfi::inject {
+
+struct TraceEvent {
+  enum class Kind : u8 {
+    CheckerFired,
+    RecoveryStarted,
+    RecoveryCompleted,
+    EccCorrected,
+    Checkstop,
+    Hang,
+  };
+  Kind kind = Kind::CheckerFired;
+  Cycle cycle = 0;
+  netlist::Unit unit = netlist::Unit::Core;
+  core::CheckerId checker{};
+  bool fatal = false;
+  std::string what;
+};
+
+[[nodiscard]] std::string_view to_string(TraceEvent::Kind k);
+
+struct InjectionTrace {
+  FaultSpec fault;
+  std::string latch_name;
+  netlist::Unit unit = netlist::Unit::Core;
+  netlist::LatchType type = netlist::LatchType::Func;
+  std::vector<TraceEvent> events;
+  RunResult result;
+
+  /// Cycles from injection to the first checker event (detection latency);
+  /// 0 events means the fault was never detected.
+  [[nodiscard]] bool detected() const { return !events.empty(); }
+  [[nodiscard]] Cycle detection_latency() const {
+    return events.empty() ? 0 : events.front().cycle - fault.cycle;
+  }
+};
+
+/// Run one injection with tracing. Same harness objects as InjectionRunner;
+/// the observer is attached for the duration of the run only.
+[[nodiscard]] InjectionTrace trace_injection(
+    core::Pearl6Model& model, emu::Emulator& emu,
+    const emu::Checkpoint& reset_checkpoint, const emu::GoldenTrace& trace,
+    const avp::GoldenResult& golden, const FaultSpec& fault,
+    RunConfig cfg = {});
+
+/// Human-readable rendering of a trace (used by the quickstart example).
+[[nodiscard]] std::string format_trace(const InjectionTrace& trace);
+
+}  // namespace sfi::inject

@@ -1,0 +1,50 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sfi::stats {
+
+Summary summarize(std::span<const double> xs) {
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  return rs.summary();
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+Summary RunningStats::summary() const {
+  Summary s;
+  s.n = n_;
+  s.mean = mean_;
+  s.stddev = n_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_ - 1)) : 0.0;
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  require(!xs.empty(), "percentile of empty sample");
+  require(p >= 0.0 && p <= 100.0, "percentile p in [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (p == 0.0) return xs.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+  return xs[rank - 1];
+}
+
+}  // namespace sfi::stats

@@ -1,0 +1,48 @@
+// Descriptive statistics used by the sample-size study (paper Figure 2) and
+// by the experiment reports.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sfi::stats {
+
+/// Summary of a sample: n, mean, (sample) standard deviation, min, max.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample stddev (n-1 denominator); 0 when n < 2
+  double min = 0.0;
+  double max = 0.0;
+
+  /// σ/µ — the paper's Figure 2 y-axis ("standard deviation as a fraction of
+  /// the mean"). 0 when the mean is 0.
+  [[nodiscard]] double stddev_over_mean() const {
+    return mean == 0.0 ? 0.0 : stddev / mean;
+  }
+};
+
+/// One-pass (Welford) summary of a data set.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Streaming Welford accumulator for use inside campaign loops.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] Summary summary() const;
+  [[nodiscard]] std::size_t count() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Population percentile (nearest-rank) of an unsorted sample. p in [0,100].
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+}  // namespace sfi::stats

@@ -1,0 +1,45 @@
+#include "stats/intervals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sfi::stats {
+
+Interval wilson(std::size_t successes, std::size_t n, double z) {
+  require(n > 0, "wilson interval needs n > 0");
+  require(successes <= n, "wilson successes <= n");
+  require(z > 0.0, "wilson z > 0");
+  const double nn = static_cast<double>(n);
+  const double phat = static_cast<double>(successes) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = phat + z2 / (2.0 * nn);
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / nn + z2 / (4.0 * nn * nn));
+  Interval iv;
+  iv.low = std::max(0.0, (center - margin) / denom);
+  iv.high = std::min(1.0, (center + margin) / denom);
+  return iv;
+}
+
+std::size_t required_sample_size(double p, double half_width, double z) {
+  require(p >= 0.0 && p <= 1.0, "required_sample_size p in [0,1]");
+  require(half_width > 0.0, "required_sample_size half_width > 0");
+  // Normal-approximation sizing n = z^2 p(1-p) / w^2, then verify/adjust
+  // against the exact Wilson width (which is wider for tiny p).
+  const double pw = std::max(p * (1.0 - p), 1e-6);
+  auto n = static_cast<std::size_t>(
+      std::ceil(z * z * pw / (half_width * half_width)));
+  n = std::max<std::size_t>(n, 1);
+  const auto hits = [p](std::size_t m) {
+    return static_cast<std::size_t>(std::llround(p * static_cast<double>(m)));
+  };
+  while (wilson(hits(n), n, z).width() / 2.0 > half_width) {
+    n += std::max<std::size_t>(n / 8, 1);
+  }
+  return n;
+}
+
+}  // namespace sfi::stats

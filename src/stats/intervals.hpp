@@ -1,0 +1,31 @@
+// Confidence intervals for outcome proportions. The paper's statistical
+// argument (§2.1) is about estimation error of category proportions at a
+// given number of flips; Wilson score intervals quantify the same thing
+// analytically and are reported alongside every campaign result.
+#pragma once
+
+#include <cstddef>
+
+namespace sfi::stats {
+
+/// A two-sided confidence interval for a proportion.
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+  [[nodiscard]] double width() const { return high - low; }
+  [[nodiscard]] bool contains(double p) const { return p >= low && p <= high; }
+};
+
+/// Wilson score interval for `successes` out of `n` trials at confidence
+/// given by z (1.96 ≈ 95%). Well-behaved for proportions near 0 — exactly
+/// the regime of checkstop/SDC rates.
+[[nodiscard]] Interval wilson(std::size_t successes, std::size_t n,
+                              double z = 1.96);
+
+/// Sample size such that the Wilson interval half-width for an expected
+/// proportion p is at most `half_width`. Used to justify the paper's "10k
+/// flips suffice" observation analytically.
+[[nodiscard]] std::size_t required_sample_size(double p, double half_width,
+                                               double z = 1.96);
+
+}  // namespace sfi::stats

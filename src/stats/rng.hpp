@@ -1,0 +1,100 @@
+// Deterministic, splittable random number generation.
+//
+// Every SFI experiment is seeded; campaigns must be reproducible regardless
+// of thread count, so each injection derives its own stream from
+// (campaign seed, injection index) via SplitMix64, and heavier sampling uses
+// xoshiro256** seeded from SplitMix64 as its authors recommend.
+#pragma once
+
+#include <array>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sfi::stats {
+
+/// SplitMix64: tiny, fast, passes BigCrush; ideal for seeding and for
+/// deriving independent streams from (seed, index) pairs.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) : state_(seed) {}
+
+  constexpr u64 next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    u64 z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// xoshiro256**: the general-purpose generator used by all samplers.
+class Xoshiro256 {
+ public:
+  using result_type = u64;
+
+  explicit constexpr Xoshiro256(u64 seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr u64 min() { return 0; }
+  static constexpr u64 max() { return ~u64{0}; }
+
+  constexpr u64 operator()() { return next(); }
+
+  constexpr u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's unbiased multiply-shift with
+  /// rejection.
+  constexpr u64 below(u64 bound) {
+    ensure(bound > 0, "Xoshiro256::below bound > 0");
+    u64 x = next();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto lo = static_cast<u64>(m);
+    if (lo < bound) {
+      const u64 threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<unsigned __int128>(x) * bound;
+        lo = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::array<u64, 4> state_{};
+};
+
+/// Derive a fresh, statistically independent stream for item `index` of an
+/// experiment with the given master seed.
+[[nodiscard]] constexpr u64 derive_seed(u64 master_seed, u64 index) {
+  SplitMix64 sm(master_seed ^ (index * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace sfi::stats

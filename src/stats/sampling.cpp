@@ -1,0 +1,100 @@
+#include "stats/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace sfi::stats {
+namespace {
+
+/// Standard normal draw (Box–Muller, one branch of the pair).
+double standard_normal(Xoshiro256& rng) {
+  double u1 = rng.uniform();
+  if (u1 <= 0.0) u1 = 1e-300;
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace
+
+std::vector<u64> sample_without_replacement(u64 n, u64 k, Xoshiro256& rng) {
+  require(k <= n, "sample_without_replacement k <= n");
+  std::vector<u64> out;
+  out.reserve(k);
+  if (k == 0) return out;
+
+  // Dense case: partial Fisher-Yates over an explicit pool.
+  if (k * 3 >= n) {
+    std::vector<u64> pool(n);
+    std::iota(pool.begin(), pool.end(), u64{0});
+    for (u64 i = 0; i < k; ++i) {
+      const u64 j = i + rng.below(n - i);
+      std::swap(pool[i], pool[j]);
+      out.push_back(pool[i]);
+    }
+    return out;
+  }
+
+  // Sparse case: Floyd's algorithm.
+  std::unordered_set<u64> seen;
+  seen.reserve(static_cast<std::size_t>(k * 2));
+  for (u64 j = n - k; j < n; ++j) {
+    const u64 t = rng.below(j + 1);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+void shuffle(std::span<u64> xs, Xoshiro256& rng) {
+  for (std::size_t i = xs.size(); i > 1; --i) {
+    const u64 j = rng.below(i);
+    std::swap(xs[i - 1], xs[j]);
+  }
+}
+
+std::size_t weighted_index(std::span<const double> weights, Xoshiro256& rng) {
+  require(!weights.empty(), "weighted_index needs weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    require(w >= 0.0, "weighted_index weights >= 0");
+    total += w;
+  }
+  require(total > 0.0, "weighted_index total weight > 0");
+  double x = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical slack lands on the last bucket
+}
+
+u64 poisson(double lambda, Xoshiro256& rng) {
+  require(lambda >= 0.0, "poisson lambda >= 0");
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-lambda);
+    u64 k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng.uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the beam
+  // arrival process where lambda is a modelling knob, not physics.
+  const double x = lambda + std::sqrt(lambda) * standard_normal(rng);
+  return x <= 0.0 ? 0 : static_cast<u64>(std::llround(x));
+}
+
+}  // namespace sfi::stats

@@ -1,0 +1,79 @@
+#include "workload/spec_profiles.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "avp/runner.hpp"
+#include "stats/rng.hpp"
+
+namespace sfi::workload {
+
+namespace {
+
+avp::MixProfile mix(double ld, double st, double fx, double fp, double cm,
+                    double br, double locality) {
+  avp::MixProfile m;
+  m.load = ld;
+  m.store = st;
+  m.fixed = fx;
+  m.fp = fp;
+  m.cmp = cm;
+  m.branch = br;
+  m.locality = locality;
+  return m;
+}
+
+// Eleven components spanning the paper's Table 1 envelope. Names are
+// SPECInt-2000-flavoured; mixes are synthetic but hit the published bounds
+// (gzip-like is the load-Low anchor, mcf-like the load-High / locality-poor
+// anchor, and so on).
+const std::vector<SpecComponent> kComponents = {
+    {"gzip.like",    mix(0.189, 0.120, 0.359, 0.000, 0.098, 0.234, 0.92)},
+    {"vpr.like",     mix(0.280, 0.110, 0.240, 0.091, 0.091, 0.188, 0.80)},
+    {"gcc.like",     mix(0.250, 0.160, 0.200, 0.000, 0.102, 0.288, 0.70)},
+    {"mcf.like",     mix(0.356, 0.064, 0.230, 0.000, 0.120, 0.230, 0.25)},
+    {"crafty.like",  mix(0.290, 0.110, 0.310, 0.000, 0.151, 0.139, 0.85)},
+    {"parser.like",  mix(0.230, 0.180, 0.230, 0.000, 0.090, 0.270, 0.65)},
+    {"eon.like",     mix(0.270, 0.200, 0.220, 0.080, 0.090, 0.140, 0.88)},
+    {"perlbmk.like", mix(0.300, 0.230, 0.150, 0.000, 0.080, 0.240, 0.75)},
+    {"gap.like",     mix(0.260, 0.150, 0.300, 0.020, 0.100, 0.170, 0.78)},
+    {"vortex.like",  mix(0.330, 0.317, 0.062, 0.000, 0.048, 0.243, 0.60)},
+    {"bzip2.like",   mix(0.300, 0.110, 0.320, 0.000, 0.100, 0.170, 0.90)},
+};
+
+}  // namespace
+
+std::span<const SpecComponent> spec_components() { return kComponents; }
+
+avp::Testcase make_component_testcase(const SpecComponent& comp, u64 seed,
+                                      u32 num_instructions) {
+  avp::TestcaseConfig cfg;
+  cfg.seed = stats::derive_seed(seed, std::hash<std::string>{}(comp.name));
+  cfg.num_instructions = num_instructions;
+  cfg.mix = comp.mix;
+  return avp::generate_testcase(cfg);
+}
+
+MixEnvelope measure_envelope(u64 seed, u32 num_instructions) {
+  MixEnvelope env;
+  env.low.fill(1.0);
+  env.high.fill(0.0);
+  env.cpi_low = 1e9;
+
+  for (const SpecComponent& comp : kComponents) {
+    const avp::Testcase tc =
+        make_component_testcase(comp, seed, num_instructions);
+    const avp::MixReport rep = avp::measure_mix(tc);
+    for (std::size_t c = 0; c < isa::kNumInstrClasses; ++c) {
+      env.low[c] = std::min(env.low[c], rep.fractions[c]);
+      env.high[c] = std::max(env.high[c], rep.fractions[c]);
+      env.average[c] += rep.fractions[c] / static_cast<double>(kComponents.size());
+    }
+    env.cpi_low = std::min(env.cpi_low, rep.cpi);
+    env.cpi_high = std::max(env.cpi_high, rep.cpi);
+    env.cpi_average += rep.cpi / static_cast<double>(kComponents.size());
+  }
+  return env;
+}
+
+}  // namespace sfi::workload

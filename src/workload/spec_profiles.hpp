@@ -1,0 +1,46 @@
+// Synthetic stand-ins for the 11 SPECInt 2000 components of the paper's
+// Table 1. Real SPEC binaries cannot run on a 64 KiB bare-metal testbench;
+// what Table 1 actually uses is each component's *instruction mix and CPI*,
+// so each stand-in is a mix profile (within the paper's published Low/High
+// bounds) plus a locality knob that recreates the component's cache
+// behaviour. The mixes below keep the paper's envelope: Load 18.9–35.6%,
+// Store 6.4–31.7%, FixedPoint 6.2–35.9%, FP 0–9.1%, Comparison 4.8–15.1%,
+// Branch 6.9–28.8%.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "avp/testgen.hpp"
+
+namespace sfi::workload {
+
+struct SpecComponent {
+  std::string name;
+  avp::MixProfile mix;
+};
+
+/// The 11 SPECInt-2000-like components.
+[[nodiscard]] std::span<const SpecComponent> spec_components();
+
+/// Build a testcase exercising one component's profile.
+[[nodiscard]] avp::Testcase make_component_testcase(const SpecComponent& comp,
+                                                    u64 seed,
+                                                    u32 num_instructions = 220);
+
+/// Row of the Table 1 comparison: per-class Low/High/Average across the
+/// components, plus CPI.
+struct MixEnvelope {
+  std::array<double, isa::kNumInstrClasses> low{};
+  std::array<double, isa::kNumInstrClasses> high{};
+  std::array<double, isa::kNumInstrClasses> average{};
+  double cpi_low = 0.0;
+  double cpi_high = 0.0;
+  double cpi_average = 0.0;
+};
+
+/// Measure all components on the core and fold into the envelope.
+[[nodiscard]] MixEnvelope measure_envelope(u64 seed, u32 num_instructions = 220);
+
+}  // namespace sfi::workload

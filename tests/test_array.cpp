@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "netlist/array.hpp"
+
+namespace sfi::netlist {
+namespace {
+
+TEST(ProtectedArray, ParityDetectsFlips) {
+  ProtectedArray arr("t.par", Unit::LSU, ArrayProtection::Parity, 8, 64);
+  arr.write(3, 0xDEAD);
+  EXPECT_EQ(arr.read(3).status, ArrayReadStatus::Clean);
+  EXPECT_EQ(arr.read(3).value, 0xDEADu);
+  arr.flip_storage_bit(3 * 65 + 5);  // data bit 5 of entry 3
+  EXPECT_EQ(arr.read(3).status, ArrayReadStatus::Detected);
+  // Check-bit flip also detected.
+  arr.flip_storage_bit(3 * 65 + 5);  // restore
+  arr.flip_storage_bit(3 * 65 + 64);  // the parity bit
+  EXPECT_EQ(arr.read(3).status, ArrayReadStatus::Detected);
+}
+
+TEST(ProtectedArray, EccCorrectsAndScrubs) {
+  ProtectedArray arr("t.ecc", Unit::RUT, ArrayProtection::SecDed, 4, 64);
+  arr.write(1, 0x12345678u);
+  arr.flip_storage_bit(1 * 72 + 7);
+  const auto r1 = arr.read(1);
+  EXPECT_EQ(r1.status, ArrayReadStatus::Corrected);
+  EXPECT_EQ(r1.value, 0x12345678u);
+  // Scrub-on-read restored a clean code word.
+  EXPECT_EQ(arr.read(1).status, ArrayReadStatus::Clean);
+}
+
+TEST(ProtectedArray, EccDoubleBitDetected) {
+  ProtectedArray arr("t.ecc", Unit::RUT, ArrayProtection::SecDed, 4, 64);
+  arr.write(0, ~u64{0});
+  arr.flip_storage_bit(3);
+  arr.flip_storage_bit(40);
+  EXPECT_EQ(arr.read(0).status, ArrayReadStatus::Detected);
+}
+
+TEST(ProtectedArray, PeekDecodedHasNoSideEffect) {
+  ProtectedArray arr("t.ecc", Unit::RUT, ArrayProtection::SecDed, 4, 64);
+  arr.write(2, 99);
+  arr.flip_storage_bit(2 * 72 + 0);
+  EXPECT_EQ(arr.peek_decoded(2).status, ArrayReadStatus::Corrected);
+  EXPECT_EQ(arr.peek_decoded(2).value, 99u);
+  // Still corrupted in storage (no scrub).
+  EXPECT_EQ(arr.peek_decoded(2).status, ArrayReadStatus::Corrected);
+}
+
+TEST(ProtectedArray, SaveLoadRoundTrip) {
+  ProtectedArray a("t", Unit::LSU, ArrayProtection::Parity, 8, 64);
+  for (u32 i = 0; i < 8; ++i) a.write(i, i * 0x1111);
+  a.flip_storage_bit(77);
+  std::vector<u8> blob;
+  a.save(blob);
+
+  ProtectedArray b("t", Unit::LSU, ArrayProtection::Parity, 8, 64);
+  std::span<const u8> in(blob);
+  b.load(in);
+  EXPECT_TRUE(in.empty());
+  for (u32 i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.raw_data(i), b.raw_data(i));
+    EXPECT_EQ(a.raw_check(i), b.raw_check(i));
+  }
+}
+
+TEST(ProtectedArray, SecDedRequires64) {
+  EXPECT_THROW(
+      ProtectedArray("t", Unit::RUT, ArrayProtection::SecDed, 4, 32),
+      UsageError);
+}
+
+TEST(ArrayRegistry, LocateSpansArrays) {
+  ProtectedArray a("a", Unit::IFU, ArrayProtection::Parity, 2, 64);  // 130 bits
+  ProtectedArray b("b", Unit::RUT, ArrayProtection::SecDed, 2, 64);  // 144 bits
+  ArrayRegistry reg;
+  reg.add(a);
+  reg.add(b);
+  EXPECT_EQ(reg.total_storage_bits(), 130u + 144u);
+  EXPECT_EQ(reg.locate(0).array, &a);
+  EXPECT_EQ(reg.locate(129).array, &a);
+  EXPECT_EQ(reg.locate(130).array, &b);
+  EXPECT_EQ(reg.locate(130).local_bit, 0u);
+  EXPECT_EQ(reg.locate(273).array, &b);
+  EXPECT_THROW((void)reg.locate(274), UsageError);
+}
+
+TEST(ArrayRegistry, FlipThroughRegistry) {
+  ProtectedArray a("a", Unit::IFU, ArrayProtection::Parity, 2, 64);
+  ArrayRegistry reg;
+  reg.add(a);
+  a.write(1, 0);
+  const auto t = reg.locate(65 + 10);
+  t.array->flip_storage_bit(t.local_bit);
+  EXPECT_EQ(a.read(1).status, ArrayReadStatus::Detected);
+}
+
+}  // namespace
+}  // namespace sfi::netlist

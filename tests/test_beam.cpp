@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "avp/testgen.hpp"
+#include "beam/beam.hpp"
+
+namespace sfi::beam {
+namespace {
+
+avp::Testcase testcase(u64 seed = 19) {
+  avp::TestcaseConfig cfg;
+  cfg.seed = seed;
+  cfg.num_instructions = 80;
+  return avp::generate_testcase(cfg);
+}
+
+TEST(Beam, EventSplitTracksCrossSections) {
+  BeamConfig cfg;
+  cfg.seed = 1;
+  cfg.num_events = 300;
+  const BeamResult r = run_beam_experiment(testcase(), cfg);
+  EXPECT_EQ(r.latch_events + r.array_events, 300u);
+  // ~12k latch bits vs ~11k array bits at equal cross-section: roughly an
+  // even split.
+  EXPECT_GT(r.latch_events, 90u);
+  EXPECT_GT(r.array_events, 60u);
+}
+
+TEST(Beam, LatchOnlyWhenArraysInsensitive) {
+  BeamConfig cfg;
+  cfg.seed = 2;
+  cfg.num_events = 50;
+  cfg.array_cross_section = 0.0;
+  const BeamResult r = run_beam_experiment(testcase(), cfg);
+  EXPECT_EQ(r.array_events, 0u);
+  EXPECT_EQ(r.latch_events, 50u);
+}
+
+TEST(Beam, MostEventsBenign) {
+  BeamConfig cfg;
+  cfg.seed = 3;
+  cfg.num_events = 250;
+  const BeamResult r = run_beam_experiment(testcase(), cfg);
+  const double benign =
+      r.counts.fraction(inject::Outcome::Vanished) +
+      r.counts.fraction(inject::Outcome::Corrected);
+  EXPECT_GT(benign, 0.9);
+  EXPECT_LT(r.counts.fraction(inject::Outcome::BadArchState), 0.05);
+}
+
+TEST(Beam, Deterministic) {
+  BeamConfig cfg;
+  cfg.seed = 4;
+  cfg.num_events = 60;
+  const BeamResult a = run_beam_experiment(testcase(), cfg);
+  const BeamResult b = run_beam_experiment(testcase(), cfg);
+  for (std::size_t c = 0; c < inject::kNumOutcomes; ++c) {
+    EXPECT_EQ(a.counts.counts[c], b.counts.counts[c]);
+  }
+}
+
+TEST(Beam, ArrayStrikesNeverSilentlyCorrupt) {
+  // Every array is parity- or ECC-protected: a single struck bit must never
+  // produce BadArchState.
+  BeamConfig cfg;
+  cfg.seed = 5;
+  cfg.num_events = 150;
+  cfg.latch_cross_section = 0.0;  // array strikes only
+  const BeamResult r = run_beam_experiment(testcase(), cfg);
+  EXPECT_EQ(r.latch_events, 0u);
+  EXPECT_EQ(r.counts.of(inject::Outcome::BadArchState), 0u);
+}
+
+}  // namespace
+}  // namespace sfi::beam

@@ -1,0 +1,94 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfi {
+namespace {
+
+TEST(Bits, MaskLow) {
+  EXPECT_EQ(mask_low(0), 0u);
+  EXPECT_EQ(mask_low(1), 1u);
+  EXPECT_EQ(mask_low(16), 0xFFFFu);
+  EXPECT_EQ(mask_low(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(mask_low(64), ~u64{0});
+}
+
+TEST(Bits, ExtractInsertRoundTrip) {
+  const u64 v = 0xDEADBEEFCAFEF00Dull;
+  for (unsigned lsb = 0; lsb < 60; lsb += 7) {
+    for (unsigned w = 1; lsb + w <= 64; w += 9) {
+      const u64 field = extract(v, lsb, w);
+      const u64 back = insert(0, lsb, w, field);
+      EXPECT_EQ(extract(back, lsb, w), field);
+    }
+  }
+}
+
+TEST(Bits, InsertPreservesOtherBits) {
+  const u64 v = ~u64{0};
+  const u64 r = insert(v, 8, 8, 0);
+  EXPECT_EQ(r, ~u64{0xFF00});
+}
+
+TEST(Bits, ParityBasics) {
+  EXPECT_EQ(parity(0), 0u);
+  EXPECT_EQ(parity(1), 1u);
+  EXPECT_EQ(parity(3), 0u);
+  EXPECT_EQ(parity(7), 1u);
+  EXPECT_EQ(parity(0xFF, 8), 0u);
+  EXPECT_EQ(parity(0xFF, 4), 0u);
+  EXPECT_EQ(parity(0xF7, 8), 1u);
+}
+
+TEST(Bits, ParitySingleFlipAlwaysDetected) {
+  const u64 v = 0x123456789ABCDEF0ull;
+  const u32 p = parity(v);
+  for (unsigned b = 0; b < 64; ++b) {
+    EXPECT_NE(parity(v ^ (u64{1} << b)), p) << "bit " << b;
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0x1234, 16), 0x1234);
+  EXPECT_EQ(sign_extend(~u64{0}, 64), -1);
+}
+
+TEST(Bits, Residue3) {
+  EXPECT_EQ(residue3(0), 0u);
+  EXPECT_EQ(residue3(1), 1u);
+  EXPECT_EQ(residue3(2), 2u);
+  EXPECT_EQ(residue3(3), 0u);
+  EXPECT_EQ(residue3(~u64{0}), (~u64{0}) % 3);
+}
+
+TEST(Bits, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+}
+
+TEST(Bits, ToBinary) {
+  EXPECT_EQ(to_binary(5, 4), "0101");
+  EXPECT_EQ(to_binary(0, 1), "0");
+  EXPECT_EQ(to_binary(~u64{0}, 8), "11111111");
+}
+
+TEST(Bits, ToHex) {
+  EXPECT_EQ(to_hex(0), "0x0");
+  EXPECT_EQ(to_hex(0x1A2B), "0x1a2b");
+  EXPECT_EQ(to_hex(~u64{0}), "0xffffffffffffffff");
+}
+
+TEST(Bits, ToBinaryRejectsBadWidth) {
+  EXPECT_THROW(to_binary(1, 0), UsageError);
+  EXPECT_THROW(to_binary(1, 65), UsageError);
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,111 @@
+// Property suite: for ANY generated AVP testcase, the Pearl6 pipeline must
+// (a) terminate, (b) report no errors fault-free, and (c) match the ISA
+// golden model's architected state and memory image exactly. This is the
+// foundation the fault classifier's "BadArchState" verdict rests on.
+#include <gtest/gtest.h>
+
+#include "avp/runner.hpp"
+#include "avp/testgen.hpp"
+#include "core/core_model.hpp"
+#include "emu/emulator.hpp"
+
+namespace sfi {
+namespace {
+
+class RandomProgramEquivalence : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RandomProgramEquivalence, CoreMatchesGolden) {
+  avp::TestcaseConfig cfg;
+  cfg.seed = GetParam();
+  cfg.num_instructions = 140;
+  const avp::Testcase tc = avp::generate_testcase(cfg);
+
+  const avp::GoldenResult golden = avp::run_golden(tc);
+  ASSERT_GT(golden.instructions, 0u);
+
+  core::Pearl6Model model;
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+  ASSERT_TRUE(trace.completed) << "seed " << cfg.seed;
+
+  const emu::RasStatus ras = model.ras_status(emu.state());
+  EXPECT_FALSE(ras.checkstop) << "seed " << cfg.seed;
+  EXPECT_FALSE(ras.hang_detected) << "seed " << cfg.seed;
+  EXPECT_EQ(ras.recovery_count, 0u) << "seed " << cfg.seed;
+  EXPECT_EQ(ras.instructions_completed, golden.instructions)
+      << "seed " << cfg.seed;
+
+  const avp::Verdict verdict =
+      avp::check_against_golden(model, emu.state(), golden);
+  EXPECT_TRUE(verdict.state_matches)
+      << "seed " << cfg.seed << ": " << verdict.first_diff;
+  EXPECT_TRUE(verdict.memory_matches) << "seed " << cfg.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramEquivalence,
+                         ::testing::Range<u64>(1, 121));
+
+class RandomProgramMixes : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RandomProgramMixes, GoldenTraceHashesAreReproducible) {
+  avp::TestcaseConfig cfg;
+  cfg.seed = GetParam() * 977;
+  cfg.num_instructions = 90;
+  const avp::Testcase tc = avp::generate_testcase(cfg);
+
+  core::Pearl6Model m1;
+  emu::Emulator e1(m1);
+  const emu::GoldenTrace t1 = avp::run_reference(m1, e1, tc);
+
+  core::Pearl6Model m2;
+  emu::Emulator e2(m2);
+  const emu::GoldenTrace t2 = avp::run_reference(m2, e2, tc);
+
+  ASSERT_EQ(t1.completion_cycle, t2.completion_cycle);
+  ASSERT_EQ(t1.hashes.size(), t2.hashes.size());
+  EXPECT_EQ(t1.hashes, t2.hashes);
+  EXPECT_EQ(t1.final_state.hash(), t2.final_state.hash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramMixes,
+                         ::testing::Range<u64>(1, 16));
+
+TEST(RandomProgram, LongTestcaseStillExact) {
+  avp::TestcaseConfig cfg;
+  cfg.seed = 424242;
+  cfg.num_instructions = 600;
+  const avp::Testcase tc = avp::generate_testcase(cfg);
+  const avp::GoldenResult golden = avp::run_golden(tc);
+
+  core::Pearl6Model model;
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc, 500000);
+  ASSERT_TRUE(trace.completed);
+  const avp::Verdict verdict =
+      avp::check_against_golden(model, emu.state(), golden);
+  EXPECT_TRUE(verdict.state_matches) << verdict.first_diff;
+  EXPECT_TRUE(verdict.memory_matches);
+}
+
+TEST(RandomProgram, RawModeEquivalenceSweep) {
+  // With all checkers masked a fault-free run must still be exact.
+  core::CoreConfig raw;
+  raw.checkers_enabled = false;
+  for (u64 seed = 500; seed < 510; ++seed) {
+    avp::TestcaseConfig cfg;
+    cfg.seed = seed;
+    cfg.num_instructions = 100;
+    const avp::Testcase tc = avp::generate_testcase(cfg);
+    const avp::GoldenResult golden = avp::run_golden(tc);
+    core::Pearl6Model model(raw);
+    emu::Emulator emu(model);
+    const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+    ASSERT_TRUE(trace.completed) << seed;
+    const avp::Verdict verdict =
+        avp::check_against_golden(model, emu.state(), golden);
+    EXPECT_TRUE(verdict.state_matches) << seed << ": " << verdict.first_diff;
+  }
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "avp/testgen.hpp"
+#include "core/core_model.hpp"
+#include "sfi/campaign.hpp"
+#include "sfi/derating.hpp"
+
+namespace sfi::inject {
+namespace {
+
+CampaignResult small_campaign() {
+  avp::TestcaseConfig tcfg;
+  tcfg.seed = 3;
+  tcfg.num_instructions = 90;
+  CampaignConfig cfg;
+  cfg.seed = 11;
+  cfg.num_injections = 400;
+  return run_campaign(avp::generate_testcase(tcfg), cfg);
+}
+
+TEST(Derating, FractionsAreConsistent) {
+  const CampaignResult r = small_campaign();
+  core::Pearl6Model model;
+  const DeratingReport rep = compute_derating(r, model.registry());
+
+  EXPECT_NEAR(rep.overall_derating + rep.severe_fraction, 1.0, 1e-9);
+  EXPECT_GE(rep.overall_derating, 0.9);  // the paper's headline property
+  EXPECT_LE(rep.sdc_fraction, rep.severe_fraction);
+  EXPECT_GE(rep.recovered_fraction, 0.0);
+}
+
+TEST(Derating, FitBudgetScalesWithRawRate) {
+  const CampaignResult r = small_campaign();
+  core::Pearl6Model model;
+  DeratingConfig base;
+  DeratingConfig scaled;
+  scaled.raw_fit_per_latch = base.raw_fit_per_latch * 10.0;
+  const DeratingReport a = compute_derating(r, model.registry(), base);
+  const DeratingReport b = compute_derating(r, model.registry(), scaled);
+  EXPECT_NEAR(b.raw_fit, a.raw_fit * 10.0, 1e-9);
+  EXPECT_NEAR(b.sdc_fit, a.sdc_fit * 10.0, 1e-9);
+  EXPECT_NEAR(b.unrecoverable_fit, a.unrecoverable_fit * 10.0, 1e-9);
+}
+
+TEST(Derating, UnitsSortedBySevereFit) {
+  const CampaignResult r = small_campaign();
+  core::Pearl6Model model;
+  const DeratingReport rep = compute_derating(r, model.registry());
+  ASSERT_EQ(rep.by_unit.size(), netlist::kNumUnits);
+  for (std::size_t i = 1; i < rep.by_unit.size(); ++i) {
+    EXPECT_GE(rep.by_unit[i - 1].severe_fit, rep.by_unit[i].severe_fit);
+  }
+  u64 latch_sum = 0;
+  for (const auto& u : rep.by_unit) latch_sum += u.latch_bits;
+  EXPECT_EQ(latch_sum, model.registry().num_latches());
+}
+
+TEST(Derating, SummaryMentionsKeyNumbers) {
+  const CampaignResult r = small_campaign();
+  core::Pearl6Model model;
+  const DeratingReport rep = compute_derating(r, model.registry());
+  const std::string s = rep.summary();
+  EXPECT_NE(s.find("overall derating"), std::string::npos);
+  EXPECT_NE(s.find("chip FIT"), std::string::npos);
+  EXPECT_NE(s.find("hardening priority"), std::string::npos);
+}
+
+TEST(Derating, RejectsEmptyCampaign) {
+  CampaignResult empty;
+  core::Pearl6Model model;
+  EXPECT_THROW((void)compute_derating(empty, model.registry()), UsageError);
+}
+
+TEST(Multibit, AdjacentDoubleDefeatsSingleBitParity) {
+  // A flip pair inside one GPR data field has even parity: the register-file
+  // checker cannot see it. If the register is consumed, the corruption
+  // flows — exactly the MBU blind spot bench/ext_multibit quantifies.
+  avp::TestcaseConfig tcfg;
+  tcfg.seed = 3;
+  tcfg.num_instructions = 90;
+  const avp::Testcase tc = avp::generate_testcase(tcfg);
+  const avp::GoldenResult golden = avp::run_golden(tc);
+  core::Pearl6Model model;
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+  emu.reset();
+  const emu::Checkpoint cp = emu.save_checkpoint();
+  InjectionRunner runner(model, emu, cp, trace, golden, {});
+
+  // A single flip in a hot register is detected...
+  const auto ords = model.registry().collect_ordinals(
+      [](const netlist::LatchMeta& m) { return m.name == "fxu.gpr2"; });
+  ASSERT_EQ(ords.size(), 64u);
+  FaultSpec single;
+  single.index = ords[5];
+  single.cycle = 25;
+  OutcomeCounts singles;
+  OutcomeCounts doubles;
+  for (Cycle c = 20; c < 80; c += 2) {
+    single.cycle = c;
+    single.adjacent_bits = 1;
+    singles.add(runner.run(single).outcome);
+    single.adjacent_bits = 2;
+    doubles.add(runner.run(single).outcome);
+  }
+  // ...but the adjacent double never is (same parity domain).
+  EXPECT_GT(singles.of(Outcome::Corrected), 0u);
+  EXPECT_EQ(doubles.of(Outcome::Corrected), 0u);
+}
+
+TEST(Multibit, WidthClampsAtPopulationEnd) {
+  avp::TestcaseConfig tcfg;
+  tcfg.seed = 3;
+  tcfg.num_instructions = 60;
+  const avp::Testcase tc = avp::generate_testcase(tcfg);
+  const avp::GoldenResult golden = avp::run_golden(tc);
+  core::Pearl6Model model;
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+  emu.reset();
+  const emu::Checkpoint cp = emu.save_checkpoint();
+  InjectionRunner runner(model, emu, cp, trace, golden, {});
+
+  FaultSpec f;
+  f.index = model.registry().num_latches() - 1;  // last ordinal
+  f.cycle = 10;
+  f.adjacent_bits = 4;  // clamped: must not throw
+  EXPECT_NO_THROW((void)runner.run(f));
+}
+
+}  // namespace
+}  // namespace sfi::inject

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "netlist/ecc.hpp"
+#include "stats/rng.hpp"
+
+namespace sfi::netlist {
+namespace {
+
+TEST(Ecc, CleanRoundTrip) {
+  for (const u64 v : {0ull, 1ull, ~0ull, 0xDEADBEEFCAFEF00Dull}) {
+    const u8 c = ecc_encode(v);
+    const EccDecode d = ecc_decode(v, c);
+    EXPECT_EQ(d.status, EccStatus::Clean);
+    EXPECT_EQ(d.data, v);
+  }
+}
+
+TEST(Ecc, CorrectsEverySingleDataBit) {
+  const u64 v = 0x123456789ABCDEF0ull;
+  const u8 c = ecc_encode(v);
+  for (unsigned b = 0; b < 64; ++b) {
+    const EccDecode d = ecc_decode(v ^ (u64{1} << b), c);
+    EXPECT_EQ(d.status, EccStatus::CorrectedData) << "bit " << b;
+    EXPECT_EQ(d.data, v) << "bit " << b;
+  }
+}
+
+TEST(Ecc, CorrectsEverySingleCheckBit) {
+  const u64 v = 0xFEDCBA9876543210ull;
+  const u8 c = ecc_encode(v);
+  for (unsigned b = 0; b < kEccCheckBits; ++b) {
+    const EccDecode d = ecc_decode(v, static_cast<u8>(c ^ (1u << b)));
+    EXPECT_EQ(d.status, EccStatus::CorrectedCheck) << "check bit " << b;
+    EXPECT_EQ(d.data, v) << "check bit " << b;
+  }
+}
+
+TEST(Ecc, DetectsEveryDoubleDataBit) {
+  stats::Xoshiro256 rng(7);
+  const u64 v = 0x0F0F0F0F0F0F0F0Full;
+  const u8 c = ecc_encode(v);
+  for (int t = 0; t < 500; ++t) {
+    const unsigned b1 = static_cast<unsigned>(rng.below(64));
+    unsigned b2 = static_cast<unsigned>(rng.below(64));
+    while (b2 == b1) b2 = static_cast<unsigned>(rng.below(64));
+    const u64 bad = v ^ (u64{1} << b1) ^ (u64{1} << b2);
+    const EccDecode d = ecc_decode(bad, c);
+    EXPECT_EQ(d.status, EccStatus::Uncorrectable)
+        << "bits " << b1 << "," << b2;
+  }
+}
+
+TEST(Ecc, DetectsDataPlusCheckDouble) {
+  const u64 v = 0xAAAAAAAAAAAAAAAAull;
+  const u8 c = ecc_encode(v);
+  for (unsigned db = 0; db < 64; db += 7) {
+    for (unsigned cb = 0; cb < kEccCheckBits; ++cb) {
+      const EccDecode d =
+          ecc_decode(v ^ (u64{1} << db), static_cast<u8>(c ^ (1u << cb)));
+      EXPECT_NE(d.status, EccStatus::Clean);
+      // A double error must never be silently "corrected" into wrong data
+      // that passes as CorrectedData with bad content.
+      if (d.status == EccStatus::CorrectedData) {
+        ADD_FAILURE() << "double error decoded as single at " << db << ","
+                      << cb;
+      }
+    }
+  }
+}
+
+TEST(Ecc, CheckBitsDifferAcrossData) {
+  EXPECT_NE(ecc_encode(0), ecc_encode(1));
+  EXPECT_NE(ecc_encode(1), ecc_encode(2));
+}
+
+}  // namespace
+}  // namespace sfi::netlist

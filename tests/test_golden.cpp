@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "isa/assembler.hpp"
+#include "isa/golden.hpp"
+
+namespace sfi::isa {
+namespace {
+
+Program prog_from(std::string_view src) {
+  Program p;
+  p.code = assemble(src);
+  return p;
+}
+
+GoldenModel run(std::string_view src, ArchState init = {},
+                u64 max_instrs = 10000) {
+  GoldenModel gm(1u << 16);
+  gm.reset(prog_from(src), init);
+  EXPECT_EQ(gm.run(max_instrs), GoldenModel::Status::Stopped);
+  return gm;
+}
+
+TEST(Golden, ArithmeticSequence) {
+  const auto gm = run(R"(
+    li r1, 6
+    li r2, 7
+    mulld r3, r1, r2
+    subf r4, r1, r3    # r3 - r1
+    divd r5, r3, r2
+    stop
+  )");
+  EXPECT_EQ(gm.state().gpr[3], 42u);
+  EXPECT_EQ(gm.state().gpr[4], 36u);
+  EXPECT_EQ(gm.state().gpr[5], 6u);
+}
+
+TEST(Golden, MemoryRoundTrip) {
+  const auto gm = run(R"(
+    li   r1, 0x1000
+    addi r1, r1, 0x1000     # r1 = 0x2000 (clear of the code)
+    li   r2, -123
+    std  r2, 16(r1)
+    ld   r3, 16(r1)
+    lwz  r4, 16(r1)
+    lbz  r5, 16(r1)
+    stop
+  )");
+  EXPECT_EQ(gm.state().gpr[3], static_cast<u64>(-123));
+  EXPECT_EQ(gm.state().gpr[4], 0xFFFFFF85u);  // zero-extended word
+  EXPECT_EQ(gm.state().gpr[5], 0x85u);
+}
+
+TEST(Golden, CountedLoop) {
+  const auto gm = run(R"(
+    li r1, 10
+    mtctr r1
+    li r2, 0
+  loop:
+    addi r2, r2, 3
+    bdnz loop
+    stop
+  )");
+  EXPECT_EQ(gm.state().gpr[2], 30u);
+  EXPECT_EQ(gm.state().ctr, 0u);
+}
+
+TEST(Golden, ConditionalBranching) {
+  const auto gm = run(R"(
+    li r1, 5
+    cmpi 0, r1, 7
+    blt 0, less
+    li r2, 111
+    b end
+  less:
+    li r2, 222
+  end:
+    stop
+  )");
+  EXPECT_EQ(gm.state().gpr[2], 222u);
+}
+
+TEST(Golden, CallAndReturn) {
+  const auto gm = run(R"(
+    bl func
+    li r4, 9
+    stop
+  func:
+    li r3, 77
+    blr
+  )");
+  EXPECT_EQ(gm.state().gpr[3], 77u);
+  EXPECT_EQ(gm.state().gpr[4], 9u);
+}
+
+TEST(Golden, Bcctr) {
+  const auto gm = run(R"(
+    li r1, 0x1000
+    addi r1, r1, 20       # address of 'target' (word 5 → 0x1014)
+    mtctr r1
+    bctr
+    li r2, 1              # skipped
+  target:
+    li r3, 5
+    stop
+  )");
+  EXPECT_EQ(gm.state().gpr[2], 0u);
+  EXPECT_EQ(gm.state().gpr[3], 5u);
+}
+
+TEST(Golden, FloatingPoint) {
+  ArchState init;
+  init.fpr[1] = std::bit_cast<u64>(1.5);
+  init.fpr[2] = std::bit_cast<u64>(2.5);
+  const auto gm = run(R"(
+    fadd f3, f1, f2
+    fmul f4, f3, f2
+    fdiv f5, f4, f1
+    fsub f6, f5, f2
+    stop
+  )", init);
+  EXPECT_EQ(std::bit_cast<double>(gm.state().fpr[3]), 4.0);
+  EXPECT_EQ(std::bit_cast<double>(gm.state().fpr[4]), 10.0);
+  EXPECT_EQ(std::bit_cast<double>(gm.state().fpr[5]), 10.0 / 1.5);
+}
+
+TEST(Golden, FpMemory) {
+  ArchState init;
+  init.fpr[1] = std::bit_cast<u64>(3.25);
+  const auto gm = run(R"(
+    li r1, 0x4000
+    stfd f1, 0(r1)
+    lfd f2, 0(r1)
+    stop
+  )", init);
+  EXPECT_EQ(std::bit_cast<double>(gm.state().fpr[2]), 3.25);
+}
+
+TEST(Golden, ClassCountsAndMix) {
+  const auto gm = run(R"(
+    li r1, 1
+    li r2, 2
+    add r3, r1, r2
+    cmpi 0, r3, 3
+    stw r3, 0(r1)
+    lwz r4, 0(r1)
+    b next
+  next:
+    stop
+  )");
+  const auto& counts = gm.class_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(InstrClass::FixedPoint)], 3u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(InstrClass::Comparison)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(InstrClass::Store)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(InstrClass::Load)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(InstrClass::Branch)], 1u);
+  EXPECT_EQ(gm.instructions_retired(), 7u);
+}
+
+TEST(Golden, LimitReached) {
+  GoldenModel gm(1u << 16);
+  Program p;
+  p.code = assemble("loop: b loop");
+  gm.reset(p, {});
+  EXPECT_EQ(gm.run(100), GoldenModel::Status::LimitReached);
+  EXPECT_EQ(gm.instructions_retired(), 100u);
+}
+
+TEST(Golden, ArchStateHashAndDiff) {
+  ArchState a;
+  ArchState b;
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_TRUE(a.diff(b).empty());
+  b.gpr[7] = 1;
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a.diff(b).find("gpr[7]"), std::string::npos);
+  b = a;
+  b.pc = 4;
+  EXPECT_FALSE(a.diff(b).empty());
+  EXPECT_TRUE(a.diff(b, /*ignore_pc=*/true).empty());
+}
+
+TEST(Golden, MemoryWraps) {
+  Memory mem(256);
+  mem.store_u32(254, 0xAABBCCDD);
+  EXPECT_EQ(mem.load_u8(254), 0xDDu);
+  EXPECT_EQ(mem.load_u8(255), 0xCCu);
+  EXPECT_EQ(mem.load_u8(0), 0xBBu);
+  EXPECT_EQ(mem.load_u8(1), 0xAAu);
+  EXPECT_EQ(mem.load_u32(254), 0xAABBCCDDu);
+}
+
+TEST(Golden, MemoryRangeHash) {
+  Memory mem(1024);
+  const u64 h0 = mem.range_hash(0x100, 64);
+  mem.store_u8(0x120, 7);
+  EXPECT_NE(mem.range_hash(0x100, 64), h0);
+  EXPECT_EQ(mem.range_hash(0x200, 64), mem.range_hash(0x300, 64));
+}
+
+}  // namespace
+}  // namespace sfi::isa

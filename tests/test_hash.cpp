@@ -1,0 +1,66 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace sfi {
+namespace {
+
+TEST(Hash, Mix64IsInjectiveish) {
+  EXPECT_NE(mix64(0), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_NE(mix64(0), 0u);
+}
+
+TEST(Hash, WordsOrderSensitive) {
+  const std::array<u64, 2> a = {1, 2};
+  const std::array<u64, 2> b = {2, 1};
+  EXPECT_NE(hash_words(a), hash_words(b));
+}
+
+TEST(Hash, WordsLengthSensitive) {
+  const std::array<u64, 2> a = {1, 0};
+  const std::array<u64, 1> b = {1};
+  EXPECT_NE(hash_words(a), hash_words(b));
+}
+
+TEST(Hash, WordsSeedSensitive) {
+  const std::array<u64, 2> a = {1, 2};
+  EXPECT_NE(hash_words(a, 0), hash_words(a, 1));
+}
+
+TEST(Hash, WordsSingleBitAvalanche) {
+  std::vector<u64> words(16, 0x5555555555555555ull);
+  const u64 base = hash_words(words);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    for (unsigned b = 0; b < 64; b += 13) {
+      auto copy = words;
+      copy[w] ^= u64{1} << b;
+      EXPECT_NE(hash_words(copy), base) << "word " << w << " bit " << b;
+    }
+  }
+}
+
+TEST(Hash, BytesMatchesContent) {
+  const std::vector<u8> a = {1, 2, 3, 4, 5};
+  const std::vector<u8> b = {1, 2, 3, 4, 6};
+  EXPECT_EQ(hash_bytes(a), hash_bytes(a));
+  EXPECT_NE(hash_bytes(a), hash_bytes(b));
+}
+
+TEST(Hash, BytesTailSensitive) {
+  // Non-multiple-of-8 lengths exercise the partial-accumulator path.
+  std::vector<u8> a(9, 0);
+  std::vector<u8> b(9, 0);
+  b[8] = 1;
+  EXPECT_NE(hash_bytes(a), hash_bytes(b));
+}
+
+TEST(Hash, EmptyInputsDiffer) {
+  EXPECT_NE(hash_bytes({}), hash_words({}));
+}
+
+}  // namespace
+}  // namespace sfi

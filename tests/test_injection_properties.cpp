@@ -1,0 +1,162 @@
+// Property suite over random injections: for ANY (latch, cycle, mode) the
+// classifier must terminate with a legal verdict, verdicts must be
+// reproducible, and the benign verdicts must be *sound* (a run classified
+// Vanished/Corrected that reached STOP really matches the golden result).
+// The simulator itself must never throw on an injected run — a corrupted
+// machine is a result, not an error.
+#include <gtest/gtest.h>
+
+#include "avp/runner.hpp"
+#include "avp/testgen.hpp"
+#include "core/core_model.hpp"
+#include "emu/emulator.hpp"
+#include "sfi/runner.hpp"
+#include "stats/rng.hpp"
+
+namespace sfi {
+namespace {
+
+using inject::FaultMode;
+using inject::FaultSpec;
+using inject::Outcome;
+
+struct Fixture {
+  avp::Testcase tc;
+  avp::GoldenResult golden;
+  core::Pearl6Model model;
+  std::unique_ptr<emu::Emulator> emu;
+  emu::Checkpoint cp;
+  emu::GoldenTrace trace;
+  std::unique_ptr<inject::InjectionRunner> runner;
+
+  explicit Fixture(u64 seed) {
+    avp::TestcaseConfig cfg;
+    cfg.seed = seed;
+    cfg.num_instructions = 110;
+    tc = avp::generate_testcase(cfg);
+    golden = avp::run_golden(tc);
+    emu = std::make_unique<emu::Emulator>(model);
+    trace = avp::run_reference(model, *emu, tc);
+    emu->reset();
+    cp = emu->save_checkpoint();
+    runner = std::make_unique<inject::InjectionRunner>(model, *emu, cp, trace,
+                                                       golden,
+                                                       inject::RunConfig{});
+  }
+};
+
+class InjectionProperties : public ::testing::TestWithParam<u64> {};
+
+TEST_P(InjectionProperties, SoundnessSweep) {
+  Fixture fx(GetParam() * 131 + 7);
+  stats::Xoshiro256 rng(GetParam());
+  const u32 latches = fx.model.registry().num_latches();
+
+  for (int i = 0; i < 120; ++i) {
+    FaultSpec f;
+    f.index = static_cast<u32>(rng.below(latches));
+    f.cycle = 1 + rng.below(fx.trace.completion_cycle - 1);
+    if (rng.chance(0.15)) {
+      f.mode = FaultMode::Sticky;
+      f.sticky_duration = 1 + rng.below(64);
+      f.sticky_value = rng.chance(0.5);
+    }
+    inject::RunResult r;
+    ASSERT_NO_THROW(r = fx.runner->run(f))
+        << fx.model.registry().name_of_ordinal(f.index) << " @" << f.cycle;
+
+    // Soundness of benign verdicts: a run that really finished must match
+    // the golden result exactly.
+    if (!r.early_exited &&
+        (r.outcome == Outcome::Vanished || r.outcome == Outcome::Corrected)) {
+      const auto v =
+          avp::check_against_golden(fx.model, fx.emu->state(), fx.golden);
+      EXPECT_TRUE(v.state_matches)
+          << fx.model.registry().name_of_ordinal(f.index) << " @" << f.cycle
+          << ": " << v.first_diff;
+      EXPECT_TRUE(v.memory_matches)
+          << fx.model.registry().name_of_ordinal(f.index) << " @" << f.cycle;
+    }
+    // Corrected requires a reported event; Vanished requires none.
+    if (r.outcome == Outcome::Corrected) {
+      EXPECT_TRUE(r.recoveries > 0 || r.corrected > 0);
+    }
+    if (r.outcome == Outcome::Vanished) {
+      EXPECT_EQ(r.recoveries, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InjectionProperties,
+                         ::testing::Range<u64>(1, 9));
+
+TEST(InjectionProperties, VerdictsAreReproducible) {
+  Fixture fx(404);
+  stats::Xoshiro256 rng(5);
+  const u32 latches = fx.model.registry().num_latches();
+  for (int i = 0; i < 40; ++i) {
+    FaultSpec f;
+    f.index = static_cast<u32>(rng.below(latches));
+    f.cycle = 1 + rng.below(fx.trace.completion_cycle - 1);
+    const auto a = fx.runner->run(f);
+    const auto b = fx.runner->run(f);
+    EXPECT_EQ(a.outcome, b.outcome) << i;
+    EXPECT_EQ(a.end_cycle, b.end_cycle) << i;
+    EXPECT_EQ(a.recoveries, b.recoveries) << i;
+  }
+}
+
+TEST(InjectionProperties, InjectionAtEveryCycleOfOneLatch) {
+  // Exhaustive cycle sweep on a single high-traffic latch: the DEC valid
+  // bit. Every landing must classify legally and no run may escape the
+  // horizon.
+  Fixture fx(808);
+  const auto ords = fx.model.registry().collect_ordinals(
+      [](const netlist::LatchMeta& m) { return m.name == "idu.dec.v"; });
+  ASSERT_EQ(ords.size(), 1u);
+  inject::OutcomeCounts counts;
+  for (Cycle c = 1; c < fx.trace.completion_cycle; c += 1) {
+    FaultSpec f;
+    f.index = ords[0];
+    f.cycle = c;
+    const auto r = fx.runner->run(f);
+    counts.add(r.outcome);
+    ASSERT_LE(r.end_cycle,
+              fx.trace.completion_cycle + fx.runner->config().hang_margin + 1);
+  }
+  // A valid-bit flip either drops an instruction (re-fetched: vanish) or
+  // conjures one from a stale latch image; it must never silently corrupt.
+  EXPECT_EQ(counts.of(Outcome::BadArchState), 0u);
+  EXPECT_GT(counts.of(Outcome::Vanished), 0u);
+}
+
+TEST(InjectionProperties, StickyDurationMonotonicity) {
+  // Longer stuck-at faults can only get worse, never better, in aggregate:
+  // measure the benign fraction at three durations on a fixed fault list.
+  Fixture fx(909);
+  stats::Xoshiro256 rng(3);
+  const u32 latches = fx.model.registry().num_latches();
+  std::vector<FaultSpec> faults(150);
+  for (auto& f : faults) {
+    f.index = static_cast<u32>(rng.below(latches));
+    f.cycle = 1 + rng.below(fx.trace.completion_cycle - 1);
+    f.mode = FaultMode::Sticky;
+    f.sticky_value = true;
+  }
+  double prev_benign = 1.1;
+  for (const Cycle dur : {Cycle{1}, Cycle{32}, Cycle{512}}) {
+    inject::OutcomeCounts counts;
+    for (auto f : faults) {
+      f.sticky_duration = dur;
+      counts.add(fx.runner->run(f).outcome);
+    }
+    const double benign = counts.fraction(Outcome::Vanished) +
+                          counts.fraction(Outcome::Corrected);
+    EXPECT_LE(benign, prev_benign + 0.08)
+        << "duration " << dur << " implausibly healthier";
+    prev_benign = benign;
+  }
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "isa/encoding.hpp"
+#include "isa/exec.hpp"
+
+namespace sfi::isa {
+namespace {
+
+TEST(Decode, StopWord) {
+  const Instr in = decode(kStopWord);
+  EXPECT_EQ(in.mn, Mnemonic::STOP);
+  EXPECT_EQ(in.cls, InstrClass::System);
+}
+
+TEST(Decode, DFormRoundTrip) {
+  const Instr in = decode(enc_d(kOpAddi, 3, 7, static_cast<u16>(-5)));
+  EXPECT_EQ(in.mn, Mnemonic::ADDI);
+  EXPECT_EQ(in.rt, 3);
+  EXPECT_EQ(in.ra, 7);
+  EXPECT_EQ(in.imm, -5);
+  EXPECT_EQ(in.cls, InstrClass::FixedPoint);
+}
+
+TEST(Decode, LogicalImmediatesZeroExtend) {
+  const Instr in = decode(enc_d(kOpOri, 1, 2, 0xFFFF));
+  EXPECT_EQ(in.mn, Mnemonic::ORI);
+  EXPECT_EQ(in.imm, 0xFFFF);
+}
+
+TEST(Decode, XFormRoundTrip) {
+  const Instr in = decode(enc_x(4, 5, 6, kXoAdd));
+  EXPECT_EQ(in.mn, Mnemonic::ADD);
+  EXPECT_EQ(in.rt, 4);
+  EXPECT_EQ(in.ra, 5);
+  EXPECT_EQ(in.rb, 6);
+  EXPECT_TRUE(in.writes_gpr());
+}
+
+TEST(Decode, CompareCrField) {
+  const Instr in = decode(enc_x(5, 2, 3, kXoCmp));
+  EXPECT_EQ(in.mn, Mnemonic::CMP);
+  EXPECT_EQ(in.crf, 5);
+  EXPECT_EQ(in.cls, InstrClass::Comparison);
+}
+
+TEST(Decode, BranchDisplacements) {
+  const Instr b = decode(enc_i(-64, true));
+  EXPECT_EQ(b.mn, Mnemonic::B);
+  EXPECT_EQ(b.imm, -64);
+  EXPECT_TRUE(b.lk);
+
+  const Instr bc = decode(enc_b(kBoDnz, 0, 128, false));
+  EXPECT_EQ(bc.mn, Mnemonic::BC);
+  EXPECT_EQ(bc.bo, kBoDnz);
+  EXPECT_EQ(bc.imm, 128);
+  EXPECT_FALSE(bc.lk);
+}
+
+TEST(Decode, XlForms) {
+  const Instr blr = decode(enc_xl(kBoAlways, 0, kXlBclr));
+  EXPECT_EQ(blr.mn, Mnemonic::BCLR);
+  const Instr bctr = decode(enc_xl(kBoAlways, 0, kXlBcctr));
+  EXPECT_EQ(bctr.mn, Mnemonic::BCCTR);
+}
+
+TEST(Decode, FpForms) {
+  const Instr in = decode(enc_fp(1, 2, 3, kFpMul));
+  EXPECT_EQ(in.mn, Mnemonic::FMUL);
+  EXPECT_EQ(in.cls, InstrClass::FloatingPoint);
+  EXPECT_TRUE(in.writes_fpr());
+}
+
+TEST(Decode, FprIndicesWrapTo16) {
+  const Instr in = decode(enc_fp(17, 18, 19, kFpAdd));
+  EXPECT_EQ(in.rt, 1);
+  EXPECT_EQ(in.ra, 2);
+  EXPECT_EQ(in.rb, 3);
+}
+
+TEST(Decode, SprMoves) {
+  const Instr mflr = decode(enc_x(9, kSprLr & 31, (kSprLr >> 5) & 31, kXoMfspr));
+  EXPECT_EQ(mflr.mn, Mnemonic::MFSPR);
+  EXPECT_EQ(mflr.imm, kSprLr);
+  const Instr mtctr =
+      decode(enc_x(9, kSprCtr & 31, (kSprCtr >> 5) & 31, kXoMtspr));
+  EXPECT_EQ(mtctr.mn, Mnemonic::MTSPR);
+  EXPECT_EQ(mtctr.imm, kSprCtr);
+}
+
+TEST(Decode, GarbageNeverThrows) {
+  // Every possible primary opcode with arbitrary payload must decode to
+  // *something* (possibly ILLEGAL) — corrupted fetch streams hit this.
+  for (u32 op = 0; op < 64; ++op) {
+    const u32 w = (op << 26) | 0x00FF00FF;
+    EXPECT_NO_THROW({ (void)decode(w); });
+  }
+}
+
+TEST(Exec, AluBasics) {
+  EXPECT_EQ(alu_exec(Mnemonic::ADD, 2, 3), 5u);
+  EXPECT_EQ(alu_exec(Mnemonic::SUBF, 2, 3), 1u);  // rb - ra
+  EXPECT_EQ(alu_exec(Mnemonic::AND, 0b1100, 0b1010), 0b1000u);
+  EXPECT_EQ(alu_exec(Mnemonic::OR, 0b1100, 0b1010), 0b1110u);
+  EXPECT_EQ(alu_exec(Mnemonic::XOR, 0b1100, 0b1010), 0b0110u);
+  EXPECT_EQ(alu_exec(Mnemonic::NOR, 0, 0), ~u64{0});
+  EXPECT_EQ(alu_exec(Mnemonic::NEG, 5, 0), static_cast<u64>(-5));
+  EXPECT_EQ(alu_exec(Mnemonic::EXTSW, 0x80000000u, 0),
+            0xFFFFFFFF80000000ull);
+}
+
+TEST(Exec, AddisShifts) {
+  EXPECT_EQ(alu_exec(Mnemonic::ADDIS, 1, 2), 1u + (2u << 16));
+  EXPECT_EQ(alu_exec(Mnemonic::ADDIS, 0, static_cast<u64>(-1)),
+            static_cast<u64>(-65536));
+}
+
+TEST(Exec, Shifts) {
+  EXPECT_EQ(alu_exec(Mnemonic::SLD, 1, 63), u64{1} << 63);
+  EXPECT_EQ(alu_exec(Mnemonic::SLD, 1, 64), 0u);
+  EXPECT_EQ(alu_exec(Mnemonic::SRD, u64{1} << 63, 63), 1u);
+  EXPECT_EQ(alu_exec(Mnemonic::SRD, 1, 100), 0u);
+  EXPECT_EQ(alu_exec(Mnemonic::SRAD, static_cast<u64>(-8), 2),
+            static_cast<u64>(-2));
+  EXPECT_EQ(alu_exec(Mnemonic::SRAD, static_cast<u64>(-1), 80), ~u64{0});
+  EXPECT_EQ(alu_exec(Mnemonic::SRAD, 8, 80), 0u);
+}
+
+TEST(Exec, MulDivBoundaries) {
+  EXPECT_EQ(alu_exec(Mnemonic::MULLD, 3, 7), 21u);
+  EXPECT_EQ(alu_exec(Mnemonic::DIVD, static_cast<u64>(-20), 3),
+            static_cast<u64>(-6));
+  EXPECT_EQ(alu_exec(Mnemonic::DIVD, 5, 0), 0u);  // architected, no trap
+  const u64 min = static_cast<u64>(std::numeric_limits<i64>::min());
+  EXPECT_EQ(alu_exec(Mnemonic::DIVD, min, static_cast<u64>(-1)), min);
+}
+
+TEST(Exec, CompareFields) {
+  EXPECT_EQ(compare(1, 2, true), 1u << kCrLt);
+  EXPECT_EQ(compare(2, 1, true), 1u << kCrGt);
+  EXPECT_EQ(compare(2, 2, true), 1u << kCrEq);
+  // Signed vs unsigned disagreement.
+  EXPECT_EQ(compare(static_cast<u64>(-1), 1, true), 1u << kCrLt);
+  EXPECT_EQ(compare(static_cast<u64>(-1), 1, false), 1u << kCrGt);
+}
+
+TEST(Exec, CrInsertExtract) {
+  u32 cr = 0;
+  cr = cr_insert(cr, 0, 0x8);
+  cr = cr_insert(cr, 7, 0x2);
+  EXPECT_EQ(cr_extract(cr, 0), 0x8u);
+  EXPECT_EQ(cr_extract(cr, 7), 0x2u);
+  EXPECT_EQ(cr_extract(cr, 3), 0u);
+  // cr_bit indexes from the msb: field 0's LT bit is bi 0.
+  EXPECT_EQ(cr_bit(cr, 0), 1u);
+  EXPECT_EQ(cr_bit(cr, 1), 0u);
+  // field 7's EQ bit is bi 30.
+  EXPECT_EQ(cr_bit(cr, 30), 1u);
+}
+
+TEST(Exec, BranchEval) {
+  const u32 cr = cr_insert(0, 0, 1u << kCrEq);  // field 0 EQ set → bi 2
+  EXPECT_TRUE(eval_branch(kBoAlways, 0, 0, 0).taken);
+  EXPECT_TRUE(eval_branch(kBoTrue, 2, cr, 0).taken);
+  EXPECT_FALSE(eval_branch(kBoFalse, 2, cr, 0).taken);
+  EXPECT_TRUE(eval_branch(kBoFalse, 0, cr, 0).taken);
+
+  const BranchEval dnz = eval_branch(kBoDnz, 0, 0, 2);
+  EXPECT_TRUE(dnz.taken);
+  EXPECT_EQ(dnz.ctr_after, 1u);
+  const BranchEval dnz_last = eval_branch(kBoDnz, 0, 0, 1);
+  EXPECT_FALSE(dnz_last.taken);
+  EXPECT_EQ(dnz_last.ctr_after, 0u);
+
+  // Unknown BO (fault-corrupted): architected not-taken.
+  EXPECT_FALSE(eval_branch(31, 0, ~0u, 5).taken);
+}
+
+TEST(Exec, FpuBitExact) {
+  const u64 two = std::bit_cast<u64>(2.0);
+  const u64 three = std::bit_cast<u64>(3.0);
+  EXPECT_EQ(std::bit_cast<double>(fpu_exec(Mnemonic::FADD, two, three)), 5.0);
+  EXPECT_EQ(std::bit_cast<double>(fpu_exec(Mnemonic::FSUB, two, three)), -1.0);
+  EXPECT_EQ(std::bit_cast<double>(fpu_exec(Mnemonic::FMUL, two, three)), 6.0);
+  EXPECT_EQ(std::bit_cast<double>(fpu_exec(Mnemonic::FDIV, three, two)), 1.5);
+  // Division by zero is defined (IEEE inf), never a trap.
+  const u64 zero = std::bit_cast<u64>(0.0);
+  EXPECT_TRUE(std::isinf(std::bit_cast<double>(
+      fpu_exec(Mnemonic::FDIV, two, zero))));
+}
+
+TEST(Exec, Agen) {
+  EXPECT_EQ(agen(100, false, -4), 96u);
+  EXPECT_EQ(agen(100, true, 8), 8u);
+}
+
+TEST(Exec, AccessSizes) {
+  EXPECT_EQ(access_size(Mnemonic::LBZ), 1u);
+  EXPECT_EQ(access_size(Mnemonic::LWZ), 4u);
+  EXPECT_EQ(access_size(Mnemonic::LD), 8u);
+  EXPECT_EQ(access_size(Mnemonic::STFD), 8u);
+}
+
+TEST(Exec, CorruptedMnemonicsAreBenign) {
+  EXPECT_EQ(alu_exec(Mnemonic::STOP, 1, 2), 0u);
+  EXPECT_EQ(fpu_exec(Mnemonic::ADD, 1, 2), 0u);
+  EXPECT_EQ(access_size(Mnemonic::ADD), 1u);
+}
+
+}  // namespace
+}  // namespace sfi::isa

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "avp/runner.hpp"
+#include "avp/testgen.hpp"
+#include "core/core_model.hpp"
+#include "emu/emulator.hpp"
+#include "isa/assembler.hpp"
+#include "mem/ecc_memory.hpp"
+#include "sfi/runner.hpp"
+
+namespace sfi::mem {
+namespace {
+
+TEST(EccMemory, CleanRoundTrip) {
+  EccMemory m(4096);
+  m.store(0x100, 0xDEADBEEFCAFEF00Dull, 8);
+  EXPECT_EQ(m.load(0x100, 8), 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(m.take_corrected(), 0u);
+  EXPECT_FALSE(m.take_fatal());
+}
+
+TEST(EccMemory, SubWordStoresKeepCheckBitsConsistent) {
+  EccMemory m(4096);
+  m.store(0x200, 0x1122334455667788ull, 8);
+  m.store(0x203, 0xAB, 1);
+  m.store(0x204, 0xCDEF, 4);
+  EXPECT_EQ(m.load(0x200, 8) & 0xFFull, 0x88u);
+  EXPECT_EQ((m.load(0x200, 8) >> 24) & 0xFFull, 0xABu);
+  EXPECT_EQ(m.take_corrected(), 0u);
+}
+
+TEST(EccMemory, StraddlingAccess) {
+  EccMemory m(4096);
+  m.store(0x305, 0x0123456789ABCDEFull, 8);  // crosses a word boundary
+  EXPECT_EQ(m.load(0x305, 8), 0x0123456789ABCDEFull);
+  EXPECT_EQ(m.take_corrected(), 0u);
+}
+
+TEST(EccMemory, SingleBitFlipCorrectedOnAccess) {
+  EccMemory m(4096);
+  m.store(0x400, 0x5555, 8);
+  (void)m.take_corrected();
+  m.flip_storage_bit((0x400 / 8) * 72 + 3);  // data bit 3 of that word
+  EXPECT_EQ(m.load(0x400, 8), 0x5555u ^ 0x8u ^ 0x8u);  // corrected value
+  EXPECT_EQ(m.load(0x400, 8), 0x5555u);
+  EXPECT_EQ(m.take_corrected(), 1u);  // exactly one correction (writeback)
+  EXPECT_FALSE(m.take_fatal());
+}
+
+TEST(EccMemory, CheckBitFlipCorrected) {
+  EccMemory m(4096);
+  m.store(0x408, 99, 8);
+  (void)m.take_corrected();
+  m.flip_storage_bit((0x408 / 8) * 72 + 64 + 2);  // check bit 2
+  EXPECT_EQ(m.load(0x408, 8), 99u);
+  EXPECT_EQ(m.take_corrected(), 1u);
+}
+
+TEST(EccMemory, DoubleBitFlipIsFatal) {
+  EccMemory m(4096);
+  m.store(0x500, ~u64{0}, 8);
+  m.flip_storage_bit((0x500 / 8) * 72 + 1);
+  m.flip_storage_bit((0x500 / 8) * 72 + 40);
+  (void)m.load(0x500, 8);
+  EXPECT_TRUE(m.take_fatal());
+}
+
+TEST(EccMemory, ScrubFindsLatentFlip) {
+  EccMemory m(1024);  // 128 words: a full patrol takes 128*16 cycles
+  m.flip_storage_bit(5 * 72 + 7);
+  for (u32 c = 0; c < 128 * EccMemory::kScrubInterval + 1; ++c) {
+    m.scrub_step();
+  }
+  EXPECT_EQ(m.take_corrected(), 1u);
+  EXPECT_EQ(m.load(5 * 8, 8), 0u);
+  EXPECT_EQ(m.take_corrected(), 0u);  // already healed by the scrub
+}
+
+TEST(EccMemory, CorrectedHashMatchesHealedContent) {
+  EccMemory a(1024);
+  EccMemory b(1024);
+  a.store(64, 7, 8);
+  b.store(64, 7, 8);
+  b.flip_storage_bit((64 / 8) * 72 + 9);  // latent flip in b
+  EXPECT_EQ(a.corrected_hash(0, 1024), b.corrected_hash(0, 1024));
+  EXPECT_GE(b.take_corrected(), 1u);
+}
+
+TEST(EccMemory, SnapshotRoundTrip) {
+  EccMemory a(1024);
+  a.store(8, 42, 8);
+  a.flip_storage_bit(3);
+  for (int i = 0; i < 37; ++i) a.scrub_step();
+  std::vector<u8> blob;
+  a.save(blob);
+
+  EccMemory b(1024);
+  std::span<const u8> in(blob);
+  b.load_snapshot(in);
+  EXPECT_TRUE(in.empty());
+  // Identical subsequent behaviour (same scrub position, same latent flip).
+  for (int i = 0; i < 2000; ++i) {
+    a.scrub_step();
+    b.scrub_step();
+  }
+  EXPECT_EQ(a.take_corrected(), b.take_corrected());
+  EXPECT_EQ(a.corrected_hash(0, 1024), b.corrected_hash(0, 1024));
+}
+
+TEST(EccMemory, WriteBlockEncodesEverything) {
+  EccMemory m(1024);
+  std::vector<u8> img(200);
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<u8>(i);
+  m.write_block(100, img);
+  for (u32 i = 0; i < 200; ++i) {
+    EXPECT_EQ(m.load(100 + i, 1), i & 0xFF);
+  }
+  EXPECT_EQ(m.take_corrected(), 0u);
+  EXPECT_FALSE(m.take_fatal());
+}
+
+// ---- periphery injection through the full machine ----
+
+struct PeripheryHarness {
+  avp::Testcase tc;
+  avp::GoldenResult golden;
+  core::Pearl6Model model;
+  std::unique_ptr<emu::Emulator> emu;
+  emu::Checkpoint cp;
+  emu::GoldenTrace trace;
+  std::unique_ptr<inject::InjectionRunner> runner;
+
+  explicit PeripheryHarness(std::string_view src = {}) {
+    if (src.empty()) {
+      avp::TestcaseConfig cfg;
+      cfg.seed = 77;
+      cfg.num_instructions = 100;
+      tc = avp::generate_testcase(cfg);
+    } else {
+      tc.program.code = isa::assemble(src);
+    }
+    golden = avp::run_golden(tc);
+    emu = std::make_unique<emu::Emulator>(model);
+    trace = avp::run_reference(model, *emu, tc);
+    emu->reset();
+    cp = emu->save_checkpoint();
+    inject::RunConfig rc;
+    rc.early_exit = false;  // DRAM state is not hashed
+    runner = std::make_unique<inject::InjectionRunner>(model, *emu, cp, trace,
+                                                       golden, rc);
+  }
+};
+
+TEST(Periphery, MainStoreSingleBitNeverCorrupts) {
+  PeripheryHarness h;
+  // Strike words in the testcase data region (0x8000..): any outcome must
+  // be Vanished or Corrected — never SDC (that is what the ECC buys).
+  for (u64 i = 0; i < 12; ++i) {
+    inject::FaultSpec f;
+    f.cycle = 10 + i * 7;
+    f.target = inject::FaultTarget::Latch;  // placeholder; flip manually
+    // Restore, run, flip DRAM directly, continue via runner's own flow:
+    // easiest is to use the ArrayCell pathway? DRAM is not in the array
+    // registry, so drive the flip with a custom pre-run mutation.
+    h.emu->restore_checkpoint(h.cp);
+    h.emu->run(f.cycle);
+    h.model.memory().flip_storage_bit(((0x8000 / 8) + i * 37) * 72 +
+                                      (i * 11) % 72);
+    // Run to completion manually and classify.
+    while (true) {
+      h.emu->step();
+      const auto ras = h.model.ras_status(h.emu->state());
+      ASSERT_FALSE(ras.checkstop);
+      if (ras.test_finished) break;
+      ASSERT_LT(h.emu->cycle(), h.trace.completion_cycle + 4000);
+    }
+    const auto verdict =
+        avp::check_against_golden(h.model, h.emu->state(), h.golden);
+    EXPECT_TRUE(verdict.state_matches) << verdict.first_diff;
+    EXPECT_TRUE(verdict.memory_matches) << "strike " << i;
+  }
+}
+
+TEST(Periphery, MainStoreDoubleBitChecksto) {
+  // The loop's store invalidates its own cache line, so every iteration
+  // refetches 0x4000 from main store through the ECC controller.
+  PeripheryHarness h(R"(
+    li r1, 0x4000
+    li r2, 200
+    mtctr r2
+  loop:
+    lwz r3, 0(r1)
+    stw r3, 4(r1)
+    bdnz loop
+    stop
+  )");
+  h.emu->restore_checkpoint(h.cp);
+  h.emu->run(30);
+  const u64 w = 0x4000 / 8;
+  h.model.memory().flip_storage_bit(w * 72 + 2);
+  h.model.memory().flip_storage_bit(w * 72 + 33);
+  bool checkstopped = false;
+  for (Cycle c = 0; c < 100000; ++c) {
+    h.emu->step();
+    const auto ras = h.model.ras_status(h.emu->state());
+    if (ras.checkstop) {
+      checkstopped = true;
+      break;
+    }
+    if (ras.test_finished) break;
+  }
+  EXPECT_TRUE(checkstopped)
+      << "uncorrectable main-store word was never reported";
+}
+
+}  // namespace
+}  // namespace sfi::mem

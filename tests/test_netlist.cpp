@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "netlist/field.hpp"
+#include "netlist/registry.hpp"
+#include "netlist/state_vector.hpp"
+
+namespace sfi::netlist {
+namespace {
+
+LatchRegistry make_reg() {
+  LatchRegistry reg;
+  reg.add("a.x", Unit::IFU, LatchType::Func, 0, 16);
+  reg.add("a.y", Unit::IFU, LatchType::Func, 0, 1);
+  reg.add("b.gpr0", Unit::FXU, LatchType::RegFile, 2, 64);
+  reg.add("b.mode", Unit::FXU, LatchType::Mode, 2, 8, /*hashable=*/false);
+  reg.add("b.mode_wedge", Unit::FXU, LatchType::Mode, 2, 1);  // hashable
+  reg.add("c.gptr", Unit::Core, LatchType::Gptr, 6, 4, /*hashable=*/false);
+  reg.finalize();
+  return reg;
+}
+
+TEST(Registry, OrdinalCountsExcludePadding) {
+  const LatchRegistry reg = make_reg();
+  EXPECT_EQ(reg.num_latches(), 16u + 1 + 64 + 8 + 1 + 4);
+  // 16+1 fit in word 0; 64 needs its own word → padding inserted.
+  EXPECT_GT(reg.total_bits(), reg.num_latches());
+}
+
+TEST(Registry, FieldsNeverStraddleWords) {
+  const LatchRegistry reg = make_reg();
+  for (const LatchMeta& m : reg.fields()) {
+    EXPECT_EQ(m.bit_offset / 64, (m.bit_offset + m.width - 1) / 64) << m.name;
+  }
+}
+
+TEST(Registry, OrdinalToBitRoundTrip) {
+  const LatchRegistry reg = make_reg();
+  for (u32 ord = 0; ord < reg.num_latches(); ++ord) {
+    const LatchMeta& m = reg.meta_of_ordinal(ord);
+    const BitIndex bit = reg.bit_of_ordinal(ord);
+    EXPECT_GE(bit, m.bit_offset);
+    EXPECT_LT(bit, m.bit_offset + m.width);
+  }
+}
+
+TEST(Registry, MetaLookup) {
+  const LatchRegistry reg = make_reg();
+  EXPECT_EQ(reg.meta_of_ordinal(0).name, "a.x");
+  EXPECT_EQ(reg.meta_of_ordinal(16).name, "a.y");
+  EXPECT_EQ(reg.meta_of_ordinal(17).name, "b.gpr0");
+  EXPECT_EQ(reg.name_of_ordinal(5), "a.x[5]");
+  EXPECT_EQ(reg.name_of_ordinal(16), "a.y");
+}
+
+TEST(Registry, CountsByUnitAndType) {
+  const LatchRegistry reg = make_reg();
+  const auto by_unit = reg.latch_count_by_unit();
+  EXPECT_EQ(by_unit[static_cast<std::size_t>(Unit::IFU)], 17u);
+  EXPECT_EQ(by_unit[static_cast<std::size_t>(Unit::FXU)], 73u);
+  EXPECT_EQ(by_unit[static_cast<std::size_t>(Unit::Core)], 4u);
+  const auto by_type = reg.latch_count_by_type();
+  EXPECT_EQ(by_type[static_cast<std::size_t>(LatchType::Mode)], 9u);
+  EXPECT_EQ(by_type[static_cast<std::size_t>(LatchType::Gptr)], 4u);
+  EXPECT_EQ(by_type[static_cast<std::size_t>(LatchType::RegFile)], 64u);
+}
+
+TEST(Registry, CollectOrdinals) {
+  const LatchRegistry reg = make_reg();
+  const auto scan_only = reg.collect_ordinals(
+      [](const LatchMeta& m) { return is_scan_only(m.type); });
+  EXPECT_EQ(scan_only.size(), 13u);
+}
+
+TEST(Registry, HashableFlagIsAuthoritative) {
+  const LatchRegistry reg = make_reg();
+  StateVector sv(reg.total_bits());
+  const u64 h0 = sv.masked_hash(reg.hash_masks());
+  // Flip a benign (hashable=false) MODE bit: hash unchanged.
+  const auto benign = reg.collect_ordinals(
+      [](const LatchMeta& m) { return m.name == "b.mode"; });
+  sv.flip_bit(reg.bit_of_ordinal(benign.front()));
+  EXPECT_EQ(sv.masked_hash(reg.hash_masks()), h0);
+  // Flip the hashable MODE wedge bit: hash changes (no false convergence).
+  const auto wedge = reg.collect_ordinals(
+      [](const LatchMeta& m) { return m.name == "b.mode_wedge"; });
+  sv.flip_bit(reg.bit_of_ordinal(wedge.front()));
+  EXPECT_NE(sv.masked_hash(reg.hash_masks()), h0);
+  // Flip a FUNC bit: hash changes again.
+  const u64 h1 = sv.masked_hash(reg.hash_masks());
+  sv.flip_bit(reg.bit_of_ordinal(0));
+  EXPECT_NE(sv.masked_hash(reg.hash_masks()), h1);
+}
+
+TEST(Registry, AddAfterFinalizeRejected) {
+  LatchRegistry reg = make_reg();
+  EXPECT_THROW(reg.add("late", Unit::IFU, LatchType::Func, 0, 1), UsageError);
+}
+
+TEST(Registry, BadWidthRejected) {
+  LatchRegistry reg;
+  EXPECT_THROW(reg.add("w0", Unit::IFU, LatchType::Func, 0, 0), UsageError);
+  EXPECT_THROW(reg.add("w65", Unit::IFU, LatchType::Func, 0, 65), UsageError);
+}
+
+TEST(StateVector, BitOps) {
+  StateVector sv(130);
+  EXPECT_FALSE(sv.get_bit(129));
+  sv.set_bit(129, true);
+  EXPECT_TRUE(sv.get_bit(129));
+  sv.flip_bit(129);
+  EXPECT_FALSE(sv.get_bit(129));
+  EXPECT_THROW(sv.set_bit(130, true), UsageError);
+}
+
+TEST(StateVector, FieldReadWrite) {
+  StateVector sv(128);
+  sv.write(3, 16, 0xABCD);
+  EXPECT_EQ(sv.read(3, 16), 0xABCDu);
+  sv.write(64, 64, ~u64{0});
+  EXPECT_EQ(sv.read(64, 64), ~u64{0});
+  // Neighbouring fields unaffected.
+  EXPECT_EQ(sv.read(19, 16), 0u);
+}
+
+TEST(StateVector, EqualityAndDistance) {
+  const LatchRegistry reg = make_reg();
+  StateVector a(reg.total_bits());
+  StateVector b(reg.total_bits());
+  EXPECT_EQ(a, b);
+  b.flip_bit(reg.bit_of_ordinal(3));
+  b.flip_bit(reg.bit_of_ordinal(20));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.masked_distance(b, reg.hash_masks()), 2u);
+}
+
+TEST(Field, LatchSemantics) {
+  LatchRegistry reg;
+  const Field x(reg.add("x", Unit::IFU, LatchType::Func, 0, 8));
+  const Field y(reg.add("y", Unit::IFU, LatchType::Func, 0, 8));
+  reg.finalize();
+  StateVector cur(reg.total_bits());
+  StateVector nxt(reg.total_bits());
+  x.poke(cur, 5);
+  nxt = cur;
+  const CycleFrame f{cur, nxt};
+  EXPECT_EQ(x.get(f), 5u);
+  x.set(f, 9);
+  EXPECT_EQ(x.get(f), 5u);     // current value unchanged
+  EXPECT_EQ(x.staged(f), 9u);  // staged for next cycle
+  EXPECT_EQ(y.staged(f), 0u);  // unwritten fields hold
+}
+
+TEST(Field, FlagWidthEnforced) {
+  LatchRegistry reg;
+  const auto wide = reg.add("wide", Unit::IFU, LatchType::Func, 0, 2);
+  EXPECT_THROW(netlist::Flag{wide}, UsageError);
+}
+
+}  // namespace
+}  // namespace sfi::netlist

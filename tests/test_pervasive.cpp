@@ -1,0 +1,188 @@
+// Pervasive-logic behaviours: FIR capture, watchdog, recovery arbitration,
+// escalation rules, and the scan-only configuration's failure modes.
+#include <gtest/gtest.h>
+
+#include "avp/runner.hpp"
+#include "avp/testgen.hpp"
+#include "core/core_model.hpp"
+#include "emu/emulator.hpp"
+#include "isa/assembler.hpp"
+#include "sfi/runner.hpp"
+#include "sfi/tracer.hpp"
+
+namespace sfi {
+namespace {
+
+using inject::FaultMode;
+using inject::FaultSpec;
+using inject::Outcome;
+
+struct Harness {
+  avp::Testcase tc;
+  avp::GoldenResult golden;
+  core::Pearl6Model model;
+  std::unique_ptr<emu::Emulator> emu;
+  emu::Checkpoint cp;
+  emu::GoldenTrace trace;
+  std::unique_ptr<inject::InjectionRunner> runner;
+
+  Harness() {
+    tc.program.code = isa::assemble(R"(
+      li r1, 60
+      mtctr r1
+      li r2, 0
+    loop:
+      addi r2, r2, 1
+      bdnz loop
+      stop
+    )");
+    golden = avp::run_golden(tc);
+    emu = std::make_unique<emu::Emulator>(model);
+    trace = avp::run_reference(model, *emu, tc);
+    emu->reset();
+    cp = emu->save_checkpoint();
+    runner = std::make_unique<inject::InjectionRunner>(model, *emu, cp, trace,
+                                                       golden,
+                                                       inject::RunConfig{});
+  }
+
+  [[nodiscard]] inject::RunResult flip(std::string_view name, u32 bit,
+                                       Cycle cycle) {
+    const auto ords = model.registry().collect_ordinals(
+        [&](const netlist::LatchMeta& m) { return m.name == name; });
+    EXPECT_FALSE(ords.empty()) << name;
+    FaultSpec f;
+    f.index = ords.at(bit);
+    f.cycle = cycle;
+    return runner->run(f);
+  }
+};
+
+TEST(Pervasive, RedundantRecoveryFlagMismatchChecksto) {
+  Harness h;
+  // The pervasive copy of "recovery active" is cross-checked against the
+  // RUT sequencer every cycle: a flip is an immediate protocol violation.
+  const auto r = h.flip("core.rec.active", 0, 30);
+  EXPECT_EQ(r.outcome, Outcome::Checkstop);
+  EXPECT_LE(r.end_cycle, 33u);  // detected within a cycle or two
+}
+
+TEST(Pervasive, HangLatchFlipIsTerminalHang) {
+  Harness h;
+  const auto r = h.flip("core.hang", 0, 30);
+  EXPECT_EQ(r.outcome, Outcome::Hang);
+}
+
+TEST(Pervasive, DoneLatchFlipEndsTestEarlyAsSdc) {
+  Harness h;
+  // A conjured "test finished" with half the program unexecuted is exactly
+  // what the AVP's golden compare exists to catch.
+  const auto r = h.flip("core.done", 0, 30);
+  EXPECT_EQ(r.outcome, Outcome::BadArchState);
+}
+
+TEST(Pervasive, WatchdogCounterFlipResyncsOrRecovers) {
+  Harness h;
+  // The watchdog counter resets at every completion; a flip either washes
+  // out (resync) or trips a spurious hang if it jumps past the timeout.
+  // With timeout 600 and completions every few cycles, it must wash out.
+  const auto r = h.flip("core.wd.counter", 5, 40);
+  EXPECT_EQ(r.outcome, Outcome::Vanished);
+}
+
+TEST(Pervasive, FirstErrorCaptureRecordsFirstCheckerOnly) {
+  Harness h;
+  // Within one loop iteration the flip may land in the read-to-overwrite
+  // window (vanishing legally); sweep a few cycles until one is detected.
+  FaultSpec f;
+  const auto ords = h.model.registry().collect_ordinals(
+      [](const netlist::LatchMeta& m) { return m.name == "fxu.gpr2"; });
+  f.index = ords.at(3);
+  bool found = false;
+  for (Cycle c = 30; c < 44 && !found; ++c) {
+    f.cycle = c;
+    const auto t = inject::trace_injection(h.model, *h.emu, h.cp, h.trace,
+                                           h.golden, f);
+    if (!t.detected()) continue;
+    found = true;
+    EXPECT_EQ(t.events.front().unit, netlist::Unit::FXU);
+    EXPECT_EQ(t.result.outcome, Outcome::Corrected);
+  }
+  EXPECT_TRUE(found) << "live register never caught across a full iteration";
+}
+
+TEST(Pervasive, RecoveryCompletesWithinTimeout) {
+  Harness h;
+  // End-to-end recovery latency: flush + 51-entry restore + refetch must
+  // finish well inside the recovery-timeout mode value (200 cycles).
+  FaultSpec f;
+  // CTR is read by every bdnz; sweep cycles until the flip lands in the
+  // written-then-read window (the read-to-overwrite window vanishes).
+  const auto ords = h.model.registry().collect_ordinals(
+      [](const netlist::LatchMeta& m) { return m.name == "idu.ctr"; });
+  f.index = ords.at(2);
+  Cycle start = 0;
+  Cycle complete = 0;
+  for (Cycle c = 35; c < 50 && start == 0; ++c) {
+    f.cycle = c;
+    const auto t = inject::trace_injection(h.model, *h.emu, h.cp, h.trace,
+                                           h.golden, f);
+    for (const auto& e : t.events) {
+      if (e.kind == inject::TraceEvent::Kind::RecoveryStarted && start == 0) {
+        start = e.cycle;
+      }
+      if (e.kind == inject::TraceEvent::Kind::RecoveryCompleted &&
+          complete == 0) {
+        complete = e.cycle;
+      }
+    }
+  }
+  ASSERT_GT(start, 0u);
+  ASSERT_GT(complete, start);
+  EXPECT_LT(complete - start, 80u);
+  EXPECT_GT(complete - start, 50u);  // 51 restore cycles is the floor
+}
+
+TEST(Pervasive, StickyForceErrorOnAnyUnitEscalates) {
+  // force_error MODE bits exist in every unit's ring; all of them must end
+  // in checkstop (recovery storm breaker) — none may silently corrupt.
+  Harness h;
+  for (const char* name :
+       {"ifu.mode.force_error", "idu.mode.force_error",
+        "fxu.mode.force_error", "fpu.mode.force_error",
+        "lsu.mode.force_error", "rut.mode.force_error"}) {
+    const auto r = h.flip(name, 0, 25);
+    EXPECT_EQ(r.outcome, Outcome::Checkstop) << name;
+  }
+}
+
+TEST(Pervasive, GptrHoldWedgesUnitsInTheInstructionPath) {
+  Harness h;
+  // IFU/IDU/FXU carry every instruction of this loop: wedging them stops
+  // completion. (Wedging the *idle* LSU of a load-free loop legitimately
+  // vanishes — exercised by the campaign suites.)
+  for (const char* name :
+       {"ifu.gptr.hold", "idu.gptr.hold", "fxu.gptr.hold"}) {
+    const auto r = h.flip(name, 0, 25);
+    EXPECT_TRUE(r.outcome == Outcome::Hang ||
+                r.outcome == Outcome::Checkstop)
+        << name << " -> " << to_string(r.outcome);
+  }
+}
+
+TEST(Pervasive, GptrScanEnableIsEquallyFatal) {
+  Harness h;
+  const auto r = h.flip("fxu.gptr.scan_en", 0, 25);
+  EXPECT_TRUE(r.outcome == Outcome::Hang || r.outcome == Outcome::Checkstop);
+}
+
+TEST(Pervasive, SpareGptrBitsAreBenign) {
+  Harness h;
+  for (u32 bit = 0; bit < 6; ++bit) {
+    const auto r = h.flip("core.gptr.test", bit, 25);
+    EXPECT_EQ(r.outcome, Outcome::Vanished) << bit;
+  }
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "avp/testgen.hpp"
+#include "sfi/campaign.hpp"
+#include "sfi/sample_size.hpp"
+
+namespace sfi::inject {
+namespace {
+
+avp::Testcase small_testcase(u64 seed = 11) {
+  avp::TestcaseConfig cfg;
+  cfg.seed = seed;
+  cfg.num_instructions = 80;
+  return avp::generate_testcase(cfg);
+}
+
+TEST(Outcome, CountsArithmetic) {
+  OutcomeCounts c;
+  c.add(Outcome::Vanished);
+  c.add(Outcome::Vanished);
+  c.add(Outcome::Checkstop);
+  EXPECT_EQ(c.total(), 3u);
+  EXPECT_EQ(c.of(Outcome::Vanished), 2u);
+  EXPECT_NEAR(c.fraction(Outcome::Vanished), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(c.fraction(Outcome::Hang), 0.0);
+  OutcomeCounts d;
+  d.add(Outcome::Hang);
+  c.merge(d);
+  EXPECT_EQ(c.total(), 4u);
+  EXPECT_TRUE(c.interval(Outcome::Vanished).contains(0.5));
+}
+
+TEST(Population, FiltersArePartition) {
+  core::Pearl6Model model;
+  const auto& reg = model.registry();
+  std::size_t by_unit = 0;
+  for (const auto u : netlist::kAllUnits) {
+    by_unit += LatchPopulation::unit(reg, u).size();
+  }
+  std::size_t by_type = 0;
+  for (const auto t : netlist::kAllLatchTypes) {
+    by_type += LatchPopulation::latch_type(reg, t).size();
+  }
+  const std::size_t all = LatchPopulation::all(reg).size();
+  EXPECT_EQ(by_unit, all);
+  EXPECT_EQ(by_type, all);
+  EXPECT_EQ(all, reg.num_latches());
+}
+
+TEST(Population, PickStaysInPopulation) {
+  core::Pearl6Model model;
+  const auto pop =
+      LatchPopulation::unit(model.registry(), netlist::Unit::RUT);
+  stats::Xoshiro256 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const u32 ord = pop.pick(rng);
+    EXPECT_EQ(model.registry().meta_of_ordinal(ord).unit, netlist::Unit::RUT);
+  }
+}
+
+TEST(Sampler, WindowRespected) {
+  core::Pearl6Model model;
+  const auto pop = LatchPopulation::all(model.registry());
+  FaultSampler s;
+  s.population = &pop;
+  s.window_begin = 10;
+  s.window_end = 20;
+  stats::Xoshiro256 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const FaultSpec f = s.sample(rng);
+    EXPECT_GE(f.cycle, 10u);
+    EXPECT_LT(f.cycle, 20u);
+  }
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  const avp::Testcase tc = small_testcase();
+  CampaignConfig cfg;
+  cfg.seed = 99;
+  cfg.num_injections = 60;
+  cfg.threads = 1;
+  const CampaignResult a = run_campaign(tc, cfg);
+  cfg.threads = 3;
+  const CampaignResult b = run_campaign(tc, cfg);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].outcome, b.records[i].outcome) << i;
+    EXPECT_EQ(a.records[i].fault.index, b.records[i].fault.index) << i;
+    EXPECT_EQ(a.records[i].fault.cycle, b.records[i].fault.cycle) << i;
+  }
+  for (std::size_t c = 0; c < kNumOutcomes; ++c) {
+    EXPECT_EQ(a.counts.counts[c], b.counts.counts[c]);
+  }
+}
+
+TEST(Campaign, BreakdownsSumToTotal) {
+  const avp::Testcase tc = small_testcase();
+  CampaignConfig cfg;
+  cfg.seed = 7;
+  cfg.num_injections = 120;
+  const CampaignResult r = run_campaign(tc, cfg);
+  EXPECT_EQ(r.counts.total(), 120u);
+  u64 unit_total = 0;
+  for (const auto& u : r.by_unit) unit_total += u.total();
+  EXPECT_EQ(unit_total, 120u);
+  u64 type_total = 0;
+  for (const auto& t : r.by_type) type_total += t.total();
+  EXPECT_EQ(type_total, 120u);
+  EXPECT_GT(r.population_size, 10000u);
+}
+
+TEST(Campaign, FilterRestrictsPopulation) {
+  const avp::Testcase tc = small_testcase();
+  CampaignConfig cfg;
+  cfg.seed = 8;
+  cfg.num_injections = 50;
+  cfg.filter = [](const netlist::LatchMeta& m) {
+    return m.unit == netlist::Unit::IFU;
+  };
+  const CampaignResult r = run_campaign(tc, cfg);
+  for (const auto& rec : r.records) {
+    EXPECT_EQ(rec.unit, netlist::Unit::IFU);
+  }
+  EXPECT_EQ(r.by_unit[static_cast<std::size_t>(netlist::Unit::IFU)].total(),
+            50u);
+}
+
+TEST(Campaign, EarlyExitDoesNotChangeOutcomes) {
+  // The golden-hash early exit is an optimization, never a classifier
+  // change: outcomes with and without it must match injection-for-injection.
+  const avp::Testcase tc = small_testcase(21);
+  CampaignConfig fast;
+  fast.seed = 1234;
+  fast.num_injections = 400;
+  CampaignConfig slow = fast;
+  slow.run.early_exit = false;
+  const CampaignResult a = run_campaign(tc, fast);
+  const CampaignResult b = run_campaign(tc, slow);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].outcome, b.records[i].outcome)
+        << "injection " << i << " latch "
+        << a.records[i].fault.index << " cycle " << a.records[i].fault.cycle;
+  }
+}
+
+TEST(Campaign, MostFaultsVanish) {
+  // The paper's headline derating: the large majority of latch flips have
+  // no effect.
+  const avp::Testcase tc = small_testcase(31);
+  CampaignConfig cfg;
+  cfg.seed = 5;
+  cfg.num_injections = 300;
+  const CampaignResult r = run_campaign(tc, cfg);
+  EXPECT_GT(r.counts.fraction(Outcome::Vanished), 0.75);
+  EXPECT_LT(r.counts.fraction(Outcome::BadArchState), 0.05);
+}
+
+TEST(Campaign, RawModeKillsRecoveries) {
+  const avp::Testcase tc = small_testcase(41);
+  CampaignConfig raw;
+  raw.seed = 6;
+  raw.num_injections = 200;
+  raw.core.checkers_enabled = false;
+  const CampaignResult r = run_campaign(tc, raw);
+  EXPECT_EQ(r.counts.of(Outcome::Corrected), 0u);
+  EXPECT_EQ(r.counts.of(Outcome::Checkstop), 0u);
+}
+
+TEST(SampleSize, SigmaOverMuFallsWithFlips) {
+  // Synthetic pool with known proportions: σ/µ must fall roughly as
+  // 1/sqrt(X) — the paper's Figure 2 shape.
+  stats::Xoshiro256 rng(17);
+  std::vector<InjectionRecord> pool(40000);
+  for (auto& rec : pool) {
+    const double u = rng.uniform();
+    rec.outcome = u < 0.9    ? Outcome::Vanished
+                  : u < 0.97 ? Outcome::Corrected
+                  : u < 0.99 ? Outcome::Hang
+                             : Outcome::Checkstop;
+  }
+  SampleSizeConfig cfg;
+  cfg.flip_counts = {200, 800, 3200, 12800};
+  cfg.samples_per_point = 12;
+  const auto pts = sample_size_study(pool, cfg);
+  ASSERT_EQ(pts.size(), 4u);
+  const auto corrected = static_cast<std::size_t>(Outcome::Corrected);
+  EXPECT_GT(pts[0].stddev_over_mean[corrected],
+            pts[3].stddev_over_mean[corrected]);
+  // Mean counts scale linearly with X.
+  EXPECT_NEAR(pts[1].mean_counts[corrected],
+              4 * pts[0].mean_counts[corrected],
+              pts[1].mean_counts[corrected] * 0.5 + 4);
+}
+
+TEST(SampleSize, BootstrapWhenPoolSmall) {
+  std::vector<InjectionRecord> pool(100);
+  for (auto& rec : pool) rec.outcome = Outcome::Vanished;
+  SampleSizeConfig cfg;
+  cfg.flip_counts = {500};  // larger than the pool: bootstrap path
+  const auto pts = sample_size_study(pool, cfg);
+  EXPECT_EQ(pts[0].mean_counts[static_cast<std::size_t>(Outcome::Vanished)],
+            500.0);
+}
+
+}  // namespace
+}  // namespace sfi::inject

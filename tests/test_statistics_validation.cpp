@@ -1,0 +1,132 @@
+// Statistical validation of the campaign machinery: the paper's whole
+// argument rests on sampled proportions being unbiased and stable. These
+// tests check the estimator properties end-to-end on the real model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "avp/testgen.hpp"
+#include "sfi/campaign.hpp"
+
+namespace sfi::inject {
+namespace {
+
+avp::Testcase testcase(u64 seed = 61) {
+  avp::TestcaseConfig cfg;
+  cfg.seed = seed;
+  cfg.num_instructions = 90;
+  return avp::generate_testcase(cfg);
+}
+
+TEST(StatValidation, IndependentSeedsAgreeWithinConfidence) {
+  // Two independent campaigns estimate the same underlying proportion; the
+  // difference must be compatible with the combined Wilson intervals.
+  const avp::Testcase tc = testcase();
+  CampaignConfig a;
+  a.seed = 100;
+  a.num_injections = 700;
+  CampaignConfig b = a;
+  b.seed = 200;
+  const CampaignResult ra = run_campaign(tc, a);
+  const CampaignResult rb = run_campaign(tc, b);
+  const auto iva = ra.counts.interval(Outcome::Vanished);
+  const auto ivb = rb.counts.interval(Outcome::Vanished);
+  // 95% intervals of the same quantity overlap (generously: they fail to
+  // overlap < 1% of the time; the seeds are fixed, so this is deterministic
+  // documentation of agreement, not a flaky assertion).
+  EXPECT_LT(std::max(iva.low, ivb.low), std::min(iva.high, ivb.high))
+      << "campaigns disagree beyond sampling error";
+}
+
+TEST(StatValidation, UnitSliceMatchesTargetedCampaign) {
+  // Sampling uniformly and slicing by unit must estimate the same per-unit
+  // proportions as a targeted per-unit campaign (same fault process, same
+  // classifier): the sampler is unbiased.
+  const avp::Testcase tc = testcase();
+  CampaignConfig uni;
+  uni.seed = 5;
+  uni.num_injections = 2500;
+  const CampaignResult global = run_campaign(tc, uni);
+
+  CampaignConfig targeted;
+  targeted.seed = 6;
+  targeted.num_injections = 700;
+  targeted.filter = [](const netlist::LatchMeta& m) {
+    return m.unit == netlist::Unit::FXU;
+  };
+  const CampaignResult fxu = run_campaign(tc, targeted);
+
+  const auto& slice =
+      global.by_unit[static_cast<std::size_t>(netlist::Unit::FXU)];
+  ASSERT_GT(slice.total(), 200u);
+  const double p_slice = slice.fraction(Outcome::Vanished);
+  const double p_tgt = fxu.counts.fraction(Outcome::Vanished);
+  // Combined standard error bound (generous 4σ).
+  const double se = std::sqrt(p_tgt * (1 - p_tgt) *
+                              (1.0 / static_cast<double>(slice.total()) +
+                               1.0 / 700.0));
+  EXPECT_NEAR(p_slice, p_tgt, 4.0 * se + 0.01);
+}
+
+TEST(StatValidation, UniformSamplerCoversUnitsProportionally) {
+  const avp::Testcase tc = testcase();
+  CampaignConfig cfg;
+  cfg.seed = 9;
+  cfg.num_injections = 3000;
+  const CampaignResult r = run_campaign(tc, cfg);
+  core::Pearl6Model model;
+  const auto counts = model.registry().latch_count_by_unit();
+  const double total = static_cast<double>(model.registry().num_latches());
+  for (const auto u : netlist::kAllUnits) {
+    const auto idx = static_cast<std::size_t>(u);
+    const double expected =
+        static_cast<double>(counts[idx]) / total * 3000.0;
+    const double got =
+        static_cast<double>(r.by_unit[idx].total());
+    // 5σ binomial bound.
+    const double sigma = std::sqrt(expected * (1.0 - expected / 3000.0));
+    EXPECT_NEAR(got, expected, 5.0 * sigma + 5.0)
+        << netlist::to_string(u);
+  }
+}
+
+TEST(StatValidation, InjectionCyclesUniformOverWindow) {
+  const avp::Testcase tc = testcase();
+  CampaignConfig cfg;
+  cfg.seed = 10;
+  cfg.num_injections = 2000;
+  const CampaignResult r = run_campaign(tc, cfg);
+  // Split the window into quarters: each should hold ~500 injections.
+  const Cycle window = r.workload_cycles;
+  std::array<u32, 4> quarters{};
+  for (const auto& rec : r.records) {
+    const auto q = std::min<std::size_t>(
+        3, static_cast<std::size_t>(rec.fault.cycle * 4 / window));
+    ++quarters[q];
+  }
+  for (const u32 q : quarters) {
+    EXPECT_NEAR(static_cast<double>(q), 500.0, 90.0);
+  }
+}
+
+TEST(StatValidation, OutcomesStableAcrossWorkloadSeeds) {
+  // The paper's derating is a property of the *design*, not one testcase:
+  // the vanished fraction across different AVP testcases must agree to
+  // within a few points.
+  double lo = 1.0;
+  double hi = 0.0;
+  for (u64 ws : {u64{61}, u64{62}, u64{63}}) {
+    CampaignConfig cfg;
+    cfg.seed = 11;
+    cfg.num_injections = 600;
+    const CampaignResult r = run_campaign(testcase(ws), cfg);
+    const double v = r.counts.fraction(Outcome::Vanished);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(hi - lo, 0.06) << "derating is workload-dominated, not "
+                              "design-dominated";
+}
+
+}  // namespace
+}  // namespace sfi::inject

@@ -1,0 +1,337 @@
+// sfi — the command-line front end of the Statistical Fault Injection
+// framework.
+//
+//   sfi inventory                          latch/array population report
+//   sfi campaign [options]                 run a fault-injection campaign
+//   sfi beam     [options]                 run a simulated beam exposure
+//   sfi trace    --latch NAME [options]    trace one fault cause→effect
+//   sfi mix      [options]                 AVP instruction mix & CPI
+//   sfi derate   [options]                 derating factors & FIT budget
+//
+// Common options:
+//   --seed N              experiment seed               (default 42)
+//   --testcase-seed N     AVP workload seed             (default 2026)
+//   --instructions N      AVP testcase length           (default 160)
+// Campaign/beam options:
+//   --n N                 injections / beam events      (default 1000)
+//   --threads N           worker threads                (default: hw)
+//   --unit U              restrict to one unit (IFU..RUT, Core)
+//   --type T              restrict to one latch type (FUNC/REGFILE/MODE/GPTR)
+//   --raw                 mask all core checkers (Table 3 "Raw")
+//   --sticky D            sticky faults of D cycles instead of toggles
+// Trace options:
+//   --latch NAME[:BIT]    latch (by hierarchical name) to flip
+//   --cycle C             injection cycle               (default 30)
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "avp/testgen.hpp"
+#include "beam/beam.hpp"
+#include "report/table.hpp"
+#include "sfi/campaign.hpp"
+#include "sfi/derating.hpp"
+#include "sfi/tracer.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace {
+
+using namespace sfi;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> opts;
+  bool raw = false;
+
+  [[nodiscard]] u64 num(const std::string& key, u64 dflt) const {
+    const auto it = opts.find(key);
+    return it == opts.end() ? dflt : std::stoull(it->second, nullptr, 0);
+  }
+  [[nodiscard]] std::optional<std::string> str(const std::string& key) const {
+    const auto it = opts.find(key);
+    if (it == opts.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+int usage() {
+  std::cout <<
+      R"(usage: sfi <command> [options]
+commands:
+  inventory   latch/array population report
+  campaign    run a statistical fault-injection campaign
+  beam        run a simulated proton-beam exposure
+  trace       trace one injected fault from cause to effect
+  mix         AVP instruction mix and CPI report
+  derate      derating factors & chip FIT budget from a campaign
+run `head -30 tools/sfi_cli.cpp` for the full option list.
+)";
+  return 2;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc < 2) return a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (key == "raw") {
+      a.raw = true;
+    } else if (i + 1 < argc) {
+      a.opts[key] = argv[++i];
+    }
+  }
+  return a;
+}
+
+avp::Testcase make_testcase(const Args& a) {
+  avp::TestcaseConfig cfg;
+  cfg.seed = a.num("testcase-seed", 2026);
+  cfg.num_instructions = static_cast<u32>(a.num("instructions", 160));
+  return avp::generate_testcase(cfg);
+}
+
+std::optional<netlist::Unit> parse_unit(const std::string& s) {
+  for (const auto u : netlist::kAllUnits) {
+    if (s == to_string(u)) return u;
+  }
+  return std::nullopt;
+}
+
+std::optional<netlist::LatchType> parse_type(const std::string& s) {
+  for (const auto t : netlist::kAllLatchTypes) {
+    if (s == to_string(t)) return t;
+  }
+  return std::nullopt;
+}
+
+void print_outcomes(const inject::OutcomeCounts& counts) {
+  report::Table t({"outcome", "count", "fraction", "95% CI"});
+  for (const auto o : inject::kAllOutcomes) {
+    const auto iv = counts.interval(o);
+    t.add_row({std::string(to_string(o)), report::Table::count(counts.of(o)),
+               report::Table::pct(counts.fraction(o)),
+               "[" + report::Table::pct(iv.low) + ", " +
+                   report::Table::pct(iv.high) + "]"});
+  }
+  std::cout << t.to_string();
+}
+
+int cmd_inventory() {
+  core::Pearl6Model model;
+  const auto& reg = model.registry();
+
+  std::cout << report::section("latch inventory");
+  report::Table by_unit({"unit", "latch bits", "share"});
+  const auto units = reg.latch_count_by_unit();
+  for (const auto u : netlist::kAllUnits) {
+    const auto idx = static_cast<std::size_t>(u);
+    by_unit.add_row({std::string(to_string(u)),
+                     report::Table::count(units[idx]),
+                     report::Table::pct(static_cast<double>(units[idx]) /
+                                        reg.num_latches())});
+  }
+  std::cout << by_unit.to_string() << "\n";
+
+  report::Table by_type({"latch type", "latch bits", "share"});
+  const auto types = reg.latch_count_by_type();
+  for (const auto t : netlist::kAllLatchTypes) {
+    const auto idx = static_cast<std::size_t>(t);
+    by_type.add_row({std::string(to_string(t)),
+                     report::Table::count(types[idx]),
+                     report::Table::pct(static_cast<double>(types[idx]) /
+                                        reg.num_latches())});
+  }
+  std::cout << by_type.to_string() << "\n";
+
+  std::cout << "total injectable latch bits: " << reg.num_latches() << " in "
+            << reg.num_fields() << " named fields\n";
+  std::cout << "protected array bits (beam targets): "
+            << model.arrays().total_storage_bits() << " across "
+            << model.arrays().num_arrays() << " arrays\n";
+  std::cout << "main-store storage bits (periphery targets): "
+            << model.memory().storage_bits() << "\n";
+  return 0;
+}
+
+int cmd_campaign(const Args& a) {
+  const avp::Testcase tc = make_testcase(a);
+  inject::CampaignConfig cfg;
+  cfg.seed = a.num("seed", 42);
+  cfg.num_injections = static_cast<u32>(a.num("n", 1000));
+  cfg.threads = static_cast<u32>(a.num("threads", 0));
+  cfg.core.checkers_enabled = !a.raw;
+  if (const auto d = a.num("sticky", 0); d != 0) {
+    cfg.mode = inject::FaultMode::Sticky;
+    cfg.sticky_duration = d;
+  }
+  if (const auto u = a.str("unit")) {
+    const auto unit = parse_unit(*u);
+    if (!unit) {
+      std::cerr << "unknown unit " << *u << "\n";
+      return 2;
+    }
+    cfg.filter = [unit](const netlist::LatchMeta& m) {
+      return m.unit == *unit;
+    };
+  } else if (const auto t = a.str("type")) {
+    const auto type = parse_type(*t);
+    if (!type) {
+      std::cerr << "unknown latch type " << *t << "\n";
+      return 2;
+    }
+    cfg.filter = [type](const netlist::LatchMeta& m) {
+      return m.type == *type;
+    };
+  }
+
+  const inject::CampaignResult r = inject::run_campaign(tc, cfg);
+  std::cout << report::section("campaign result");
+  std::cout << "workload: " << r.workload_instructions << " instructions / "
+            << r.workload_cycles << " cycles; population "
+            << r.population_size << " latches; "
+            << report::Table::num(r.injections_per_second(), 0)
+            << " injections/s\n\n";
+  print_outcomes(r.counts);
+
+  std::cout << report::section("by unit");
+  report::Table t({"unit", "flips", "vanished", "corrected", "severe"});
+  for (const auto u : netlist::kAllUnits) {
+    const auto& c = r.by_unit[static_cast<std::size_t>(u)];
+    if (c.total() == 0) continue;
+    t.add_row({std::string(to_string(u)), report::Table::count(c.total()),
+               report::Table::pct(c.fraction(inject::Outcome::Vanished)),
+               report::Table::pct(c.fraction(inject::Outcome::Corrected)),
+               report::Table::pct(c.fraction(inject::Outcome::Hang) +
+                                  c.fraction(inject::Outcome::Checkstop) +
+                                  c.fraction(inject::Outcome::BadArchState))});
+  }
+  std::cout << t.to_string();
+  return 0;
+}
+
+int cmd_beam(const Args& a) {
+  const avp::Testcase tc = make_testcase(a);
+  beam::BeamConfig cfg;
+  cfg.seed = a.num("seed", 42);
+  cfg.num_events = static_cast<u32>(a.num("n", 1000));
+  cfg.threads = static_cast<u32>(a.num("threads", 0));
+  cfg.core.checkers_enabled = !a.raw;
+  const beam::BeamResult r = beam::run_beam_experiment(tc, cfg);
+  std::cout << report::section("beam exposure result");
+  std::cout << r.latch_events << " latch strikes, " << r.array_events
+            << " protected-array strikes\n\n";
+  print_outcomes(r.counts);
+  return 0;
+}
+
+int cmd_trace(const Args& a) {
+  const auto latch = a.str("latch");
+  if (!latch) {
+    std::cerr << "trace requires --latch NAME[:BIT]\n";
+    return 2;
+  }
+  std::string name = *latch;
+  u32 bit = 0;
+  if (const auto colon = name.find(':'); colon != std::string::npos) {
+    bit = static_cast<u32>(std::stoul(name.substr(colon + 1)));
+    name = name.substr(0, colon);
+  }
+
+  const avp::Testcase tc = make_testcase(a);
+  const avp::GoldenResult golden = avp::run_golden(tc);
+  core::Pearl6Model model;
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+  emu.reset();
+  const emu::Checkpoint cp = emu.save_checkpoint();
+
+  const auto ords = model.registry().collect_ordinals(
+      [&](const netlist::LatchMeta& m) { return m.name == name; });
+  if (ords.empty()) {
+    std::cerr << "no latch named '" << name
+              << "' (try `sfi inventory` and the DESIGN.md naming scheme)\n";
+    return 2;
+  }
+  if (bit >= ords.size()) {
+    std::cerr << "latch " << name << " has " << ords.size() << " bits\n";
+    return 2;
+  }
+
+  inject::FaultSpec f;
+  f.index = ords[bit];
+  f.cycle = a.num("cycle", 30);
+  if (const auto d = a.num("sticky", 0); d != 0) {
+    f.mode = inject::FaultMode::Sticky;
+    f.sticky_duration = d;
+    f.sticky_value = true;
+  }
+  const auto t = inject::trace_injection(model, emu, cp, trace, golden, f);
+  std::cout << inject::format_trace(t);
+  return 0;
+}
+
+int cmd_derate(const Args& a) {
+  const avp::Testcase tc = make_testcase(a);
+  inject::CampaignConfig cfg;
+  cfg.seed = a.num("seed", 42);
+  cfg.num_injections = static_cast<u32>(a.num("n", 2000));
+  cfg.threads = static_cast<u32>(a.num("threads", 0));
+  const inject::CampaignResult r = inject::run_campaign(tc, cfg);
+
+  core::Pearl6Model model;
+  inject::DeratingConfig dc;
+  const inject::DeratingReport rep =
+      inject::compute_derating(r, model.registry(), dc);
+
+  std::cout << report::section("derating & FIT budget");
+  std::cout << rep.summary() << "\n";
+  report::Table t({"unit", "latches", "derating", "severe rate",
+                   "severe FIT"});
+  for (const auto& u : rep.by_unit) {
+    t.add_row({std::string(to_string(u.unit)),
+               report::Table::count(u.latch_bits),
+               report::Table::pct(u.derating),
+               report::Table::pct(u.severe_rate),
+               report::Table::num(u.severe_fit, 6)});
+  }
+  std::cout << t.to_string();
+  return 0;
+}
+
+int cmd_mix(const Args& a) {
+  const avp::Testcase tc = make_testcase(a);
+  const avp::MixReport rep = avp::measure_mix(tc);
+  std::cout << report::section("AVP instruction mix & CPI");
+  report::Table t({"class", "fraction"});
+  for (std::size_t c = 0; c < isa::kNumInstrClasses; ++c) {
+    t.add_row({std::string(to_string(static_cast<isa::InstrClass>(c))),
+               report::Table::pct(rep.fractions[c], 1)});
+  }
+  std::cout << t.to_string();
+  std::cout << "\n" << rep.instructions << " instructions in " << rep.cycles
+            << " cycles: CPI " << report::Table::num(rep.cpi) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  try {
+    if (a.command == "inventory") return cmd_inventory();
+    if (a.command == "campaign") return cmd_campaign(a);
+    if (a.command == "beam") return cmd_beam(a);
+    if (a.command == "trace") return cmd_trace(a);
+    if (a.command == "mix") return cmd_mix(a);
+    if (a.command == "derate") return cmd_derate(a);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
