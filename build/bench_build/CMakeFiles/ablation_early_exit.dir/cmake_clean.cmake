@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_early_exit"
+  "../bench/ablation_early_exit.pdb"
+  "CMakeFiles/ablation_early_exit.dir/ablation_early_exit.cpp.o"
+  "CMakeFiles/ablation_early_exit.dir/ablation_early_exit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_early_exit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

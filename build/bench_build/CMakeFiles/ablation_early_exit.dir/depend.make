@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_early_exit.
+# This may be replaced when dependencies are built.

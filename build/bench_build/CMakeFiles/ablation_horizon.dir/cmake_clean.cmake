@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_horizon"
+  "../bench/ablation_horizon.pdb"
+  "CMakeFiles/ablation_horizon.dir/ablation_horizon.cpp.o"
+  "CMakeFiles/ablation_horizon.dir/ablation_horizon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

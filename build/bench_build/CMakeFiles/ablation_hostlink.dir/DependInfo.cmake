@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_hostlink.cpp" "bench_build/CMakeFiles/ablation_hostlink.dir/ablation_hostlink.cpp.o" "gcc" "bench_build/CMakeFiles/ablation_hostlink.dir/ablation_hostlink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfi/CMakeFiles/sfi_sfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/beam/CMakeFiles/sfi_beam.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sfi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sfi_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/avp/CMakeFiles/sfi_avp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sfi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sfi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sfi_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sfi_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sfi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hostlink"
+  "../bench/ablation_hostlink.pdb"
+  "CMakeFiles/ablation_hostlink.dir/ablation_hostlink.cpp.o"
+  "CMakeFiles/ablation_hostlink.dir/ablation_hostlink.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hostlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sticky"
+  "../bench/ablation_sticky.pdb"
+  "CMakeFiles/ablation_sticky.dir/ablation_sticky.cpp.o"
+  "CMakeFiles/ablation_sticky.dir/ablation_sticky.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sticky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

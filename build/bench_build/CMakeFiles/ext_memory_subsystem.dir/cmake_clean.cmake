@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_memory_subsystem"
+  "../bench/ext_memory_subsystem.pdb"
+  "CMakeFiles/ext_memory_subsystem.dir/ext_memory_subsystem.cpp.o"
+  "CMakeFiles/ext_memory_subsystem.dir/ext_memory_subsystem.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memory_subsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

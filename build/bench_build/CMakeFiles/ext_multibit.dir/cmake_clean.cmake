@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multibit"
+  "../bench/ext_multibit.pdb"
+  "CMakeFiles/ext_multibit.dir/ext_multibit.cpp.o"
+  "CMakeFiles/ext_multibit.dir/ext_multibit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

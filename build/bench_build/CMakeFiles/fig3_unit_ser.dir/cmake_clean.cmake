@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_unit_ser"
+  "../bench/fig3_unit_ser.pdb"
+  "CMakeFiles/fig3_unit_ser.dir/fig3_unit_ser.cpp.o"
+  "CMakeFiles/fig3_unit_ser.dir/fig3_unit_ser.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_unit_ser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

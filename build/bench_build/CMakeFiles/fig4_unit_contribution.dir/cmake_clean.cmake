@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_unit_contribution"
+  "../bench/fig4_unit_contribution.pdb"
+  "CMakeFiles/fig4_unit_contribution.dir/fig4_unit_contribution.cpp.o"
+  "CMakeFiles/fig4_unit_contribution.dir/fig4_unit_contribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_unit_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

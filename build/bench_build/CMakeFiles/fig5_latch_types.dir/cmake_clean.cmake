@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_latch_types"
+  "../bench/fig5_latch_types.pdb"
+  "CMakeFiles/fig5_latch_types.dir/fig5_latch_types.cpp.o"
+  "CMakeFiles/fig5_latch_types.dir/fig5_latch_types.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_latch_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_avp_mix"
+  "../bench/table1_avp_mix.pdb"
+  "CMakeFiles/table1_avp_mix.dir/table1_avp_mix.cpp.o"
+  "CMakeFiles/table1_avp_mix.dir/table1_avp_mix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_avp_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_beam_calibration"
+  "../bench/table2_beam_calibration.pdb"
+  "CMakeFiles/table2_beam_calibration.dir/table2_beam_calibration.cpp.o"
+  "CMakeFiles/table2_beam_calibration.dir/table2_beam_calibration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_beam_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

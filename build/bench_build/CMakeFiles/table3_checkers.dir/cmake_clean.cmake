@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_checkers"
+  "../bench/table3_checkers.pdb"
+  "CMakeFiles/table3_checkers.dir/table3_checkers.cpp.o"
+  "CMakeFiles/table3_checkers.dir/table3_checkers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_vs_sfi.dir/beam_vs_sfi.cpp.o"
+  "CMakeFiles/beam_vs_sfi.dir/beam_vs_sfi.cpp.o.d"
+  "beam_vs_sfi"
+  "beam_vs_sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_vs_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

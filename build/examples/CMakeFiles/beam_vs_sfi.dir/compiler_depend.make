@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for beam_vs_sfi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_whatif.dir/checker_whatif.cpp.o"
+  "CMakeFiles/checker_whatif.dir/checker_whatif.cpp.o.d"
+  "checker_whatif"
+  "checker_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

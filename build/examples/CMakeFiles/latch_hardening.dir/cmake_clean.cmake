@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latch_hardening.dir/latch_hardening.cpp.o"
+  "CMakeFiles/latch_hardening.dir/latch_hardening.cpp.o.d"
+  "latch_hardening"
+  "latch_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latch_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

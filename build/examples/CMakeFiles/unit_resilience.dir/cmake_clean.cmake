@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_resilience.dir/unit_resilience.cpp.o"
+  "CMakeFiles/unit_resilience.dir/unit_resilience.cpp.o.d"
+  "unit_resilience"
+  "unit_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

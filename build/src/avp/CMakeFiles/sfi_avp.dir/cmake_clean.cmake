@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_avp.dir/runner.cpp.o"
+  "CMakeFiles/sfi_avp.dir/runner.cpp.o.d"
+  "CMakeFiles/sfi_avp.dir/testgen.cpp.o"
+  "CMakeFiles/sfi_avp.dir/testgen.cpp.o.d"
+  "libsfi_avp.a"
+  "libsfi_avp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_avp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

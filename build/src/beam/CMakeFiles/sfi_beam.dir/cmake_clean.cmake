@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_beam.dir/beam.cpp.o"
+  "CMakeFiles/sfi_beam.dir/beam.cpp.o.d"
+  "libsfi_beam.a"
+  "libsfi_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

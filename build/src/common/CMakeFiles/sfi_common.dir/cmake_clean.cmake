@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_common.dir/bits.cpp.o"
+  "CMakeFiles/sfi_common.dir/bits.cpp.o.d"
+  "libsfi_common.a"
+  "libsfi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/core_model.cpp" "src/core/CMakeFiles/sfi_core.dir/core_model.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/core_model.cpp.o.d"
+  "/root/repo/src/core/dcache.cpp" "src/core/CMakeFiles/sfi_core.dir/dcache.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/dcache.cpp.o.d"
+  "/root/repo/src/core/fpu.cpp" "src/core/CMakeFiles/sfi_core.dir/fpu.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/fpu.cpp.o.d"
+  "/root/repo/src/core/fxu.cpp" "src/core/CMakeFiles/sfi_core.dir/fxu.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/fxu.cpp.o.d"
+  "/root/repo/src/core/icache.cpp" "src/core/CMakeFiles/sfi_core.dir/icache.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/icache.cpp.o.d"
+  "/root/repo/src/core/idu.cpp" "src/core/CMakeFiles/sfi_core.dir/idu.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/idu.cpp.o.d"
+  "/root/repo/src/core/ifu.cpp" "src/core/CMakeFiles/sfi_core.dir/ifu.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/ifu.cpp.o.d"
+  "/root/repo/src/core/lsu.cpp" "src/core/CMakeFiles/sfi_core.dir/lsu.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/lsu.cpp.o.d"
+  "/root/repo/src/core/mode_ring.cpp" "src/core/CMakeFiles/sfi_core.dir/mode_ring.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/mode_ring.cpp.o.d"
+  "/root/repo/src/core/pervasive.cpp" "src/core/CMakeFiles/sfi_core.dir/pervasive.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/pervasive.cpp.o.d"
+  "/root/repo/src/core/regfile.cpp" "src/core/CMakeFiles/sfi_core.dir/regfile.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/regfile.cpp.o.d"
+  "/root/repo/src/core/rut.cpp" "src/core/CMakeFiles/sfi_core.dir/rut.cpp.o" "gcc" "src/core/CMakeFiles/sfi_core.dir/rut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sfi_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sfi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/sfi_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sfi_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

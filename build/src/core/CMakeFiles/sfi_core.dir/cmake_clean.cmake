@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_core.dir/core_model.cpp.o"
+  "CMakeFiles/sfi_core.dir/core_model.cpp.o.d"
+  "CMakeFiles/sfi_core.dir/dcache.cpp.o"
+  "CMakeFiles/sfi_core.dir/dcache.cpp.o.d"
+  "CMakeFiles/sfi_core.dir/fpu.cpp.o"
+  "CMakeFiles/sfi_core.dir/fpu.cpp.o.d"
+  "CMakeFiles/sfi_core.dir/fxu.cpp.o"
+  "CMakeFiles/sfi_core.dir/fxu.cpp.o.d"
+  "CMakeFiles/sfi_core.dir/icache.cpp.o"
+  "CMakeFiles/sfi_core.dir/icache.cpp.o.d"
+  "CMakeFiles/sfi_core.dir/idu.cpp.o"
+  "CMakeFiles/sfi_core.dir/idu.cpp.o.d"
+  "CMakeFiles/sfi_core.dir/ifu.cpp.o"
+  "CMakeFiles/sfi_core.dir/ifu.cpp.o.d"
+  "CMakeFiles/sfi_core.dir/lsu.cpp.o"
+  "CMakeFiles/sfi_core.dir/lsu.cpp.o.d"
+  "CMakeFiles/sfi_core.dir/mode_ring.cpp.o"
+  "CMakeFiles/sfi_core.dir/mode_ring.cpp.o.d"
+  "CMakeFiles/sfi_core.dir/pervasive.cpp.o"
+  "CMakeFiles/sfi_core.dir/pervasive.cpp.o.d"
+  "CMakeFiles/sfi_core.dir/regfile.cpp.o"
+  "CMakeFiles/sfi_core.dir/regfile.cpp.o.d"
+  "CMakeFiles/sfi_core.dir/rut.cpp.o"
+  "CMakeFiles/sfi_core.dir/rut.cpp.o.d"
+  "libsfi_core.a"
+  "libsfi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

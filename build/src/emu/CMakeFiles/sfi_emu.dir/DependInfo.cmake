@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/emulator.cpp" "src/emu/CMakeFiles/sfi_emu.dir/emulator.cpp.o" "gcc" "src/emu/CMakeFiles/sfi_emu.dir/emulator.cpp.o.d"
+  "/root/repo/src/emu/golden_trace.cpp" "src/emu/CMakeFiles/sfi_emu.dir/golden_trace.cpp.o" "gcc" "src/emu/CMakeFiles/sfi_emu.dir/golden_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sfi_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sfi_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_emu.dir/emulator.cpp.o"
+  "CMakeFiles/sfi_emu.dir/emulator.cpp.o.d"
+  "CMakeFiles/sfi_emu.dir/golden_trace.cpp.o"
+  "CMakeFiles/sfi_emu.dir/golden_trace.cpp.o.d"
+  "libsfi_emu.a"
+  "libsfi_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/arch_state.cpp" "src/isa/CMakeFiles/sfi_isa.dir/arch_state.cpp.o" "gcc" "src/isa/CMakeFiles/sfi_isa.dir/arch_state.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/isa/CMakeFiles/sfi_isa.dir/assembler.cpp.o" "gcc" "src/isa/CMakeFiles/sfi_isa.dir/assembler.cpp.o.d"
+  "/root/repo/src/isa/decode.cpp" "src/isa/CMakeFiles/sfi_isa.dir/decode.cpp.o" "gcc" "src/isa/CMakeFiles/sfi_isa.dir/decode.cpp.o.d"
+  "/root/repo/src/isa/exec.cpp" "src/isa/CMakeFiles/sfi_isa.dir/exec.cpp.o" "gcc" "src/isa/CMakeFiles/sfi_isa.dir/exec.cpp.o.d"
+  "/root/repo/src/isa/golden.cpp" "src/isa/CMakeFiles/sfi_isa.dir/golden.cpp.o" "gcc" "src/isa/CMakeFiles/sfi_isa.dir/golden.cpp.o.d"
+  "/root/repo/src/isa/memory.cpp" "src/isa/CMakeFiles/sfi_isa.dir/memory.cpp.o" "gcc" "src/isa/CMakeFiles/sfi_isa.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

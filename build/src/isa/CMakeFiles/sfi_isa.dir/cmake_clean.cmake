@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_isa.dir/arch_state.cpp.o"
+  "CMakeFiles/sfi_isa.dir/arch_state.cpp.o.d"
+  "CMakeFiles/sfi_isa.dir/assembler.cpp.o"
+  "CMakeFiles/sfi_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/sfi_isa.dir/decode.cpp.o"
+  "CMakeFiles/sfi_isa.dir/decode.cpp.o.d"
+  "CMakeFiles/sfi_isa.dir/exec.cpp.o"
+  "CMakeFiles/sfi_isa.dir/exec.cpp.o.d"
+  "CMakeFiles/sfi_isa.dir/golden.cpp.o"
+  "CMakeFiles/sfi_isa.dir/golden.cpp.o.d"
+  "CMakeFiles/sfi_isa.dir/memory.cpp.o"
+  "CMakeFiles/sfi_isa.dir/memory.cpp.o.d"
+  "libsfi_isa.a"
+  "libsfi_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_mem.dir/ecc_memory.cpp.o"
+  "CMakeFiles/sfi_mem.dir/ecc_memory.cpp.o.d"
+  "libsfi_mem.a"
+  "libsfi_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/array.cpp" "src/netlist/CMakeFiles/sfi_netlist.dir/array.cpp.o" "gcc" "src/netlist/CMakeFiles/sfi_netlist.dir/array.cpp.o.d"
+  "/root/repo/src/netlist/ecc.cpp" "src/netlist/CMakeFiles/sfi_netlist.dir/ecc.cpp.o" "gcc" "src/netlist/CMakeFiles/sfi_netlist.dir/ecc.cpp.o.d"
+  "/root/repo/src/netlist/registry.cpp" "src/netlist/CMakeFiles/sfi_netlist.dir/registry.cpp.o" "gcc" "src/netlist/CMakeFiles/sfi_netlist.dir/registry.cpp.o.d"
+  "/root/repo/src/netlist/state_vector.cpp" "src/netlist/CMakeFiles/sfi_netlist.dir/state_vector.cpp.o" "gcc" "src/netlist/CMakeFiles/sfi_netlist.dir/state_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_netlist.dir/array.cpp.o"
+  "CMakeFiles/sfi_netlist.dir/array.cpp.o.d"
+  "CMakeFiles/sfi_netlist.dir/ecc.cpp.o"
+  "CMakeFiles/sfi_netlist.dir/ecc.cpp.o.d"
+  "CMakeFiles/sfi_netlist.dir/registry.cpp.o"
+  "CMakeFiles/sfi_netlist.dir/registry.cpp.o.d"
+  "CMakeFiles/sfi_netlist.dir/state_vector.cpp.o"
+  "CMakeFiles/sfi_netlist.dir/state_vector.cpp.o.d"
+  "libsfi_netlist.a"
+  "libsfi_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_report.dir/table.cpp.o"
+  "CMakeFiles/sfi_report.dir/table.cpp.o.d"
+  "libsfi_report.a"
+  "libsfi_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

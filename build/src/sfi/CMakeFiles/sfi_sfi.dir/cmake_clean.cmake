@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_sfi.dir/campaign.cpp.o"
+  "CMakeFiles/sfi_sfi.dir/campaign.cpp.o.d"
+  "CMakeFiles/sfi_sfi.dir/derating.cpp.o"
+  "CMakeFiles/sfi_sfi.dir/derating.cpp.o.d"
+  "CMakeFiles/sfi_sfi.dir/outcome.cpp.o"
+  "CMakeFiles/sfi_sfi.dir/outcome.cpp.o.d"
+  "CMakeFiles/sfi_sfi.dir/runner.cpp.o"
+  "CMakeFiles/sfi_sfi.dir/runner.cpp.o.d"
+  "CMakeFiles/sfi_sfi.dir/sample_size.cpp.o"
+  "CMakeFiles/sfi_sfi.dir/sample_size.cpp.o.d"
+  "CMakeFiles/sfi_sfi.dir/sampler.cpp.o"
+  "CMakeFiles/sfi_sfi.dir/sampler.cpp.o.d"
+  "CMakeFiles/sfi_sfi.dir/tracer.cpp.o"
+  "CMakeFiles/sfi_sfi.dir/tracer.cpp.o.d"
+  "libsfi_sfi.a"
+  "libsfi_sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

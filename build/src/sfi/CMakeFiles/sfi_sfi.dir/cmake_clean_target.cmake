@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsfi_sfi.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/sfi_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/sfi_stats.dir/intervals.cpp.o"
+  "CMakeFiles/sfi_stats.dir/intervals.cpp.o.d"
+  "CMakeFiles/sfi_stats.dir/sampling.cpp.o"
+  "CMakeFiles/sfi_stats.dir/sampling.cpp.o.d"
+  "libsfi_stats.a"
+  "libsfi_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

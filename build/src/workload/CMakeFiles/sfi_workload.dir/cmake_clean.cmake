@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_workload.dir/spec_profiles.cpp.o"
+  "CMakeFiles/sfi_workload.dir/spec_profiles.cpp.o.d"
+  "libsfi_workload.a"
+  "libsfi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avp.dir/test_avp.cpp.o"
+  "CMakeFiles/test_avp.dir/test_avp.cpp.o.d"
+  "test_avp"
+  "test_avp.pdb"
+  "test_avp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_derating.dir/test_derating.cpp.o"
+  "CMakeFiles/test_derating.dir/test_derating.cpp.o.d"
+  "test_derating"
+  "test_derating.pdb"
+  "test_derating[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_derating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

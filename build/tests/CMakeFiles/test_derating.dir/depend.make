@@ -1,0 +1,2 @@
+# Empty dependencies file for test_derating.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_injection_properties.dir/test_injection_properties.cpp.o"
+  "CMakeFiles/test_injection_properties.dir/test_injection_properties.cpp.o.d"
+  "test_injection_properties"
+  "test_injection_properties.pdb"
+  "test_injection_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_injection_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/test_isa.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/test_isa.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/test_isa.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_isa_property.cpp" "tests/CMakeFiles/test_isa.dir/test_isa_property.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_isa_property.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/sfi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/test_assembler.cpp.o"
+  "CMakeFiles/test_isa.dir/test_assembler.cpp.o.d"
+  "CMakeFiles/test_isa.dir/test_golden.cpp.o"
+  "CMakeFiles/test_isa.dir/test_golden.cpp.o.d"
+  "CMakeFiles/test_isa.dir/test_isa.cpp.o"
+  "CMakeFiles/test_isa.dir/test_isa.cpp.o.d"
+  "CMakeFiles/test_isa.dir/test_isa_property.cpp.o"
+  "CMakeFiles/test_isa.dir/test_isa_property.cpp.o.d"
+  "test_isa"
+  "test_isa.pdb"
+  "test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

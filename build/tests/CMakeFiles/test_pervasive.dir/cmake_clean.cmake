@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pervasive.dir/test_pervasive.cpp.o"
+  "CMakeFiles/test_pervasive.dir/test_pervasive.cpp.o.d"
+  "test_pervasive"
+  "test_pervasive.pdb"
+  "test_pervasive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pervasive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statistics_validation.dir/test_statistics_validation.cpp.o"
+  "CMakeFiles/test_statistics_validation.dir/test_statistics_validation.cpp.o.d"
+  "test_statistics_validation"
+  "test_statistics_validation.pdb"
+  "test_statistics_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statistics_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_core_random[1]_include.cmake")
+include("/root/repo/build/tests/test_checkers[1]_include.cmake")
+include("/root/repo/build/tests/test_avp[1]_include.cmake")
+include("/root/repo/build/tests/test_sfi[1]_include.cmake")
+include("/root/repo/build/tests/test_beam[1]_include.cmake")
+include("/root/repo/build/tests/test_emu[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_injection_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_derating[1]_include.cmake")
+include("/root/repo/build/tests/test_pervasive[1]_include.cmake")
+include("/root/repo/build/tests/test_statistics_validation[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi.dir/sfi_cli.cpp.o"
+  "CMakeFiles/sfi.dir/sfi_cli.cpp.o.d"
+  "sfi"
+  "sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
