@@ -29,9 +29,9 @@ int main(int argc, char** argv) {
     cfg.run.hang_margin = margin;
     cfg.run.horizon = margin + 100000;
     const inject::CampaignResult r = inject::run_campaign(tc, cfg);
-    t.add_row(bench::outcome_row(report::Table::count(margin), r.counts));
-    if (r.counts.counts == prev) saturated = true;
-    prev = r.counts.counts;
+    t.add_row(bench::outcome_row(report::Table::count(margin), r.counts()));
+    if (r.counts().counts == prev) saturated = true;
+    prev = r.counts().counts;
   }
   std::cout << t.to_string();
   std::cout << "\nclassifications saturate once the margin covers a full "

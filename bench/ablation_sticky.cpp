@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   cfg.seed = opt.seed;
   cfg.num_injections = n;
   const inject::CampaignResult toggle = inject::run_campaign(tc, cfg);
-  t.add_row(bench::outcome_row("toggle (1 cycle)", toggle.counts));
+  t.add_row(bench::outcome_row("toggle (1 cycle)", toggle.counts()));
 
   for (const Cycle dur : {Cycle{16}, Cycle{256}}) {
     inject::CampaignConfig scfg = cfg;
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     scfg.sticky_duration = dur;
     const inject::CampaignResult sticky = inject::run_campaign(tc, scfg);
     t.add_row(bench::outcome_row(
-        "sticky " + std::to_string(dur) + " cycles", sticky.counts));
+        "sticky " + std::to_string(dur) + " cycles", sticky.counts()));
   }
   std::cout << t.to_string();
   std::cout << "\nexpected shift: longer stuck faults escalate from "

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     // manual loop for width 2.
     if (width == 1) {
       const auto r = inject::run_campaign(tc, cfg);
-      t.add_row(bench::outcome_row("latches, single-bit", r.counts));
+      t.add_row(bench::outcome_row("latches, single-bit", r.counts()));
       continue;
     }
     // Width-2 latch strikes: manual loop over pre-sampled specs.

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
 
   // Analytic cross-check: the Wilson-interval sample size needed for a
   // ±0.5% estimate of the corrected proportion.
-  const double p = pool.counts.fraction(inject::Outcome::Corrected);
+  const double p = pool.counts().fraction(inject::Outcome::Corrected);
   std::cout << "Wilson sample size for +/-0.5% on the corrected rate (p="
             << report::Table::pct(p) << "): "
             << stats::required_sample_size(p, 0.005) << " flips\n";

@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
       return m.unit == unit;
     };
     const inject::CampaignResult r = inject::run_campaign(tc, cfg);
-    t.add_row(bench::outcome_row(std::string(to_string(unit)), r.counts));
-    const double v = r.counts.fraction(inject::Outcome::Vanished);
+    t.add_row(bench::outcome_row(std::string(to_string(unit)), r.counts()));
+    const double v = r.counts().fraction(inject::Outcome::Vanished);
     if (v < min_vanish) {
       min_vanish = v;
       min_unit = unit;

@@ -39,10 +39,10 @@ int main(int argc, char** argv) {
     const auto idx = static_cast<std::size_t>(unit);
     const double weight = static_cast<double>(latch_counts[idx]);
     shares[idx].recoveries =
-        r.counts.fraction(inject::Outcome::Corrected) * weight;
-    shares[idx].hangs = r.counts.fraction(inject::Outcome::Hang) * weight;
+        r.counts().fraction(inject::Outcome::Corrected) * weight;
+    shares[idx].hangs = r.counts().fraction(inject::Outcome::Hang) * weight;
     shares[idx].checkstops =
-        r.counts.fraction(inject::Outcome::Checkstop) * weight;
+        r.counts().fraction(inject::Outcome::Checkstop) * weight;
     total.recoveries += shares[idx].recoveries;
     total.hangs += shares[idx].hangs;
     total.checkstops += shares[idx].checkstops;

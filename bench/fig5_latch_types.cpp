@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
       return m.type == type;
     };
     const inject::CampaignResult r = inject::run_campaign(tc, cfg);
-    t.add_row(bench::outcome_row(std::string(to_string(type)), r.counts));
-    const double v = r.counts.fraction(inject::Outcome::Vanished);
+    t.add_row(bench::outcome_row(std::string(to_string(type)), r.counts()));
+    const double v = r.counts().fraction(inject::Outcome::Vanished);
     if (netlist::is_scan_only(type)) {
       scan_vanish += v / 2.0;
     } else {

@@ -32,23 +32,28 @@ int main(int argc, char** argv) {
   // latches only, and the published beam proportions are dominated by the
   // logic region). Separate the beam's latch strikes from its array strikes
   // to make the same comparison, then show the full-exposure row as well.
-  inject::OutcomeCounts beam_latch;
-  inject::OutcomeCounts beam_array;
-  for (const auto& rec : beam_res.records) {
-    if (rec.fault.target == inject::FaultTarget::Latch) {
-      beam_latch.add(rec.outcome);
-    } else {
-      beam_array.add(rec.outcome);
-    }
-  }
+  const inject::OutcomeCounts beam_latch =
+      inject::aggregate_records(beam_res.records,
+                                [](const inject::InjectionRecord& rec) {
+                                  return rec.fault.target ==
+                                         inject::FaultTarget::Latch;
+                                })
+          .counts;
+  const inject::OutcomeCounts beam_array =
+      inject::aggregate_records(beam_res.records,
+                                [](const inject::InjectionRecord& rec) {
+                                  return rec.fault.target ==
+                                         inject::FaultTarget::ArrayCell;
+                                })
+          .counts;
 
   std::cout << report::section(
       "Table 2: error state proportions — SFI vs (simulated) proton beam");
   report::Table t(bench::outcome_headers("experiment"));
-  t.add_row(bench::outcome_row("SFI (latches)", sfi_res.counts));
+  t.add_row(bench::outcome_row("SFI (latches)", sfi_res.counts()));
   t.add_row(bench::outcome_row("Beam, latch strikes", beam_latch));
   t.add_row(bench::outcome_row("Beam, array strikes", beam_array));
-  t.add_row(bench::outcome_row("Beam, all", beam_res.counts));
+  t.add_row(bench::outcome_row("Beam, all", beam_res.counts()));
   std::cout << t.to_string();
 
   std::cout << "\nbeam events: " << beam_res.latch_events << " latch strikes, "
@@ -57,7 +62,7 @@ int main(int argc, char** argv) {
                "paper's '5600+ fully recovered events including SRAM array "
                "events')\n";
 
-  const double dv = sfi_res.counts.fraction(inject::Outcome::Vanished) -
+  const double dv = sfi_res.counts().fraction(inject::Outcome::Vanished) -
                     beam_latch.fraction(inject::Outcome::Vanished);
   std::cout << "calibration delta on vanished (like-for-like latch rows): "
             << report::Table::pct(dv < 0 ? -dv : dv)

@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
   std::cout << report::section(
       "Table 3: effect of low-level hardware checkers (Raw vs Check)");
   report::Table t(bench::outcome_headers("config"));
-  t.add_row(bench::outcome_row("Raw   (masked)", raw_res.counts));
-  t.add_row(bench::outcome_row("Check (enabled)", chk_res.counts));
+  t.add_row(bench::outcome_row("Raw   (masked)", raw_res.counts()));
+  t.add_row(bench::outcome_row("Check (enabled)", chk_res.counts()));
   std::cout << t.to_string();
 
   std::cout << "\npaper shape: Raw has no recoveries/checkstops (errors pass "
@@ -38,14 +38,14 @@ int main(int argc, char** argv) {
                "recovered or checkstopped outcomes\n";
   std::cout << "detected coverage gained: "
             << report::Table::pct(
-                   chk_res.counts.fraction(inject::Outcome::Corrected) +
-                   chk_res.counts.fraction(inject::Outcome::Checkstop))
+                   chk_res.counts().fraction(inject::Outcome::Corrected) +
+                   chk_res.counts().fraction(inject::Outcome::Checkstop))
             << " of flips; silent corruption reduced from "
             << report::Table::pct(
-                   raw_res.counts.fraction(inject::Outcome::BadArchState))
+                   raw_res.counts().fraction(inject::Outcome::BadArchState))
             << " to "
             << report::Table::pct(
-                   chk_res.counts.fraction(inject::Outcome::BadArchState))
+                   chk_res.counts().fraction(inject::Outcome::BadArchState))
             << "\n";
   return 0;
 }

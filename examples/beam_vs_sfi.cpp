@@ -45,24 +45,21 @@ int main(int argc, char** argv) {
         report::Table::pct(c.fraction(inject::Outcome::Checkstop)),
         report::Table::pct(c.fraction(inject::Outcome::BadArchState))};
   };
-  t.add_row(row("proton beam", beam_res.counts));
-  t.add_row(row("SFI", sfi_res.counts));
+  t.add_row(row("proton beam", beam_res.counts()));
+  t.add_row(row("SFI", sfi_res.counts()));
   std::cout << t.to_string();
 
   // 3. What only SFI can answer: which structures produced the severe
   //    outcomes? (The beam cannot be focused; SFI records every cause.)
-  std::map<std::string, u32> severe_by_unit;
-  for (const auto& rec : sfi_res.records) {
-    if (rec.outcome == inject::Outcome::Checkstop ||
-        rec.outcome == inject::Outcome::Hang ||
-        rec.outcome == inject::Outcome::BadArchState) {
-      severe_by_unit[std::string(to_string(rec.unit))]++;
-    }
-  }
   std::cout << report::section("severe outcomes by originating unit (SFI only)");
   report::Table t2({"unit", "severe outcomes"});
-  for (const auto& [unit, count] : severe_by_unit) {
-    t2.add_row({unit, report::Table::count(count)});
+  for (const auto unit : netlist::kAllUnits) {
+    const auto& c = sfi_res.agg.by_unit[static_cast<std::size_t>(unit)];
+    const u64 severe = c.of(inject::Outcome::Checkstop) +
+                       c.of(inject::Outcome::Hang) +
+                       c.of(inject::Outcome::BadArchState);
+    if (severe == 0) continue;
+    t2.add_row({std::string(to_string(unit)), report::Table::count(severe)});
   }
   std::cout << t2.to_string();
   std::cout << "\nthe close proportions above are the paper's validation "

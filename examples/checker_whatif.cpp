@@ -58,12 +58,12 @@ int main(int argc, char** argv) {
     if (s.masked_bits == ~u64{0}) cfg.core.checkers_enabled = false;
     const inject::CampaignResult r = inject::run_campaign(tc, cfg);
     t.add_row({s.name,
-               report::Table::pct(r.counts.fraction(inject::Outcome::Vanished)),
-               report::Table::pct(r.counts.fraction(inject::Outcome::Corrected)),
-               report::Table::pct(r.counts.fraction(inject::Outcome::Hang)),
-               report::Table::pct(r.counts.fraction(inject::Outcome::Checkstop)),
+               report::Table::pct(r.counts().fraction(inject::Outcome::Vanished)),
+               report::Table::pct(r.counts().fraction(inject::Outcome::Corrected)),
+               report::Table::pct(r.counts().fraction(inject::Outcome::Hang)),
+               report::Table::pct(r.counts().fraction(inject::Outcome::Checkstop)),
                report::Table::pct(
-                   r.counts.fraction(inject::Outcome::BadArchState))});
+                   r.counts().fraction(inject::Outcome::BadArchState))});
   }
   std::cout << t.to_string();
   std::cout << "\nreading: each masked family moves its share of Corrected "

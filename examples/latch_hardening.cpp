@@ -40,14 +40,14 @@ int main(int argc, char** argv) {
     };
     const inject::CampaignResult r = inject::run_campaign(tc, cfg);
     const auto idx = static_cast<std::size_t>(type);
-    severe_rate[idx] = r.counts.fraction(inject::Outcome::Checkstop) +
-                       r.counts.fraction(inject::Outcome::Hang) +
-                       r.counts.fraction(inject::Outcome::BadArchState);
+    severe_rate[idx] = r.counts().fraction(inject::Outcome::Checkstop) +
+                       r.counts().fraction(inject::Outcome::Hang) +
+                       r.counts().fraction(inject::Outcome::BadArchState);
     const double weight = static_cast<double>(counts_by_type[idx]) /
                           static_cast<double>(total_latches);
     t.add_row({std::string(to_string(type)),
                report::Table::count(counts_by_type[idx]),
-               report::Table::pct(r.counts.fraction(inject::Outcome::Vanished)),
+               report::Table::pct(r.counts().fraction(inject::Outcome::Vanished)),
                report::Table::pct(severe_rate[idx]),
                report::Table::pct(severe_rate[idx] * weight, 3)});
   }

@@ -46,10 +46,10 @@ int main(int argc, char** argv) {
 
   report::Table table({"outcome", "count", "fraction", "95% CI"});
   for (const auto o : inject::kAllOutcomes) {
-    const auto iv = res.counts.interval(o);
+    const auto iv = res.counts().interval(o);
     table.add_row({std::string(to_string(o)),
-                   report::Table::count(res.counts.of(o)),
-                   report::Table::pct(res.counts.fraction(o)),
+                   report::Table::count(res.counts().of(o)),
+                   report::Table::pct(res.counts().fraction(o)),
                    "[" + report::Table::pct(iv.low) + ", " +
                        report::Table::pct(iv.high) + "]"});
   }

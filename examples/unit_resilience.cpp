@@ -44,9 +44,9 @@ int main(int argc, char** argv) {
     const double weight = static_cast<double>(latch_counts[idx]) /
                           static_cast<double>(total_latches);
     // Exposure: probability a uniform core flip lands here AND ends badly.
-    const double bad = r.counts.fraction(inject::Outcome::Checkstop) +
-                       r.counts.fraction(inject::Outcome::Hang) +
-                       r.counts.fraction(inject::Outcome::BadArchState);
+    const double bad = r.counts().fraction(inject::Outcome::Checkstop) +
+                       r.counts().fraction(inject::Outcome::Hang) +
+                       r.counts().fraction(inject::Outcome::BadArchState);
     const double exposure = bad * weight;
     if (exposure > worst_score) {
       worst_score = exposure;
@@ -54,12 +54,12 @@ int main(int argc, char** argv) {
     }
     t.add_row({std::string(to_string(unit)),
                report::Table::count(latch_counts[idx]),
-               report::Table::pct(r.counts.fraction(inject::Outcome::Vanished)),
-               report::Table::pct(r.counts.fraction(inject::Outcome::Corrected)),
-               report::Table::pct(r.counts.fraction(inject::Outcome::Hang) +
-                                  r.counts.fraction(inject::Outcome::Checkstop)),
+               report::Table::pct(r.counts().fraction(inject::Outcome::Vanished)),
+               report::Table::pct(r.counts().fraction(inject::Outcome::Corrected)),
+               report::Table::pct(r.counts().fraction(inject::Outcome::Hang) +
+                                  r.counts().fraction(inject::Outcome::Checkstop)),
                report::Table::pct(
-                   r.counts.fraction(inject::Outcome::BadArchState)),
+                   r.counts().fraction(inject::Outcome::BadArchState)),
                report::Table::pct(exposure, 3)});
   }
   std::cout << t.to_string();

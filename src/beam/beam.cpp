@@ -120,9 +120,7 @@ BeamResult run_beam_experiment(const avp::Testcase& tc,
   result.records = std::move(records);
   result.latch_events = latch_events;
   result.array_events = array_events;
-  for (const InjectionRecord& rec : result.records) {
-    result.counts.add(rec.outcome);
-  }
+  result.agg = inject::aggregate_records(result.records);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -28,11 +28,17 @@ struct BeamConfig {
 };
 
 struct BeamResult {
-  inject::OutcomeCounts counts;
+  /// Outcome histogram plus breakdowns, built through the shared
+  /// aggregation helper (sfi/aggregate.hpp) like campaign results.
+  inject::CampaignAggregate agg;
   u64 latch_events = 0;
   u64 array_events = 0;
   std::vector<inject::InjectionRecord> records;
   double wall_seconds = 0.0;
+
+  [[nodiscard]] const inject::OutcomeCounts& counts() const {
+    return agg.counts;
+  }
 };
 
 /// Simulate a beam exposure of `testcase` under `config`.

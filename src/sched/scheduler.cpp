@@ -1,0 +1,218 @@
+#include "sched/scheduler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include "common/hash.hpp"
+#include "store/writer.hpp"
+
+namespace sfi::sched {
+
+u64 workload_id(const avp::Testcase& tc) {
+  u64 h = mix64(tc.config.seed ^
+                (static_cast<u64>(tc.config.num_instructions) << 32));
+  h = mix64(h ^ tc.program.entry);
+  h = mix64(h ^ tc.program.code_base);
+  for (const u32 word : tc.program.code) h = mix64(h ^ word);
+  for (const auto& blob : tc.program.data) {
+    h = mix64(h ^ blob.addr);
+    h = hash_bytes(std::span<const u8>(blob.bytes.data(), blob.bytes.size()),
+                   h);
+  }
+  return h;
+}
+
+u64 campaign_fingerprint(const inject::CampaignConfig& cfg,
+                         const inject::CampaignPlan& plan) {
+  u64 h = mix64(0x5F1C0DE5u ^ static_cast<u64>(plan.population.size()));
+  // The population ordinal set pins down any filter the campaign ran with
+  // (filters themselves are opaque callables and cannot be hashed).
+  for (const u32 ord : plan.population.ordinals()) h = mix64(h ^ ord);
+  h = mix64(h ^ plan.window_begin);
+  h = mix64(h ^ plan.window_end);
+  h = mix64(h ^ static_cast<u64>(cfg.mode));
+  h = mix64(h ^ cfg.sticky_duration);
+  h = mix64(h ^ cfg.run.hang_margin);
+  h = mix64(h ^ cfg.run.horizon);
+  h = mix64(h ^ (cfg.run.early_exit ? 1u : 0u));
+  h = mix64(h ^ (cfg.core.checkers_enabled ? 2u : 0u));
+  h = mix64(h ^ cfg.core.checker_mask);
+  h = mix64(h ^ cfg.core.watchdog_timeout);
+  h = mix64(h ^ cfg.core.recovery_threshold);
+  h = mix64(h ^ cfg.core.recovery_timeout);
+  h = mix64(h ^ (cfg.core.recovery_enabled ? 4u : 0u));
+  return h;
+}
+
+store::CampaignMeta make_campaign_meta(const avp::Testcase& tc,
+                                       const inject::CampaignConfig& cfg,
+                                       const inject::CampaignPlan& plan) {
+  store::CampaignMeta meta;
+  meta.seed = cfg.seed;
+  meta.num_injections = cfg.num_injections;
+  meta.config_fingerprint = campaign_fingerprint(cfg, plan);
+  meta.workload_id = workload_id(tc);
+  meta.population_size = plan.population.size();
+  meta.workload_cycles = plan.trace.completion_cycle;
+  meta.workload_instructions = plan.golden.instructions;
+  meta.window_begin = plan.window_begin;
+  meta.window_end = plan.window_end;
+  return meta;
+}
+
+ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
+                                      const inject::CampaignConfig& cfg,
+                                      const std::string& store_path,
+                                      const SchedulerConfig& sched,
+                                      bool resume) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const inject::CampaignPlan plan = inject::plan_campaign(tc, cfg);
+  const store::CampaignMeta meta = make_campaign_meta(tc, cfg, plan);
+
+  ScheduledResult result;
+  result.meta = meta;
+
+  std::vector<bool> done(cfg.num_injections, false);
+
+  // --- resume: inherit every intact record of a compatible prior run ---
+  bool fresh_store = true;
+  if (resume && std::filesystem::exists(store_path)) {
+    const store::StoreContents prior =
+        store::read_store(store_path, {.tolerate_torn_tail = true});
+    if (!prior.meta.same_campaign(meta)) {
+      throw store::StoreError(
+          "refusing to resume " + store_path +
+          ": it records a different campaign (seed/config/workload "
+          "fingerprint mismatch) — rerun without --resume to overwrite");
+    }
+    if (prior.torn_tail) {
+      // Drop the torn final frame; its injection will simply be re-run.
+      std::filesystem::resize_file(store_path, prior.valid_bytes);
+    }
+    for (const store::StoredRecord& sr : prior.records) {
+      if (sr.index >= cfg.num_injections) {
+        throw store::StoreError("record index out of range in " + store_path);
+      }
+      if (!done[sr.index]) {
+        done[sr.index] = true;
+        result.agg.add(sr.rec);
+        ++result.resumed;
+      }
+    }
+    fresh_store = false;
+  }
+
+  store::StoreWriter writer =
+      fresh_store ? store::StoreWriter::create(store_path, meta)
+                  : store::StoreWriter::append_to(store_path);
+
+  // --- shard the remaining index space ---
+  std::vector<u32> pending;
+  pending.reserve(cfg.num_injections - result.resumed);
+  for (u32 i = 0; i < cfg.num_injections; ++i) {
+    if (!done[i]) pending.push_back(i);
+  }
+
+  const u32 shard_size = std::max(1u, sched.shard_size);
+  const u64 num_shards =
+      (pending.size() + shard_size - 1) / shard_size;
+  const u64 cap = sched.max_new_injections == 0
+                      ? pending.size()
+                      : std::min<u64>(sched.max_new_injections,
+                                      pending.size());
+
+  if (sched.on_progress) {
+    sched.on_progress({result.resumed, cfg.num_injections, result.resumed});
+  }
+
+  std::atomic<u64> next_shard{0};
+  std::atomic<u64> claimed{0};
+  std::atomic<u64> cycles_evaluated{0};
+  std::mutex store_mu;
+  u64 persisted = result.resumed;  // guarded by store_mu
+
+  const auto work = [&](inject::CampaignWorker& w) {
+    std::vector<store::StoredRecord> buf;
+    buf.reserve(sched.flush_records);
+    inject::CampaignAggregate local;
+
+    const auto flush = [&] {
+      if (buf.empty()) return;
+      const std::lock_guard<std::mutex> lock(store_mu);
+      writer.append(std::span<const store::StoredRecord>(buf.data(),
+                                                         buf.size()));
+      writer.flush();
+      persisted += buf.size();
+      if (sched.on_progress) {
+        sched.on_progress({persisted, cfg.num_injections, result.resumed});
+      }
+      buf.clear();
+    };
+
+    bool capped = false;
+    while (!capped) {
+      const u64 shard = next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= num_shards) break;
+      const std::size_t begin = shard * shard_size;
+      const std::size_t end =
+          std::min<std::size_t>(begin + shard_size, pending.size());
+      for (std::size_t p = begin; p < end; ++p) {
+        // Claim one execution slot; the cap models an interrupted run.
+        if (claimed.fetch_add(1, std::memory_order_relaxed) >= cap) {
+          capped = true;
+          break;
+        }
+        const u32 index = pending[p];
+        store::StoredRecord sr;
+        sr.index = index;
+        sr.rec = w.run(plan.faults[index]);
+        local.add(sr.rec);
+        buf.push_back(sr);
+        if (buf.size() >= std::max(1u, sched.flush_records)) flush();
+      }
+    }
+    flush();
+    cycles_evaluated.fetch_add(w.cycles_evaluated(),
+                               std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(store_mu);
+    result.agg.merge(local);
+    result.executed += local.total();
+  };
+
+  if (!pending.empty() && cap > 0) {
+    const u32 hw = std::max(1u, std::thread::hardware_concurrency());
+    const u32 threads = static_cast<u32>(std::min<u64>(
+        cfg.threads != 0 ? cfg.threads : hw, num_shards));
+    if (threads <= 1) {
+      inject::CampaignWorker w(tc, cfg, plan);
+      work(w);
+    } else {
+      std::vector<std::unique_ptr<inject::CampaignWorker>> workers;
+      workers.reserve(threads);
+      for (u32 t = 0; t < threads; ++t) {
+        workers.push_back(
+            std::make_unique<inject::CampaignWorker>(tc, cfg, plan));
+      }
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (u32 t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] { work(*workers[t]); });
+      }
+      for (auto& th : pool) th.join();
+    }
+  }
+
+  result.shards = std::min<u64>(next_shard.load(), num_shards);
+  result.cycles_evaluated = cycles_evaluated.load();
+  result.complete = result.agg.total() == cfg.num_injections;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace sfi::sched

@@ -1,0 +1,90 @@
+// Campaign scheduler: sharded, streaming, resumable execution of a fault
+// injection campaign into a durable store (src/store/).
+//
+// The in-memory path (inject::run_campaign) holds every record until the
+// end and loses everything on interruption; production campaigns of 10^5+
+// injections cannot afford that. The scheduler instead:
+//
+//   * splits the campaign's index space into shards,
+//   * runs shards on a worker pool where each worker owns a private
+//     simulation environment (paper §2.2),
+//   * streams completed records into the store as they finish — appends
+//     are order-insensitive because records carry their index — with a
+//     bounded, flush-throttled at-risk window,
+//   * reports progress through a callback,
+//   * and resumes exactly: injection i derives its RNG stream from
+//     (seed, i), so a restarted campaign validates the store's campaign
+//     fingerprint, truncates any torn tail, skips persisted indices and
+//     re-derives only the missing faults. The canonical merge of an
+//     interrupted-then-resumed store is byte-identical to that of an
+//     uninterrupted run (tests/test_store.cpp proves this).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sfi/campaign.hpp"
+#include "store/reader.hpp"
+
+namespace sfi::sched {
+
+struct Progress {
+  u64 done = 0;      ///< persisted records, including resumed ones
+  u64 total = 0;     ///< campaign size
+  u64 resumed = 0;   ///< records inherited from a previous run
+};
+
+struct SchedulerConfig {
+  u32 threads = 0;        ///< 0: hardware concurrency
+  u32 shard_size = 64;    ///< injections per shard (work-stealing unit)
+  u32 flush_records = 32; ///< records a worker batches between store appends
+  /// Stop after this many newly executed injections (0 = run to completion).
+  /// This is the test hook that simulates an interrupted campaign without
+  /// killing the process.
+  u64 max_new_injections = 0;
+  /// Called under the store lock after every flushed batch.
+  std::function<void(const Progress&)> on_progress;
+};
+
+struct ScheduledResult {
+  store::CampaignMeta meta;
+  /// Aggregation over every record now in the store (resumed + new).
+  inject::CampaignAggregate agg;
+  u64 executed = 0;   ///< injections run by this invocation
+  u64 resumed = 0;    ///< injections skipped because already persisted
+  u64 shards = 0;     ///< shards dispatched this invocation
+  bool complete = false;  ///< store now covers all num_injections indices
+  double wall_seconds = 0.0;
+  u64 cycles_evaluated = 0;
+
+  [[nodiscard]] double injections_per_second() const {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(executed) / wall_seconds;
+  }
+};
+
+/// Identity of the workload a campaign ran (hash of program image + config).
+[[nodiscard]] u64 workload_id(const avp::Testcase& testcase);
+
+/// Fingerprint of everything that shapes fault generation and outcome
+/// classification for a campaign. Resume refuses a store whose fingerprint
+/// differs: its records would not be re-derivable from (seed, i).
+[[nodiscard]] u64 campaign_fingerprint(const inject::CampaignConfig& config,
+                                       const inject::CampaignPlan& plan);
+
+/// Build the store header for (testcase, config, plan).
+[[nodiscard]] store::CampaignMeta make_campaign_meta(
+    const avp::Testcase& testcase, const inject::CampaignConfig& config,
+    const inject::CampaignPlan& plan);
+
+/// Run (or resume) a campaign, streaming records into the store at
+/// `store_path`. With `resume` true and an existing store: validate it,
+/// truncate a torn tail, execute only missing indices. With `resume` false
+/// the store is created fresh (an existing file is overwritten).
+ScheduledResult run_campaign_to_store(const avp::Testcase& testcase,
+                                      const inject::CampaignConfig& config,
+                                      const std::string& store_path,
+                                      const SchedulerConfig& sched = {},
+                                      bool resume = false);
+
+}  // namespace sfi::sched

@@ -1,0 +1,38 @@
+#include "sfi/aggregate.hpp"
+
+namespace sfi::inject {
+
+void CampaignAggregate::add(const InjectionRecord& rec) {
+  counts.add(rec.outcome);
+  by_unit[static_cast<std::size_t>(rec.unit)].add(rec.outcome);
+  by_type[static_cast<std::size_t>(rec.type)].add(rec.outcome);
+}
+
+void CampaignAggregate::merge(const CampaignAggregate& other) {
+  counts.merge(other.counts);
+  for (std::size_t u = 0; u < by_unit.size(); ++u) {
+    by_unit[u].merge(other.by_unit[u]);
+  }
+  for (std::size_t t = 0; t < by_type.size(); ++t) {
+    by_type[t].merge(other.by_type[t]);
+  }
+}
+
+CampaignAggregate aggregate_records(
+    std::span<const InjectionRecord> records) {
+  CampaignAggregate agg;
+  for (const InjectionRecord& rec : records) agg.add(rec);
+  return agg;
+}
+
+CampaignAggregate aggregate_records(
+    std::span<const InjectionRecord> records,
+    const std::function<bool(const InjectionRecord&)>& pred) {
+  CampaignAggregate agg;
+  for (const InjectionRecord& rec : records) {
+    if (pred(rec)) agg.add(rec);
+  }
+  return agg;
+}
+
+}  // namespace sfi::inject

@@ -1,0 +1,38 @@
+// Campaign aggregation: the outcome histogram plus the per-unit and
+// per-latch-type breakdowns (the paper's Figures 3-5 axes), reconstructible
+// from any stream of InjectionRecords — an in-memory campaign, a store file,
+// or a merged set of shards. Aggregation is order-insensitive and mergeable,
+// which is what makes sharded execution and offline re-analysis equivalent
+// to a single live run.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <span>
+
+#include "sfi/record.hpp"
+
+namespace sfi::inject {
+
+struct CampaignAggregate {
+  OutcomeCounts counts;
+  std::array<OutcomeCounts, netlist::kNumUnits> by_unit{};
+  std::array<OutcomeCounts, netlist::kNumLatchTypes> by_type{};
+
+  void add(const InjectionRecord& rec);
+  void merge(const CampaignAggregate& other);
+
+  [[nodiscard]] u64 total() const { return counts.total(); }
+};
+
+/// Aggregate a batch of records.
+[[nodiscard]] CampaignAggregate aggregate_records(
+    std::span<const InjectionRecord> records);
+
+/// Aggregate only the records matching `pred` (e.g. the beam's latch strikes
+/// vs its array strikes in Table 2).
+[[nodiscard]] CampaignAggregate aggregate_records(
+    std::span<const InjectionRecord> records,
+    const std::function<bool(const InjectionRecord&)>& pred);
+
+}  // namespace sfi::inject

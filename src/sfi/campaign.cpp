@@ -2,68 +2,93 @@
 
 #include <atomic>
 #include <chrono>
-#include <memory>
 #include <thread>
 
 #include "common/check.hpp"
 
 namespace sfi::inject {
 
-namespace {
-
-/// Everything one worker thread owns privately.
-struct Worker {
-  std::unique_ptr<core::Pearl6Model> model;
-  std::unique_ptr<emu::Emulator> emu;
-  emu::Checkpoint reset_cp;
-  std::unique_ptr<InjectionRunner> runner;
-
-  Worker(const avp::Testcase& tc, const CampaignConfig& cfg,
-         const emu::GoldenTrace& trace, const avp::GoldenResult& golden) {
-    model = std::make_unique<core::Pearl6Model>(cfg.core);
-    model->load_workload(tc.program, tc.init);
-    emu = std::make_unique<emu::Emulator>(*model);
-    emu->reset();
-    reset_cp = emu->save_checkpoint();
-    runner = std::make_unique<InjectionRunner>(*model, *emu, reset_cp, trace,
-                                               golden, cfg.run);
-  }
-};
-
-}  // namespace
-
-CampaignResult run_campaign(const avp::Testcase& tc,
-                            const CampaignConfig& cfg) {
+CampaignPlan plan_campaign(const avp::Testcase& tc,
+                           const CampaignConfig& cfg) {
   require(cfg.num_injections > 0, "campaign needs injections");
-  const auto t0 = std::chrono::steady_clock::now();
+
+  CampaignPlan plan;
 
   // Reference executions (shared, read-only).
-  const avp::GoldenResult golden = avp::run_golden(tc);
+  plan.golden = avp::run_golden(tc);
 
   core::Pearl6Model ref_model(cfg.core);
   emu::Emulator ref_emu(ref_model);
-  const emu::GoldenTrace trace = avp::run_reference(ref_model, ref_emu, tc);
+  plan.trace = avp::run_reference(ref_model, ref_emu, tc);
 
-  // Population & sampler (identical across workers).
-  const LatchPopulation population =
+  // Population & sampler (identical across workers and across resumes).
+  plan.population =
       cfg.filter ? LatchPopulation::filtered(ref_model.registry(), cfg.filter)
                  : LatchPopulation::all(ref_model.registry());
   FaultSampler sampler;
-  sampler.population = &population;
+  sampler.population = &plan.population;
   sampler.window_begin = cfg.window_begin;
   sampler.window_end =
-      cfg.window_end != 0 ? cfg.window_end : trace.completion_cycle;
+      cfg.window_end != 0 ? cfg.window_end : plan.trace.completion_cycle;
   require(sampler.window_end > sampler.window_begin,
           "injection window is empty (workload too short?)");
   sampler.mode = cfg.mode;
   sampler.sticky_duration = cfg.sticky_duration;
+  plan.window_begin = sampler.window_begin;
+  plan.window_end = sampler.window_end;
 
-  // Pre-generate every fault spec so results are thread-count independent.
-  std::vector<FaultSpec> faults(cfg.num_injections);
+  // Pre-generate every fault spec so results are thread-count independent
+  // and so any subset of indices can be (re-)executed independently.
+  plan.faults.resize(cfg.num_injections);
   for (u32 i = 0; i < cfg.num_injections; ++i) {
     stats::Xoshiro256 rng(stats::derive_seed(cfg.seed, i));
-    faults[i] = sampler.sample(rng);
+    plan.faults[i] = sampler.sample(rng);
   }
+  return plan;
+}
+
+CampaignWorker::CampaignWorker(const avp::Testcase& tc,
+                               const CampaignConfig& cfg,
+                               const CampaignPlan& plan) {
+  model_ = std::make_unique<core::Pearl6Model>(cfg.core);
+  model_->load_workload(tc.program, tc.init);
+  emu_ = std::make_unique<emu::Emulator>(*model_);
+  emu_->reset();
+  reset_cp_ = emu_->save_checkpoint();
+  runner_ = std::make_unique<InjectionRunner>(*model_, *emu_, reset_cp_,
+                                              plan.trace, plan.golden,
+                                              cfg.run);
+}
+
+CampaignWorker::~CampaignWorker() = default;
+CampaignWorker::CampaignWorker(CampaignWorker&&) noexcept = default;
+CampaignWorker& CampaignWorker::operator=(CampaignWorker&&) noexcept =
+    default;
+
+InjectionRecord CampaignWorker::run(const FaultSpec& fault) {
+  const RunResult rr = runner_->run(fault);
+  const netlist::LatchMeta& meta =
+      model_->registry().meta_of_ordinal(fault.index);
+  InjectionRecord rec;
+  rec.fault = fault;
+  rec.outcome = rr.outcome;
+  rec.unit = meta.unit;
+  rec.type = meta.type;
+  rec.end_cycle = rr.end_cycle;
+  rec.early_exited = rr.early_exited;
+  rec.recoveries = rr.recoveries;
+  return rec;
+}
+
+u64 CampaignWorker::cycles_evaluated() const {
+  return emu_->cycles_evaluated();
+}
+
+CampaignResult run_campaign(const avp::Testcase& tc,
+                            const CampaignConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const CampaignPlan plan = plan_campaign(tc, cfg);
 
   const u32 threads =
       cfg.threads != 0
@@ -74,35 +99,24 @@ CampaignResult run_campaign(const avp::Testcase& tc,
   std::atomic<u32> next{0};
   std::atomic<u64> cycles_evaluated{0};
 
-  const auto work = [&](Worker& w) {
+  const auto work = [&](CampaignWorker& w) {
     while (true) {
       const u32 i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cfg.num_injections) break;
-      const RunResult rr = w.runner->run(faults[i]);
-      const netlist::LatchMeta& meta =
-          w.model->registry().meta_of_ordinal(faults[i].index);
-      InjectionRecord rec;
-      rec.fault = faults[i];
-      rec.outcome = rr.outcome;
-      rec.unit = meta.unit;
-      rec.type = meta.type;
-      rec.end_cycle = rr.end_cycle;
-      rec.early_exited = rr.early_exited;
-      rec.recoveries = rr.recoveries;
-      records[i] = rec;
+      records[i] = w.run(plan.faults[i]);
     }
-    cycles_evaluated.fetch_add(w.emu->cycles_evaluated(),
+    cycles_evaluated.fetch_add(w.cycles_evaluated(),
                                std::memory_order_relaxed);
   };
 
   if (threads <= 1) {
-    Worker w(tc, cfg, trace, golden);
+    CampaignWorker w(tc, cfg, plan);
     work(w);
   } else {
-    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<std::unique_ptr<CampaignWorker>> workers;
     workers.reserve(threads);
     for (u32 t = 0; t < threads; ++t) {
-      workers.push_back(std::make_unique<Worker>(tc, cfg, trace, golden));
+      workers.push_back(std::make_unique<CampaignWorker>(tc, cfg, plan));
     }
     std::vector<std::thread> pool;
     pool.reserve(threads);
@@ -114,15 +128,11 @@ CampaignResult run_campaign(const avp::Testcase& tc,
 
   CampaignResult result;
   result.records = std::move(records);
-  result.population_size = population.size();
-  result.workload_cycles = trace.completion_cycle;
-  result.workload_instructions = golden.instructions;
+  result.population_size = plan.population.size();
+  result.workload_cycles = plan.trace.completion_cycle;
+  result.workload_instructions = plan.golden.instructions;
   result.cycles_evaluated = cycles_evaluated.load();
-  for (const InjectionRecord& rec : result.records) {
-    result.counts.add(rec.outcome);
-    result.by_unit[static_cast<std::size_t>(rec.unit)].add(rec.outcome);
-    result.by_type[static_cast<std::size_t>(rec.type)].add(rec.outcome);
-  }
+  result.agg = aggregate_records(result.records);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

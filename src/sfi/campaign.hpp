@@ -6,15 +6,20 @@
 // Campaigns are deterministic and thread-count-independent: injection i
 // derives its RNG stream from (campaign seed, i), each worker owns a private
 // model+emulator ("multiple concurrent copies of the simulation environment",
-// paper §2.2), and aggregation is order-insensitive.
+// paper §2.2), and aggregation is order-insensitive. The same property makes
+// campaigns resumable: any scheduler that knows which indices are already
+// done can re-derive exactly the remaining faults (src/sched/).
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "avp/testgen.hpp"
+#include "sfi/aggregate.hpp"
 #include "sfi/outcome.hpp"
+#include "sfi/record.hpp"
 #include "sfi/runner.hpp"
 #include "sfi/sampler.hpp"
 
@@ -37,27 +42,64 @@ struct CampaignConfig {
   core::CoreConfig core;
 };
 
-/// One injection's record (kept for resampling and tracing).
-struct InjectionRecord {
-  FaultSpec fault;
-  Outcome outcome = Outcome::Vanished;
-  netlist::Unit unit = netlist::Unit::Core;
-  netlist::LatchType type = netlist::LatchType::Func;
-  Cycle end_cycle = 0;
-  bool early_exited = false;
-  u32 recoveries = 0;
+/// Everything a campaign derives up-front from (testcase, config) before any
+/// injection runs: the golden references, the sampled population, and the
+/// full pre-generated fault list (fault i depends only on (seed, i), which
+/// keeps results thread-count independent and campaigns resumable).
+struct CampaignPlan {
+  avp::GoldenResult golden;
+  emu::GoldenTrace trace;
+  LatchPopulation population;
+  std::vector<FaultSpec> faults;
+  Cycle window_begin = 0;
+  Cycle window_end = 0;  ///< resolved (never 0)
+};
+
+[[nodiscard]] CampaignPlan plan_campaign(const avp::Testcase& testcase,
+                                         const CampaignConfig& config);
+
+/// One worker's private simulation environment ("multiple concurrent copies
+/// of the simulation environment", paper §2.2). Not thread-safe; create one
+/// per thread.
+class CampaignWorker {
+ public:
+  CampaignWorker(const avp::Testcase& testcase, const CampaignConfig& config,
+                 const CampaignPlan& plan);
+  ~CampaignWorker();
+  CampaignWorker(CampaignWorker&&) noexcept;
+  CampaignWorker& operator=(CampaignWorker&&) noexcept;
+
+  /// Run one injection end to end and build its record.
+  [[nodiscard]] InjectionRecord run(const FaultSpec& fault);
+
+  [[nodiscard]] u64 cycles_evaluated() const;
+
+ private:
+  std::unique_ptr<core::Pearl6Model> model_;
+  std::unique_ptr<emu::Emulator> emu_;
+  emu::Checkpoint reset_cp_;
+  std::unique_ptr<InjectionRunner> runner_;
 };
 
 struct CampaignResult {
-  OutcomeCounts counts;
-  std::array<OutcomeCounts, netlist::kNumUnits> by_unit;
-  std::array<OutcomeCounts, netlist::kNumLatchTypes> by_type;
+  /// Outcome histogram plus by-unit / by-latch-type breakdowns, built
+  /// through the shared aggregation helper (sfi/aggregate.hpp) so live
+  /// campaigns and store replays are bit-for-bit comparable.
+  CampaignAggregate agg;
   std::vector<InjectionRecord> records;
   std::size_t population_size = 0;
   Cycle workload_cycles = 0;
   u64 workload_instructions = 0;
   double wall_seconds = 0.0;
   u64 cycles_evaluated = 0;
+
+  [[nodiscard]] const OutcomeCounts& counts() const { return agg.counts; }
+  [[nodiscard]] const OutcomeCounts& by_unit(netlist::Unit u) const {
+    return agg.by_unit[static_cast<std::size_t>(u)];
+  }
+  [[nodiscard]] const OutcomeCounts& by_type(netlist::LatchType t) const {
+    return agg.by_type[static_cast<std::size_t>(t)];
+  }
 
   [[nodiscard]] double injections_per_second() const {
     return wall_seconds <= 0.0

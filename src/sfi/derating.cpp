@@ -19,20 +19,20 @@ double frac(u64 part, u64 whole) {
 DeratingReport compute_derating(const CampaignResult& campaign,
                                 const netlist::LatchRegistry& registry,
                                 const DeratingConfig& config) {
-  require(campaign.counts.total() > 0, "derating needs campaign results");
+  require(campaign.counts().total() > 0, "derating needs campaign results");
   require(config.raw_fit_per_latch > 0.0, "raw FIT must be positive");
 
   DeratingReport rep;
-  const u64 total = campaign.counts.total();
-  const u64 vanished = campaign.counts.of(Outcome::Vanished);
-  const u64 corrected = campaign.counts.of(Outcome::Corrected);
-  const u64 severe = campaign.counts.of(Outcome::Hang) +
-                     campaign.counts.of(Outcome::Checkstop) +
-                     campaign.counts.of(Outcome::BadArchState);
+  const u64 total = campaign.counts().total();
+  const u64 vanished = campaign.counts().of(Outcome::Vanished);
+  const u64 corrected = campaign.counts().of(Outcome::Corrected);
+  const u64 severe = campaign.counts().of(Outcome::Hang) +
+                     campaign.counts().of(Outcome::Checkstop) +
+                     campaign.counts().of(Outcome::BadArchState);
   rep.overall_derating = frac(vanished + corrected, total);
   rep.recovered_fraction = frac(corrected, total);
   rep.severe_fraction = frac(severe, total);
-  rep.sdc_fraction = frac(campaign.counts.of(Outcome::BadArchState), total);
+  rep.sdc_fraction = frac(campaign.counts().of(Outcome::BadArchState), total);
 
   const auto unit_counts = registry.latch_count_by_unit();
   u64 latch_total = 0;
@@ -40,13 +40,13 @@ DeratingReport compute_derating(const CampaignResult& campaign,
   rep.raw_fit = static_cast<double>(latch_total) * config.raw_fit_per_latch;
   rep.sdc_fit = rep.raw_fit * rep.sdc_fraction;
   rep.unrecoverable_fit =
-      rep.raw_fit * (frac(campaign.counts.of(Outcome::Hang), total) +
-                     frac(campaign.counts.of(Outcome::Checkstop), total));
+      rep.raw_fit * (frac(campaign.counts().of(Outcome::Hang), total) +
+                     frac(campaign.counts().of(Outcome::Checkstop), total));
   rep.recovered_fit = rep.raw_fit * rep.recovered_fraction;
 
   for (const auto unit : netlist::kAllUnits) {
     const auto idx = static_cast<std::size_t>(unit);
-    const OutcomeCounts& c = campaign.by_unit[idx];
+    const OutcomeCounts& c = campaign.agg.by_unit[idx];
     UnitDerating u;
     u.unit = unit;
     u.latch_bits = unit_counts[idx];
@@ -69,7 +69,7 @@ DeratingReport compute_derating(const CampaignResult& campaign,
 
   for (const auto type : netlist::kAllLatchTypes) {
     const auto idx = static_cast<std::size_t>(type);
-    const OutcomeCounts& c = campaign.by_type[idx];
+    const OutcomeCounts& c = campaign.agg.by_type[idx];
     if (c.total() > 0) {
       rep.derating_by_type[idx] =
           c.fraction(Outcome::Vanished) + c.fraction(Outcome::Corrected);

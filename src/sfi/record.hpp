@@ -1,0 +1,25 @@
+// The unit of campaign evidence: one injection's complete record.
+//
+// Every table and figure in the paper's evaluation is a re-aggregation of
+// these records, so they are kept self-describing (fault spec + latch
+// metadata + outcome) and are what the campaign store persists.
+#pragma once
+
+#include "netlist/latch.hpp"
+#include "sfi/fault.hpp"
+#include "sfi/outcome.hpp"
+
+namespace sfi::inject {
+
+/// One injection's record (kept for resampling, tracing and persistence).
+struct InjectionRecord {
+  FaultSpec fault;
+  Outcome outcome = Outcome::Vanished;
+  netlist::Unit unit = netlist::Unit::Core;
+  netlist::LatchType type = netlist::LatchType::Func;
+  Cycle end_cycle = 0;
+  bool early_exited = false;
+  u32 recoveries = 0;
+};
+
+}  // namespace sfi::inject

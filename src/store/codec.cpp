@@ -1,0 +1,114 @@
+#include "store/codec.hpp"
+
+namespace sfi::store {
+
+std::vector<u8> encode_meta(const CampaignMeta& m) {
+  ByteWriter w;
+  w.put_u32(m.format_version);
+  w.put_u64(m.seed);
+  w.put_u32(m.num_injections);
+  w.put_u64(m.config_fingerprint);
+  w.put_u64(m.workload_id);
+  w.put_u64(m.population_size);
+  w.put_u64(m.workload_cycles);
+  w.put_u64(m.workload_instructions);
+  w.put_u64(m.window_begin);
+  w.put_u64(m.window_end);
+  return w.bytes();
+}
+
+CampaignMeta decode_meta(std::span<const u8> payload) {
+  ByteReader r(payload);
+  CampaignMeta m;
+  m.format_version = r.get_u32();
+  if (m.format_version != kFormatVersion) {
+    throw StoreError("unsupported store format version " +
+                     std::to_string(m.format_version) + " (expected " +
+                     std::to_string(kFormatVersion) + ")");
+  }
+  m.seed = r.get_u64();
+  m.num_injections = r.get_u32();
+  m.config_fingerprint = r.get_u64();
+  m.workload_id = r.get_u64();
+  m.population_size = r.get_u64();
+  m.workload_cycles = r.get_u64();
+  m.workload_instructions = r.get_u64();
+  m.window_begin = r.get_u64();
+  m.window_end = r.get_u64();
+  if (!r.exhausted()) throw StoreError("trailing bytes in header payload");
+  return m;
+}
+
+std::vector<u8> encode_record(const StoredRecord& sr) {
+  const inject::InjectionRecord& rec = sr.rec;
+  ByteWriter w;
+  w.put_u32(sr.index);
+  w.put_u8(static_cast<u8>(rec.fault.target));
+  w.put_u32(rec.fault.index);
+  w.put_u64(rec.fault.array_bit);
+  w.put_u64(rec.fault.cycle);
+  w.put_u8(static_cast<u8>(rec.fault.mode));
+  w.put_u64(rec.fault.sticky_duration);
+  w.put_u8(rec.fault.sticky_value ? 1 : 0);
+  w.put_u8(rec.fault.adjacent_bits);
+  w.put_u8(static_cast<u8>(rec.outcome));
+  w.put_u8(static_cast<u8>(rec.unit));
+  w.put_u8(static_cast<u8>(rec.type));
+  w.put_u64(rec.end_cycle);
+  w.put_u8(rec.early_exited ? 1 : 0);
+  w.put_u32(rec.recoveries);
+  return w.bytes();
+}
+
+namespace {
+
+template <typename Enum>
+Enum checked_enum(u8 raw, u8 limit, const char* what) {
+  if (raw >= limit) {
+    throw StoreError(std::string("out-of-range ") + what + " value " +
+                     std::to_string(raw) + " in record payload");
+  }
+  return static_cast<Enum>(raw);
+}
+
+}  // namespace
+
+StoredRecord decode_record(std::span<const u8> payload) {
+  ByteReader r(payload);
+  StoredRecord sr;
+  sr.index = r.get_u32();
+  inject::InjectionRecord& rec = sr.rec;
+  rec.fault.target = checked_enum<inject::FaultTarget>(r.get_u8(), 2, "fault target");
+  rec.fault.index = r.get_u32();
+  rec.fault.array_bit = r.get_u64();
+  rec.fault.cycle = r.get_u64();
+  rec.fault.mode = checked_enum<inject::FaultMode>(r.get_u8(), 2, "fault mode");
+  rec.fault.sticky_duration = r.get_u64();
+  rec.fault.sticky_value = r.get_u8() != 0;
+  rec.fault.adjacent_bits = r.get_u8();
+  rec.outcome = checked_enum<inject::Outcome>(
+      r.get_u8(), static_cast<u8>(inject::kNumOutcomes), "outcome");
+  rec.unit = checked_enum<netlist::Unit>(
+      r.get_u8(), static_cast<u8>(netlist::kNumUnits), "unit");
+  rec.type = checked_enum<netlist::LatchType>(
+      r.get_u8(), static_cast<u8>(netlist::kNumLatchTypes), "latch type");
+  rec.end_cycle = r.get_u64();
+  rec.early_exited = r.get_u8() != 0;
+  rec.recoveries = r.get_u32();
+  if (!r.exhausted()) throw StoreError("trailing bytes in record payload");
+  return sr;
+}
+
+std::vector<u8> make_frame(u8 kind, std::span<const u8> payload) {
+  std::vector<u8> frame;
+  frame.reserve(kFrameOverhead + payload.size());
+  frame.push_back(kind);
+  const u32 len = static_cast<u32>(payload.size());
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<u8>(len >> (8 * i)));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const u32 crc = crc32(std::span<const u8>(frame.data(), frame.size()));
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<u8>(crc >> (8 * i)));
+  return frame;
+}
+
+}  // namespace sfi::store

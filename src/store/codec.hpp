@@ -1,0 +1,30 @@
+// Payload codecs for the two frame kinds, plus frame assembly/verification.
+// Encoding is canonical: a given (meta, records) set has exactly one byte
+// representation, which is what lets `merge` promise byte-identical output
+// for equal record sets (the resume-equivalence proof in tests/test_store).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sfi/record.hpp"
+#include "store/format.hpp"
+
+namespace sfi::store {
+
+/// One persisted injection: its campaign index plus the full record.
+struct StoredRecord {
+  u32 index = 0;  ///< injection index i within the campaign; RNG = (seed, i)
+  inject::InjectionRecord rec;
+};
+
+[[nodiscard]] std::vector<u8> encode_meta(const CampaignMeta& meta);
+[[nodiscard]] CampaignMeta decode_meta(std::span<const u8> payload);
+
+[[nodiscard]] std::vector<u8> encode_record(const StoredRecord& sr);
+[[nodiscard]] StoredRecord decode_record(std::span<const u8> payload);
+
+/// Wrap a payload into a CRC-framed byte sequence ready for appending.
+[[nodiscard]] std::vector<u8> make_frame(u8 kind, std::span<const u8> payload);
+
+}  // namespace sfi::store

@@ -1,0 +1,147 @@
+// On-disk format of the campaign record store (`.sfr`).
+//
+// A store file is the durable form of one campaign (or one shard of one):
+//
+//   file  := magic[8] frame*
+//   frame := kind:u8 | payload_len:u32 | payload[payload_len] | crc32:u32
+//
+// The first frame is the campaign header (kind 'H'); every following frame
+// is one injection record (kind 'R'). All integers are little-endian and
+// fixed-width; the CRC-32 (IEEE, reflected 0xEDB88320) covers kind,
+// payload_len and payload, so torn writes and bit rot are both detectable
+// per frame. Records carry their campaign index explicitly, which is what
+// makes stores order-insensitive (shards append as they finish) and
+// resumable (a restarted campaign skips persisted indices).
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sfi::store {
+
+/// Any malformed-store condition (bad magic, version, CRC, truncation).
+class StoreError : public std::runtime_error {
+ public:
+  explicit StoreError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::array<u8, 8> kMagic = {'S', 'F', 'I', 'R',
+                                             'E', 'C', 'v', '1'};
+inline constexpr u32 kFormatVersion = 1;
+
+inline constexpr u8 kHeaderFrame = 'H';
+inline constexpr u8 kRecordFrame = 'R';
+
+/// Frame overhead: kind + payload_len + crc32.
+inline constexpr std::size_t kFrameOverhead = 1 + 4 + 4;
+
+namespace detail {
+constexpr std::array<u32, 256> make_crc32_table() {
+  std::array<u32, 256> table{};
+  for (u32 n = 0; n < 256; ++n) {
+    u32 c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+inline constexpr std::array<u32, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// IEEE CRC-32 over `bytes`, chainable via `seed` (pass a previous result).
+[[nodiscard]] constexpr u32 crc32(std::span<const u8> bytes, u32 seed = 0) {
+  u32 c = seed ^ 0xFFFFFFFFu;
+  for (const u8 b : bytes) {
+    c = detail::kCrc32Table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// Little-endian append-only byte sink for payload encoding.
+class ByteWriter {
+ public:
+  void put_u8(u8 v) { buf_.push_back(v); }
+  void put_u32(u32 v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void put_u64(u64 v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  [[nodiscard]] const std::vector<u8>& bytes() const { return buf_; }
+
+ private:
+  std::vector<u8> buf_;
+};
+
+/// Little-endian cursor over a payload; throws StoreError on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const u8> data) : data_(data) {}
+
+  [[nodiscard]] u8 get_u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  [[nodiscard]] u32 get_u32() {
+    need(4);
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] u64 get_u64() {
+    need(8);
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw StoreError("store payload shorter than its declared layout");
+    }
+  }
+  std::span<const u8> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Campaign identity and provenance, written once per store file. Two stores
+/// are shards of the same campaign iff every field below matches.
+struct CampaignMeta {
+  u32 format_version = kFormatVersion;
+  u64 seed = 0;
+  u32 num_injections = 0;
+  /// Fingerprint of everything that shapes the fault list and outcomes:
+  /// population ordinals, injection window, fault mode, run and core config
+  /// (computed by the scheduler, sched/scheduler.hpp).
+  u64 config_fingerprint = 0;
+  /// Identity of the workload (program image + initial state).
+  u64 workload_id = 0;
+  u64 population_size = 0;
+  u64 workload_cycles = 0;
+  u64 workload_instructions = 0;
+  u64 window_begin = 0;
+  u64 window_end = 0;
+
+  [[nodiscard]] bool same_campaign(const CampaignMeta& o) const {
+    return format_version == o.format_version && seed == o.seed &&
+           num_injections == o.num_injections &&
+           config_fingerprint == o.config_fingerprint &&
+           workload_id == o.workload_id &&
+           population_size == o.population_size &&
+           workload_cycles == o.workload_cycles &&
+           workload_instructions == o.workload_instructions &&
+           window_begin == o.window_begin && window_end == o.window_end;
+  }
+};
+
+}  // namespace sfi::store

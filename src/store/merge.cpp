@@ -1,0 +1,61 @@
+#include "store/merge.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace sfi::store {
+
+MergeSummary merge_stores(const std::vector<std::string>& inputs,
+                          const std::string& out_path) {
+  if (inputs.empty()) throw StoreError("merge needs at least one input");
+
+  MergeSummary summary;
+  summary.inputs = inputs.size();
+
+  // index -> canonical payload bytes. Comparing encoded payloads (not
+  // structs) is what makes "shards agree" an exact, byte-level statement.
+  std::map<u32, std::vector<u8>> by_index;
+
+  bool have_meta = false;
+  for (const std::string& path : inputs) {
+    StoreReader reader(path);
+    if (!have_meta) {
+      summary.meta = reader.meta();
+      have_meta = true;
+    } else if (!summary.meta.same_campaign(reader.meta())) {
+      throw StoreError("store " + path +
+                       " belongs to a different campaign than " + inputs[0] +
+                       " (seed/config/workload mismatch)");
+    }
+    StoredRecord sr;
+    while (reader.next(sr)) {
+      ++summary.records_read;
+      if (sr.index >= summary.meta.num_injections) {
+        throw StoreError("record index " + std::to_string(sr.index) +
+                         " out of campaign range in " + path);
+      }
+      std::vector<u8> payload = encode_record(sr);
+      const auto [it, inserted] = by_index.emplace(sr.index, std::move(payload));
+      if (!inserted) {
+        if (it->second != encode_record(sr)) {
+          throw StoreError(
+              "shards disagree on injection " + std::to_string(sr.index) +
+              " — not re-executions of the same campaign (" + path + ")");
+        }
+        ++summary.duplicates;
+      }
+    }
+  }
+
+  summary.missing = summary.meta.num_injections - by_index.size();
+
+  StoreWriter writer = StoreWriter::create(out_path, summary.meta);
+  for (const auto& [index, payload] : by_index) {
+    writer.append(decode_record(payload));
+  }
+  writer.flush();
+  summary.records_written = writer.records_written();
+  return summary;
+}
+
+}  // namespace sfi::store

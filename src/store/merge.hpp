@@ -1,0 +1,36 @@
+// Shard merge: fold N store files from the same campaign into one
+// canonical store.
+//
+// Canonical means: records sorted by injection index, duplicates (the same
+// index persisted by an interrupted run and again by its resume, or by
+// overlapping shards) collapsed after checking they agree byte-for-byte.
+// Because injection i is a pure function of (seed, i), the canonical form
+// of any set of shards covering the same indices is byte-identical — which
+// is the testable guarantee behind "resume produces the same campaign".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+
+namespace sfi::store {
+
+struct MergeSummary {
+  CampaignMeta meta;
+  u64 inputs = 0;
+  u64 records_read = 0;   ///< across all inputs, before dedup
+  u64 records_written = 0;
+  u64 duplicates = 0;     ///< identical re-executions collapsed
+  u64 missing = 0;        ///< indices < num_injections not present anywhere
+};
+
+/// Merge `inputs` (≥1 store files of the same campaign) into `out_path`.
+/// Throws StoreError if the inputs disagree on campaign identity, if two
+/// shards carry different records for the same index, or on any corrupt
+/// input (inputs are read strictly).
+MergeSummary merge_stores(const std::vector<std::string>& inputs,
+                          const std::string& out_path);
+
+}  // namespace sfi::store

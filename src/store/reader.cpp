@@ -1,0 +1,183 @@
+#include "store/reader.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace sfi::store {
+
+namespace {
+
+/// Sanity cap on a single frame payload; real payloads are < 100 bytes, so
+/// anything huge is a corrupt length field, not a future format extension.
+constexpr u32 kMaxPayload = 1u << 20;
+
+}  // namespace
+
+struct StoreReader::Impl {
+  std::ifstream in;
+  std::string path;
+  ReadOptions opts;
+  u64 file_size = 0;
+  u64 pos = 0;       ///< bytes consumed so far
+  bool finished = false;
+
+  /// Read exactly `n` bytes; returns false on clean EOF-before-anything,
+  /// throws/tears on partial reads depending on context (handled by caller
+  /// via the returned byte count).
+  std::size_t read_some(u8* dst, std::size_t n) {
+    in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    pos += got;
+    return got;
+  }
+};
+
+StoreReader::StoreReader(const std::string& path, ReadOptions opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->path = path;
+  impl_->opts = opts;
+  std::error_code ec;
+  impl_->file_size = std::filesystem::file_size(path, ec);
+  if (ec) throw StoreError("cannot stat store file: " + path);
+  impl_->in.open(path, std::ios::binary);
+  if (!impl_->in) throw StoreError("cannot open store file: " + path);
+
+  std::array<u8, 8> magic{};
+  if (impl_->read_some(magic.data(), magic.size()) != magic.size() ||
+      magic != kMagic) {
+    throw StoreError("not a campaign store (bad magic): " + path);
+  }
+
+  // The header frame is mandatory and must be intact even in tolerant mode:
+  // without it there is no campaign identity to resume against.
+  u8 kind = 0;
+  std::vector<u8> payload;
+  if (!read_frame_strict(kind, payload) || kind != kHeaderFrame) {
+    throw StoreError("store has no campaign header: " + path);
+  }
+  meta_ = decode_meta(payload);
+  valid_bytes_ = impl_->pos;
+}
+
+bool StoreReader::read_frame_impl(u8& kind, std::vector<u8>& payload,
+                                  bool tolerant) {
+  Impl& s = *impl_;
+  std::array<u8, 5> head{};
+  const std::size_t got = s.read_some(head.data(), head.size());
+  if (got == 0) {
+    s.finished = true;
+    return false;  // clean end of stream at a frame boundary
+  }
+
+  // Truncations are by construction at EOF; under the tolerant discipline
+  // they mark a torn tail instead of an error.
+  const auto torn_or_throw = [&](const std::string& why) -> bool {
+    if (tolerant) {
+      s.finished = true;
+      torn_tail_ = true;
+      return false;
+    }
+    throw StoreError(why + ": " + s.path);
+  };
+
+  if (got < head.size()) return torn_or_throw("truncated frame header");
+  kind = head[0];
+  u32 len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<u32>(head[1 + i]) << (8 * i);
+
+  const u64 remaining = s.file_size - s.pos;
+  if (len > kMaxPayload) {
+    // A garbage length field. If it points past EOF it is indistinguishable
+    // from a torn append; anywhere else it is corruption even when tolerant.
+    if (tolerant && static_cast<u64>(len) + 4 > remaining) {
+      return torn_or_throw("");
+    }
+    throw StoreError("implausible frame length " + std::to_string(len) +
+                     " (corrupt store): " + s.path);
+  }
+
+  payload.resize(len);
+  if (s.read_some(payload.data(), len) < len) {
+    return torn_or_throw("truncated frame payload");
+  }
+  std::array<u8, 4> crc_bytes{};
+  if (s.read_some(crc_bytes.data(), crc_bytes.size()) < crc_bytes.size()) {
+    return torn_or_throw("truncated frame CRC");
+  }
+  u32 stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<u32>(crc_bytes[i]) << (8 * i);
+  }
+  const u32 actual =
+      crc32(std::span<const u8>(payload.data(), payload.size()),
+            crc32(std::span<const u8>(head.data(), head.size())));
+  if (stored != actual) {
+    // A bad CRC on the very last frame is a torn (partially flushed) append;
+    // a bad CRC with intact frames behind it is corruption, period.
+    if (tolerant && s.pos == s.file_size) return torn_or_throw("");
+    throw StoreError("frame CRC mismatch (corrupt store): " + s.path);
+  }
+  return true;
+}
+
+bool StoreReader::read_frame(u8& kind, std::vector<u8>& payload) {
+  return read_frame_impl(kind, payload, impl_->opts.tolerate_torn_tail);
+}
+
+bool StoreReader::read_frame_strict(u8& kind, std::vector<u8>& payload) {
+  return read_frame_impl(kind, payload, false);
+}
+
+StoreReader::~StoreReader() = default;
+StoreReader::StoreReader(StoreReader&&) noexcept = default;
+StoreReader& StoreReader::operator=(StoreReader&&) noexcept = default;
+
+bool StoreReader::next(StoredRecord& out) {
+  if (impl_->finished) return false;
+  u8 kind = 0;
+  std::vector<u8> payload;
+  if (!read_frame(kind, payload)) return false;
+  if (kind != kRecordFrame) {
+    throw StoreError("unexpected frame kind '" +
+                     std::string(1, static_cast<char>(kind)) +
+                     "' mid-store: " + impl_->path);
+  }
+  out = decode_record(payload);
+  valid_bytes_ = impl_->pos;
+  return true;
+}
+
+StoreContents read_store(const std::string& path, ReadOptions opts) {
+  StoreReader reader(path, opts);
+  StoreContents c;
+  c.meta = reader.meta();
+  StoredRecord sr;
+  while (reader.next(sr)) c.records.push_back(sr);
+  c.torn_tail = reader.torn_tail();
+  c.valid_bytes = reader.valid_bytes();
+  return c;
+}
+
+u64 for_each_record(const std::string& path,
+                    const std::function<void(const StoredRecord&)>& fn,
+                    ReadOptions opts) {
+  StoreReader reader(path, opts);
+  StoredRecord sr;
+  u64 n = 0;
+  while (reader.next(sr)) {
+    fn(sr);
+    ++n;
+  }
+  return n;
+}
+
+std::pair<CampaignMeta, inject::CampaignAggregate> aggregate_store(
+    const std::string& path, ReadOptions opts) {
+  StoreReader reader(path, opts);
+  inject::CampaignAggregate agg;
+  StoredRecord sr;
+  while (reader.next(sr)) agg.add(sr.rec);
+  return {reader.meta(), agg};
+}
+
+}  // namespace sfi::store

@@ -1,0 +1,91 @@
+// StoreReader: streaming consumer side of a `.sfr` campaign store.
+//
+// Frames are validated (magic, version, per-frame CRC) as they are read, so
+// a full pass never holds more than one record in memory — analysis over a
+// 100M-record store streams. Two reading disciplines:
+//
+//   Strict (default): any malformed byte throws StoreError. This is what
+//   `report`/`merge` use — a corrupt analysis input should never be
+//   silently partial.
+//
+//   Tolerate-torn-tail: a frame cut short *at the very end of the file* —
+//   the signature of a writer killed mid-append — terminates the stream
+//   cleanly instead of throwing, reporting the byte offset of the last
+//   valid frame. The resume scheduler truncates the file there and
+//   re-executes only the injections past the tear. Corruption that is NOT
+//   at the tail (a bad CRC with further frames behind it) still throws.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sfi/aggregate.hpp"
+#include "store/codec.hpp"
+
+namespace sfi::store {
+
+struct ReadOptions {
+  bool tolerate_torn_tail = false;
+};
+
+class StoreReader {
+ public:
+  StoreReader(const std::string& path, ReadOptions opts = {});
+  ~StoreReader();
+  StoreReader(StoreReader&&) noexcept;
+  StoreReader& operator=(StoreReader&&) noexcept;
+
+  [[nodiscard]] const CampaignMeta& meta() const { return meta_; }
+
+  /// Read the next record. Returns false at end of stream (or at a
+  /// tolerated torn tail).
+  [[nodiscard]] bool next(StoredRecord& out);
+
+  /// True once the stream ended at a torn (incomplete/corrupt) final frame
+  /// under tolerate_torn_tail.
+  [[nodiscard]] bool torn_tail() const { return torn_tail_; }
+
+  /// Byte offset just past the last frame that validated — the safe
+  /// truncation point for resume-after-crash.
+  [[nodiscard]] u64 valid_bytes() const { return valid_bytes_; }
+
+ private:
+  /// Read one frame; returns false at clean end of stream or tolerated torn
+  /// tail. `tolerant` false forces strict behaviour regardless of options
+  /// (the header frame must always be intact).
+  bool read_frame_impl(u8& kind, std::vector<u8>& payload, bool tolerant);
+  bool read_frame(u8& kind, std::vector<u8>& payload);
+  bool read_frame_strict(u8& kind, std::vector<u8>& payload);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  CampaignMeta meta_;
+  bool torn_tail_ = false;
+  u64 valid_bytes_ = 0;
+};
+
+/// A fully materialised store.
+struct StoreContents {
+  CampaignMeta meta;
+  std::vector<StoredRecord> records;
+  bool torn_tail = false;
+  u64 valid_bytes = 0;
+};
+
+[[nodiscard]] StoreContents read_store(const std::string& path,
+                                       ReadOptions opts = {});
+
+/// Stream `path`, calling `fn` per record; returns the record count.
+u64 for_each_record(const std::string& path,
+                    const std::function<void(const StoredRecord&)>& fn,
+                    ReadOptions opts = {});
+
+/// Rebuild the campaign aggregation (outcome histogram, by-unit, by-type)
+/// purely from a store file — no simulation.
+[[nodiscard]] std::pair<CampaignMeta, inject::CampaignAggregate>
+aggregate_store(const std::string& path, ReadOptions opts = {});
+
+}  // namespace sfi::store

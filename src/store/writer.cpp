@@ -1,0 +1,58 @@
+#include "store/writer.hpp"
+
+#include <fstream>
+
+namespace sfi::store {
+
+struct StoreWriter::OfstreamHolder {
+  std::ofstream stream;
+};
+
+StoreWriter::StoreWriter(const std::string& path, bool truncate)
+    : path_(path), out_(std::make_shared<OfstreamHolder>()) {
+  const auto mode = std::ios::binary | std::ios::out |
+                    (truncate ? std::ios::trunc : std::ios::app);
+  out_->stream.open(path, mode);
+  if (!out_->stream) {
+    throw StoreError("cannot open store file for writing: " + path);
+  }
+}
+
+StoreWriter StoreWriter::create(const std::string& path,
+                                const CampaignMeta& meta) {
+  StoreWriter w(path, /*truncate=*/true);
+  w.write_bytes(std::span<const u8>(kMagic.data(), kMagic.size()));
+  const std::vector<u8> payload = encode_meta(meta);
+  const std::vector<u8> frame = make_frame(kHeaderFrame, payload);
+  w.write_bytes(frame);
+  w.flush();
+  return w;
+}
+
+StoreWriter StoreWriter::append_to(const std::string& path) {
+  return StoreWriter(path, /*truncate=*/false);
+}
+
+void StoreWriter::append(const StoredRecord& record) {
+  const std::vector<u8> payload = encode_record(record);
+  const std::vector<u8> frame = make_frame(kRecordFrame, payload);
+  write_bytes(frame);
+  ++records_written_;
+}
+
+void StoreWriter::append(std::span<const StoredRecord> records) {
+  for (const StoredRecord& r : records) append(r);
+}
+
+void StoreWriter::flush() {
+  out_->stream.flush();
+  if (!out_->stream) throw StoreError("store flush failed: " + path_);
+}
+
+void StoreWriter::write_bytes(std::span<const u8> bytes) {
+  out_->stream.write(reinterpret_cast<const char*>(bytes.data()),
+                     static_cast<std::streamsize>(bytes.size()));
+  if (!out_->stream) throw StoreError("store write failed: " + path_);
+}
+
+}  // namespace sfi::store

@@ -1,0 +1,52 @@
+// StoreWriter: append-only producer side of a `.sfr` campaign store.
+//
+// Writes are frame-granular: a record either lands completely (with a valid
+// CRC) or, on a crash, leaves a torn final frame the reader can detect and
+// the scheduler truncates away on resume. The writer buffers in the ofstream
+// and only promises durability at flush() — schedulers decide the flush
+// cadence (throughput vs. at-risk window).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "store/codec.hpp"
+
+namespace sfi::store {
+
+class StoreWriter {
+ public:
+  /// Create (truncate) `path` and write the campaign header.
+  static StoreWriter create(const std::string& path,
+                            const CampaignMeta& meta);
+
+  /// Open an existing, already-validated store for appending more records.
+  /// (Callers are expected to have read/validated the file first — the
+  /// resume path in src/sched/ does — since appending to a store with a
+  /// torn tail would bury the tear mid-file.)
+  static StoreWriter append_to(const std::string& path);
+
+  void append(const StoredRecord& record);
+  void append(std::span<const StoredRecord> records);
+
+  /// Push buffered frames to the OS.
+  void flush();
+
+  /// Records appended through this writer (not counting pre-existing ones).
+  [[nodiscard]] u64 records_written() const { return records_written_; }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  StoreWriter(const std::string& path, bool truncate);
+
+  void write_bytes(std::span<const u8> bytes);
+
+  std::string path_;
+  /// Using a FILE-free ofstream keeps the writer movable.
+  struct OfstreamHolder;
+  std::shared_ptr<OfstreamHolder> out_;
+  u64 records_written_ = 0;
+};
+
+}  // namespace sfi::store

@@ -41,10 +41,10 @@ TEST(Beam, MostEventsBenign) {
   cfg.num_events = 250;
   const BeamResult r = run_beam_experiment(testcase(), cfg);
   const double benign =
-      r.counts.fraction(inject::Outcome::Vanished) +
-      r.counts.fraction(inject::Outcome::Corrected);
+      r.counts().fraction(inject::Outcome::Vanished) +
+      r.counts().fraction(inject::Outcome::Corrected);
   EXPECT_GT(benign, 0.9);
-  EXPECT_LT(r.counts.fraction(inject::Outcome::BadArchState), 0.05);
+  EXPECT_LT(r.counts().fraction(inject::Outcome::BadArchState), 0.05);
 }
 
 TEST(Beam, Deterministic) {
@@ -54,7 +54,7 @@ TEST(Beam, Deterministic) {
   const BeamResult a = run_beam_experiment(testcase(), cfg);
   const BeamResult b = run_beam_experiment(testcase(), cfg);
   for (std::size_t c = 0; c < inject::kNumOutcomes; ++c) {
-    EXPECT_EQ(a.counts.counts[c], b.counts.counts[c]);
+    EXPECT_EQ(a.counts().counts[c], b.counts().counts[c]);
   }
 }
 
@@ -67,7 +67,7 @@ TEST(Beam, ArrayStrikesNeverSilentlyCorrupt) {
   cfg.latch_cross_section = 0.0;  // array strikes only
   const BeamResult r = run_beam_experiment(testcase(), cfg);
   EXPECT_EQ(r.latch_events, 0u);
-  EXPECT_EQ(r.counts.of(inject::Outcome::BadArchState), 0u);
+  EXPECT_EQ(r.counts().of(inject::Outcome::BadArchState), 0u);
 }
 
 }  // namespace

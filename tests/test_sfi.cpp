@@ -89,7 +89,7 @@ TEST(Campaign, DeterministicAcrossThreadCounts) {
     EXPECT_EQ(a.records[i].fault.cycle, b.records[i].fault.cycle) << i;
   }
   for (std::size_t c = 0; c < kNumOutcomes; ++c) {
-    EXPECT_EQ(a.counts.counts[c], b.counts.counts[c]);
+    EXPECT_EQ(a.counts().counts[c], b.counts().counts[c]);
   }
 }
 
@@ -99,12 +99,12 @@ TEST(Campaign, BreakdownsSumToTotal) {
   cfg.seed = 7;
   cfg.num_injections = 120;
   const CampaignResult r = run_campaign(tc, cfg);
-  EXPECT_EQ(r.counts.total(), 120u);
+  EXPECT_EQ(r.counts().total(), 120u);
   u64 unit_total = 0;
-  for (const auto& u : r.by_unit) unit_total += u.total();
+  for (const auto& u : r.agg.by_unit) unit_total += u.total();
   EXPECT_EQ(unit_total, 120u);
   u64 type_total = 0;
-  for (const auto& t : r.by_type) type_total += t.total();
+  for (const auto& t : r.agg.by_type) type_total += t.total();
   EXPECT_EQ(type_total, 120u);
   EXPECT_GT(r.population_size, 10000u);
 }
@@ -121,7 +121,7 @@ TEST(Campaign, FilterRestrictsPopulation) {
   for (const auto& rec : r.records) {
     EXPECT_EQ(rec.unit, netlist::Unit::IFU);
   }
-  EXPECT_EQ(r.by_unit[static_cast<std::size_t>(netlist::Unit::IFU)].total(),
+  EXPECT_EQ(r.agg.by_unit[static_cast<std::size_t>(netlist::Unit::IFU)].total(),
             50u);
 }
 
@@ -152,8 +152,8 @@ TEST(Campaign, MostFaultsVanish) {
   cfg.seed = 5;
   cfg.num_injections = 300;
   const CampaignResult r = run_campaign(tc, cfg);
-  EXPECT_GT(r.counts.fraction(Outcome::Vanished), 0.75);
-  EXPECT_LT(r.counts.fraction(Outcome::BadArchState), 0.05);
+  EXPECT_GT(r.counts().fraction(Outcome::Vanished), 0.75);
+  EXPECT_LT(r.counts().fraction(Outcome::BadArchState), 0.05);
 }
 
 TEST(Campaign, RawModeKillsRecoveries) {
@@ -163,8 +163,8 @@ TEST(Campaign, RawModeKillsRecoveries) {
   raw.num_injections = 200;
   raw.core.checkers_enabled = false;
   const CampaignResult r = run_campaign(tc, raw);
-  EXPECT_EQ(r.counts.of(Outcome::Corrected), 0u);
-  EXPECT_EQ(r.counts.of(Outcome::Checkstop), 0u);
+  EXPECT_EQ(r.counts().of(Outcome::Corrected), 0u);
+  EXPECT_EQ(r.counts().of(Outcome::Checkstop), 0u);
 }
 
 TEST(SampleSize, SigmaOverMuFallsWithFlips) {

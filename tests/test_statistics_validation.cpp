@@ -29,8 +29,8 @@ TEST(StatValidation, IndependentSeedsAgreeWithinConfidence) {
   b.seed = 200;
   const CampaignResult ra = run_campaign(tc, a);
   const CampaignResult rb = run_campaign(tc, b);
-  const auto iva = ra.counts.interval(Outcome::Vanished);
-  const auto ivb = rb.counts.interval(Outcome::Vanished);
+  const auto iva = ra.counts().interval(Outcome::Vanished);
+  const auto ivb = rb.counts().interval(Outcome::Vanished);
   // 95% intervals of the same quantity overlap (generously: they fail to
   // overlap < 1% of the time; the seeds are fixed, so this is deterministic
   // documentation of agreement, not a flaky assertion).
@@ -57,10 +57,10 @@ TEST(StatValidation, UnitSliceMatchesTargetedCampaign) {
   const CampaignResult fxu = run_campaign(tc, targeted);
 
   const auto& slice =
-      global.by_unit[static_cast<std::size_t>(netlist::Unit::FXU)];
+      global.agg.by_unit[static_cast<std::size_t>(netlist::Unit::FXU)];
   ASSERT_GT(slice.total(), 200u);
   const double p_slice = slice.fraction(Outcome::Vanished);
-  const double p_tgt = fxu.counts.fraction(Outcome::Vanished);
+  const double p_tgt = fxu.counts().fraction(Outcome::Vanished);
   // Combined standard error bound (generous 4σ).
   const double se = std::sqrt(p_tgt * (1 - p_tgt) *
                               (1.0 / static_cast<double>(slice.total()) +
@@ -82,7 +82,7 @@ TEST(StatValidation, UniformSamplerCoversUnitsProportionally) {
     const double expected =
         static_cast<double>(counts[idx]) / total * 3000.0;
     const double got =
-        static_cast<double>(r.by_unit[idx].total());
+        static_cast<double>(r.agg.by_unit[idx].total());
     // 5σ binomial bound.
     const double sigma = std::sqrt(expected * (1.0 - expected / 3000.0));
     EXPECT_NEAR(got, expected, 5.0 * sigma + 5.0)
@@ -120,7 +120,7 @@ TEST(StatValidation, OutcomesStableAcrossWorkloadSeeds) {
     cfg.seed = 11;
     cfg.num_injections = 600;
     const CampaignResult r = run_campaign(testcase(ws), cfg);
-    const double v = r.counts.fraction(Outcome::Vanished);
+    const double v = r.counts().fraction(Outcome::Vanished);
     lo = std::min(lo, v);
     hi = std::max(hi, v);
   }

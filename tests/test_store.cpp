@@ -1,0 +1,535 @@
+// Durable campaign store (src/store/) and resumable scheduler (src/sched/):
+// round-trips, corruption detection, torn-tail recovery, shard merge, and
+// the headline guarantee — an interrupted-then-resumed campaign is
+// byte-identical (after canonical merge; here even raw) to an uninterrupted
+// one with the same seed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "avp/testgen.hpp"
+#include "sched/scheduler.hpp"
+#include "sfi/campaign.hpp"
+#include "store/merge.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+
+namespace sfi::store {
+namespace {
+
+/// Per-test scratch file, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("sfi_test_" + name + ".sfr"))
+                  .string()) {
+    std::filesystem::remove(path_);
+  }
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+CampaignMeta sample_meta() {
+  CampaignMeta m;
+  m.seed = 42;
+  m.num_injections = 7;
+  m.config_fingerprint = 0x1234'5678'9abc'def0ull;
+  m.workload_id = 0xfeed'beefull;
+  m.population_size = 13760;
+  m.workload_cycles = 982;
+  m.workload_instructions = 238;
+  m.window_begin = 1;
+  m.window_end = 981;
+  return m;
+}
+
+StoredRecord sample_record(u32 index) {
+  StoredRecord sr;
+  sr.index = index;
+  sr.rec.fault.target = inject::FaultTarget::Latch;
+  sr.rec.fault.index = 100 + index;
+  sr.rec.fault.cycle = 10 + index;
+  sr.rec.fault.mode =
+      index % 2 ? inject::FaultMode::Sticky : inject::FaultMode::Toggle;
+  sr.rec.fault.sticky_duration = index % 2 ? 5 : 0;
+  sr.rec.fault.sticky_value = index % 3 == 0;
+  sr.rec.fault.adjacent_bits = 1;
+  sr.rec.outcome = static_cast<inject::Outcome>(index % inject::kNumOutcomes);
+  sr.rec.unit = static_cast<netlist::Unit>(index % netlist::kNumUnits);
+  sr.rec.type = static_cast<netlist::LatchType>(index % netlist::kNumLatchTypes);
+  sr.rec.end_cycle = 500 + index;
+  sr.rec.early_exited = index % 2 == 0;
+  sr.rec.recoveries = index % 3;
+  return sr;
+}
+
+void write_sample_store(const std::string& path, u32 n,
+                        const CampaignMeta& meta) {
+  StoreWriter w = StoreWriter::create(path, meta);
+  for (u32 i = 0; i < n; ++i) w.append(sample_record(i));
+  w.flush();
+}
+
+std::vector<u8> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<u8>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Codec, MetaRoundTrip) {
+  const CampaignMeta m = sample_meta();
+  const CampaignMeta back = decode_meta(encode_meta(m));
+  EXPECT_TRUE(m.same_campaign(back));
+}
+
+TEST(Codec, MetaRejectsTrailingBytes) {
+  std::vector<u8> payload = encode_meta(sample_meta());
+  payload.push_back(0);
+  EXPECT_THROW((void)decode_meta(payload), StoreError);
+}
+
+TEST(Codec, RecordRoundTripAllFields) {
+  for (u32 i = 0; i < 12; ++i) {
+    const StoredRecord sr = sample_record(i);
+    const StoredRecord back = decode_record(encode_record(sr));
+    EXPECT_EQ(encode_record(back), encode_record(sr)) << "index " << i;
+    EXPECT_EQ(back.index, sr.index);
+    EXPECT_EQ(back.rec.fault.index, sr.rec.fault.index);
+    EXPECT_EQ(back.rec.fault.mode, sr.rec.fault.mode);
+    EXPECT_EQ(back.rec.outcome, sr.rec.outcome);
+    EXPECT_EQ(back.rec.unit, sr.rec.unit);
+    EXPECT_EQ(back.rec.type, sr.rec.type);
+    EXPECT_EQ(back.rec.end_cycle, sr.rec.end_cycle);
+    EXPECT_EQ(back.rec.early_exited, sr.rec.early_exited);
+    EXPECT_EQ(back.rec.recoveries, sr.rec.recoveries);
+  }
+}
+
+TEST(Codec, RecordRejectsOutOfRangeEnum) {
+  std::vector<u8> payload = encode_record(sample_record(0));
+  // The outcome byte sits at offset 28 (index u32, target u8, fault.index
+  // u32, array_bit u64, cycle u64, mode u8, ...). Rather than hardcode the
+  // offset, corrupt every byte position and require that decode either
+  // round-trips to a valid record or throws — never reads out-of-range
+  // enum values silently.
+  for (std::size_t pos = 0; pos < payload.size(); ++pos) {
+    std::vector<u8> bad = payload;
+    bad[pos] = 0xFF;
+    try {
+      const StoredRecord r = decode_record(bad);
+      EXPECT_LT(static_cast<std::size_t>(r.rec.outcome), inject::kNumOutcomes);
+      EXPECT_LT(static_cast<std::size_t>(r.rec.unit), netlist::kNumUnits);
+      EXPECT_LT(static_cast<std::size_t>(r.rec.type), netlist::kNumLatchTypes);
+    } catch (const StoreError&) {
+      // rejection is the expected behaviour for enum/flag bytes
+    }
+  }
+}
+
+TEST(Store, WriteReadRoundTrip) {
+  TempFile f("roundtrip");
+  const CampaignMeta meta = sample_meta();
+  write_sample_store(f.path(), 7, meta);
+
+  const StoreContents c = read_store(f.path());
+  EXPECT_TRUE(c.meta.same_campaign(meta));
+  ASSERT_EQ(c.records.size(), 7u);
+  for (u32 i = 0; i < 7; ++i) {
+    EXPECT_EQ(encode_record(c.records[i]), encode_record(sample_record(i)));
+  }
+  EXPECT_FALSE(c.torn_tail);
+}
+
+TEST(Store, MissingFileThrows) {
+  EXPECT_THROW((void)read_store("/nonexistent/definitely_not_here.sfr"),
+               StoreError);
+}
+
+TEST(Store, BadMagicThrows) {
+  TempFile f("badmagic");
+  write_sample_store(f.path(), 2, sample_meta());
+  std::vector<u8> bytes = slurp(f.path());
+  bytes[0] ^= 0x01;
+  spit(f.path(), bytes);
+  EXPECT_THROW((void)read_store(f.path()), StoreError);
+}
+
+TEST(Store, CrcCorruptionMidFileAlwaysThrows) {
+  TempFile f("midcorrupt");
+  write_sample_store(f.path(), 5, sample_meta());
+  std::vector<u8> bytes = slurp(f.path());
+  // Flip a byte in the middle of the file: this lands inside an early
+  // record frame, with valid frames behind it — not a torn tail.
+  bytes[bytes.size() / 2] ^= 0xFF;
+  spit(f.path(), bytes);
+  EXPECT_THROW((void)read_store(f.path()), StoreError);
+  // Even the tolerant reader refuses: the corruption is not at the tail.
+  EXPECT_THROW((void)read_store(f.path(), {.tolerate_torn_tail = true}),
+               StoreError);
+}
+
+TEST(Store, TornTailToleratedAndTruncatable) {
+  TempFile f("torn");
+  write_sample_store(f.path(), 5, sample_meta());
+  const std::vector<u8> whole = slurp(f.path());
+
+  // Chop 3 bytes off the final frame: the classic killed-mid-append shape.
+  std::vector<u8> torn(whole.begin(), whole.end() - 3);
+  spit(f.path(), torn);
+
+  // Strict read refuses.
+  EXPECT_THROW((void)read_store(f.path()), StoreError);
+
+  // Tolerant read returns the intact prefix and the safe truncation point.
+  const StoreContents c = read_store(f.path(), {.tolerate_torn_tail = true});
+  EXPECT_TRUE(c.torn_tail);
+  ASSERT_EQ(c.records.size(), 4u);
+  EXPECT_LT(c.valid_bytes, torn.size());
+
+  // Truncating at valid_bytes yields a clean store again.
+  std::filesystem::resize_file(f.path(), c.valid_bytes);
+  const StoreContents clean = read_store(f.path());
+  EXPECT_FALSE(clean.torn_tail);
+  EXPECT_EQ(clean.records.size(), 4u);
+}
+
+TEST(Store, CorruptTailByteIsTornNotFatal) {
+  TempFile f("tailflip");
+  write_sample_store(f.path(), 3, sample_meta());
+  std::vector<u8> bytes = slurp(f.path());
+  bytes.back() ^= 0xFF;  // last CRC byte — tail corruption
+  spit(f.path(), bytes);
+  EXPECT_THROW((void)read_store(f.path()), StoreError);
+  const StoreContents c = read_store(f.path(), {.tolerate_torn_tail = true});
+  EXPECT_TRUE(c.torn_tail);
+  EXPECT_EQ(c.records.size(), 2u);
+}
+
+TEST(Store, AggregateMatchesRecords) {
+  TempFile f("agg");
+  write_sample_store(f.path(), 20, sample_meta());
+  const auto [meta, agg] = aggregate_store(f.path());
+  const StoreContents c = read_store(f.path());
+  inject::CampaignAggregate manual;
+  for (const auto& sr : c.records) manual.add(sr.rec);
+  EXPECT_EQ(agg.total(), 20u);
+  for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+    const auto oc = static_cast<inject::Outcome>(o);
+    EXPECT_EQ(agg.counts.of(oc), manual.counts.of(oc));
+  }
+  for (std::size_t u = 0; u < netlist::kNumUnits; ++u) {
+    EXPECT_EQ(agg.by_unit[u].total(), manual.by_unit[u].total());
+  }
+  for (std::size_t t = 0; t < netlist::kNumLatchTypes; ++t) {
+    EXPECT_EQ(agg.by_type[t].total(), manual.by_type[t].total());
+  }
+}
+
+TEST(Merge, ShardsFoldIntoCanonicalStore) {
+  TempFile a("shard_a"), b("shard_b"), out("merged");
+  const CampaignMeta meta = sample_meta();  // num_injections = 7
+  {
+    StoreWriter w = StoreWriter::create(a.path(), meta);
+    // Out of order within the shard, plus one index shard B also has.
+    for (const u32 i : {4u, 0u, 2u, 5u}) w.append(sample_record(i));
+    w.flush();
+  }
+  {
+    StoreWriter w = StoreWriter::create(b.path(), meta);
+    for (const u32 i : {1u, 3u, 5u, 6u}) w.append(sample_record(i));
+    w.flush();
+  }
+  const MergeSummary s = merge_stores({a.path(), b.path()}, out.path());
+  EXPECT_EQ(s.inputs, 2u);
+  EXPECT_EQ(s.records_read, 8u);
+  EXPECT_EQ(s.records_written, 7u);
+  EXPECT_EQ(s.duplicates, 1u);
+  EXPECT_EQ(s.missing, 0u);
+
+  const StoreContents c = read_store(out.path());
+  ASSERT_EQ(c.records.size(), 7u);
+  for (u32 i = 0; i < 7; ++i) EXPECT_EQ(c.records[i].index, i);
+
+  // Canonical: merging in the other order gives the identical bytes.
+  TempFile out2("merged2");
+  (void)merge_stores({b.path(), a.path()}, out2.path());
+  EXPECT_EQ(slurp(out.path()), slurp(out2.path()));
+}
+
+TEST(Merge, ReportsMissingIndices) {
+  TempFile a("gap_a"), out("gap_out");
+  {
+    StoreWriter w = StoreWriter::create(a.path(), sample_meta());
+    for (const u32 i : {0u, 2u, 6u}) w.append(sample_record(i));
+    w.flush();
+  }
+  const MergeSummary s = merge_stores({a.path()}, out.path());
+  EXPECT_EQ(s.records_written, 3u);
+  EXPECT_EQ(s.missing, 4u);  // 1, 3, 4, 5 of 0..6
+}
+
+TEST(Merge, RejectsForeignCampaign) {
+  TempFile a("mx_a"), b("mx_b"), out("mx_out");
+  write_sample_store(a.path(), 2, sample_meta());
+  CampaignMeta other = sample_meta();
+  other.seed = 43;
+  write_sample_store(b.path(), 2, other);
+  EXPECT_THROW((void)merge_stores({a.path(), b.path()}, out.path()),
+               StoreError);
+}
+
+TEST(Merge, RejectsDisagreeingShards) {
+  TempFile a("dis_a"), b("dis_b"), out("dis_out");
+  const CampaignMeta meta = sample_meta();
+  write_sample_store(a.path(), 2, meta);
+  {
+    StoreWriter w = StoreWriter::create(b.path(), meta);
+    StoredRecord lie = sample_record(1);
+    lie.rec.end_cycle += 1;  // same index, different payload
+    w.append(lie);
+    w.flush();
+  }
+  EXPECT_THROW((void)merge_stores({a.path(), b.path()}, out.path()),
+               StoreError);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: real campaigns through the store.
+
+avp::Testcase small_testcase() {
+  avp::TestcaseConfig cfg;
+  cfg.seed = 11;
+  cfg.num_instructions = 80;
+  return avp::generate_testcase(cfg);
+}
+
+inject::CampaignConfig small_campaign(u32 n = 60) {
+  inject::CampaignConfig cfg;
+  cfg.seed = 7;
+  cfg.num_injections = n;
+  return cfg;
+}
+
+void expect_same_aggregate(const inject::CampaignAggregate& a,
+                           const inject::CampaignAggregate& b) {
+  for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+    const auto oc = static_cast<inject::Outcome>(o);
+    EXPECT_EQ(a.counts.of(oc), b.counts.of(oc));
+  }
+  for (std::size_t u = 0; u < netlist::kNumUnits; ++u) {
+    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+      const auto oc = static_cast<inject::Outcome>(o);
+      EXPECT_EQ(a.by_unit[u].of(oc), b.by_unit[u].of(oc));
+    }
+  }
+  for (std::size_t t = 0; t < netlist::kNumLatchTypes; ++t) {
+    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+      const auto oc = static_cast<inject::Outcome>(o);
+      EXPECT_EQ(a.by_type[t].of(oc), b.by_type[t].of(oc));
+    }
+  }
+}
+
+TEST(Scheduler, MatchesInMemoryCampaign) {
+  TempFile f("sched_match");
+  const avp::Testcase tc = small_testcase();
+  const inject::CampaignConfig cfg = small_campaign();
+
+  const inject::CampaignResult mem = inject::run_campaign(tc, cfg);
+  sched::SchedulerConfig sc;
+  sc.threads = 2;
+  sc.shard_size = 16;
+  const sched::ScheduledResult out =
+      sched::run_campaign_to_store(tc, cfg, f.path(), sc);
+
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(out.executed, cfg.num_injections);
+  EXPECT_EQ(out.resumed, 0u);
+  expect_same_aggregate(out.agg, mem.agg);
+
+  // The aggregate is reconstructible purely from the file.
+  const auto [meta, file_agg] = aggregate_store(f.path());
+  EXPECT_TRUE(meta.same_campaign(out.meta));
+  expect_same_aggregate(file_agg, mem.agg);
+}
+
+TEST(Scheduler, ProgressReachesTotal) {
+  TempFile f("sched_progress");
+  sched::SchedulerConfig sc;
+  sc.threads = 2;
+  sc.shard_size = 8;
+  sc.flush_records = 4;
+  u64 last_done = 0;
+  u64 calls = 0;
+  sc.on_progress = [&](const sched::Progress& p) {
+    EXPECT_GE(p.done, last_done);  // monotone under the store lock
+    EXPECT_EQ(p.total, 40u);
+    last_done = p.done;
+    ++calls;
+  };
+  const auto out = sched::run_campaign_to_store(
+      small_testcase(), small_campaign(40), f.path(), sc);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(last_done, 40u);
+  EXPECT_GE(calls, 40u / sc.flush_records);
+}
+
+TEST(Scheduler, ResumeEquivalence) {
+  TempFile uninterrupted("resume_base"), interrupted("resume_cut");
+  const avp::Testcase tc = small_testcase();
+  const inject::CampaignConfig cfg = small_campaign();
+
+  sched::SchedulerConfig sc;
+  sc.threads = 2;
+  sc.shard_size = 16;
+  const auto full = sched::run_campaign_to_store(tc, cfg, uninterrupted.path(),
+                                                 sc);
+  ASSERT_TRUE(full.complete);
+
+  // Interrupt after ~1/3 of the campaign...
+  sched::SchedulerConfig cut = sc;
+  cut.max_new_injections = cfg.num_injections / 3;
+  const auto part =
+      sched::run_campaign_to_store(tc, cfg, interrupted.path(), cut);
+  EXPECT_FALSE(part.complete);
+  EXPECT_LE(part.executed, cfg.num_injections / 3 + sc.shard_size);
+
+  // ...then resume to completion.
+  const auto rest = sched::run_campaign_to_store(tc, cfg, interrupted.path(),
+                                                 sc, /*resume=*/true);
+  EXPECT_TRUE(rest.complete);
+  EXPECT_EQ(rest.resumed, part.executed);
+  EXPECT_EQ(rest.executed + rest.resumed, u64{cfg.num_injections});
+  expect_same_aggregate(rest.agg, full.agg);
+
+  // The headline guarantee: canonical merges are byte-identical.
+  TempFile ma("resume_merge_a"), mb("resume_merge_b");
+  (void)merge_stores({uninterrupted.path()}, ma.path());
+  (void)merge_stores({interrupted.path()}, mb.path());
+  EXPECT_EQ(slurp(ma.path()), slurp(mb.path()));
+}
+
+TEST(Scheduler, ResumeAfterTornTail) {
+  TempFile f("resume_torn");
+  const avp::Testcase tc = small_testcase();
+  const inject::CampaignConfig cfg = small_campaign(30);
+
+  sched::SchedulerConfig cut;
+  cut.threads = 1;
+  cut.shard_size = 8;
+  cut.max_new_injections = 16;
+  (void)sched::run_campaign_to_store(tc, cfg, f.path(), cut);
+
+  // Simulate the writer dying mid-append: shear bytes off the tail.
+  std::vector<u8> bytes = slurp(f.path());
+  bytes.resize(bytes.size() - 5);
+  spit(f.path(), bytes);
+
+  sched::SchedulerConfig sc;
+  sc.threads = 2;
+  const auto out =
+      sched::run_campaign_to_store(tc, cfg, f.path(), sc, /*resume=*/true);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(out.executed + out.resumed, 30u);
+
+  // The repaired store holds exactly the campaign, cleanly framed.
+  const StoreContents c = read_store(f.path());
+  EXPECT_EQ(c.records.size(), 30u);
+
+  // And equals the uninterrupted campaign after canonicalisation.
+  TempFile base("torn_base"), ma("torn_ma"), mb("torn_mb");
+  (void)sched::run_campaign_to_store(tc, cfg, base.path(), sc);
+  (void)merge_stores({base.path()}, ma.path());
+  (void)merge_stores({f.path()}, mb.path());
+  EXPECT_EQ(slurp(ma.path()), slurp(mb.path()));
+}
+
+TEST(Scheduler, ResumeRefusesForeignStore) {
+  TempFile f("resume_refuse");
+  const avp::Testcase tc = small_testcase();
+  (void)sched::run_campaign_to_store(tc, small_campaign(20), f.path(), {});
+
+  // Different seed → different fault list → refuse.
+  inject::CampaignConfig other = small_campaign(20);
+  other.seed = 8;
+  EXPECT_THROW((void)sched::run_campaign_to_store(tc, other, f.path(), {},
+                                                  /*resume=*/true),
+               StoreError);
+
+  // Different campaign size → refuse.
+  EXPECT_THROW((void)sched::run_campaign_to_store(tc, small_campaign(21),
+                                                  f.path(), {},
+                                                  /*resume=*/true),
+               StoreError);
+}
+
+TEST(Scheduler, ResumeOfCompleteStoreIsNoOp) {
+  TempFile f("resume_noop");
+  const avp::Testcase tc = small_testcase();
+  const inject::CampaignConfig cfg = small_campaign(20);
+  (void)sched::run_campaign_to_store(tc, cfg, f.path(), {});
+  const std::vector<u8> before = slurp(f.path());
+
+  const auto again =
+      sched::run_campaign_to_store(tc, cfg, f.path(), {}, /*resume=*/true);
+  EXPECT_TRUE(again.complete);
+  EXPECT_EQ(again.executed, 0u);
+  EXPECT_EQ(again.resumed, 20u);
+  EXPECT_EQ(slurp(f.path()), before);
+}
+
+TEST(Scheduler, FingerprintSensitivity) {
+  const avp::Testcase tc = small_testcase();
+  const inject::CampaignConfig a = small_campaign();
+  const inject::CampaignPlan plan_a = inject::plan_campaign(tc, a);
+  const u64 fp_a = sched::campaign_fingerprint(a, plan_a);
+
+  // Same inputs → same fingerprint (pure function).
+  EXPECT_EQ(sched::campaign_fingerprint(a, inject::plan_campaign(tc, a)),
+            fp_a);
+
+  // A config change that alters outcome classification changes it.
+  inject::CampaignConfig b = a;
+  b.run.hang_margin *= 2;
+  EXPECT_NE(sched::campaign_fingerprint(b, inject::plan_campaign(tc, b)),
+            fp_a);
+
+  // A population change changes it.
+  inject::CampaignConfig c = a;
+  c.filter = [](const netlist::LatchMeta& m) {
+    return m.unit == netlist::Unit::FXU;
+  };
+  EXPECT_NE(sched::campaign_fingerprint(c, inject::plan_campaign(tc, c)),
+            fp_a);
+}
+
+TEST(Scheduler, WorkloadIdTracksProgram) {
+  avp::TestcaseConfig a;
+  a.seed = 11;
+  a.num_instructions = 80;
+  avp::TestcaseConfig b = a;
+  b.seed = 12;
+  EXPECT_EQ(sched::workload_id(avp::generate_testcase(a)),
+            sched::workload_id(avp::generate_testcase(a)));
+  EXPECT_NE(sched::workload_id(avp::generate_testcase(a)),
+            sched::workload_id(avp::generate_testcase(b)));
+}
+
+}  // namespace
+}  // namespace sfi::store

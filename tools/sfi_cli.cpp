@@ -3,6 +3,8 @@
 //
 //   sfi inventory                          latch/array population report
 //   sfi campaign [options]                 run a fault-injection campaign
+//   sfi report   --from FILE               regenerate tables from a store
+//   sfi merge    --out FILE IN...          merge campaign store shards
 //   sfi beam     [options]                 run a simulated beam exposure
 //   sfi trace    --latch NAME [options]    trace one fault cause→effect
 //   sfi mix      [options]                 AVP instruction mix & CPI
@@ -19,40 +21,96 @@
 //   --type T              restrict to one latch type (FUNC/REGFILE/MODE/GPTR)
 //   --raw                 mask all core checkers (Table 3 "Raw")
 //   --sticky D            sticky faults of D cycles instead of toggles
+// Durable campaign options (scheduler + store):
+//   --out FILE.sfr        stream records to a durable campaign store
+//   --resume              continue an interrupted --out campaign; already
+//                         persisted injections are skipped exactly
+//   --shard-size N        injections per scheduler shard (default 64)
+//   --flush N             records buffered per worker between store
+//                         flushes (default 32)
+//   --max-new N           stop after N new injections (simulates an
+//                         interrupted run; finish later with --resume)
 // Trace options:
 //   --latch NAME[:BIT]    latch (by hierarchical name) to flip
 //   --cycle C             injection cycle               (default 30)
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "avp/testgen.hpp"
 #include "beam/beam.hpp"
 #include "report/table.hpp"
+#include "sched/scheduler.hpp"
 #include "sfi/campaign.hpp"
 #include "sfi/derating.hpp"
 #include "sfi/tracer.hpp"
+#include "store/merge.hpp"
+#include "store/reader.hpp"
 #include "workload/spec_profiles.hpp"
 
 namespace {
 
 using namespace sfi;
 
+/// A bad command line (unknown value, missing argument). Exits with 2, like
+/// usage(), rather than 1 (runtime failure).
+struct CliError : std::runtime_error {
+  explicit CliError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Strict unsigned parse (base prefix honoured): the whole token must be a
+/// non-negative integer that fits u64. std::stoull alone would accept
+/// "12abc", wrap "-3" around, and throw bare std::invalid_argument at the
+/// user on "abc".
+u64 parse_u64(const std::string& key, const std::string& value) {
+  const auto fail = [&](const char* why) -> u64 {
+    throw CliError("invalid value for --" + key + ": '" + value + "' (" +
+                     why + ")");
+  };
+  if (value.empty()) return fail("expected an unsigned integer");
+  if (!std::isdigit(static_cast<unsigned char>(value.front()))) {
+    return fail("expected an unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 0);
+  if (errno == ERANGE) return fail("out of range for a 64-bit value");
+  if (end != value.c_str() + value.size()) {
+    return fail("trailing characters after the number");
+  }
+  return v;
+}
+
+/// Options that are bare flags (consume no value).
+const std::set<std::string>& flag_options() {
+  static const std::set<std::string> flags = {"raw", "resume"};
+  return flags;
+}
+
 struct Args {
   std::string command;
   std::map<std::string, std::string> opts;
-  bool raw = false;
+  std::set<std::string> flags;
+  std::vector<std::string> positional;
 
   [[nodiscard]] u64 num(const std::string& key, u64 dflt) const {
     const auto it = opts.find(key);
-    return it == opts.end() ? dflt : std::stoull(it->second, nullptr, 0);
+    return it == opts.end() ? dflt : parse_u64(key, it->second);
   }
   [[nodiscard]] std::optional<std::string> str(const std::string& key) const {
     const auto it = opts.find(key);
     if (it == opts.end()) return std::nullopt;
     return it->second;
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return flags.count(key) != 0;
   }
 };
 
@@ -62,11 +120,16 @@ int usage() {
 commands:
   inventory   latch/array population report
   campaign    run a statistical fault-injection campaign
+              (--out FILE.sfr streams records to a durable store; --resume
+               continues an interrupted one exactly)
+  report      regenerate campaign tables from a store (--from FILE.sfr),
+              no re-simulation
+  merge       merge store shards: sfi merge --out MERGED.sfr SHARD...
   beam        run a simulated proton-beam exposure
   trace       trace one injected fault from cause to effect
   mix         AVP instruction mix and CPI report
   derate      derating factors & chip FIT budget from a campaign
-run `head -30 tools/sfi_cli.cpp` for the full option list.
+run `head -40 tools/sfi_cli.cpp` for the full option list.
 )";
   return 2;
 }
@@ -77,12 +140,17 @@ Args parse(int argc, char** argv) {
   a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
+    if (key.rfind("--", 0) != 0) {
+      a.positional.push_back(key);
+      continue;
+    }
     key = key.substr(2);
-    if (key == "raw") {
-      a.raw = true;
+    if (flag_options().count(key) != 0) {
+      a.flags.insert(key);
     } else if (i + 1 < argc) {
       a.opts[key] = argv[++i];
+    } else {
+      throw CliError("option --" + key + " expects a value");
     }
   }
   return a;
@@ -119,6 +187,30 @@ void print_outcomes(const inject::OutcomeCounts& counts) {
                    report::Table::pct(iv.high) + "]"});
   }
   std::cout << t.to_string();
+}
+
+void print_unit_table(const inject::CampaignAggregate& agg) {
+  std::cout << report::section("by unit");
+  report::Table t({"unit", "flips", "vanished", "corrected", "severe"});
+  for (const auto u : netlist::kAllUnits) {
+    const auto& c = agg.by_unit[static_cast<std::size_t>(u)];
+    if (c.total() == 0) continue;
+    t.add_row({std::string(to_string(u)), report::Table::count(c.total()),
+               report::Table::pct(c.fraction(inject::Outcome::Vanished)),
+               report::Table::pct(c.fraction(inject::Outcome::Corrected)),
+               report::Table::pct(c.fraction(inject::Outcome::Hang) +
+                                  c.fraction(inject::Outcome::Checkstop) +
+                                  c.fraction(inject::Outcome::BadArchState))});
+  }
+  std::cout << t.to_string();
+}
+
+/// The tables every campaign view shares — live run, scheduled run, and
+/// store replay print through this one path, which is what makes
+/// `sfi report --from` reproduce the live tables exactly.
+void print_campaign_tables(const inject::CampaignAggregate& agg) {
+  print_outcomes(agg.counts);
+  print_unit_table(agg);
 }
 
 int cmd_inventory() {
@@ -158,35 +250,73 @@ int cmd_inventory() {
   return 0;
 }
 
-int cmd_campaign(const Args& a) {
-  const avp::Testcase tc = make_testcase(a);
+inject::CampaignConfig campaign_config(const Args& a, u64 default_n) {
   inject::CampaignConfig cfg;
   cfg.seed = a.num("seed", 42);
-  cfg.num_injections = static_cast<u32>(a.num("n", 1000));
+  cfg.num_injections = static_cast<u32>(a.num("n", default_n));
   cfg.threads = static_cast<u32>(a.num("threads", 0));
-  cfg.core.checkers_enabled = !a.raw;
+  cfg.core.checkers_enabled = !a.flag("raw");
   if (const auto d = a.num("sticky", 0); d != 0) {
     cfg.mode = inject::FaultMode::Sticky;
     cfg.sticky_duration = d;
   }
   if (const auto u = a.str("unit")) {
     const auto unit = parse_unit(*u);
-    if (!unit) {
-      std::cerr << "unknown unit " << *u << "\n";
-      return 2;
-    }
+    if (!unit) throw CliError("unknown unit " + *u);
     cfg.filter = [unit](const netlist::LatchMeta& m) {
       return m.unit == *unit;
     };
   } else if (const auto t = a.str("type")) {
     const auto type = parse_type(*t);
-    if (!type) {
-      std::cerr << "unknown latch type " << *t << "\n";
-      return 2;
-    }
+    if (!type) throw CliError("unknown latch type " + *t);
     cfg.filter = [type](const netlist::LatchMeta& m) {
       return m.type == *type;
     };
+  }
+  return cfg;
+}
+
+/// Scheduled (durable) campaign: stream records into a store file.
+int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
+                          const inject::CampaignConfig& cfg,
+                          const std::string& out) {
+  sched::SchedulerConfig sc;
+  sc.shard_size = static_cast<u32>(a.num("shard-size", 64));
+  sc.flush_records = static_cast<u32>(a.num("flush", 32));
+  sc.max_new_injections = a.num("max-new", 0);
+  sc.on_progress = [](const sched::Progress& p) {
+    std::cerr << "\r[campaign] " << p.done << "/" << p.total
+              << " injections persisted" << std::flush;
+  };
+
+  const sched::ScheduledResult r =
+      sched::run_campaign_to_store(tc, cfg, out, sc, a.flag("resume"));
+  std::cerr << "\n";
+
+  std::cout << report::section("campaign result");
+  std::cout << "store: " << out << " ("
+            << (r.complete ? "complete" : "INCOMPLETE — finish with --resume")
+            << "); " << r.executed << " executed this run, " << r.resumed
+            << " resumed, " << r.shards << " shards\n";
+  std::cout << "workload: " << r.meta.workload_instructions
+            << " instructions / " << r.meta.workload_cycles
+            << " cycles; population " << r.meta.population_size
+            << " latches; "
+            << report::Table::num(r.injections_per_second(), 0)
+            << " injections/s\n\n";
+  print_campaign_tables(r.agg);
+  return 0;
+}
+
+int cmd_campaign(const Args& a) {
+  const avp::Testcase tc = make_testcase(a);
+  const inject::CampaignConfig cfg = campaign_config(a, 1000);
+
+  if (const auto out = a.str("out")) {
+    return cmd_campaign_to_store(a, tc, cfg, *out);
+  }
+  if (a.flag("resume")) {
+    throw CliError("--resume requires --out FILE (a store to resume into)");
   }
 
   const inject::CampaignResult r = inject::run_campaign(tc, cfg);
@@ -196,21 +326,46 @@ int cmd_campaign(const Args& a) {
             << r.population_size << " latches; "
             << report::Table::num(r.injections_per_second(), 0)
             << " injections/s\n\n";
-  print_outcomes(r.counts);
+  print_campaign_tables(r.agg);
+  return 0;
+}
 
-  std::cout << report::section("by unit");
-  report::Table t({"unit", "flips", "vanished", "corrected", "severe"});
-  for (const auto u : netlist::kAllUnits) {
-    const auto& c = r.by_unit[static_cast<std::size_t>(u)];
-    if (c.total() == 0) continue;
-    t.add_row({std::string(to_string(u)), report::Table::count(c.total()),
-               report::Table::pct(c.fraction(inject::Outcome::Vanished)),
-               report::Table::pct(c.fraction(inject::Outcome::Corrected)),
-               report::Table::pct(c.fraction(inject::Outcome::Hang) +
-                                  c.fraction(inject::Outcome::Checkstop) +
-                                  c.fraction(inject::Outcome::BadArchState))});
+int cmd_report(const Args& a) {
+  const auto from = a.str("from");
+  if (!from) throw CliError("report requires --from FILE.sfr");
+
+  const auto [meta, agg] = store::aggregate_store(*from);
+  std::cout << report::section("campaign report (from store, no simulation)");
+  std::cout << "store: " << *from << "; seed " << meta.seed << "; "
+            << agg.total() << "/" << meta.num_injections << " records";
+  if (agg.total() != meta.num_injections) {
+    std::cout << " (INCOMPLETE — finish with `sfi campaign --out "
+              << *from << " --resume`)";
   }
-  std::cout << t.to_string();
+  std::cout << "\nworkload: " << meta.workload_instructions
+            << " instructions / " << meta.workload_cycles
+            << " cycles; population " << meta.population_size
+            << " latches\n\n";
+  print_campaign_tables(agg);
+  return 0;
+}
+
+int cmd_merge(const Args& a) {
+  const auto out = a.str("out");
+  if (!out || a.positional.empty()) {
+    throw CliError("merge requires --out MERGED.sfr and >=1 input stores");
+  }
+  const store::MergeSummary s = store::merge_stores(a.positional, *out);
+  std::cout << report::section("store merge");
+  std::cout << s.inputs << " shard(s), " << s.records_read
+            << " records read, " << s.duplicates << " duplicate(s) collapsed"
+            << "\n-> " << *out << ": " << s.records_written << "/"
+            << s.meta.num_injections << " records";
+  if (s.missing != 0) {
+    std::cout << " (" << s.missing
+              << " missing — resume the campaign to fill them)";
+  }
+  std::cout << "\n";
   return 0;
 }
 
@@ -220,25 +375,22 @@ int cmd_beam(const Args& a) {
   cfg.seed = a.num("seed", 42);
   cfg.num_events = static_cast<u32>(a.num("n", 1000));
   cfg.threads = static_cast<u32>(a.num("threads", 0));
-  cfg.core.checkers_enabled = !a.raw;
+  cfg.core.checkers_enabled = !a.flag("raw");
   const beam::BeamResult r = beam::run_beam_experiment(tc, cfg);
   std::cout << report::section("beam exposure result");
   std::cout << r.latch_events << " latch strikes, " << r.array_events
             << " protected-array strikes\n\n";
-  print_outcomes(r.counts);
+  print_outcomes(r.counts());
   return 0;
 }
 
 int cmd_trace(const Args& a) {
   const auto latch = a.str("latch");
-  if (!latch) {
-    std::cerr << "trace requires --latch NAME[:BIT]\n";
-    return 2;
-  }
+  if (!latch) throw CliError("trace requires --latch NAME[:BIT]");
   std::string name = *latch;
   u32 bit = 0;
   if (const auto colon = name.find(':'); colon != std::string::npos) {
-    bit = static_cast<u32>(std::stoul(name.substr(colon + 1)));
+    bit = static_cast<u32>(parse_u64("latch", name.substr(colon + 1)));
     name = name.substr(0, colon);
   }
 
@@ -277,10 +429,7 @@ int cmd_trace(const Args& a) {
 
 int cmd_derate(const Args& a) {
   const avp::Testcase tc = make_testcase(a);
-  inject::CampaignConfig cfg;
-  cfg.seed = a.num("seed", 42);
-  cfg.num_injections = static_cast<u32>(a.num("n", 2000));
-  cfg.threads = static_cast<u32>(a.num("threads", 0));
+  const inject::CampaignConfig cfg = campaign_config(a, 2000);
   const inject::CampaignResult r = inject::run_campaign(tc, cfg);
 
   core::Pearl6Model model;
@@ -321,14 +470,19 @@ int cmd_mix(const Args& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args a = parse(argc, argv);
   try {
+    const Args a = parse(argc, argv);
     if (a.command == "inventory") return cmd_inventory();
     if (a.command == "campaign") return cmd_campaign(a);
+    if (a.command == "report") return cmd_report(a);
+    if (a.command == "merge") return cmd_merge(a);
     if (a.command == "beam") return cmd_beam(a);
     if (a.command == "trace") return cmd_trace(a);
     if (a.command == "mix") return cmd_mix(a);
     if (a.command == "derate") return cmd_derate(a);
+  } catch (const CliError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
