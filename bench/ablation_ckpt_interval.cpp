@@ -1,0 +1,72 @@
+// Ablation — reference-run checkpoint interval K: warm-starting injections
+// from the nearest interval snapshot replaces the ~W/2-cycle replay to the
+// fault cycle with an expected K/2-cycle fast-forward (the paper's AWAN
+// checkpoint-reload step, §2/Figure 1). Sweeps K and verifies that the
+// interval changes wall-clock and memory only — never a single outcome.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "emu/checkpoint_store.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 n = opt.full ? 10000 : 1500;
+  bench::print_scale_note(opt, "1500 injections per interval",
+                          "10000 injections per interval");
+
+  const avp::Testcase tc = bench::standard_testcase();
+
+  inject::CampaignConfig base;
+  base.seed = opt.seed;
+  base.num_injections = n;
+  base.threads = 1;  // isolate per-run cost from scheduling effects
+
+  // Baseline: no checkpoints, every injection replays from cycle 0.
+  inject::CampaignConfig off = base;
+  off.ckpt_interval = 0;
+  const inject::CampaignResult ref = inject::run_campaign(tc, off);
+
+  std::cout << report::section(
+      "Ablation: checkpoint interval K (warm-start vs cycle-0 replay)");
+  report::Table t({"interval", "wall s", "inj/s", "cycles eval",
+                   "fast-fwd", "ckpts", "resident KiB", "speedup"});
+  const auto row = [&](const std::string& label,
+                       const inject::CampaignResult& r) {
+    t.add_row({label, report::Table::num(r.wall_seconds),
+               report::Table::num(r.injections_per_second(), 0),
+               report::Table::count(r.cycles_evaluated),
+               report::Table::count(r.cycles_fast_forwarded),
+               report::Table::count(r.checkpoints),
+               report::Table::num(
+                   static_cast<double>(r.checkpoint_bytes) / 1024.0, 1),
+               report::Table::num(ref.wall_seconds /
+                                      std::max(1e-9, r.wall_seconds),
+                                  2) +
+                   "x"});
+  };
+  row("off", ref);
+
+  bool identical = true;
+  const Cycle intervals[] = {1, 4, 16, 64, 256, emu::kCkptAuto};
+  for (const Cycle k : intervals) {
+    inject::CampaignConfig cfg = base;
+    cfg.ckpt_interval = k;
+    const inject::CampaignResult r = inject::run_campaign(tc, cfg);
+    row(k == emu::kCkptAuto ? "auto" : std::to_string(k), r);
+    for (std::size_t i = 0; i < r.records.size(); ++i) {
+      if (r.records[i].outcome != ref.records[i].outcome ||
+          r.records[i].end_cycle != ref.records[i].end_cycle) {
+        identical = false;
+        std::cout << "MISMATCH at injection " << i << " (interval "
+                  << (k == emu::kCkptAuto ? std::string("auto")
+                                          : std::to_string(k))
+                  << ")\n";
+      }
+    }
+  }
+  std::cout << t.to_string();
+  std::cout << "\noutcomes identical at every interval: "
+            << (identical ? "yes" : "NO") << "\n";
+  return identical ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include "avp/testgen.hpp"
 #include "common/hash.hpp"
 #include "core/core_model.hpp"
+#include "emu/checkpoint_store.hpp"
 #include "emu/emulator.hpp"
 #include "netlist/ecc.hpp"
 #include "sfi/runner.hpp"
@@ -105,6 +106,51 @@ void BM_CheckpointReload(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckpointReload);
 
+void BM_CheckpointSave(benchmark::State& state) {
+  const avp::Testcase tc = [&] {
+    avp::TestcaseConfig cfg;
+    cfg.seed = 5;
+    return avp::generate_testcase(cfg);
+  }();
+  core::Pearl6Model model;
+  model.load_workload(tc.program, tc.init);
+  emu::Emulator emu(model);
+  emu.reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emu.save_checkpoint());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CheckpointSave);
+
+void BM_CheckpointStoreReconstruct(benchmark::State& state) {
+  // Worst-case materialization: rotate through every record, so each call
+  // replays a full-snapshot base plus its delta chain (up to full_every-1
+  // XOR applications) — no same-index caching.
+  const avp::Testcase tc = [&] {
+    avp::TestcaseConfig cfg;
+    cfg.seed = 5;
+    cfg.num_instructions = 160;
+    return avp::generate_testcase(cfg);
+  }();
+  core::Pearl6Model model;
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+  emu::CheckpointStoreConfig cfg;
+  cfg.interval = 4;
+  const emu::CheckpointStore store = emu::build_checkpoint_store(
+      emu, trace.completion_cycle - 1, cfg, &trace);
+  emu::Checkpoint cp;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    store.materialize(i, cp);
+    benchmark::DoNotOptimize(cp.cycle);
+    i = (i + 1) % store.size();
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CheckpointStoreReconstruct);
+
 void BM_InjectionRun(benchmark::State& state) {
   const avp::Testcase tc = [&] {
     avp::TestcaseConfig cfg;
@@ -131,6 +177,38 @@ void BM_InjectionRun(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<i64>(state.iterations()));
 }
 BENCHMARK(BM_InjectionRun);
+
+void BM_InjectionRunWarmStart(benchmark::State& state) {
+  // Same fault stream as BM_InjectionRun, but warm-started from an
+  // interval checkpoint store — the ratio of the two is the campaign
+  // speedup the checkpointing buys per injection.
+  const avp::Testcase tc = [&] {
+    avp::TestcaseConfig cfg;
+    cfg.seed = 6;
+    cfg.num_instructions = 160;
+    return avp::generate_testcase(cfg);
+  }();
+  const avp::GoldenResult golden = avp::run_golden(tc);
+  core::Pearl6Model model;
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+  const emu::CheckpointStore store = emu::build_checkpoint_store(
+      emu, trace.completion_cycle - 1, {}, &trace);
+  emu.reset();
+  const emu::Checkpoint cp = emu.save_checkpoint();
+  inject::InjectionRunner runner(model, emu, cp, trace, golden, {}, &store);
+
+  stats::Xoshiro256 rng(9);
+  const u32 latches = model.registry().num_latches();
+  for (auto _ : state) {
+    inject::FaultSpec f;
+    f.index = static_cast<u32>(rng.below(latches));
+    f.cycle = 1 + rng.below(trace.completion_cycle - 1);
+    benchmark::DoNotOptimize(runner.run(f));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_InjectionRunWarmStart);
 
 }  // namespace
 

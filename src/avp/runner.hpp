@@ -18,6 +18,13 @@ namespace sfi::avp {
 struct GoldenResult {
   isa::ArchState final_state;
   u64 final_mem_hash = 0;  ///< hash of the whole memory image at STOP
+  /// The final memory image as a fault-free ECC machine would hold it:
+  /// data bytes followed by one Hamming(72,64) check byte per word. The
+  /// classifier memcmps the injected machine's store against this before
+  /// falling back to the (expensive) corrected-readout walk — a
+  /// bit-identical encoded image decodes clean, so the walk is provably a
+  /// no-op (see EccMemory::encoded_image_equals).
+  std::vector<u8> final_mem_encoded;
   u64 instructions = 0;
   std::array<u64, isa::kNumInstrClasses> class_counts{};
 };
@@ -26,11 +33,15 @@ struct GoldenResult {
                                       u64 max_instrs = 1u << 20);
 
 /// Fault-free run of a testcase on a Pearl6 model: returns the golden trace
-/// (hash-per-cycle reference) after asserting completion.
+/// (hash-per-cycle reference) after asserting completion. `record_states`
+/// additionally keeps the per-cycle masked state for the runner's exact
+/// convergence compare (campaign/beam workloads; costs cycles × state
+/// bytes of memory).
 [[nodiscard]] emu::GoldenTrace run_reference(core::Pearl6Model& model,
                                              emu::Emulator& emu,
                                              const Testcase& tc,
-                                             Cycle max_cycles = 200000);
+                                             Cycle max_cycles = 200000,
+                                             bool record_states = false);
 
 /// Instruction mix (per class, as fractions) and CPI of a testcase on the
 /// core — the numbers Table 1 compares against SPECInt.

@@ -1,5 +1,6 @@
 #include "beam/beam.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -27,7 +28,9 @@ BeamResult run_beam_experiment(const avp::Testcase& tc,
   const avp::GoldenResult golden = avp::run_golden(tc);
   core::Pearl6Model ref_model(cfg.core);
   emu::Emulator ref_emu(ref_model);
-  const emu::GoldenTrace trace = avp::run_reference(ref_model, ref_emu, tc);
+  const emu::GoldenTrace trace =
+      avp::run_reference(ref_model, ref_emu, tc, /*max_cycles=*/200000,
+                         /*record_states=*/true);
 
   const u64 latch_bits = ref_model.registry().num_latches();
   const u64 array_bits = ref_model.arrays().total_storage_bits();
@@ -64,6 +67,29 @@ BeamResult run_beam_experiment(const avp::Testcase& tc,
           ? cfg.threads
           : std::max(1u, std::thread::hardware_concurrency());
 
+  // Shared interval-checkpoint store: beam runs replay to the strike cycle
+  // exactly like campaign injections, so Table 2 calibration gets the same
+  // warm-start speedup. One extra fault-free replay builds it.
+  emu::CheckpointStore ckpts;
+  if (cfg.ckpt_interval != 0 && trace.completion_cycle > 1) {
+    emu::CheckpointStoreConfig cc;
+    cc.interval =
+        cfg.ckpt_interval == emu::kCkptAuto ? 0 : cfg.ckpt_interval;
+    cc.memory_budget_bytes = cfg.ckpt_memory_budget;
+    ckpts = emu::build_checkpoint_store(ref_emu, trace.completion_cycle - 1,
+                                        cc, &trace);
+  }
+
+  // Dispatch strikes cycle-sorted so consecutive runs share a hot
+  // checkpoint; records land at their original index.
+  std::vector<u32> order(cfg.num_events);
+  for (u32 i = 0; i < cfg.num_events; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+    return strikes[a].cycle != strikes[b].cycle
+               ? strikes[a].cycle < strikes[b].cycle
+               : a < b;
+  });
+
   std::vector<InjectionRecord> records(cfg.num_events);
   std::atomic<u32> next{0};
 
@@ -76,10 +102,12 @@ BeamResult run_beam_experiment(const avp::Testcase& tc,
   const auto work = [&](core::Pearl6Model& model, emu::Emulator& emu) {
     emu.reset();
     const emu::Checkpoint reset_cp = emu.save_checkpoint();
-    InjectionRunner runner(model, emu, reset_cp, trace, golden, run_cfg);
+    InjectionRunner runner(model, emu, reset_cp, trace, golden, run_cfg,
+                           ckpts.empty() ? nullptr : &ckpts);
     while (true) {
-      const u32 i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= cfg.num_events) break;
+      const u32 k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= cfg.num_events) break;
+      const u32 i = order[k];
       const RunResult rr = runner.run(strikes[i]);
       InjectionRecord rec;
       rec.fault = strikes[i];

@@ -23,6 +23,11 @@ struct BeamConfig {
   /// typically somewhat more sensitive than hardened latches.
   double latch_cross_section = 1.0;
   double array_cross_section = 1.0;
+  /// Interval checkpointing of the reference run (shared with campaigns —
+  /// emu::kCkptAuto tunes the interval, 0 disables). Beam outcomes are
+  /// unaffected; only the replay-to-strike-cycle cost changes.
+  Cycle ckpt_interval = emu::kCkptAuto;
+  u64 ckpt_memory_budget = 64ull << 20;
   inject::RunConfig run;
   core::CoreConfig core;
 };

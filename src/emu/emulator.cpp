@@ -86,10 +86,16 @@ Checkpoint Emulator::save_checkpoint() {
 }
 
 void Emulator::restore_checkpoint(const Checkpoint& cp) {
-  cur_ = cp.latches;
+  require(cp.latches.num_bits() == cur_.num_bits(),
+          "checkpoint does not match the model's latch count");
+  // In-place word copy: the restore path runs once per injection, so it
+  // must never reallocate cur_ or the model's aux buffers.
+  const auto src = cp.latches.words();
+  std::copy(src.begin(), src.end(), cur_.words_mut().begin());
   cycle_ = cp.cycle;
   forces_.clear();
   model_.restore_aux(cp.aux);
+  cycles_fast_forwarded_ += cp.cycle;
   ++hostlink_.checkpoint_ops;
 }
 

@@ -27,6 +27,11 @@ struct Checkpoint {
   netlist::StateVector latches;
   std::vector<u8> aux;
   Cycle cycle = 0;
+
+  /// Raw snapshot footprint (what one uncompressed checkpoint costs).
+  [[nodiscard]] std::size_t size_bytes() const {
+    return latches.words().size() * sizeof(u64) + aux.size();
+  }
 };
 
 /// Host↔engine interaction counters (the throughput-limiting factor the
@@ -81,10 +86,17 @@ class Emulator {
 
   // --- checkpointing ---
   [[nodiscard]] Checkpoint save_checkpoint();
+  /// Restore in place into preallocated storage: no allocation on the
+  /// injection hot path. The checkpoint must match the model's latch count.
   void restore_checkpoint(const Checkpoint& cp);
 
   [[nodiscard]] const HostLinkStats& hostlink() const { return hostlink_; }
   [[nodiscard]] u64 cycles_evaluated() const { return cycles_evaluated_; }
+  /// Cycles skipped by restoring mid-run checkpoints instead of replaying
+  /// from cycle 0 (each restore at cycle c saves c cycles of replay).
+  [[nodiscard]] u64 cycles_fast_forwarded() const {
+    return cycles_fast_forwarded_;
+  }
 
  private:
   struct Force {
@@ -100,6 +112,7 @@ class Emulator {
   std::vector<Force> forces_;
   Cycle cycle_ = 0;
   u64 cycles_evaluated_ = 0;
+  u64 cycles_fast_forwarded_ = 0;
   HostLinkStats hostlink_;
 };
 

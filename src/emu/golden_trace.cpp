@@ -5,17 +5,37 @@
 namespace sfi::emu {
 
 GoldenTrace record_golden_trace(Emulator& emu, Cycle max_cycles,
-                                Cycle margin) {
+                                Cycle margin, bool record_states) {
   emu.reset();
   const auto& masks = emu.model().registry().hash_masks();
 
   GoldenTrace trace;
   trace.hashes.reserve(max_cycles / 4);
+  // Keep the masked-state matrix bounded: a pathological workload (10^5+
+  // cycles) would otherwise cost gigabytes; past the cap the runner simply
+  // falls back to hash compares.
+  constexpr u64 kMaxStateBytes = 256ull << 20;
+  if (record_states) {
+    trace.word_stride = static_cast<u32>(emu.state().words().size());
+  }
 
   Cycle extra = 0;
   for (Cycle c = 0; c < max_cycles; ++c) {
     emu.step();
     trace.hashes.push_back(emu.state().masked_hash(masks));
+    if (trace.word_stride != 0) {
+      if ((trace.masked_words.size() + trace.word_stride) * sizeof(u64) >
+          kMaxStateBytes) {
+        trace.word_stride = 0;
+        trace.masked_words.clear();
+        trace.masked_words.shrink_to_fit();
+      } else {
+        const auto words = emu.state().words();
+        for (std::size_t i = 0; i < words.size(); ++i) {
+          trace.masked_words.push_back(words[i] & masks[i]);
+        }
+      }
+    }
     const RasStatus ras = emu.model().ras_status(emu.state());
     ensure(!ras.checkstop && !ras.hang_detected && ras.recovery_count == 0,
            "golden run reported an error: the fault-free model is broken");

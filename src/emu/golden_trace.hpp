@@ -21,6 +21,16 @@ struct GoldenTrace {
   /// (i.e. the state entering cycle c+1). Recorded until completion+margin.
   std::vector<u64> hashes;
 
+  /// Optional masked state matrix: words[c * word_stride + i] is state word
+  /// i AND-ed with hash mask i at the end of cycle c. When present, the
+  /// injection runner's per-cycle convergence poll is an exact word compare
+  /// (collision-free and cheaper than hashing — a diverged state usually
+  /// differs in the first few words). Empty unless requested at recording
+  /// time: campaigns and beam runs pay the ~(cycles × state bytes) memory,
+  /// one-off diagnostic runs don't need to.
+  std::vector<u64> masked_words;
+  u32 word_stride = 0;
+
   /// Cycle at which the workload's STOP was first observed complete.
   Cycle completion_cycle = 0;
   bool completed = false;
@@ -31,13 +41,22 @@ struct GoldenTrace {
 
   /// Fingerprint valid at cycle c?
   [[nodiscard]] bool has_cycle(Cycle c) const { return c < hashes.size(); }
+  /// Masked per-cycle states recorded (and for every hashed cycle)?
+  [[nodiscard]] bool has_states() const { return word_stride != 0; }
+  /// Masked reference state at the end of cycle c (requires has_states()).
+  [[nodiscard]] const u64* masked_state(Cycle c) const {
+    return masked_words.data() + c * word_stride;
+  }
 };
 
 /// Run the emulator's current workload fault-free from reset and record the
 /// trace. `margin` extra cycles are recorded past completion so that
 /// injections landing near the end still have reference fingerprints.
-/// The emulator is left in the completed state.
+/// The emulator is left in the completed state. With `record_states` the
+/// per-cycle masked state is kept alongside the hashes (up to an internal
+/// memory cap, after which recording silently degrades to hashes only).
 [[nodiscard]] GoldenTrace record_golden_trace(Emulator& emu, Cycle max_cycles,
-                                              Cycle margin = 64);
+                                              Cycle margin = 64,
+                                              bool record_states = false);
 
 }  // namespace sfi::emu

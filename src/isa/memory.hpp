@@ -35,6 +35,9 @@ class Memory {
 
   void fill_zero();
 
+  /// Whole image, read-only (snapshot compares; bypasses wrap handling).
+  [[nodiscard]] std::span<const u8> bytes() const { return bytes_; }
+
   void save(std::vector<u8>& out) const;
   void load_snapshot(std::span<const u8>& in);
 

@@ -1,5 +1,6 @@
 #include "mem/ecc_memory.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -70,6 +71,13 @@ void EccMemory::fill_zero() {
   data_.fill_zero();
   const u8 zero_check = netlist::ecc_encode(0);
   std::fill(check_.begin(), check_.end(), zero_check);
+  // Power-on reset covers the controller too: a stale scrub cursor would
+  // make two replays of the same workload diverge in their correction
+  // timing, breaking the determinism that checkpoint warm-starts rely on.
+  corrected_pending_ = 0;
+  fatal_pending_ = false;
+  scrub_pos_ = 0;
+  scrub_timer_ = 0;
 }
 
 void EccMemory::scrub_step() {
@@ -104,6 +112,15 @@ u64 EccMemory::corrected_hash(u64 addr, u32 len) {
     }
   }
   return data_.range_hash(addr, len);
+}
+
+bool EccMemory::encoded_image_equals(std::span<const u8> image) const {
+  if (image.size() != data_.size() + check_.size()) return false;
+  const auto data = data_.bytes();
+  return std::equal(image.begin(), image.begin() + data.size(),
+                    data.begin()) &&
+         std::equal(image.begin() + data.size(), image.end(),
+                    check_.begin());
 }
 
 void EccMemory::flip_storage_bit(u64 bit) {

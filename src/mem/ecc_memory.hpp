@@ -54,6 +54,13 @@ class EccMemory {
   /// Verifies (and thereby corrects) every touched word first.
   [[nodiscard]] u64 corrected_hash(u64 addr, u32 len);
 
+  /// Exact compare against an encoded-image snapshot (data bytes followed by
+  /// one check byte per word, as produced by a fault-free machine). When the
+  /// images are bit-identical every word decodes clean, so a readout walk
+  /// would correct nothing and report nothing — callers may skip it. This is
+  /// the classifier's fast path; it has no side effects.
+  [[nodiscard]] bool encoded_image_equals(std::span<const u8> image) const;
+
   /// Raw injectable storage: data bits then, per word, 8 check bits.
   [[nodiscard]] u64 storage_bits() const {
     return static_cast<u64>(num_words()) * 72;

@@ -48,12 +48,40 @@ void StateVector::write(u32 offset, u32 width, u64 v) {
 
 u64 StateVector::masked_hash(std::span<const u64> masks) const {
   ensure(masks.size() == words_.size(), "mask/word size mismatch");
-  u64 h = mix64(0x533F1B05CA11ED01ULL);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    h = mix64(h ^ mix64((words_[i] & masks[i]) +
-                        (i + 1) * 0x9E3779B97F4A7C15ULL));
+  // The injection runner polls this hash every simulated cycle to detect
+  // convergence onto the golden trace, so it must not be latency-bound: a
+  // single h = mix64(h ^ ...) chain serializes ~6 cycles of multiply
+  // latency per word and ends up costing more than evaluating the model
+  // itself. Four independent multiply–rotate lanes keep the pipeline full;
+  // each lane stays order-sensitive within its stride and the lanes are
+  // folded through mix64 at the end.
+  constexpr u64 kM0 = 0x9E3779B97F4A7C15ULL;
+  constexpr u64 kM1 = 0xC2B2AE3D27D4EB4FULL;
+  u64 h0 = 0x533F1B05CA11ED01ULL;
+  u64 h1 = 0x8EBC6AF09C88C6E3ULL;
+  u64 h2 = 0x589965CC75374CC3ULL;
+  u64 h3 = 0x1D8E4E27C47D124FULL;
+  const std::size_t n = words_.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    h0 = std::rotl((h0 ^ (words_[i] & masks[i])) * kM0, 29);
+    h1 = std::rotl((h1 ^ (words_[i + 1] & masks[i + 1])) * kM1, 29);
+    h2 = std::rotl((h2 ^ (words_[i + 2] & masks[i + 2])) * kM0, 29);
+    h3 = std::rotl((h3 ^ (words_[i + 3] & masks[i + 3])) * kM1, 29);
   }
-  return h;
+  for (; i < n; ++i) {
+    h0 = std::rotl((h0 ^ (words_[i] & masks[i])) * kM0, 29);
+  }
+  return mix64(h0 ^ mix64(h1 ^ mix64(h2 ^ mix64(h3 ^ (n * kM1)))));
+}
+
+bool StateVector::masked_equals(std::span<const u64> masks,
+                                const u64* ref) const {
+  ensure(masks.size() == words_.size(), "mask/word size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & masks[i]) != ref[i]) return false;
+  }
+  return true;
 }
 
 u32 StateVector::masked_distance(const StateVector& other,

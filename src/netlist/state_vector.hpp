@@ -21,6 +21,10 @@ class StateVector {
 
   [[nodiscard]] u32 num_bits() const { return num_bits_; }
   [[nodiscard]] std::span<const u64> words() const { return words_; }
+  /// Mutable word access for bulk state transfer (checkpoint restore and
+  /// delta reconstruction); bits past num_bits() in the last word must stay
+  /// zero.
+  [[nodiscard]] std::span<u64> words_mut() { return words_; }
 
   [[nodiscard]] bool get_bit(BitIndex i) const;
   void set_bit(BitIndex i, bool v);
@@ -35,6 +39,12 @@ class StateVector {
   /// Fingerprint of the bits selected by `masks` (one AND-mask per word, as
   /// produced by LatchRegistry::hash_masks()).
   [[nodiscard]] u64 masked_hash(std::span<const u64> masks) const;
+
+  /// Exact compare of the masked state against a pre-masked reference
+  /// (ref[i] == words[i] & masks[i] for all i). Early-outs on the first
+  /// differing word, so polling a diverged state is nearly free.
+  [[nodiscard]] bool masked_equals(std::span<const u64> masks,
+                                   const u64* ref) const;
 
   /// Number of bit positions (under `masks`) where *this differs from other.
   [[nodiscard]] u32 masked_distance(const StateVector& other,

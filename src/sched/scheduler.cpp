@@ -110,10 +110,14 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
       fresh_store ? store::StoreWriter::create(store_path, meta)
                   : store::StoreWriter::append_to(store_path);
 
-  // --- shard the remaining index space ---
+  // --- shard the remaining index space, cycle-sorted ---
+  // Workers warm-start from the plan's checkpoint store; handing out
+  // injections in fault-cycle order keeps each worker's materialized
+  // checkpoint hot across a shard. Records carry their index, so store
+  // ordering, resume and canonical merge are unaffected.
   std::vector<u32> pending;
   pending.reserve(cfg.num_injections - result.resumed);
-  for (u32 i = 0; i < cfg.num_injections; ++i) {
+  for (const u32 i : plan.cycle_sorted_indices()) {
     if (!done[i]) pending.push_back(i);
   }
 
@@ -132,6 +136,8 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
   std::atomic<u64> next_shard{0};
   std::atomic<u64> claimed{0};
   std::atomic<u64> cycles_evaluated{0};
+  std::atomic<u64> cycles_fast_forwarded{0};
+  std::atomic<u64> checkpoint_ops{0};
   std::mutex store_mu;
   u64 persisted = result.resumed;  // guarded by store_mu
 
@@ -178,6 +184,9 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
     flush();
     cycles_evaluated.fetch_add(w.cycles_evaluated(),
                                std::memory_order_relaxed);
+    cycles_fast_forwarded.fetch_add(w.cycles_fast_forwarded(),
+                                    std::memory_order_relaxed);
+    checkpoint_ops.fetch_add(w.checkpoint_ops(), std::memory_order_relaxed);
     const std::lock_guard<std::mutex> lock(store_mu);
     result.agg.merge(local);
     result.executed += local.total();
@@ -185,8 +194,10 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
 
   if (!pending.empty() && cap > 0) {
     const u32 hw = std::max(1u, std::thread::hardware_concurrency());
-    const u32 threads = static_cast<u32>(std::min<u64>(
-        cfg.threads != 0 ? cfg.threads : hw, num_shards));
+    const u32 want = sched.threads != 0
+                         ? sched.threads
+                         : (cfg.threads != 0 ? cfg.threads : hw);
+    const u32 threads = static_cast<u32>(std::min<u64>(want, num_shards));
     if (threads <= 1) {
       inject::CampaignWorker w(tc, cfg, plan);
       work(w);
@@ -208,6 +219,10 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
 
   result.shards = std::min<u64>(next_shard.load(), num_shards);
   result.cycles_evaluated = cycles_evaluated.load();
+  result.cycles_fast_forwarded = cycles_fast_forwarded.load();
+  result.checkpoint_ops = checkpoint_ops.load();
+  result.checkpoints = plan.ckpts.size();
+  result.checkpoint_bytes = plan.ckpts.resident_bytes();
   result.complete = result.agg.total() == cfg.num_injections;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -35,7 +35,7 @@ struct Progress {
 };
 
 struct SchedulerConfig {
-  u32 threads = 0;        ///< 0: hardware concurrency
+  u32 threads = 0;        ///< 0: campaign config threads, else hardware
   u32 shard_size = 64;    ///< injections per shard (work-stealing unit)
   u32 flush_records = 32; ///< records a worker batches between store appends
   /// Stop after this many newly executed injections (0 = run to completion).
@@ -56,6 +56,13 @@ struct ScheduledResult {
   bool complete = false;  ///< store now covers all num_injections indices
   double wall_seconds = 0.0;
   u64 cycles_evaluated = 0;
+  /// Replay cycles skipped by warm-starting from reference checkpoints.
+  u64 cycles_fast_forwarded = 0;
+  /// Host checkpoint interactions (saves + restores) across all workers.
+  u64 checkpoint_ops = 0;
+  /// Resident reference checkpoints and their encoded footprint.
+  std::size_t checkpoints = 0;
+  u64 checkpoint_bytes = 0;
 
   [[nodiscard]] double injections_per_second() const {
     return wall_seconds <= 0.0 ? 0.0

@@ -1,7 +1,9 @@
 #include "sfi/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <numeric>
 #include <thread>
 
 #include "common/check.hpp"
@@ -19,7 +21,12 @@ CampaignPlan plan_campaign(const avp::Testcase& tc,
 
   core::Pearl6Model ref_model(cfg.core);
   emu::Emulator ref_emu(ref_model);
-  plan.trace = avp::run_reference(ref_model, ref_emu, tc);
+  // Masked per-cycle states make the runner's convergence poll an exact
+  // early-out compare instead of a full-state hash — worth the memory for a
+  // many-injection campaign.
+  plan.trace = avp::run_reference(ref_model, ref_emu, tc,
+                                  /*max_cycles=*/200000,
+                                  /*record_states=*/true);
 
   // Population & sampler (identical across workers and across resumes).
   plan.population =
@@ -44,7 +51,29 @@ CampaignPlan plan_campaign(const avp::Testcase& tc,
     stats::Xoshiro256 rng(stats::derive_seed(cfg.seed, i));
     plan.faults[i] = sampler.sample(rng);
   }
+
+  // Interval checkpoints of the reference run (one extra fault-free replay,
+  // amortized over every injection). The last useful snapshot cycle is the
+  // latest possible fault cycle, window_end - 1.
+  if (cfg.ckpt_interval != 0) {
+    emu::CheckpointStoreConfig cc;
+    cc.interval =
+        cfg.ckpt_interval == emu::kCkptAuto ? 0 : cfg.ckpt_interval;
+    cc.memory_budget_bytes = cfg.ckpt_memory_budget;
+    plan.ckpts = emu::build_checkpoint_store(ref_emu, sampler.window_end - 1,
+                                             cc, &plan.trace);
+  }
   return plan;
+}
+
+std::vector<u32> CampaignPlan::cycle_sorted_indices() const {
+  std::vector<u32> order(faults.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+    return faults[a].cycle != faults[b].cycle ? faults[a].cycle < faults[b].cycle
+                                              : a < b;
+  });
+  return order;
 }
 
 CampaignWorker::CampaignWorker(const avp::Testcase& tc,
@@ -55,9 +84,9 @@ CampaignWorker::CampaignWorker(const avp::Testcase& tc,
   emu_ = std::make_unique<emu::Emulator>(*model_);
   emu_->reset();
   reset_cp_ = emu_->save_checkpoint();
-  runner_ = std::make_unique<InjectionRunner>(*model_, *emu_, reset_cp_,
-                                              plan.trace, plan.golden,
-                                              cfg.run);
+  runner_ = std::make_unique<InjectionRunner>(
+      *model_, *emu_, reset_cp_, plan.trace, plan.golden, cfg.run,
+      plan.ckpts.empty() ? nullptr : &plan.ckpts);
 }
 
 CampaignWorker::~CampaignWorker() = default;
@@ -84,6 +113,14 @@ u64 CampaignWorker::cycles_evaluated() const {
   return emu_->cycles_evaluated();
 }
 
+u64 CampaignWorker::cycles_fast_forwarded() const {
+  return emu_->cycles_fast_forwarded();
+}
+
+u64 CampaignWorker::checkpoint_ops() const {
+  return emu_->hostlink().checkpoint_ops;
+}
+
 CampaignResult run_campaign(const avp::Testcase& tc,
                             const CampaignConfig& cfg) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -96,17 +133,28 @@ CampaignResult run_campaign(const avp::Testcase& tc,
           : std::max(1u, std::thread::hardware_concurrency());
 
   std::vector<InjectionRecord> records(cfg.num_injections);
+  // Dispatch cycle-sorted so consecutive runs on a worker share a hot
+  // checkpoint; records land at their original index, so results stay
+  // identical to index-ordered dispatch.
+  const std::vector<u32> order = plan.cycle_sorted_indices();
   std::atomic<u32> next{0};
   std::atomic<u64> cycles_evaluated{0};
+  std::atomic<u64> cycles_fast_forwarded{0};
+  std::atomic<u64> checkpoint_ops{0};
 
   const auto work = [&](CampaignWorker& w) {
     while (true) {
-      const u32 i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= cfg.num_injections) break;
+      const u32 k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= cfg.num_injections) break;
+      const u32 i = order[k];
       records[i] = w.run(plan.faults[i]);
     }
     cycles_evaluated.fetch_add(w.cycles_evaluated(),
                                std::memory_order_relaxed);
+    cycles_fast_forwarded.fetch_add(w.cycles_fast_forwarded(),
+                                    std::memory_order_relaxed);
+    checkpoint_ops.fetch_add(w.checkpoint_ops(),
+                             std::memory_order_relaxed);
   };
 
   if (threads <= 1) {
@@ -132,6 +180,10 @@ CampaignResult run_campaign(const avp::Testcase& tc,
   result.workload_cycles = plan.trace.completion_cycle;
   result.workload_instructions = plan.golden.instructions;
   result.cycles_evaluated = cycles_evaluated.load();
+  result.cycles_fast_forwarded = cycles_fast_forwarded.load();
+  result.checkpoint_ops = checkpoint_ops.load();
+  result.checkpoints = plan.ckpts.size();
+  result.checkpoint_bytes = plan.ckpts.resident_bytes();
   result.agg = aggregate_records(result.records);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

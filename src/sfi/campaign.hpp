@@ -38,6 +38,15 @@ struct CampaignConfig {
   /// completion cycle.
   Cycle window_begin = 1;
   Cycle window_end = 0;
+  /// Interval checkpointing of the reference run: snapshot every
+  /// `ckpt_interval` cycles so injections warm-start from the nearest
+  /// checkpoint instead of replaying from cycle 0. emu::kCkptAuto picks the
+  /// interval from the window size and `ckpt_memory_budget`; 0 disables
+  /// checkpointing. Results are bit-identical either way (the reference
+  /// execution is deterministic), so this knob never affects outcomes, the
+  /// campaign fingerprint, or store/resume compatibility — only speed.
+  Cycle ckpt_interval = emu::kCkptAuto;
+  u64 ckpt_memory_budget = 64ull << 20;
   /// Core configuration (checker masks etc. — Table 3's knob).
   core::CoreConfig core;
 };
@@ -53,6 +62,15 @@ struct CampaignPlan {
   std::vector<FaultSpec> faults;
   Cycle window_begin = 0;
   Cycle window_end = 0;  ///< resolved (never 0)
+  /// Interval checkpoints of the reference run (empty when disabled);
+  /// built once here and shared read-only across all workers.
+  emu::CheckpointStore ckpts;
+
+  /// Injection indices sorted by fault cycle (ties by index): dispatching
+  /// in this order keeps each worker's materialized checkpoint hot. Records
+  /// keep their (seed, i) identity, so ordering, resume and merge are
+  /// untouched.
+  [[nodiscard]] std::vector<u32> cycle_sorted_indices() const;
 };
 
 [[nodiscard]] CampaignPlan plan_campaign(const avp::Testcase& testcase,
@@ -73,6 +91,8 @@ class CampaignWorker {
   [[nodiscard]] InjectionRecord run(const FaultSpec& fault);
 
   [[nodiscard]] u64 cycles_evaluated() const;
+  [[nodiscard]] u64 cycles_fast_forwarded() const;
+  [[nodiscard]] u64 checkpoint_ops() const;
 
  private:
   std::unique_ptr<core::Pearl6Model> model_;
@@ -92,6 +112,14 @@ struct CampaignResult {
   u64 workload_instructions = 0;
   double wall_seconds = 0.0;
   u64 cycles_evaluated = 0;
+  /// Replay cycles skipped by warm-starting from reference checkpoints.
+  u64 cycles_fast_forwarded = 0;
+  /// Host checkpoint interactions (saves + restores) across all workers.
+  u64 checkpoint_ops = 0;
+  /// Reference checkpoints resident during the campaign, and their encoded
+  /// footprint (0 when checkpointing is disabled).
+  std::size_t checkpoints = 0;
+  u64 checkpoint_bytes = 0;
 
   [[nodiscard]] const OutcomeCounts& counts() const { return agg.counts; }
   [[nodiscard]] const OutcomeCounts& by_unit(netlist::Unit u) const {

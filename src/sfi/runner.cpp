@@ -8,14 +8,43 @@ InjectionRunner::InjectionRunner(core::Pearl6Model& model, emu::Emulator& emu,
                                  const emu::Checkpoint& reset_checkpoint,
                                  const emu::GoldenTrace& trace,
                                  const avp::GoldenResult& golden,
-                                 RunConfig cfg)
+                                 RunConfig cfg,
+                                 const emu::CheckpointStore* checkpoints)
     : model_(model),
       emu_(emu),
       reset_cp_(reset_checkpoint),
       trace_(trace),
       golden_(golden),
-      cfg_(cfg) {
+      cfg_(cfg),
+      ckpts_(checkpoints != nullptr && !checkpoints->empty() ? checkpoints
+                                                             : nullptr) {
   require(trace.completed, "InjectionRunner needs a completed golden trace");
+}
+
+void InjectionRunner::seek_to(Cycle target) {
+  if (ckpts_ != nullptr) {
+    if (const auto idx = ckpts_->index_at_or_before(target)) {
+      if (*idx != warm_idx_) {
+        ckpts_->materialize(*idx, warm_cp_);
+        warm_idx_ = *idx;
+      }
+      emu_.restore_checkpoint(warm_cp_);
+#ifndef NDEBUG
+      // Warm-start safety: the restored state must equal the replayed state
+      // at the same cycle (the reference execution is deterministic).
+      if (warm_cp_.cycle >= 1 && trace_.has_cycle(warm_cp_.cycle - 1)) {
+        ensure(emu_.state().masked_hash(model_.registry().hash_masks()) ==
+                   trace_.hashes[warm_cp_.cycle - 1],
+               "restored checkpoint diverges from the golden trace");
+      }
+#endif
+      emu_.run(target - warm_cp_.cycle);
+      return;
+    }
+  }
+  emu_.restore_checkpoint(reset_cp_);
+  ensure(emu_.cycle() == 0, "reset checkpoint must be at cycle 0");
+  emu_.run(target);
 }
 
 RunResult InjectionRunner::classify_now(bool finished,
@@ -74,11 +103,9 @@ RunResult InjectionRunner::classify_now(bool finished,
 }
 
 RunResult InjectionRunner::run(const FaultSpec& fault) {
-  emu_.restore_checkpoint(reset_cp_);
-  ensure(emu_.cycle() == 0, "reset checkpoint must be at cycle 0");
-
-  // Clock up to the injection point fault-free.
-  emu_.run(fault.cycle);
+  // Bring the machine fault-free to the injection point (warm-started from
+  // the checkpoint store when one is attached).
+  seek_to(fault.cycle);
 
   // Inject (adjacent_bits > 1 models a multi-bit upset from one strike).
   const u32 width = std::max<u32>(1, fault.adjacent_bits);
@@ -130,11 +157,16 @@ RunResult InjectionRunner::run(const FaultSpec& fault) {
       return classify_now(/*finished=*/true, /*early_exited=*/false);
     }
 
-    // Golden-hash convergence check (invalid while a sticky force remains
-    // armed or a recovery is rebuilding state).
+    // Golden convergence check (invalid while a sticky force remains armed
+    // or a recovery is rebuilding state). With recorded reference states
+    // this is an exact early-out word compare; otherwise a hash compare.
     if (early_exit && !ras.recovery_active && trace_.has_cycle(now - 1) &&
         !(sticky && now <= fault.cycle + fault.sticky_duration)) {
-      if (emu_.state().masked_hash(masks) == trace_.hashes[now - 1]) {
+      const bool converged =
+          trace_.has_states()
+              ? emu_.state().masked_equals(masks, trace_.masked_state(now - 1))
+              : emu_.state().masked_hash(masks) == trace_.hashes[now - 1];
+      if (converged) {
         return classify_now(/*finished=*/true, /*early_exited=*/true);
       }
     }

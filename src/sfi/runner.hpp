@@ -2,15 +2,18 @@
 //
 // Per injection (paper Figure 1): reload the checkpoint, clock to the
 // injection cycle, flip the chosen bit, clock onward while watching the
-// RAS status, and classify. Two accelerations make software campaigns
+// RAS status, and classify. Three accelerations make software campaigns
 // practical: (1) the post-reset machine state is snapshotted once and
-// reloaded per injection, (2) an injected run whose functional-state hash
-// re-matches the fault-free trace at the same cycle — with a clean RAS
-// window — is classified Vanished immediately.
+// reloaded per injection, (2) with an interval-checkpoint store the runner
+// warm-starts from the nearest reference snapshot at or before the fault
+// cycle instead of replaying from cycle 0, (3) an injected run whose
+// functional-state hash re-matches the fault-free trace at the same cycle —
+// with a clean RAS window — is classified Vanished immediately.
 #pragma once
 
 #include "avp/runner.hpp"
 #include "core/core_model.hpp"
+#include "emu/checkpoint_store.hpp"
 #include "emu/emulator.hpp"
 #include "emu/golden_trace.hpp"
 #include "sfi/fault.hpp"
@@ -40,13 +43,16 @@ struct RunResult {
 
 class InjectionRunner {
  public:
-  /// All references must outlive the runner. `reset_checkpoint` must be the
-  /// post-reset machine snapshot for the same workload the trace/golden
-  /// describe.
+  /// All references (and `checkpoints`, when given) must outlive the
+  /// runner. `reset_checkpoint` must be the post-reset machine snapshot for
+  /// the same workload the trace/golden describe. With a non-null
+  /// `checkpoints` store (built from the same reference execution), runs
+  /// warm-start from the nearest snapshot at or before the fault cycle.
   InjectionRunner(core::Pearl6Model& model, emu::Emulator& emu,
                   const emu::Checkpoint& reset_checkpoint,
                   const emu::GoldenTrace& trace,
-                  const avp::GoldenResult& golden, RunConfig cfg = {});
+                  const avp::GoldenResult& golden, RunConfig cfg = {},
+                  const emu::CheckpointStore* checkpoints = nullptr);
 
   /// Run one injection experiment and classify its outcome.
   [[nodiscard]] RunResult run(const FaultSpec& fault);
@@ -58,12 +64,24 @@ class InjectionRunner {
   [[nodiscard]] const RunConfig& config() const { return cfg_; }
 
  private:
+  /// Bring the machine fault-free to `target`: restore the nearest
+  /// checkpoint <= target (warm, cached across consecutive runs) or the
+  /// reset snapshot, then clock the remainder.
+  void seek_to(Cycle target);
+
   core::Pearl6Model& model_;
   emu::Emulator& emu_;
   const emu::Checkpoint& reset_cp_;
   const emu::GoldenTrace& trace_;
   const avp::GoldenResult& golden_;
   RunConfig cfg_;
+  const emu::CheckpointStore* ckpts_ = nullptr;
+  /// Last materialized checkpoint: cycle-sorted dispatch makes consecutive
+  /// runs hit the same snapshot, so reconstruction amortizes to ~once per
+  /// checkpoint per worker.
+  emu::Checkpoint warm_cp_;
+  std::size_t warm_idx_ = kNoWarmCkpt;
+  static constexpr std::size_t kNoWarmCkpt = ~std::size_t{0};
 };
 
 }  // namespace sfi::inject

@@ -1,0 +1,394 @@
+// Interval checkpointing of the reference run (src/emu/checkpoint_store.*):
+// delta codec round-trips, warm-start state equality against straight-line
+// replay, and the headline guarantee — a checkpointed, cycle-sorted campaign
+// produces records (and canonical store bytes) identical to the cycle-0
+// replay path at every interval and thread count.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "avp/runner.hpp"
+#include "avp/testgen.hpp"
+#include "beam/beam.hpp"
+#include "core/core_model.hpp"
+#include "emu/checkpoint_store.hpp"
+#include "emu/emulator.hpp"
+#include "sched/scheduler.hpp"
+#include "sfi/campaign.hpp"
+#include "store/merge.hpp"
+
+namespace sfi {
+namespace {
+
+avp::Testcase small_testcase() {
+  avp::TestcaseConfig cfg;
+  cfg.seed = 77;
+  cfg.num_instructions = 60;
+  return avp::generate_testcase(cfg);
+}
+
+/// Replay the testcase fault-free and collect a raw (uncompressed)
+/// checkpoint at every cycle in `cycles`.
+std::vector<emu::Checkpoint> raw_checkpoints(const avp::Testcase& tc,
+                                             const std::vector<Cycle>& cycles) {
+  core::Pearl6Model model;
+  model.load_workload(tc.program, tc.init);
+  emu::Emulator emu(model);
+  emu.reset();
+  std::vector<emu::Checkpoint> out;
+  Cycle at = 0;
+  for (const Cycle c : cycles) {
+    emu.run(c - at);
+    at = c;
+    out.push_back(emu.save_checkpoint());
+  }
+  return out;
+}
+
+bool same_checkpoint(const emu::Checkpoint& a, const emu::Checkpoint& b) {
+  return a.cycle == b.cycle && a.latches == b.latches && a.aux == b.aux;
+}
+
+bool same_record(const inject::InjectionRecord& a,
+                 const inject::InjectionRecord& b) {
+  return a.fault.target == b.fault.target && a.fault.index == b.fault.index &&
+         a.fault.array_bit == b.fault.array_bit &&
+         a.fault.cycle == b.fault.cycle && a.fault.mode == b.fault.mode &&
+         a.outcome == b.outcome && a.unit == b.unit && a.type == b.type &&
+         a.end_cycle == b.end_cycle && a.early_exited == b.early_exited &&
+         a.recoveries == b.recoveries;
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("sfi_ckpt_test_" + name + ".sfr"))
+                  .string()) {
+    std::filesystem::remove(path_);
+  }
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<char> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+// --- delta codec ---------------------------------------------------------
+
+TEST(CheckpointStore, MaterializeRoundTripsEveryRecord) {
+  const avp::Testcase tc = small_testcase();
+  core::Pearl6Model model;
+  model.load_workload(tc.program, tc.init);
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+
+  emu::CheckpointStoreConfig cfg;
+  cfg.interval = 7;
+  const emu::CheckpointStore store = emu::build_checkpoint_store(
+      emu, trace.completion_cycle - 1, cfg, &trace);
+  ASSERT_GT(store.size(), 4u);
+  EXPECT_EQ(store.interval(), 7u);
+  EXPECT_EQ(store.dropped(), 0u);
+
+  std::vector<Cycle> cycles;
+  cycles.reserve(store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    cycles.push_back(store.cycle_at(i));
+  }
+  const std::vector<emu::Checkpoint> raw = raw_checkpoints(tc, cycles);
+
+  emu::Checkpoint got;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    store.materialize(i, got);
+    EXPECT_TRUE(same_checkpoint(got, raw[i])) << "checkpoint " << i;
+  }
+  // Repeat materialization into the same storage (the runner's cache path)
+  // must restore in place, not accumulate.
+  store.materialize(0, got);
+  EXPECT_TRUE(same_checkpoint(got, raw[0]));
+
+  // Delta compression must actually compress: encoded bytes well under
+  // size() full snapshots.
+  EXPECT_LT(store.resident_bytes(),
+            store.size() * raw[0].size_bytes() / 2);
+}
+
+TEST(CheckpointStore, IndexAtOrBeforeEdges) {
+  const avp::Testcase tc = small_testcase();
+  core::Pearl6Model model;
+  model.load_workload(tc.program, tc.init);
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+
+  emu::CheckpointStoreConfig cfg;
+  cfg.interval = 10;
+  const emu::CheckpointStore store = emu::build_checkpoint_store(
+      emu, trace.completion_cycle - 1, cfg, &trace);
+  ASSERT_FALSE(store.empty());
+
+  // Before the first snapshot: nothing to warm-start from.
+  EXPECT_FALSE(store.index_at_or_before(0).has_value());
+  EXPECT_FALSE(store.index_at_or_before(store.cycle_at(0) - 1).has_value());
+  // Exactly at a snapshot.
+  const auto at0 = store.index_at_or_before(store.cycle_at(0));
+  ASSERT_TRUE(at0.has_value());
+  EXPECT_EQ(*at0, 0u);
+  // Between two snapshots: the earlier one.
+  const auto mid = store.index_at_or_before(store.cycle_at(1) - 1);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(*mid, 0u);
+  // Far past the end: the last one.
+  const auto last = store.index_at_or_before(1u << 30);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(*last, store.size() - 1);
+}
+
+TEST(CheckpointStore, WarmStartEqualsReplayAtArbitraryCycles) {
+  const avp::Testcase tc = small_testcase();
+  core::Pearl6Model model;
+  model.load_workload(tc.program, tc.init);
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+  const auto& masks = model.registry().hash_masks();
+
+  emu::CheckpointStoreConfig cfg;
+  cfg.interval = 9;
+  const emu::CheckpointStore store = emu::build_checkpoint_store(
+      emu, trace.completion_cycle - 1, cfg, &trace);
+
+  core::Pearl6Model warm_model;
+  warm_model.load_workload(tc.program, tc.init);
+  emu::Emulator warm(warm_model);
+
+  emu::Checkpoint cp;
+  for (const Cycle target : {Cycle{13}, Cycle{27}, Cycle{40},
+                             trace.completion_cycle - 2}) {
+    // Straight-line replay from reset.
+    emu.reset();
+    emu.run(target);
+    // Warm start: nearest checkpoint, then fast-forward.
+    const auto idx = store.index_at_or_before(target);
+    ASSERT_TRUE(idx.has_value()) << "cycle " << target;
+    store.materialize(*idx, cp);
+    warm.restore_checkpoint(cp);
+    warm.run(target - cp.cycle);
+
+    EXPECT_EQ(warm.cycle(), emu.cycle());
+    // Full state equality, not just the functional hash …
+    EXPECT_TRUE(warm.state() == emu.state()) << "cycle " << target;
+    // … but the registry hash must agree with the recorded trace too.
+    ASSERT_TRUE(trace.has_cycle(target - 1));
+    EXPECT_EQ(warm.state().masked_hash(masks), trace.hashes[target - 1]);
+  }
+}
+
+TEST(CheckpointStore, MemoryBudgetBoundsResidentBytes) {
+  const avp::Testcase tc = small_testcase();
+  core::Pearl6Model model;
+  model.load_workload(tc.program, tc.init);
+  emu::Emulator emu(model);
+  const emu::GoldenTrace trace = avp::run_reference(model, emu, tc);
+
+  emu::CheckpointStoreConfig cfg;
+  cfg.interval = 2;
+  cfg.memory_budget_bytes = 200 * 1024;  // a couple of full snapshots
+  const emu::CheckpointStore store = emu::build_checkpoint_store(
+      emu, trace.completion_cycle - 1, cfg, &trace);
+
+  EXPECT_LE(store.resident_bytes(), cfg.memory_budget_bytes);
+  EXPECT_GT(store.dropped(), 0u);
+  // Whatever survived must still reconstruct correctly.
+  ASSERT_FALSE(store.empty());
+  std::vector<Cycle> cycles;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    cycles.push_back(store.cycle_at(i));
+  }
+  const std::vector<emu::Checkpoint> raw = raw_checkpoints(tc, cycles);
+  emu::Checkpoint got;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    store.materialize(i, got);
+    EXPECT_TRUE(same_checkpoint(got, raw[i])) << "checkpoint " << i;
+  }
+}
+
+TEST(CheckpointStore, AutoIntervalRespectsBudgetAndWindow) {
+  // Small budget → few checkpoints → large interval.
+  EXPECT_EQ(emu::auto_checkpoint_interval(1000, 1000, 2000), 500u);
+  // Huge budget → clamped checkpoint count.
+  EXPECT_GE(emu::auto_checkpoint_interval(1 << 20, 64, 1ull << 40), 256u);
+  // Tiny window → interval at least 1.
+  EXPECT_GE(emu::auto_checkpoint_interval(1, 1000, 1ull << 30), 1u);
+}
+
+// --- emulator restore-in-place -------------------------------------------
+
+TEST(CheckpointStore, EmulatorRestoreInPlaceAndSizeReport) {
+  const avp::Testcase tc = small_testcase();
+  core::Pearl6Model model;
+  model.load_workload(tc.program, tc.init);
+  emu::Emulator emu(model);
+  emu.reset();
+  emu.run(25);
+  const emu::Checkpoint cp = emu.save_checkpoint();
+  EXPECT_EQ(cp.size_bytes(),
+            cp.latches.words().size() * sizeof(u64) + cp.aux.size());
+  EXPECT_GT(cp.size_bytes(), 0u);
+
+  emu.run(10);
+  const u64 ffwd_before = emu.cycles_fast_forwarded();
+  emu.restore_checkpoint(cp);
+  EXPECT_EQ(emu.cycle(), 25u);
+  EXPECT_TRUE(emu.state() == cp.latches);
+  EXPECT_EQ(emu.cycles_fast_forwarded(), ffwd_before + 25);
+
+  // A checkpoint from a different machine shape must be refused.
+  emu::Checkpoint bad = cp;
+  bad.latches = netlist::StateVector(8);
+  EXPECT_THROW(emu.restore_checkpoint(bad), std::exception);
+}
+
+// --- campaign equivalence ------------------------------------------------
+
+TEST(CheckpointStore, CampaignRecordsIdenticalAcrossIntervalsAndThreads) {
+  const avp::Testcase tc = small_testcase();
+  inject::CampaignConfig base;
+  base.seed = 321;
+  base.num_injections = 150;
+  base.threads = 1;
+  base.ckpt_interval = 0;  // seed path: every run replays from cycle 0
+
+  const inject::CampaignResult ref = inject::run_campaign(tc, base);
+  ASSERT_EQ(ref.records.size(), base.num_injections);
+  EXPECT_EQ(ref.cycles_fast_forwarded, 0u);
+  EXPECT_EQ(ref.checkpoints, 0u);
+
+  for (const Cycle interval : {Cycle{1}, Cycle{13}, emu::kCkptAuto}) {
+    for (const u32 threads : {1u, 3u}) {
+      inject::CampaignConfig cfg = base;
+      cfg.ckpt_interval = interval;
+      cfg.threads = threads;
+      const inject::CampaignResult got = inject::run_campaign(tc, cfg);
+      ASSERT_EQ(got.records.size(), ref.records.size());
+      for (std::size_t i = 0; i < ref.records.size(); ++i) {
+        EXPECT_TRUE(same_record(got.records[i], ref.records[i]))
+            << "interval " << interval << " threads " << threads
+            << " record " << i;
+      }
+      EXPECT_GT(got.cycles_fast_forwarded, 0u);
+      EXPECT_GT(got.checkpoints, 0u);
+      EXPECT_LT(got.cycles_evaluated, ref.cycles_evaluated);
+    }
+  }
+}
+
+// --- scheduler / store equivalence ---------------------------------------
+
+TEST(CheckpointStore, ScheduledStoreByteIdenticalToSeedPath) {
+  const avp::Testcase tc = small_testcase();
+  inject::CampaignConfig cfg;
+  cfg.seed = 99;
+  cfg.num_injections = 120;
+  cfg.threads = 2;
+
+  TempFile off("sched_ckpt_off");
+  TempFile on("sched_ckpt_on");
+  TempFile off_m("sched_ckpt_off_merged");
+  TempFile on_m("sched_ckpt_on_merged");
+
+  inject::CampaignConfig cfg_off = cfg;
+  cfg_off.ckpt_interval = 0;
+  const auto r_off =
+      sched::run_campaign_to_store(tc, cfg_off, off.path());
+  inject::CampaignConfig cfg_on = cfg;
+  cfg_on.ckpt_interval = emu::kCkptAuto;
+  const auto r_on = sched::run_campaign_to_store(tc, cfg_on, on.path());
+
+  ASSERT_TRUE(r_off.complete);
+  ASSERT_TRUE(r_on.complete);
+  EXPECT_EQ(r_off.meta.config_fingerprint, r_on.meta.config_fingerprint)
+      << "checkpoint knobs must not enter the campaign fingerprint";
+  EXPECT_GT(r_on.cycles_fast_forwarded, 0u);
+  EXPECT_GT(r_on.checkpoints, 0u);
+  EXPECT_GT(r_on.checkpoint_bytes, 0u);
+
+  // Canonical merges byte-identical: the store carries by-index records, so
+  // the dispatch order (cycle-sorted vs index-sharded) must not matter.
+  store::merge_stores({off.path()}, off_m.path());
+  store::merge_stores({on.path()}, on_m.path());
+  EXPECT_EQ(file_bytes(off_m.path()), file_bytes(on_m.path()));
+}
+
+TEST(CheckpointStore, InterruptedResumeWithCheckpointsStaysByteIdentical) {
+  const avp::Testcase tc = small_testcase();
+  inject::CampaignConfig cfg;
+  cfg.seed = 7;
+  cfg.num_injections = 90;
+  cfg.threads = 2;
+  cfg.ckpt_interval = emu::kCkptAuto;
+
+  TempFile full("resume_full");
+  TempFile split("resume_split");
+  TempFile full_m("resume_full_merged");
+  TempFile split_m("resume_split_merged");
+
+  const auto r_full = sched::run_campaign_to_store(tc, cfg, full.path());
+  ASSERT_TRUE(r_full.complete);
+
+  sched::SchedulerConfig interrupt;
+  interrupt.max_new_injections = 40;
+  const auto r_part =
+      sched::run_campaign_to_store(tc, cfg, split.path(), interrupt);
+  EXPECT_FALSE(r_part.complete);
+  // Resume with a different interval: warm-start tuning must never leak
+  // into results or campaign identity.
+  inject::CampaignConfig cfg2 = cfg;
+  cfg2.ckpt_interval = 5;
+  const auto r_rest = sched::run_campaign_to_store(tc, cfg2, split.path(),
+                                                   {}, /*resume=*/true);
+  ASSERT_TRUE(r_rest.complete);
+  EXPECT_EQ(r_rest.resumed, 40u);
+
+  store::merge_stores({full.path()}, full_m.path());
+  store::merge_stores({split.path()}, split_m.path());
+  EXPECT_EQ(file_bytes(full_m.path()), file_bytes(split_m.path()));
+}
+
+// --- beam ----------------------------------------------------------------
+
+TEST(CheckpointStore, BeamOutcomesUnchangedByCheckpointing) {
+  const avp::Testcase tc = small_testcase();
+  beam::BeamConfig cfg;
+  cfg.seed = 11;
+  cfg.num_events = 80;
+  cfg.threads = 2;
+
+  beam::BeamConfig off = cfg;
+  off.ckpt_interval = 0;
+  const beam::BeamResult r_off = beam::run_beam_experiment(tc, off);
+  beam::BeamConfig on = cfg;
+  on.ckpt_interval = emu::kCkptAuto;
+  const beam::BeamResult r_on = beam::run_beam_experiment(tc, on);
+
+  ASSERT_EQ(r_off.records.size(), r_on.records.size());
+  for (std::size_t i = 0; i < r_off.records.size(); ++i) {
+    EXPECT_TRUE(same_record(r_off.records[i], r_on.records[i]))
+        << "beam record " << i;
+  }
+  EXPECT_EQ(r_off.latch_events, r_on.latch_events);
+}
+
+}  // namespace
+}  // namespace sfi

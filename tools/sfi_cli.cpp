@@ -21,6 +21,11 @@
 //   --type T              restrict to one latch type (FUNC/REGFILE/MODE/GPTR)
 //   --raw                 mask all core checkers (Table 3 "Raw")
 //   --sticky D            sticky faults of D cycles instead of toggles
+//   --ckpt-interval N     reference-run checkpoint every N cycles so each
+//                         injection warm-starts instead of replaying from
+//                         cycle 0 (0 = off; default: auto from window size
+//                         and the memory budget). Never changes outcomes.
+//   --ckpt-mem MIB        checkpoint memory budget in MiB (default 64)
 // Durable campaign options (scheduler + store):
 //   --out FILE.sfr        stream records to a durable campaign store
 //   --resume              continue an interrupted --out campaign; already
@@ -213,6 +218,25 @@ void print_campaign_tables(const inject::CampaignAggregate& agg) {
   print_unit_table(agg);
 }
 
+/// Campaign throughput summary: wall time, simulation rate, and what the
+/// interval-checkpoint store bought (cycles never replayed).
+void print_throughput(double wall_seconds, u64 cycles_evaluated,
+                      u64 cycles_fast_forwarded, u64 checkpoint_ops,
+                      std::size_t checkpoints, u64 checkpoint_bytes) {
+  const double rate = wall_seconds > 0.0
+                          ? static_cast<double>(cycles_evaluated) / wall_seconds
+                          : 0.0;
+  std::cout << "throughput: " << report::Table::num(wall_seconds, 2)
+            << " s wall; " << cycles_evaluated << " cycles evaluated ("
+            << report::Table::num(rate, 0) << " cycles/s); "
+            << cycles_fast_forwarded << " cycles fast-forwarded; "
+            << checkpoints << " checkpoints ("
+            << report::Table::num(
+                   static_cast<double>(checkpoint_bytes) / (1024.0 * 1024.0),
+                   2)
+            << " MiB resident; " << checkpoint_ops << " checkpoint ops)\n";
+}
+
 int cmd_inventory() {
   core::Pearl6Model model;
   const auto& reg = model.registry();
@@ -256,6 +280,8 @@ inject::CampaignConfig campaign_config(const Args& a, u64 default_n) {
   cfg.num_injections = static_cast<u32>(a.num("n", default_n));
   cfg.threads = static_cast<u32>(a.num("threads", 0));
   cfg.core.checkers_enabled = !a.flag("raw");
+  cfg.ckpt_interval = a.num("ckpt-interval", emu::kCkptAuto);
+  cfg.ckpt_memory_budget = a.num("ckpt-mem", 64) << 20;
   if (const auto d = a.num("sticky", 0); d != 0) {
     cfg.mode = inject::FaultMode::Sticky;
     cfg.sticky_duration = d;
@@ -303,7 +329,11 @@ int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
             << " cycles; population " << r.meta.population_size
             << " latches; "
             << report::Table::num(r.injections_per_second(), 0)
-            << " injections/s\n\n";
+            << " injections/s\n";
+  print_throughput(r.wall_seconds, r.cycles_evaluated,
+                   r.cycles_fast_forwarded, r.checkpoint_ops, r.checkpoints,
+                   r.checkpoint_bytes);
+  std::cout << "\n";
   print_campaign_tables(r.agg);
   return 0;
 }
@@ -325,7 +355,11 @@ int cmd_campaign(const Args& a) {
             << r.workload_cycles << " cycles; population "
             << r.population_size << " latches; "
             << report::Table::num(r.injections_per_second(), 0)
-            << " injections/s\n\n";
+            << " injections/s\n";
+  print_throughput(r.wall_seconds, r.cycles_evaluated,
+                   r.cycles_fast_forwarded, r.checkpoint_ops, r.checkpoints,
+                   r.checkpoint_bytes);
+  std::cout << "\n";
   print_campaign_tables(r.agg);
   return 0;
 }
@@ -376,6 +410,8 @@ int cmd_beam(const Args& a) {
   cfg.num_events = static_cast<u32>(a.num("n", 1000));
   cfg.threads = static_cast<u32>(a.num("threads", 0));
   cfg.core.checkers_enabled = !a.flag("raw");
+  cfg.ckpt_interval = a.num("ckpt-interval", emu::kCkptAuto);
+  cfg.ckpt_memory_budget = a.num("ckpt-mem", 64) << 20;
   const beam::BeamResult r = beam::run_beam_experiment(tc, cfg);
   std::cout << report::section("beam exposure result");
   std::cout << r.latch_events << " latch strikes, " << r.array_events
