@@ -25,6 +25,11 @@ BeamResult run_beam_experiment(const avp::Testcase& tc,
           "cross-sections must be non-negative");
   const auto t0 = std::chrono::steady_clock::now();
 
+  inject::CampaignTelemetry* tel = cfg.telemetry;
+  if (tel != nullptr) {
+    tel->campaign_start("beam", cfg.seed, cfg.num_events, /*resumed=*/0);
+  }
+
   const avp::GoldenResult golden = avp::run_golden(tc);
   core::Pearl6Model ref_model(cfg.core);
   emu::Emulator ref_emu(ref_model);
@@ -99,7 +104,12 @@ BeamResult run_beam_experiment(const avp::Testcase& tc,
   inject::RunConfig run_cfg = cfg.run;
   run_cfg.early_exit = false;
 
-  const auto work = [&](core::Pearl6Model& model, emu::Emulator& emu) {
+  if (tel != nullptr) tel->prepare_workers(threads);
+
+  const auto work = [&](core::Pearl6Model& model, emu::Emulator& emu,
+                        u32 tid) {
+    inject::WorkerTelemetry* wt =
+        tel != nullptr ? &tel->worker(tid) : nullptr;
     emu.reset();
     const emu::Checkpoint reset_cp = emu.save_checkpoint();
     InjectionRunner runner(model, emu, reset_cp, trace, golden, run_cfg,
@@ -108,7 +118,8 @@ BeamResult run_beam_experiment(const avp::Testcase& tc,
       const u32 k = next.fetch_add(1, std::memory_order_relaxed);
       if (k >= cfg.num_events) break;
       const u32 i = order[k];
-      const RunResult rr = runner.run(strikes[i]);
+      const RunResult rr = runner.run(
+          strikes[i], wt != nullptr ? wt->phase_scratch() : nullptr);
       InjectionRecord rec;
       rec.fault = strikes[i];
       rec.outcome = rr.outcome;
@@ -121,6 +132,11 @@ BeamResult run_beam_experiment(const avp::Testcase& tc,
       }
       rec.end_cycle = rr.end_cycle;
       rec.recoveries = rr.recoveries;
+      if (wt != nullptr) {
+        std::optional<Cycle> latency;
+        if (rr.detected_cycle) latency = *rr.detected_cycle - strikes[i].cycle;
+        wt->record_injection(i, rec, latency);
+      }
       records[i] = rec;
     }
   };
@@ -129,16 +145,16 @@ BeamResult run_beam_experiment(const avp::Testcase& tc,
     core::Pearl6Model model(cfg.core);
     model.load_workload(tc.program, tc.init);
     emu::Emulator emu(model);
-    work(model, emu);
+    work(model, emu, 0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (u32 t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
+      pool.emplace_back([&, t] {
         core::Pearl6Model model(cfg.core);
         model.load_workload(tc.program, tc.init);
         emu::Emulator emu(model);
-        work(model, emu);
+        work(model, emu, t);
       });
     }
     for (auto& th : pool) th.join();
@@ -152,6 +168,10 @@ BeamResult run_beam_experiment(const avp::Testcase& tc,
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (tel != nullptr) {
+    tel->campaign_finish(result.agg, result.records.size(),
+                         result.wall_seconds);
+  }
   return result;
 }
 

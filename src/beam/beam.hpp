@@ -30,6 +30,9 @@ struct BeamConfig {
   u64 ckpt_memory_budget = 64ull << 20;
   inject::RunConfig run;
   core::CoreConfig core;
+  /// Optional observability sink (non-owning; must outlive the run).
+  /// Read-only with respect to results, exactly as for campaigns.
+  inject::CampaignTelemetry* telemetry = nullptr;
 };
 
 struct BeamResult {

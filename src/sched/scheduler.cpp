@@ -8,6 +8,7 @@
 
 #include "common/hash.hpp"
 #include "store/writer.hpp"
+#include "telemetry/json.hpp"
 
 namespace sfi::sched {
 
@@ -69,6 +70,25 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
                                       const SchedulerConfig& sched,
                                       bool resume) {
   const auto t0 = std::chrono::steady_clock::now();
+  const auto wall_now = [t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+  const auto steady_us_now = [] {
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+
+  inject::CampaignTelemetry* tel = cfg.telemetry;
+  if (tel != nullptr) {
+    // The resumed count is only known after the store scan below; the
+    // resume event carries it.
+    tel->campaign_start("campaign", cfg.seed, cfg.num_injections,
+                        /*resumed=*/0);
+  }
 
   const inject::CampaignPlan plan = inject::plan_campaign(tc, cfg);
   const store::CampaignMeta meta = make_campaign_meta(tc, cfg, plan);
@@ -105,6 +125,18 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
     }
     fresh_store = false;
   }
+  if (tel != nullptr && resume) {
+    if (auto* log = tel->events()) {
+      telemetry::JsonWriter w;
+      w.begin_object()
+          .field("ev", "resume")
+          .field("t_us", tel->now_us())
+          .field("resumed", result.resumed)
+          .field("store", store_path)
+          .end_object();
+      log->emit(w.str());
+    }
+  }
 
   store::StoreWriter writer =
       fresh_store ? store::StoreWriter::create(store_path, meta)
@@ -130,7 +162,8 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
                                       pending.size());
 
   if (sched.on_progress) {
-    sched.on_progress({result.resumed, cfg.num_injections, result.resumed});
+    sched.on_progress({result.resumed, cfg.num_injections, result.resumed, 0,
+                       wall_now(), steady_us_now()});
   }
 
   std::atomic<u64> next_shard{0};
@@ -140,8 +173,11 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
   std::atomic<u64> checkpoint_ops{0};
   std::mutex store_mu;
   u64 persisted = result.resumed;  // guarded by store_mu
+  u64 executed_live = 0;           // guarded by store_mu
 
-  const auto work = [&](inject::CampaignWorker& w) {
+  const auto work = [&](inject::CampaignWorker& w, u32 tid) {
+    inject::WorkerTelemetry* wt =
+        tel != nullptr ? &tel->worker(tid) : nullptr;
     std::vector<store::StoredRecord> buf;
     buf.reserve(sched.flush_records);
     inject::CampaignAggregate local;
@@ -153,8 +189,10 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
                                                          buf.size()));
       writer.flush();
       persisted += buf.size();
+      executed_live += buf.size();
       if (sched.on_progress) {
-        sched.on_progress({persisted, cfg.num_injections, result.resumed});
+        sched.on_progress({persisted, cfg.num_injections, result.resumed,
+                           executed_live, wall_now(), steady_us_now()});
       }
       buf.clear();
     };
@@ -166,6 +204,8 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
       const std::size_t begin = shard * shard_size;
       const std::size_t end =
           std::min<std::size_t>(begin + shard_size, pending.size());
+      if (wt != nullptr) wt->shard_begin(shard, end - begin);
+      u64 shard_executed = 0;
       for (std::size_t p = begin; p < end; ++p) {
         // Claim one execution slot; the cap models an interrupted run.
         if (claimed.fetch_add(1, std::memory_order_relaxed) >= cap) {
@@ -175,11 +215,13 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
         const u32 index = pending[p];
         store::StoredRecord sr;
         sr.index = index;
-        sr.rec = w.run(plan.faults[index]);
+        sr.rec = w.run(plan.faults[index], wt, index);
         local.add(sr.rec);
         buf.push_back(sr);
+        ++shard_executed;
         if (buf.size() >= std::max(1u, sched.flush_records)) flush();
       }
+      if (wt != nullptr) wt->shard_end(shard, shard_executed);
     }
     flush();
     cycles_evaluated.fetch_add(w.cycles_evaluated(),
@@ -198,9 +240,10 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
                          ? sched.threads
                          : (cfg.threads != 0 ? cfg.threads : hw);
     const u32 threads = static_cast<u32>(std::min<u64>(want, num_shards));
+    if (tel != nullptr) tel->prepare_workers(threads);
     if (threads <= 1) {
       inject::CampaignWorker w(tc, cfg, plan);
-      work(w);
+      work(w, 0);
     } else {
       std::vector<std::unique_ptr<inject::CampaignWorker>> workers;
       workers.reserve(threads);
@@ -211,7 +254,7 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
       std::vector<std::thread> pool;
       pool.reserve(threads);
       for (u32 t = 0; t < threads; ++t) {
-        pool.emplace_back([&, t] { work(*workers[t]); });
+        pool.emplace_back([&, t] { work(*workers[t], t); });
       }
       for (auto& th : pool) th.join();
     }
@@ -227,6 +270,9 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (tel != nullptr) {
+    tel->campaign_finish(result.agg, result.executed, result.wall_seconds);
+  }
   return result;
 }
 

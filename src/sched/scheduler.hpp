@@ -32,6 +32,13 @@ struct Progress {
   u64 done = 0;      ///< persisted records, including resumed ones
   u64 total = 0;     ///< campaign size
   u64 resumed = 0;   ///< records inherited from a previous run
+  u64 executed = 0;  ///< injections newly run by this invocation so far
+  /// Wall seconds since this invocation entered run_campaign_to_store —
+  /// executed / wall_seconds is the live injection rate.
+  double wall_seconds = 0.0;
+  /// Monotonic (steady-clock) stamp of this report in microseconds, so
+  /// consumers can compute inter-report rates without their own clock.
+  u64 steady_us = 0;
 };
 
 struct SchedulerConfig {

@@ -56,12 +56,25 @@ CampaignPlan plan_campaign(const avp::Testcase& tc,
   // amortized over every injection). The last useful snapshot cycle is the
   // latest possible fault cycle, window_end - 1.
   if (cfg.ckpt_interval != 0) {
+    const auto t0 = std::chrono::steady_clock::now();
     emu::CheckpointStoreConfig cc;
     cc.interval =
         cfg.ckpt_interval == emu::kCkptAuto ? 0 : cfg.ckpt_interval;
     cc.memory_budget_bytes = cfg.ckpt_memory_budget;
     plan.ckpts = emu::build_checkpoint_store(ref_emu, sampler.window_end - 1,
                                              cc, &plan.trace);
+    if (cfg.telemetry != nullptr) {
+      std::vector<Cycle> cycles(plan.ckpts.size());
+      for (std::size_t i = 0; i < plan.ckpts.size(); ++i) {
+        cycles[i] = plan.ckpts.cycle_at(i);
+      }
+      cfg.telemetry->checkpoint_store_built(
+          plan.ckpts.size(), plan.ckpts.resident_bytes(),
+          plan.ckpts.interval(),
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count(),
+          cycles);
+    }
   }
   return plan;
 }
@@ -95,7 +108,13 @@ CampaignWorker& CampaignWorker::operator=(CampaignWorker&&) noexcept =
     default;
 
 InjectionRecord CampaignWorker::run(const FaultSpec& fault) {
-  const RunResult rr = runner_->run(fault);
+  return run(fault, nullptr, 0);
+}
+
+InjectionRecord CampaignWorker::run(const FaultSpec& fault,
+                                    WorkerTelemetry* telemetry, u32 index) {
+  const RunResult rr = runner_->run(
+      fault, telemetry != nullptr ? telemetry->phase_scratch() : nullptr);
   const netlist::LatchMeta& meta =
       model_->registry().meta_of_ordinal(fault.index);
   InjectionRecord rec;
@@ -106,6 +125,11 @@ InjectionRecord CampaignWorker::run(const FaultSpec& fault) {
   rec.end_cycle = rr.end_cycle;
   rec.early_exited = rr.early_exited;
   rec.recoveries = rr.recoveries;
+  if (telemetry != nullptr) {
+    std::optional<Cycle> latency;
+    if (rr.detected_cycle) latency = *rr.detected_cycle - fault.cycle;
+    telemetry->record_injection(index, rec, latency);
+  }
   return rec;
 }
 
@@ -125,6 +149,12 @@ CampaignResult run_campaign(const avp::Testcase& tc,
                             const CampaignConfig& cfg) {
   const auto t0 = std::chrono::steady_clock::now();
 
+  CampaignTelemetry* tel = cfg.telemetry;
+  if (tel != nullptr) {
+    tel->campaign_start("campaign", cfg.seed, cfg.num_injections,
+                        /*resumed=*/0);
+  }
+
   const CampaignPlan plan = plan_campaign(tc, cfg);
 
   const u32 threads =
@@ -142,12 +172,15 @@ CampaignResult run_campaign(const avp::Testcase& tc,
   std::atomic<u64> cycles_fast_forwarded{0};
   std::atomic<u64> checkpoint_ops{0};
 
-  const auto work = [&](CampaignWorker& w) {
+  if (tel != nullptr) tel->prepare_workers(threads);
+
+  const auto work = [&](CampaignWorker& w, u32 tid) {
+    WorkerTelemetry* wt = tel != nullptr ? &tel->worker(tid) : nullptr;
     while (true) {
       const u32 k = next.fetch_add(1, std::memory_order_relaxed);
       if (k >= cfg.num_injections) break;
       const u32 i = order[k];
-      records[i] = w.run(plan.faults[i]);
+      records[i] = w.run(plan.faults[i], wt, i);
     }
     cycles_evaluated.fetch_add(w.cycles_evaluated(),
                                std::memory_order_relaxed);
@@ -159,7 +192,7 @@ CampaignResult run_campaign(const avp::Testcase& tc,
 
   if (threads <= 1) {
     CampaignWorker w(tc, cfg, plan);
-    work(w);
+    work(w, 0);
   } else {
     std::vector<std::unique_ptr<CampaignWorker>> workers;
     workers.reserve(threads);
@@ -169,7 +202,7 @@ CampaignResult run_campaign(const avp::Testcase& tc,
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (u32 t = 0; t < threads; ++t) {
-      pool.emplace_back([&, t] { work(*workers[t]); });
+      pool.emplace_back([&, t] { work(*workers[t], t); });
     }
     for (auto& th : pool) th.join();
   }
@@ -188,6 +221,10 @@ CampaignResult run_campaign(const avp::Testcase& tc,
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (tel != nullptr) {
+    tel->campaign_finish(result.agg, result.records.size(),
+                         result.wall_seconds);
+  }
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include "sfi/record.hpp"
 #include "sfi/runner.hpp"
 #include "sfi/sampler.hpp"
+#include "sfi/telemetry.hpp"
 
 namespace sfi::inject {
 
@@ -49,6 +50,11 @@ struct CampaignConfig {
   u64 ckpt_memory_budget = 64ull << 20;
   /// Core configuration (checker masks etc. — Table 3's knob).
   core::CoreConfig core;
+  /// Optional observability sink (non-owning; must outlive the run).
+  /// Strictly read-only with respect to results: the campaign fingerprint,
+  /// records, store bytes and resume behaviour are identical with or
+  /// without telemetry attached.
+  CampaignTelemetry* telemetry = nullptr;
 };
 
 /// Everything a campaign derives up-front from (testcase, config) before any
@@ -89,6 +95,11 @@ class CampaignWorker {
 
   /// Run one injection end to end and build its record.
   [[nodiscard]] InjectionRecord run(const FaultSpec& fault);
+  /// Same, additionally reporting the injection (phase timings, outcome,
+  /// detection latency) to a worker telemetry handle. `index` is the
+  /// injection's campaign index (event/sampling identity).
+  [[nodiscard]] InjectionRecord run(const FaultSpec& fault,
+                                    WorkerTelemetry* telemetry, u32 index);
 
   [[nodiscard]] u64 cycles_evaluated() const;
   [[nodiscard]] u64 cycles_fast_forwarded() const;

@@ -1,8 +1,25 @@
 #include "sfi/runner.hpp"
 
+#include <chrono>
+
 #include "common/check.hpp"
+#include "sfi/telemetry.hpp"
 
 namespace sfi::inject {
+
+namespace {
+
+using Tick = std::chrono::steady_clock::time_point;
+
+inline Tick tick(const RunPhaseTimes* tel) {
+  return tel != nullptr ? std::chrono::steady_clock::now() : Tick{};
+}
+
+inline double seconds_between(Tick a, Tick b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
 
 InjectionRunner::InjectionRunner(core::Pearl6Model& model, emu::Emulator& emu,
                                  const emu::Checkpoint& reset_checkpoint,
@@ -21,12 +38,14 @@ InjectionRunner::InjectionRunner(core::Pearl6Model& model, emu::Emulator& emu,
   require(trace.completed, "InjectionRunner needs a completed golden trace");
 }
 
-void InjectionRunner::seek_to(Cycle target) {
+void InjectionRunner::seek_to(Cycle target, RunPhaseTimes* tel) {
+  const Tick t0 = tick(tel);
   if (ckpts_ != nullptr) {
     if (const auto idx = ckpts_->index_at_or_before(target)) {
       if (*idx != warm_idx_) {
         ckpts_->materialize(*idx, warm_cp_);
         warm_idx_ = *idx;
+        if (tel != nullptr) tel->new_checkpoint = true;
       }
       emu_.restore_checkpoint(warm_cp_);
 #ifndef NDEBUG
@@ -38,13 +57,36 @@ void InjectionRunner::seek_to(Cycle target) {
                "restored checkpoint diverges from the golden trace");
       }
 #endif
-      emu_.run(target - warm_cp_.cycle);
+      if (tel != nullptr) {
+        const Tick t1 = tick(tel);
+        tel->seconds[static_cast<std::size_t>(RunPhase::Restore)] =
+            seconds_between(t0, t1);
+        tel->warm_restore = true;
+        tel->restore_cycle = warm_cp_.cycle;
+        tel->ff_cycles = target - warm_cp_.cycle;
+        emu_.run(target - warm_cp_.cycle);
+        tel->seconds[static_cast<std::size_t>(RunPhase::FastForward)] =
+            seconds_between(t1, tick(tel));
+      } else {
+        emu_.run(target - warm_cp_.cycle);
+      }
       return;
     }
   }
   emu_.restore_checkpoint(reset_cp_);
   ensure(emu_.cycle() == 0, "reset checkpoint must be at cycle 0");
-  emu_.run(target);
+  if (tel != nullptr) {
+    const Tick t1 = tick(tel);
+    tel->seconds[static_cast<std::size_t>(RunPhase::Restore)] =
+        seconds_between(t0, t1);
+    tel->restore_cycle = 0;
+    tel->ff_cycles = target;
+    emu_.run(target);
+    tel->seconds[static_cast<std::size_t>(RunPhase::FastForward)] =
+        seconds_between(t1, tick(tel));
+  } else {
+    emu_.run(target);
+  }
 }
 
 RunResult InjectionRunner::classify_now(bool finished,
@@ -102,10 +144,12 @@ RunResult InjectionRunner::classify_now(bool finished,
   return r;
 }
 
-RunResult InjectionRunner::run(const FaultSpec& fault) {
+RunResult InjectionRunner::run(const FaultSpec& fault, RunPhaseTimes* tel) {
+  if (tel != nullptr) *tel = RunPhaseTimes{};
+
   // Bring the machine fault-free to the injection point (warm-started from
   // the checkpoint store when one is attached).
-  seek_to(fault.cycle);
+  seek_to(fault.cycle, tel);
 
   // Inject (adjacent_bits > 1 models a multi-bit upset from one strike).
   const u32 width = std::max<u32>(1, fault.adjacent_bits);
@@ -145,16 +189,63 @@ RunResult InjectionRunner::run(const FaultSpec& fault) {
   const bool early_exit =
       cfg_.early_exit && fault.target == FaultTarget::Latch;
 
+  // Detection latency bookkeeping (plain compares on the RAS status already
+  // in hand — never alters simulation) and the post-fault phase timers.
+  std::optional<Cycle> detect;
+  const Tick t_loop = tick(tel);
+  // Poll timing is sampled (1 in 16) and scaled to the poll count: two
+  // clock reads around every compare would cost more than the compare
+  // itself on short workloads.
+  constexpr u64 kPollSampleMask = 15;
+  double sampled_poll_seconds = 0.0;
+  u64 sampled_polls = 0;
+  u64 polls = 0;
+
+  // Terminal path shared by every exit: classification is its own timed
+  // phase; the loop's wall time minus the poll aggregate is post-fault sim.
+  const auto finish = [&](bool finished, bool early) {
+    const Tick t_cl = tick(tel);
+    RunResult r = classify_now(finished, early);
+    if (tel != nullptr) {
+      const double poll_seconds =
+          sampled_polls == 0
+              ? 0.0
+              : sampled_poll_seconds * static_cast<double>(polls) /
+                    static_cast<double>(sampled_polls);
+      tel->seconds[static_cast<std::size_t>(RunPhase::PostFaultSim)] =
+          seconds_between(t_loop, t_cl) - poll_seconds;
+      tel->seconds[static_cast<std::size_t>(RunPhase::ConvergencePoll)] =
+          poll_seconds;
+      tel->seconds[static_cast<std::size_t>(RunPhase::Classify)] =
+          seconds_between(t_cl, tick(tel));
+      tel->polls = polls;
+    }
+    r.detected_cycle = detect;
+    if (!r.detected_cycle &&
+        (r.outcome == Outcome::Checkstop || r.outcome == Outcome::Hang ||
+         r.recoveries > 0 || r.corrected > 0)) {
+      // Only the end-of-test readout surfaced the fault (late correction or
+      // uncorrectable word): detection happened at classification time.
+      r.detected_cycle = r.end_cycle;
+    }
+    return r;
+  };
+
   while (true) {
     emu_.step();
     const Cycle now = emu_.cycle();
 
     const emu::RasStatus ras = model_.ras_status(emu_.state());
+    if (!detect && (ras.checkstop || ras.hang_detected ||
+                    ras.recovery_active || ras.recovery_count > 0 ||
+                    ras.corrected_count > 0)) {
+      detect = now;
+    }
     if (ras.checkstop || ras.hang_detected) {
-      return classify_now(/*finished=*/false, /*early_exited=*/false);
+      return finish(/*finished=*/false, /*early=*/false);
     }
     if (ras.test_finished) {
-      return classify_now(/*finished=*/true, /*early_exited=*/false);
+      return finish(/*finished=*/true, /*early=*/false);
     }
 
     // Golden convergence check (invalid while a sticky force remains armed
@@ -162,17 +253,27 @@ RunResult InjectionRunner::run(const FaultSpec& fault) {
     // this is an exact early-out word compare; otherwise a hash compare.
     if (early_exit && !ras.recovery_active && trace_.has_cycle(now - 1) &&
         !(sticky && now <= fault.cycle + fault.sticky_duration)) {
+      const bool time_this_poll =
+          tel != nullptr && (polls & kPollSampleMask) == 0;
+      const Tick t_poll =
+          time_this_poll ? std::chrono::steady_clock::now() : Tick{};
       const bool converged =
           trace_.has_states()
               ? emu_.state().masked_equals(masks, trace_.masked_state(now - 1))
               : emu_.state().masked_hash(masks) == trace_.hashes[now - 1];
+      if (time_this_poll) {
+        sampled_poll_seconds +=
+            seconds_between(t_poll, std::chrono::steady_clock::now());
+        ++sampled_polls;
+      }
+      if (tel != nullptr) ++polls;
       if (converged) {
-        return classify_now(/*finished=*/true, /*early_exited=*/true);
+        return finish(/*finished=*/true, /*early=*/true);
       }
     }
 
     if (now >= deadline || now >= hard_stop) {
-      return classify_now(/*finished=*/false, /*early_exited=*/false);
+      return finish(/*finished=*/false, /*early=*/false);
     }
   }
 }

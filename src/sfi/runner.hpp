@@ -11,6 +11,8 @@
 // with a clean RAS window — is classified Vanished immediately.
 #pragma once
 
+#include <optional>
+
 #include "avp/runner.hpp"
 #include "core/core_model.hpp"
 #include "emu/checkpoint_store.hpp"
@@ -20,6 +22,8 @@
 #include "sfi/outcome.hpp"
 
 namespace sfi::inject {
+
+struct RunPhaseTimes;  // sfi/telemetry.hpp
 
 struct RunConfig {
   /// Extra cycles allowed past the fault-free completion cycle before the
@@ -39,6 +43,11 @@ struct RunResult {
   u32 recoveries = 0;
   u32 corrected = 0;
   std::string first_diff;      ///< arch-state diff for BadArchState
+  /// First cycle the machine's RAS visibly reacted to the fault (checker
+  /// fire, recovery, correction, checkstop or hang) — the paper's
+  /// cause→effect detection latency is `*detected_cycle - fault.cycle`.
+  /// nullopt: the fault was never detected (vanished or silent corruption).
+  std::optional<Cycle> detected_cycle;
 };
 
 class InjectionRunner {
@@ -54,8 +63,12 @@ class InjectionRunner {
                   const avp::GoldenResult& golden, RunConfig cfg = {},
                   const emu::CheckpointStore* checkpoints = nullptr);
 
-  /// Run one injection experiment and classify its outcome.
-  [[nodiscard]] RunResult run(const FaultSpec& fault);
+  /// Run one injection experiment and classify its outcome. With a non-null
+  /// `phases` the runner additionally reports per-phase wall times into it
+  /// (telemetry out-param only — never read back, so results are identical
+  /// with or without it; nullptr costs one predicted branch per phase).
+  [[nodiscard]] RunResult run(const FaultSpec& fault,
+                              RunPhaseTimes* phases = nullptr);
 
   /// Classify the machine's current terminal state (used by run(), exposed
   /// for the tracer which drives the emulator itself).
@@ -66,8 +79,9 @@ class InjectionRunner {
  private:
   /// Bring the machine fault-free to `target`: restore the nearest
   /// checkpoint <= target (warm, cached across consecutive runs) or the
-  /// reset snapshot, then clock the remainder.
-  void seek_to(Cycle target);
+  /// reset snapshot, then clock the remainder. Reports restore/fast-forward
+  /// timings into `phases` when non-null.
+  void seek_to(Cycle target, RunPhaseTimes* phases);
 
   core::Pearl6Model& model_;
   emu::Emulator& emu_;

@@ -1,0 +1,373 @@
+#include "sfi/telemetry.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "sfi/aggregate.hpp"
+#include "telemetry/json.hpp"
+
+namespace sfi::inject {
+
+namespace {
+
+/// Power-of-two cycle-latency bounds: 1, 2, 4, ... 2^max_exp.
+std::vector<double> pow2_buckets(u32 max_exp) {
+  std::vector<double> bounds;
+  bounds.reserve(max_exp + 1);
+  double b = 1.0;
+  for (u32 i = 0; i <= max_exp; ++i, b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+u64 micros(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<u64>(seconds * 1e6);
+}
+
+}  // namespace
+
+WorkerTelemetry::WorkerTelemetry(CampaignTelemetry& owner, u32 tid)
+    : owner_(owner), tid_(tid), shard_(owner.registry_.make_shard()) {
+  if (owner_.trace_) {
+    track_ = &owner_.trace_->add_track("worker " + std::to_string(tid));
+  }
+}
+
+void WorkerTelemetry::shard_begin(u64 shard, u64 injections) {
+  if (track_ != nullptr) shard_start_us_ = owner_.trace_->now_us();
+  if (auto* log = owner_.events()) {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "shard_dispatch")
+        .field("t_us", owner_.now_us())
+        .field("shard", shard)
+        .field("worker", u64{tid_})
+        .field("injections", injections)
+        .end_object();
+    log->emit(w.str());
+  }
+}
+
+void WorkerTelemetry::shard_end(u64 shard, u64 executed) {
+  shard_.add(owner_.c_shards_);
+  if (track_ != nullptr) {
+    const u64 now = owner_.trace_->now_us();
+    telemetry::JsonWriter args;
+    args.begin_object().field("shard", shard).field("executed", executed)
+        .end_object();
+    track_->slice("shard " + std::to_string(shard), "shard", shard_start_us_,
+                  now - shard_start_us_, args.str());
+  }
+  if (auto* log = owner_.events()) {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "shard_complete")
+        .field("t_us", owner_.now_us())
+        .field("shard", shard)
+        .field("worker", u64{tid_})
+        .field("executed", executed)
+        .end_object();
+    log->emit(w.str());
+  }
+}
+
+void WorkerTelemetry::record_injection(u32 index, const InjectionRecord& rec,
+                                       std::optional<Cycle> detect_latency) {
+  const RunPhaseTimes& ph = phases_;
+  CampaignTelemetry& o = owner_;
+
+  // --- metrics (lock-free: private shard) ---
+  shard_.add(o.c_injections_);
+  if (rec.early_exited) shard_.add(o.c_early_exits_);
+  shard_.add(o.c_recoveries_, rec.recoveries);
+  shard_.add(o.c_polls_, ph.polls);
+  shard_.add(o.c_ff_cycles_, ph.ff_cycles);
+  if (ph.warm_restore) shard_.add(o.c_warm_restores_);
+  if (ph.new_checkpoint) shard_.add(o.c_ckpt_materializations_);
+  shard_.add(o.c_outcome_[static_cast<std::size_t>(rec.outcome)]);
+  o.live_outcomes_[static_cast<std::size_t>(rec.outcome)].fetch_add(
+      1, std::memory_order_relaxed);
+
+  for (std::size_t p = 0; p < kNumRunPhases; ++p) {
+    shard_.observe(o.h_phase_[p], ph.seconds[p]);
+  }
+  shard_.observe(o.h_injection_seconds_, ph.total_seconds());
+  if (detect_latency) {
+    const auto lat = static_cast<double>(*detect_latency);
+    shard_.observe(o.h_detect_latency_, lat);
+    shard_.observe(o.h_detect_unit_[static_cast<std::size_t>(rec.unit)], lat);
+  }
+
+  // --- event log (sampled) ---
+  auto* log = o.events();
+  if (log != nullptr && ph.new_checkpoint) {
+    telemetry::JsonWriter& w = scratch_;
+    w.clear();
+    w.begin_object()
+        .field("ev", "ckpt_restore")
+        .field("t_us", o.now_us())
+        .field("worker", u64{tid_})
+        .field("cycle", ph.restore_cycle)
+        .end_object();
+    log->emit(w.str());
+  }
+  const u32 es = o.cfg_.event_sample;
+  if (log != nullptr && es != 0 && index % es == 0) {
+    telemetry::JsonWriter& w = scratch_;
+    w.clear();
+    w.begin_object()
+        .field("ev", "injection")
+        .field("t_us", o.now_us())
+        .field("i", u64{index})
+        .field("worker", u64{tid_})
+        .field("cycle", rec.fault.cycle)
+        .field("target",
+               rec.fault.target == FaultTarget::Latch ? "latch" : "array")
+        .field("ordinal", rec.fault.target == FaultTarget::Latch
+                              ? u64{rec.fault.index}
+                              : rec.fault.array_bit)
+        .field("unit", netlist::to_string(rec.unit))
+        .field("type", netlist::to_string(rec.type))
+        .field("outcome", to_string(rec.outcome))
+        .field("end_cycle", rec.end_cycle)
+        .field("early_exit", rec.early_exited)
+        .field("recoveries", u64{rec.recoveries});
+    if (detect_latency) w.field("detect_latency", *detect_latency);
+    w.key("phase_s").begin_object();
+    for (std::size_t p = 0; p < kNumRunPhases; ++p) {
+      w.field(to_string(static_cast<RunPhase>(p)), ph.seconds[p]);
+    }
+    w.end_object();
+    w.field("polls", ph.polls).field("ff_cycles", ph.ff_cycles).end_object();
+    log->emit(w.str());
+  }
+
+  // --- chrome trace (sampled per-injection phase slices) ---
+  const u32 ss = o.cfg_.slice_sample;
+  if (track_ != nullptr && ss != 0 && seq_ % ss == 0) {
+    const u64 us_restore = micros(ph.seconds[0]);
+    const u64 us_ff = micros(ph.seconds[1]);
+    const u64 us_sim = micros(ph.seconds[2]);
+    const u64 us_poll = micros(ph.seconds[3]);
+    const u64 us_classify = micros(ph.seconds[4]);
+    const u64 total = us_restore + us_ff + us_sim + us_poll + us_classify;
+    const u64 end = o.trace_->now_us();
+    const u64 start = end > total ? end - total : 0;
+
+    telemetry::JsonWriter& args = scratch_;
+    args.clear();
+    args.begin_object()
+        .field("i", u64{index})
+        .field("fault_cycle", rec.fault.cycle)
+        .field("end_cycle", rec.end_cycle)
+        .end_object();
+    track_->slice(std::string("inject → ") +
+                      std::string(to_string(rec.outcome)),
+                  "injection", start, total, args.str());
+    u64 at = start;
+    track_->slice("restore", "phase", at, us_restore);
+    at += us_restore;
+    track_->slice("fast-forward", "phase", at, us_ff);
+    at += us_ff;
+    // The loop span (sim + polls) with the aggregate poll time nested at
+    // its start — polls are interleaved per-cycle, not contiguous.
+    track_->slice("post-fault-sim", "phase", at, us_sim + us_poll);
+    track_->slice("convergence-poll", "phase", at, us_poll);
+    at += us_sim + us_poll;
+    track_->slice("classify", "phase", at, us_classify);
+  }
+  ++seq_;
+}
+
+CampaignTelemetry::CampaignTelemetry(TelemetryConfig cfg)
+    : cfg_(cfg), epoch_(std::chrono::steady_clock::now()) {
+  c_injections_ = registry_.counter("injections");
+  c_early_exits_ = registry_.counter("early_exits");
+  c_recoveries_ = registry_.counter("recoveries");
+  c_polls_ = registry_.counter("convergence_polls");
+  c_ff_cycles_ = registry_.counter("fast_forward_cycles");
+  c_warm_restores_ = registry_.counter("warm_restores");
+  c_ckpt_materializations_ = registry_.counter("ckpt_materializations");
+  c_shards_ = registry_.counter("shards_completed");
+  for (std::size_t i = 0; i < kNumOutcomes; ++i) {
+    c_outcome_[i] = registry_.counter(
+        "outcome." + std::string(to_string(kAllOutcomes[i])));
+  }
+  const std::vector<double> secs = telemetry::exp_buckets(1e-6, 10.0, 3);
+  for (std::size_t p = 0; p < kNumRunPhases; ++p) {
+    h_phase_[p] = registry_.histogram(
+        "phase_seconds." + std::string(to_string(static_cast<RunPhase>(p))),
+        secs);
+  }
+  h_injection_seconds_ = registry_.histogram("injection_seconds", secs);
+  const std::vector<double> cyc = pow2_buckets(17);  // 1 .. 128k cycles
+  h_detect_latency_ = registry_.histogram("detect_latency_cycles", cyc);
+  for (const auto u : netlist::kAllUnits) {
+    h_detect_unit_[static_cast<std::size_t>(u)] = registry_.histogram(
+        "detect_latency_cycles." + std::string(netlist::to_string(u)), cyc);
+  }
+  g_wall_seconds_ = registry_.gauge("wall_seconds");
+  g_executed_ = registry_.gauge("executed");
+  g_resumed_ = registry_.gauge("resumed");
+  g_total_ = registry_.gauge("total_injections");
+  g_ckpt_count_ = registry_.gauge("ckpt.count");
+  g_ckpt_bytes_ = registry_.gauge("ckpt.resident_bytes");
+  g_ckpt_interval_ = registry_.gauge("ckpt.interval_cycles");
+}
+
+CampaignTelemetry::~CampaignTelemetry() = default;
+
+u64 CampaignTelemetry::now_us() const {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - epoch_)
+                              .count());
+}
+
+void CampaignTelemetry::open_event_log(const std::string& path) {
+  events_.open(path);
+}
+
+void CampaignTelemetry::enable_chrome_trace() {
+  if (trace_) return;
+  trace_ = std::make_unique<telemetry::TraceCollector>("sfi");
+  main_track_ = &trace_->add_track("scheduler");
+}
+
+void CampaignTelemetry::campaign_start(std::string_view kind, u64 seed,
+                                       u64 total, u64 resumed) {
+  start_us_ = now_us();
+  registry_.set_gauge(g_total_, static_cast<double>(total));
+  registry_.set_gauge(g_resumed_, static_cast<double>(resumed));
+  if (auto* log = events()) {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "campaign_start")
+        .field("t_us", start_us_)
+        .field("kind", kind)
+        .field("seed", seed)
+        .field("total", total)
+        .field("resumed", resumed)
+        .end_object();
+    log->emit(w.str());
+  }
+}
+
+void CampaignTelemetry::checkpoint_store_built(
+    std::size_t count, u64 resident_bytes, Cycle interval,
+    double build_seconds, const std::vector<Cycle>& cycles) {
+  registry_.set_gauge(g_ckpt_count_, static_cast<double>(count));
+  registry_.set_gauge(g_ckpt_bytes_, static_cast<double>(resident_bytes));
+  registry_.set_gauge(g_ckpt_interval_, static_cast<double>(interval));
+  if (auto* log = events()) {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "ckpt_store")
+        .field("t_us", now_us())
+        .field("count", u64{count})
+        .field("resident_bytes", resident_bytes)
+        .field("interval", interval)
+        .field("build_seconds", build_seconds)
+        .end_object();
+    log->emit(w.str());
+    const u32 es = cfg_.event_sample == 0 ? 1 : cfg_.event_sample;
+    for (std::size_t i = 0; i < cycles.size(); i += es) {
+      telemetry::JsonWriter s;
+      s.begin_object()
+          .field("ev", "ckpt_save")
+          .field("t_us", now_us())
+          .field("index", u64{i})
+          .field("cycle", cycles[i])
+          .end_object();
+      log->emit(s.str());
+    }
+  }
+  if (main_track_ != nullptr) {
+    const u64 end = trace_->now_us();
+    const u64 dur = micros(build_seconds);
+    main_track_->slice("build checkpoint store", "plan",
+                       end > dur ? end - dur : 0, dur);
+  }
+}
+
+void CampaignTelemetry::campaign_finish(const CampaignAggregate& agg,
+                                        u64 executed, double wall_seconds) {
+  merge_workers();
+  registry_.set_gauge(g_wall_seconds_, wall_seconds);
+  registry_.set_gauge(g_executed_, static_cast<double>(executed));
+  if (auto* log = events()) {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "campaign_finish")
+        .field("t_us", now_us())
+        .field("executed", executed)
+        .field("wall_seconds", wall_seconds);
+    w.key("outcomes").begin_object();
+    for (const auto o : kAllOutcomes) {
+      w.field(to_string(o), agg.counts.of(o));
+    }
+    w.end_object().end_object();
+    log->emit(w.str());
+    log->flush();
+  }
+  if (main_track_ != nullptr) {
+    const u64 end = trace_->now_us();
+    main_track_->slice("campaign", "campaign", start_us_,
+                       end > start_us_ ? end - start_us_ : 0);
+  }
+}
+
+void CampaignTelemetry::prepare_workers(u32 n) {
+  while (workers_.size() < n) {
+    const u32 tid = static_cast<u32>(workers_.size());
+    workers_.push_back(
+        std::unique_ptr<WorkerTelemetry>(new WorkerTelemetry(*this, tid)));
+  }
+}
+
+void CampaignTelemetry::merge_workers() {
+  for (const auto& w : workers_) registry_.merge(w->shard_);
+}
+
+std::string CampaignTelemetry::progress_line(u64 done, u64 total,
+                                             u64 executed,
+                                             double wall_seconds) const {
+  const double rate =
+      wall_seconds > 0.0 ? static_cast<double>(executed) / wall_seconds : 0.0;
+  std::string line = std::to_string(done) + "/" + std::to_string(total);
+  char buf[64];
+  if (rate > 0.0) {
+    const double remaining = static_cast<double>(total - done) / rate;
+    std::snprintf(buf, sizeof buf, " (%.0f inj/s, ETA %.0fs)", rate,
+                  remaining);
+    line += buf;
+  }
+  static constexpr std::array<std::string_view, kNumOutcomes> kShort = {
+      "van", "corr", "hang", "cstop", "sdc"};
+  for (std::size_t i = 0; i < kNumOutcomes; ++i) {
+    const u64 n = live_outcomes_[i].load(std::memory_order_relaxed);
+    line += " ";
+    line += kShort[i];
+    line += " ";
+    line += std::to_string(n);
+  }
+  return line;
+}
+
+void CampaignTelemetry::write_metrics(const std::string& path) {
+  merge_workers();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open metrics output " + path);
+  const std::string json = registry_.to_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.put('\n');
+}
+
+void CampaignTelemetry::write_chrome_trace(const std::string& path) const {
+  if (!trace_) {
+    throw std::runtime_error(
+        "chrome trace was not enabled for this campaign");
+  }
+  trace_->write(path);
+}
+
+}  // namespace sfi::inject

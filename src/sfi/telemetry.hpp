@@ -1,0 +1,210 @@
+// Campaign telemetry facade: the one object wired through the campaign
+// driver, the sharded scheduler, the beam harness and the CLI. It owns
+//
+//   * the metrics registry (counters / gauges / phase & latency histograms,
+//     accumulated into per-worker shards, merged at finish),
+//   * the structured JSONL event log (campaign start/finish, shard
+//     dispatch/complete, sampled per-injection records, checkpoint
+//     save/restore), and
+//   * the Chrome-trace collector (one track per worker: shard spans with
+//     nested per-injection phase slices, loadable in chrome://tracing).
+//
+// Telemetry is strictly read-only with respect to results: it observes
+// records after they are built and never feeds anything back into fault
+// derivation, classification, the store or resume. A campaign run with
+// every sink enabled persists byte-identical records to one run with
+// telemetry off (tests/test_telemetry.cpp holds this as a regression).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sfi/record.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace sfi::inject {
+
+struct CampaignAggregate;
+
+/// The phases one injection decomposes into (ZOFI-style per-phase timing,
+/// arXiv:1906.09390): where the wall-time of a campaign actually goes.
+enum class RunPhase : u8 {
+  Restore,          ///< checkpoint materialization + machine restore
+  FastForward,      ///< fault-free clocking from the checkpoint to the fault
+  PostFaultSim,     ///< post-injection simulation (minus convergence polls)
+  ConvergencePoll,  ///< golden-trace convergence compares
+  Classify,         ///< terminal-state classification + golden compare
+};
+inline constexpr std::size_t kNumRunPhases = 5;
+
+[[nodiscard]] constexpr std::string_view to_string(RunPhase p) {
+  constexpr std::array<std::string_view, kNumRunPhases> names = {
+      "restore", "fast_forward", "post_fault_sim", "convergence_poll",
+      "classify"};
+  return names[static_cast<std::size_t>(p)];
+}
+
+/// Per-injection phase telemetry. The runner fills this out-param when (and
+/// only when) a sink is attached; it never reads it back, so simulation
+/// behaviour is identical with or without one.
+struct RunPhaseTimes {
+  std::array<double, kNumRunPhases> seconds{};
+  u64 polls = 0;              ///< convergence polls executed
+  u64 ff_cycles = 0;          ///< cycles clocked fault-free after restore
+  bool warm_restore = false;  ///< restored from an interval checkpoint
+  bool new_checkpoint = false;  ///< materialized a different checkpoint
+  Cycle restore_cycle = 0;      ///< cycle of the restored snapshot
+
+  [[nodiscard]] double total_seconds() const {
+    double t = 0.0;
+    for (const double s : seconds) t += s;
+    return t;
+  }
+};
+
+struct TelemetryConfig {
+  /// Emit every Nth per-injection event-log record (1 = all, 0 = none).
+  /// Lifecycle / shard / checkpoint events are never sampled away.
+  u32 event_sample = 1;
+  /// Emit every Nth injection as Chrome-trace phase slices (1 = all,
+  /// 0 = shard spans only). Counted per worker.
+  u32 slice_sample = 1;
+};
+
+class CampaignTelemetry;
+
+/// One worker thread's telemetry handle: a private metrics shard, a private
+/// trace track, and a scratch RunPhaseTimes for the runner. Not thread-safe;
+/// exactly one worker owns each handle (create via prepare_workers()).
+class WorkerTelemetry {
+ public:
+  /// Scratch the runner fills per injection (stable address).
+  [[nodiscard]] RunPhaseTimes* phase_scratch() { return &phases_; }
+
+  /// Shard lifecycle (scheduler only): event-log record + trace span.
+  void shard_begin(u64 shard, u64 injections);
+  void shard_end(u64 shard, u64 executed);
+
+  /// Observe one completed injection: phase histograms, outcome tallies,
+  /// detection latency, sampled event record and trace slices. `index` is
+  /// the injection's campaign index; `detect_latency` is cycles from fault
+  /// to first RAS reaction (nullopt: never detected).
+  void record_injection(u32 index, const InjectionRecord& rec,
+                        std::optional<Cycle> detect_latency);
+
+ private:
+  friend class CampaignTelemetry;
+  WorkerTelemetry(CampaignTelemetry& owner, u32 tid);
+
+  CampaignTelemetry& owner_;
+  u32 tid_ = 0;
+  telemetry::MetricsShard shard_;
+  telemetry::TraceTrack* track_ = nullptr;
+  RunPhaseTimes phases_;
+  telemetry::JsonWriter scratch_;  ///< reused per event (no per-event alloc)
+  u64 seq_ = 0;            ///< injections seen by this worker (sampling)
+  u64 shard_start_us_ = 0;  ///< open shard span start
+};
+
+class CampaignTelemetry {
+ public:
+  explicit CampaignTelemetry(TelemetryConfig cfg = {});
+  ~CampaignTelemetry();
+  CampaignTelemetry(const CampaignTelemetry&) = delete;
+  CampaignTelemetry& operator=(const CampaignTelemetry&) = delete;
+
+  // --- sinks (attach before the campaign starts) ---
+  void open_event_log(const std::string& path);
+  void enable_chrome_trace();
+
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() { return registry_; }
+  [[nodiscard]] telemetry::EventLog* events() {
+    return events_.is_open() ? &events_ : nullptr;
+  }
+  [[nodiscard]] telemetry::TraceCollector* trace() { return trace_.get(); }
+  [[nodiscard]] const TelemetryConfig& config() const { return cfg_; }
+
+  // --- lifecycle (single-threaded call sites) ---
+  /// `kind` is "campaign" or "beam"; `resumed` the records inherited from a
+  /// prior store (0 for fresh / in-memory runs).
+  void campaign_start(std::string_view kind, u64 seed, u64 total,
+                      u64 resumed);
+  /// The reference run's interval-checkpoint store was built. Emits one
+  /// summary event plus per-snapshot ckpt_save records (event-sampled).
+  void checkpoint_store_built(std::size_t count, u64 resident_bytes,
+                              Cycle interval, double build_seconds,
+                              const std::vector<Cycle>& cycles);
+  void campaign_finish(const CampaignAggregate& agg, u64 executed,
+                       double wall_seconds);
+
+  /// Create the per-worker handles (and trace tracks) before the pool
+  /// starts. Idempotent for the same `n`; references stay stable.
+  void prepare_workers(u32 n);
+  [[nodiscard]] WorkerTelemetry& worker(u32 tid) { return *workers_[tid]; }
+
+  /// Fold every worker shard into the registry (idempotent: merged shards
+  /// are zeroed). Called by campaign_finish; safe to call again.
+  void merge_workers();
+
+  // --- live progress ---
+  /// One-line status built from the registry's live tallies:
+  /// "4312/10000 (1523 inj/s, ETA 4s) van 3900 corr 380 hang 12 ...".
+  [[nodiscard]] std::string progress_line(u64 done, u64 total, u64 executed,
+                                          double wall_seconds) const;
+
+  // --- outputs ---
+  /// Merge outstanding shards and write the registry as JSON.
+  void write_metrics(const std::string& path);
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Microseconds since this telemetry object was created (event stamps).
+  [[nodiscard]] u64 now_us() const;
+
+ private:
+  friend class WorkerTelemetry;
+
+  TelemetryConfig cfg_;
+  std::chrono::steady_clock::time_point epoch_;
+  u64 start_us_ = 0;  ///< campaign_start stamp (campaign trace slice)
+  telemetry::MetricsRegistry registry_;
+  telemetry::EventLog events_;
+  std::unique_ptr<telemetry::TraceCollector> trace_;
+  telemetry::TraceTrack* main_track_ = nullptr;
+  std::vector<std::unique_ptr<WorkerTelemetry>> workers_;
+
+  // Well-known ids (registered once in the constructor).
+  telemetry::CounterId c_injections_;
+  telemetry::CounterId c_early_exits_;
+  telemetry::CounterId c_recoveries_;
+  telemetry::CounterId c_polls_;
+  telemetry::CounterId c_ff_cycles_;
+  telemetry::CounterId c_warm_restores_;
+  telemetry::CounterId c_ckpt_materializations_;
+  telemetry::CounterId c_shards_;
+  std::array<telemetry::CounterId, kNumOutcomes> c_outcome_{};
+  std::array<telemetry::HistogramId, kNumRunPhases> h_phase_{};
+  telemetry::HistogramId h_injection_seconds_{};
+  telemetry::HistogramId h_detect_latency_{};
+  std::array<telemetry::HistogramId, netlist::kNumUnits> h_detect_unit_{};
+  telemetry::GaugeId g_wall_seconds_{};
+  telemetry::GaugeId g_executed_{};
+  telemetry::GaugeId g_resumed_{};
+  telemetry::GaugeId g_total_{};
+  telemetry::GaugeId g_ckpt_count_{};
+  telemetry::GaugeId g_ckpt_bytes_{};
+  telemetry::GaugeId g_ckpt_interval_{};
+
+  /// Live outcome tallies for the progress line (relaxed atomics; the
+  /// authoritative numbers are the merged registry counters).
+  std::array<std::atomic<u64>, kNumOutcomes> live_outcomes_{};
+};
+
+}  // namespace sfi::inject

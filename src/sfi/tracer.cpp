@@ -97,8 +97,8 @@ std::string format_trace(const InjectionTrace& trace) {
   }
   os << "  outcome: " << to_string(trace.result.outcome) << " at cycle "
      << trace.result.end_cycle;
-  if (trace.detected()) {
-    os << " (detection latency " << trace.detection_latency() << " cycles)";
+  if (const auto latency = trace.detection_latency()) {
+    os << " (detection latency " << *latency << " cycles)";
   }
   if (!trace.result.first_diff.empty()) {
     os << "\n  first architected difference: " << trace.result.first_diff;

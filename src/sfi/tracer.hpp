@@ -8,6 +8,7 @@
 // the machine-level outcome.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,11 +43,14 @@ struct InjectionTrace {
   std::vector<TraceEvent> events;
   RunResult result;
 
-  /// Cycles from injection to the first checker event (detection latency);
-  /// 0 events means the fault was never detected.
   [[nodiscard]] bool detected() const { return !events.empty(); }
-  [[nodiscard]] Cycle detection_latency() const {
-    return events.empty() ? 0 : events.front().cycle - fault.cycle;
+  /// Cycles from injection to the first RAS event (the paper's detection
+  /// latency). nullopt when the fault produced no RAS event at all — that is
+  /// distinct from a latency of 0 (detected in the injection cycle itself),
+  /// which the old `0 means undetected` encoding conflated.
+  [[nodiscard]] std::optional<Cycle> detection_latency() const {
+    if (events.empty()) return std::nullopt;
+    return events.front().cycle - fault.cycle;
   }
 };
 

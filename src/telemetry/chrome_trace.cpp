@@ -1,0 +1,111 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "telemetry/json.hpp"
+
+namespace sfi::telemetry {
+
+void TraceTrack::slice(std::string_view name, std::string_view category,
+                       u64 ts_us, u64 dur_us, std::string args_json) {
+  Ev e;
+  e.name = std::string(name);
+  e.cat = std::string(category);
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.ph = 'X';
+  e.args = std::move(args_json);
+  events_.push_back(std::move(e));
+}
+
+void TraceTrack::instant(std::string_view name, std::string_view category,
+                         u64 ts_us, std::string args_json) {
+  Ev e;
+  e.name = std::string(name);
+  e.cat = std::string(category);
+  e.ts_us = ts_us;
+  e.ph = 'i';
+  e.args = std::move(args_json);
+  events_.push_back(std::move(e));
+}
+
+TraceCollector::TraceCollector(std::string process_name)
+    : process_name_(std::move(process_name)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceTrack& TraceCollector::add_track(std::string name) {
+  TraceTrack t;
+  t.name_ = std::move(name);
+  t.tid_ = static_cast<u32>(tracks_.size());
+  tracks_.push_back(std::move(t));
+  return tracks_.back();
+}
+
+u64 TraceCollector::now_us() const {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - epoch_)
+                              .count());
+}
+
+std::string TraceCollector::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  // Metadata: process name plus one thread-name record per track.
+  w.begin_object()
+      .field("ph", "M")
+      .field("pid", u64{0})
+      .field("tid", u64{0})
+      .field("name", "process_name")
+      .key("args")
+      .begin_object()
+      .field("name", process_name_)
+      .end_object()
+      .end_object();
+  for (const TraceTrack& t : tracks_) {
+    w.begin_object()
+        .field("ph", "M")
+        .field("pid", u64{0})
+        .field("tid", u64{t.tid_})
+        .field("name", "thread_name")
+        .key("args")
+        .begin_object()
+        .field("name", t.name_)
+        .end_object()
+        .end_object();
+  }
+
+  for (const TraceTrack& t : tracks_) {
+    for (const TraceTrack::Ev& e : t.events_) {
+      w.begin_object()
+          .field("ph", std::string_view(&e.ph, 1))
+          .field("pid", u64{0})
+          .field("tid", u64{t.tid_})
+          .field("name", e.name)
+          .field("cat", e.cat)
+          .field("ts", e.ts_us);
+      if (e.ph == 'X') w.field("dur", e.dur_us);
+      if (e.ph == 'i') w.field("s", "t");  // instant scope: thread
+      if (!e.args.empty()) w.key("args").raw(e.args);
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+void TraceCollector::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open chrome trace output " + path);
+  }
+  const std::string json = to_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+}
+
+}  // namespace sfi::telemetry

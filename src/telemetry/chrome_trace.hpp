@@ -1,0 +1,83 @@
+// Chrome-trace exporter: renders the scheduler's worker×shard timeline plus
+// per-injection phase slices as the Trace Event JSON format that
+// chrome://tracing, Perfetto and speedscope all load.
+//
+// Model: one TraceCollector per campaign, one Track per worker thread
+// (plus one for the orchestrating thread). A track is single-writer — the
+// owning worker appends "complete" slices (ph:"X") and instants (ph:"i")
+// with timestamps from the collector's shared steady-clock epoch, so the
+// merged file needs no cross-thread clock reconciliation and no locks on
+// the recording path.
+//
+// write() emits {"traceEvents":[...],"displayTimeUnit":"ms"} with process/
+// thread-name metadata records, one tid per track.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sfi::telemetry {
+
+class TraceCollector;
+
+class TraceTrack {
+ public:
+  /// A completed slice [ts_us, ts_us + dur_us]. `args_json`, when non-empty,
+  /// must be a rendered JSON object ("{...}") and is spliced verbatim.
+  void slice(std::string_view name, std::string_view category, u64 ts_us,
+             u64 dur_us, std::string args_json = {});
+  /// A zero-duration marker.
+  void instant(std::string_view name, std::string_view category, u64 ts_us,
+               std::string args_json = {});
+
+  [[nodiscard]] std::size_t events() const { return events_.size(); }
+
+ private:
+  friend class TraceCollector;
+
+  struct Ev {
+    std::string name;
+    std::string cat;
+    u64 ts_us = 0;
+    u64 dur_us = 0;
+    char ph = 'X';
+    std::string args;  ///< pre-rendered JSON object or empty
+  };
+
+  std::string name_;
+  u32 tid_ = 0;
+  std::vector<Ev> events_;
+};
+
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::string process_name = "sfi");
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Register a named track (call before its owning thread starts; the
+  /// returned reference is stable for the collector's lifetime).
+  TraceTrack& add_track(std::string name);
+
+  /// Microseconds since the collector was created (shared steady epoch).
+  [[nodiscard]] u64 now_us() const;
+
+  [[nodiscard]] std::size_t tracks() const { return tracks_.size(); }
+
+  /// The whole timeline as a Trace Event JSON document.
+  [[nodiscard]] std::string to_json() const;
+  /// Write to_json() to `path`; throws std::runtime_error when unwritable.
+  void write(const std::string& path) const;
+
+ private:
+  std::string process_name_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::deque<TraceTrack> tracks_;  ///< deque: stable references
+};
+
+}  // namespace sfi::telemetry

@@ -1,0 +1,34 @@
+#include "telemetry/events.hpp"
+
+#include <stdexcept>
+
+namespace sfi::telemetry {
+
+void EventLog::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("cannot open event log " + path);
+  }
+}
+
+void EventLog::emit(std::string_view json_object) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  out_.write(json_object.data(),
+             static_cast<std::streamsize>(json_object.size()));
+  out_.put('\n');
+  ++emitted_;
+}
+
+u64 EventLog::emitted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+void EventLog::flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (out_.is_open()) out_.flush();
+}
+
+}  // namespace sfi::telemetry

@@ -1,0 +1,135 @@
+// Minimal JSON emission (no parsing, no DOM): the telemetry sinks — the
+// JSONL event log, the metrics dump and the Chrome-trace exporter — all
+// write machine-readable JSON, and all of it is append-only. A tiny
+// streaming writer keeps them dependency-free and allocation-light (one
+// growing string per line/file).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sfi::telemetry {
+
+/// Append `s` to `out` JSON-escaped (quotes, backslash, control chars).
+void json_escape(std::string& out, std::string_view s);
+
+/// Render a double the way JSON expects: shortest round-trip form, never
+/// inf/nan (clamped to 0, JSON has no spelling for them).
+void json_number(std::string& out, double v);
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter w;
+///   w.begin_object().field("ev", "injection").field("i", 42).end_object();
+///   emit(w.str());
+/// The writer inserts commas automatically; keys and values must alternate
+/// correctly inside objects (unchecked — callers are trusted, this is an
+/// internal emission helper, not a validator).
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  JsonWriter& begin_object() {
+    comma();
+    out_.push_back('{');
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_.push_back('}');
+    stack_.pop_back();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    out_.push_back('[');
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_.push_back(']');
+    stack_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    out_.push_back('"');
+    json_escape(out_, k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    out_.push_back('"');
+    json_escape(out_, v);
+    out_.push_back('"');
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(u64 v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(u32 v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(i64 v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    json_number(out_, v);
+    return *this;
+  }
+  /// Verbatim splice of pre-rendered JSON (e.g. a nested object).
+  JsonWriter& raw(std::string_view json) {
+    comma();
+    out_ += json;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  void clear() {
+    out_.clear();
+    stack_.clear();
+    pending_value_ = false;
+  }
+
+ private:
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // value directly after its key
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) {
+        stack_.back() = false;  // first element of this scope
+      } else {
+        out_.push_back(',');
+      }
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  ///< per open scope: "next element is the first"
+  bool pending_value_ = false;
+};
+
+}  // namespace sfi::telemetry

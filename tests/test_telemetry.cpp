@@ -1,0 +1,340 @@
+// Campaign telemetry: registry semantics, sink formats, and the headline
+// guarantee — telemetry is strictly read-only, so a campaign run with every
+// sink enabled produces byte-identical records to one with telemetry off.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "avp/testgen.hpp"
+#include "sched/scheduler.hpp"
+#include "sfi/campaign.hpp"
+#include "sfi/telemetry.hpp"
+#include "store/merge.hpp"
+#include "store/reader.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace sfi {
+namespace {
+
+/// Per-test scratch file, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("sfi_telemetry_" + name))
+                  .string()) {
+    std::filesystem::remove(path_);
+  }
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// --- JsonWriter -----------------------------------------------------------
+
+TEST(JsonWriter, ObjectsArraysAndEscapes) {
+  telemetry::JsonWriter w;
+  w.begin_object()
+      .field("s", "a\"b\\c\nd")
+      .field("n", u64{42})
+      .field("f", 1.5)
+      .field("b", true)
+      .key("arr")
+      .begin_array()
+      .value(u64{1})
+      .value(u64{2})
+      .end_array()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"n\":42,\"f\":1.5,\"b\":true,"
+            "\"arr\":[1,2]}");
+}
+
+TEST(JsonWriter, ControlCharactersAreUnicodeEscaped) {
+  telemetry::JsonWriter w;
+  w.begin_object().field("s", std::string_view("\x01", 1)).end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"\\u0001\"}");
+}
+
+// --- metrics registry -----------------------------------------------------
+
+TEST(Metrics, CounterShardMergeIsIdempotent) {
+  telemetry::MetricsRegistry reg;
+  const auto c = reg.counter("hits");
+  telemetry::MetricsShard shard = reg.make_shard();
+  shard.add(c);
+  shard.add(c, 4);
+  EXPECT_EQ(shard.counter(c), 5u);
+  EXPECT_EQ(reg.counter_value(c), 0u);  // not merged yet
+
+  reg.merge(shard);
+  EXPECT_EQ(reg.counter_value(c), 5u);
+  EXPECT_EQ(shard.counter(c), 0u);  // merge zeroes the shard...
+  reg.merge(shard);                 // ...so a re-merge is a no-op
+  EXPECT_EQ(reg.counter_value(c), 5u);
+
+  shard.add(c, 2);
+  reg.merge(shard);
+  EXPECT_EQ(reg.counter_value(c), 7u);
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  telemetry::MetricsRegistry reg;
+  const auto h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  telemetry::MetricsShard shard = reg.make_shard();
+  shard.observe(h, 0.5);    // bucket 0: <= 1
+  shard.observe(h, 1.0);    // bucket 0: boundary is inclusive
+  shard.observe(h, 5.0);    // bucket 1
+  shard.observe(h, 1000.0); // overflow bucket
+  reg.merge(shard);
+
+  EXPECT_EQ(reg.histogram_count(h), 4u);
+  EXPECT_DOUBLE_EQ(reg.histogram_sum(h), 1006.5);
+  const auto& buckets = reg.histogram_buckets(h);
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Metrics, ExpBucketsAreStrictlyIncreasing) {
+  const auto b = telemetry::exp_buckets(1e-6, 10.0, 3);
+  ASSERT_GE(b.size(), 2u);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GT(b[i], b[i - 1]);
+  EXPECT_DOUBLE_EQ(b.front(), 1e-6);
+  EXPECT_GE(b.back(), 10.0 - 1e-9);
+}
+
+TEST(Metrics, ToJsonCarriesEveryInstrument) {
+  telemetry::MetricsRegistry reg;
+  const auto c = reg.counter("hits");
+  const auto g = reg.gauge("level");
+  const auto h = reg.histogram("lat", {1.0, 2.0});
+  reg.add(c, 3);
+  reg.set_gauge(g, 2.5);
+  reg.observe(h, 1.5);
+  const std::string j = reg.to_json();
+  EXPECT_NE(j.find("\"hits\":3"), std::string::npos);
+  EXPECT_NE(j.find("\"level\":2.5"), std::string::npos);
+  EXPECT_NE(j.find("\"lat\""), std::string::npos);
+  EXPECT_NE(j.find("\"count\":1"), std::string::npos);
+}
+
+// --- event log & chrome trace --------------------------------------------
+
+TEST(EventLog, EmitsOneLinePerEvent) {
+  TempFile f("events.jsonl");
+  telemetry::EventLog log;
+  log.open(f.path());
+  log.emit("{\"ev\":\"a\"}");
+  log.emit("{\"ev\":\"b\"}");
+  log.flush();
+  EXPECT_EQ(log.emitted(), 2u);
+  EXPECT_EQ(slurp(f.path()), "{\"ev\":\"a\"}\n{\"ev\":\"b\"}\n");
+}
+
+TEST(ChromeTrace, TracksSlicesAndMetadata) {
+  telemetry::TraceCollector tc("proc");
+  telemetry::TraceTrack& t0 = tc.add_track("worker 0");
+  telemetry::TraceTrack& t1 = tc.add_track("worker 1");
+  t0.slice("inject", "run", 10, 5, "{\"i\":1}");
+  t1.instant("mark", "run", 12);
+  const std::string j = tc.to_json();
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("process_name"), std::string::npos);
+  EXPECT_NE(j.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(j.find("\"worker 1\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(j.find("\"dur\":5"), std::string::npos);
+  EXPECT_NE(j.find("{\"i\":1}"), std::string::npos);
+}
+
+// --- campaign integration -------------------------------------------------
+
+avp::Testcase small_testcase() {
+  avp::TestcaseConfig cfg;
+  cfg.seed = 11;
+  cfg.num_instructions = 80;
+  return avp::generate_testcase(cfg);
+}
+
+inject::CampaignConfig small_campaign(u32 n, u32 threads) {
+  inject::CampaignConfig cfg;
+  cfg.seed = 77;
+  cfg.num_injections = n;
+  cfg.threads = threads;
+  return cfg;
+}
+
+bool records_equal(const inject::InjectionRecord& a,
+                   const inject::InjectionRecord& b) {
+  return a.fault.index == b.fault.index && a.fault.cycle == b.fault.cycle &&
+         a.outcome == b.outcome && a.unit == b.unit && a.type == b.type &&
+         a.end_cycle == b.end_cycle && a.early_exited == b.early_exited &&
+         a.recoveries == b.recoveries;
+}
+
+TEST(CampaignTelemetry, ResultsIdenticalWithAndWithoutTelemetry) {
+  const avp::Testcase tc = small_testcase();
+
+  const inject::CampaignResult plain =
+      inject::run_campaign(tc, small_campaign(40, 2));
+
+  TempFile events("campaign_events.jsonl");
+  inject::CampaignTelemetry tel;
+  tel.open_event_log(events.path());
+  tel.enable_chrome_trace();
+  inject::CampaignConfig cfg = small_campaign(40, 2);
+  cfg.telemetry = &tel;
+  const inject::CampaignResult traced = inject::run_campaign(tc, cfg);
+
+  ASSERT_EQ(plain.records.size(), traced.records.size());
+  for (std::size_t i = 0; i < plain.records.size(); ++i) {
+    EXPECT_TRUE(records_equal(plain.records[i], traced.records[i]))
+        << "record " << i;
+  }
+
+  // The registry's authoritative counters agree with the aggregation.
+  EXPECT_EQ(tel.metrics().counter_value_by_name("injections"), 40u);
+  for (const auto o : inject::kAllOutcomes) {
+    const std::string name = "outcome." + std::string(to_string(o));
+    EXPECT_EQ(tel.metrics().counter_value_by_name(name),
+              traced.agg.counts.of(o))
+        << name;
+  }
+
+  // The event log bookends the campaign.
+  const std::string log = slurp(events.path());
+  EXPECT_NE(log.find("\"ev\":\"campaign_start\""), std::string::npos);
+  EXPECT_NE(log.find("\"ev\":\"campaign_finish\""), std::string::npos);
+  EXPECT_NE(log.find("\"ev\":\"injection\""), std::string::npos);
+}
+
+TEST(CampaignTelemetry, ProgressLineHasRateAndTallies) {
+  inject::CampaignTelemetry tel;
+  const std::string line = tel.progress_line(50, 100, 50, 2.0);
+  EXPECT_NE(line.find("50/100"), std::string::npos);
+  EXPECT_NE(line.find("25 inj/s"), std::string::npos);
+  EXPECT_NE(line.find("ETA"), std::string::npos);
+  EXPECT_NE(line.find("van"), std::string::npos);
+  EXPECT_NE(line.find("sdc"), std::string::npos);
+}
+
+TEST(CampaignTelemetry, EventSamplingThinsInjectionRecords) {
+  const avp::Testcase tc = small_testcase();
+  TempFile events("sampled_events.jsonl");
+  inject::TelemetryConfig tcfg;
+  tcfg.event_sample = 0;  // lifecycle only
+  tcfg.slice_sample = 0;
+  inject::CampaignTelemetry tel(tcfg);
+  tel.open_event_log(events.path());
+  inject::CampaignConfig cfg = small_campaign(20, 1);
+  cfg.telemetry = &tel;
+  (void)inject::run_campaign(tc, cfg);
+  const std::string log = slurp(events.path());
+  EXPECT_EQ(log.find("\"ev\":\"injection\""), std::string::npos);
+  EXPECT_NE(log.find("\"ev\":\"campaign_finish\""), std::string::npos);
+}
+
+TEST(ScheduledTelemetry, StoreBytesIdenticalWithTelemetryOn) {
+  const avp::Testcase tc = small_testcase();
+
+  // Single-threaded: append order is deterministic, so the raw store files
+  // must match byte for byte.
+  TempFile plain_store("plain.sfr");
+  TempFile traced_store("traced.sfr");
+  TempFile events("sched_events.jsonl");
+
+  sched::SchedulerConfig sc;
+  sc.threads = 1;
+  (void)sched::run_campaign_to_store(tc, small_campaign(30, 1),
+                                     plain_store.path(), sc);
+
+  inject::CampaignTelemetry tel;
+  tel.open_event_log(events.path());
+  tel.enable_chrome_trace();
+  inject::CampaignConfig cfg = small_campaign(30, 1);
+  cfg.telemetry = &tel;
+  const sched::ScheduledResult r =
+      sched::run_campaign_to_store(tc, cfg, traced_store.path(), sc);
+
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(slurp(plain_store.path()), slurp(traced_store.path()));
+
+  // Shard lifecycle made it into the event log.
+  const std::string log = slurp(events.path());
+  EXPECT_NE(log.find("\"ev\":\"shard_dispatch\""), std::string::npos);
+  EXPECT_NE(log.find("\"ev\":\"shard_complete\""), std::string::npos);
+}
+
+TEST(ScheduledTelemetry, CanonicalMergeIdenticalAcrossThreadCounts) {
+  const avp::Testcase tc = small_testcase();
+
+  // Multi-threaded append order is nondeterministic; the canonical merge is
+  // the byte-identity surface (same guarantee the store tests rely on).
+  TempFile plain_store("mt_plain.sfr");
+  TempFile traced_store("mt_traced.sfr");
+  TempFile plain_merged("mt_plain_merged.sfr");
+  TempFile traced_merged("mt_traced_merged.sfr");
+
+  sched::SchedulerConfig sc;
+  sc.threads = 3;
+  sc.shard_size = 4;
+  (void)sched::run_campaign_to_store(tc, small_campaign(36, 3),
+                                     plain_store.path(), sc);
+
+  inject::CampaignTelemetry tel;
+  tel.enable_chrome_trace();
+  inject::CampaignConfig cfg = small_campaign(36, 3);
+  cfg.telemetry = &tel;
+  (void)sched::run_campaign_to_store(tc, cfg, traced_store.path(), sc);
+
+  (void)store::merge_stores({plain_store.path()}, plain_merged.path());
+  (void)store::merge_stores({traced_store.path()}, traced_merged.path());
+  EXPECT_EQ(slurp(plain_merged.path()), slurp(traced_merged.path()));
+}
+
+TEST(ScheduledTelemetry, ProgressReportsExecutedAndWall) {
+  const avp::Testcase tc = small_testcase();
+  TempFile store("progress.sfr");
+  sched::SchedulerConfig sc;
+  sc.threads = 1;
+  sc.flush_records = 8;
+  std::vector<sched::Progress> seen;
+  sc.on_progress = [&](const sched::Progress& p) { seen.push_back(p); };
+  (void)sched::run_campaign_to_store(tc, small_campaign(24, 1), store.path(),
+                                     sc);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front().executed, 0u);
+  EXPECT_EQ(seen.back().done, 24u);
+  EXPECT_EQ(seen.back().executed, 24u);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_GE(seen[i].executed, seen[i - 1].executed);
+    EXPECT_GE(seen[i].wall_seconds, seen[i - 1].wall_seconds);
+    EXPECT_GE(seen[i].steady_us, seen[i - 1].steady_us);
+  }
+}
+
+}  // namespace
+}  // namespace sfi

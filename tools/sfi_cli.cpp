@@ -35,6 +35,21 @@
 //                         flushes (default 32)
 //   --max-new N           stop after N new injections (simulates an
 //                         interrupted run; finish later with --resume)
+// Telemetry options (campaign and beam; strictly read-only — records and
+// store bytes are identical with or without these):
+//   --metrics-out FILE    write the metrics registry (counters, gauges,
+//                         phase/latency histograms) as JSON at the end
+//   --events-out FILE     stream a structured JSONL event log (campaign
+//                         lifecycle, shard dispatch, checkpoint saves,
+//                         sampled per-injection records)
+//   --chrome-trace FILE   write a Chrome-trace/Perfetto timeline (one track
+//                         per worker, shard spans, per-injection phase
+//                         slices); load it in chrome://tracing
+//   --telemetry-sample N  keep every Nth per-injection event/trace slice
+//                         (default 1 = all; lifecycle events are never
+//                         sampled away)
+//   --progress            live one-line progress (rate, ETA, outcome
+//                         tallies) on stderr
 // Trace options:
 //   --latch NAME[:BIT]    latch (by hierarchical name) to flip
 //   --cycle C             injection cycle               (default 30)
@@ -95,7 +110,7 @@ u64 parse_u64(const std::string& key, const std::string& value) {
 
 /// Options that are bare flags (consume no value).
 const std::set<std::string>& flag_options() {
-  static const std::set<std::string> flags = {"raw", "resume"};
+  static const std::set<std::string> flags = {"raw", "resume", "progress"};
   return flags;
 }
 
@@ -134,7 +149,9 @@ commands:
   trace       trace one injected fault from cause to effect
   mix         AVP instruction mix and CPI report
   derate      derating factors & chip FIT budget from a campaign
-run `head -40 tools/sfi_cli.cpp` for the full option list.
+telemetry (campaign/beam): --metrics-out FILE, --events-out FILE.jsonl,
+  --chrome-trace FILE.json, --telemetry-sample N, --progress
+run `head -60 tools/sfi_cli.cpp` for the full option list.
 )";
   return 2;
 }
@@ -274,6 +291,49 @@ int cmd_inventory() {
   return 0;
 }
 
+/// Telemetry sinks requested on the command line. Owns the facade; wire
+/// `sinks.tel.get()` into the config, run, then call `write_outputs()`.
+struct TelemetrySinks {
+  std::unique_ptr<inject::CampaignTelemetry> tel;
+  std::optional<std::string> metrics_out;
+  std::optional<std::string> trace_out;
+  bool progress = false;
+
+  [[nodiscard]] inject::CampaignTelemetry* get() const { return tel.get(); }
+
+  void write_outputs() const {
+    if (!tel) return;
+    if (metrics_out) {
+      tel->write_metrics(*metrics_out);
+      std::cout << "metrics: " << *metrics_out << "\n";
+    }
+    if (trace_out) {
+      tel->write_chrome_trace(*trace_out);
+      std::cout << "chrome trace: " << *trace_out
+                << " (load in chrome://tracing)\n";
+    }
+  }
+};
+
+TelemetrySinks make_telemetry(const Args& a) {
+  TelemetrySinks s;
+  s.metrics_out = a.str("metrics-out");
+  s.trace_out = a.str("chrome-trace");
+  s.progress = a.flag("progress");
+  const auto events_out = a.str("events-out");
+  // Parse before the early return: a malformed value must error even when
+  // no sink is enabled.
+  const auto sample = static_cast<u32>(a.num("telemetry-sample", 1));
+  if (!s.metrics_out && !s.trace_out && !events_out && !s.progress) return s;
+  inject::TelemetryConfig tc;
+  tc.event_sample = sample;
+  tc.slice_sample = sample;
+  s.tel = std::make_unique<inject::CampaignTelemetry>(tc);
+  if (events_out) s.tel->open_event_log(*events_out);
+  if (s.trace_out) s.tel->enable_chrome_trace();
+  return s;
+}
+
 inject::CampaignConfig campaign_config(const Args& a, u64 default_n) {
   inject::CampaignConfig cfg;
   cfg.seed = a.num("seed", 42);
@@ -305,15 +365,26 @@ inject::CampaignConfig campaign_config(const Args& a, u64 default_n) {
 /// Scheduled (durable) campaign: stream records into a store file.
 int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
                           const inject::CampaignConfig& cfg,
-                          const std::string& out) {
+                          const std::string& out,
+                          const TelemetrySinks& sinks) {
   sched::SchedulerConfig sc;
   sc.shard_size = static_cast<u32>(a.num("shard-size", 64));
   sc.flush_records = static_cast<u32>(a.num("flush", 32));
   sc.max_new_injections = a.num("max-new", 0);
-  sc.on_progress = [](const sched::Progress& p) {
-    std::cerr << "\r[campaign] " << p.done << "/" << p.total
-              << " injections persisted" << std::flush;
-  };
+  if (sinks.progress && sinks.tel) {
+    inject::CampaignTelemetry* tel = sinks.get();
+    sc.on_progress = [tel](const sched::Progress& p) {
+      std::cerr << "\r[campaign] "
+                << tel->progress_line(p.done, p.total, p.executed,
+                                      p.wall_seconds)
+                << std::flush;
+    };
+  } else {
+    sc.on_progress = [](const sched::Progress& p) {
+      std::cerr << "\r[campaign] " << p.done << "/" << p.total
+                << " injections persisted" << std::flush;
+    };
+  }
 
   const sched::ScheduledResult r =
       sched::run_campaign_to_store(tc, cfg, out, sc, a.flag("resume"));
@@ -333,6 +404,7 @@ int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
   print_throughput(r.wall_seconds, r.cycles_evaluated,
                    r.cycles_fast_forwarded, r.checkpoint_ops, r.checkpoints,
                    r.checkpoint_bytes);
+  sinks.write_outputs();
   std::cout << "\n";
   print_campaign_tables(r.agg);
   return 0;
@@ -340,16 +412,24 @@ int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
 
 int cmd_campaign(const Args& a) {
   const avp::Testcase tc = make_testcase(a);
-  const inject::CampaignConfig cfg = campaign_config(a, 1000);
+  inject::CampaignConfig cfg = campaign_config(a, 1000);
+  const TelemetrySinks sinks = make_telemetry(a);
+  cfg.telemetry = sinks.get();
 
   if (const auto out = a.str("out")) {
-    return cmd_campaign_to_store(a, tc, cfg, *out);
+    return cmd_campaign_to_store(a, tc, cfg, *out, sinks);
   }
   if (a.flag("resume")) {
     throw CliError("--resume requires --out FILE (a store to resume into)");
   }
 
   const inject::CampaignResult r = inject::run_campaign(tc, cfg);
+  if (sinks.progress && sinks.tel) {
+    std::cerr << "[campaign] "
+              << sinks.tel->progress_line(r.records.size(), r.records.size(),
+                                          r.records.size(), r.wall_seconds)
+              << "\n";
+  }
   std::cout << report::section("campaign result");
   std::cout << "workload: " << r.workload_instructions << " instructions / "
             << r.workload_cycles << " cycles; population "
@@ -359,6 +439,7 @@ int cmd_campaign(const Args& a) {
   print_throughput(r.wall_seconds, r.cycles_evaluated,
                    r.cycles_fast_forwarded, r.checkpoint_ops, r.checkpoints,
                    r.checkpoint_bytes);
+  sinks.write_outputs();
   std::cout << "\n";
   print_campaign_tables(r.agg);
   return 0;
@@ -412,11 +493,20 @@ int cmd_beam(const Args& a) {
   cfg.core.checkers_enabled = !a.flag("raw");
   cfg.ckpt_interval = a.num("ckpt-interval", emu::kCkptAuto);
   cfg.ckpt_memory_budget = a.num("ckpt-mem", 64) << 20;
+  const TelemetrySinks sinks = make_telemetry(a);
+  cfg.telemetry = sinks.get();
   const beam::BeamResult r = beam::run_beam_experiment(tc, cfg);
+  if (sinks.progress && sinks.tel) {
+    std::cerr << "[beam] "
+              << sinks.tel->progress_line(r.records.size(), r.records.size(),
+                                          r.records.size(), r.wall_seconds)
+              << "\n";
+  }
   std::cout << report::section("beam exposure result");
   std::cout << r.latch_events << " latch strikes, " << r.array_events
             << " protected-array strikes\n\n";
   print_outcomes(r.counts());
+  sinks.write_outputs();
   return 0;
 }
 
