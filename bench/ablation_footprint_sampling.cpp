@@ -1,0 +1,127 @@
+// Ablation — propagation-forensics sampling policy: what infection tracing
+// costs, and why exponential sampling is the default.
+//
+// Three configurations over the same campaign: forensics off (baseline),
+// exponential sampling (the production default), and every-cycle sampling
+// (maximum-resolution footprints). Outcomes must be identical in all three —
+// the tracker re-runs injections on the side and never touches records. The
+// interesting numbers are the overhead columns (the default must stay under
+// the ~10% budget) and the per-footprint diff work the policies trade away.
+//
+// Two overhead figures are reported because they answer different questions:
+//   wall  — min-of-N interleaved repetitions; the min discards scheduler
+//           noise, interleaving discards machine drift between modes.
+//   cycle — extra simulated cycles / baseline simulated cycles. Fully
+//           deterministic, so it is the number the <10% budget is pinned to;
+//           re-run cycles are leaner than primary cycles (no convergence
+//           bookkeeping, no classification), so wall reads at or below it.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "sfi/propagation.hpp"
+
+namespace {
+
+using namespace sfi;
+
+struct Mode {
+  const char* label;
+  bool enabled;
+  inject::FootprintSampling sampling;
+};
+
+u64 total_samples(const inject::CampaignResult& r) {
+  u64 n = 0;
+  for (const auto& p : r.footprints) n += p.samples.size();
+  return n;
+}
+
+u64 total_rerun_cycles(const inject::CampaignResult& r) {
+  u64 n = 0;
+  for (const auto& p : r.footprints) n += p.rerun_cycles;
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 n = opt.full ? 10000 : 1000;
+  constexpr int kReps = 5;
+  bench::print_scale_note(opt, "1000 flips per mode", "10000 flips per mode");
+
+  const avp::Testcase tc = bench::standard_testcase();
+
+  const Mode modes[] = {
+      {"forensics OFF", false, inject::FootprintSampling::Exponential},
+      {"exponential (default)", true,
+       inject::FootprintSampling::Exponential},
+      {"every cycle", true, inject::FootprintSampling::EveryCycle},
+  };
+  constexpr std::size_t kNumModes = std::size(modes);
+
+  // Round-robin repetitions: mode 0, 1, 2, 0, 1, 2, ... so slow machine
+  // phases hit every mode equally; keep the best (minimum) wall per mode.
+  std::array<double, kNumModes> best_wall;
+  best_wall.fill(0.0);
+  std::array<inject::CampaignResult, kNumModes> results;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      inject::CampaignConfig cfg;
+      cfg.seed = opt.seed;
+      cfg.num_injections = n;
+      cfg.footprint.enabled = modes[m].enabled;
+      cfg.footprint.sampling = modes[m].sampling;
+      inject::CampaignResult r = inject::run_campaign(tc, cfg);
+      if (rep == 0 || r.wall_seconds < best_wall[m]) {
+        best_wall[m] = r.wall_seconds;
+      }
+      if (rep == 0) results[m] = std::move(r);
+    }
+  }
+
+  std::cout << report::section(
+      "Ablation: footprint sampling policy (forensics cost)");
+  report::Table t({"config", "inj/s", "wall s", "wall ovh", "cycle ovh",
+                   "footprints", "diff samples", "rerun cycles"});
+
+  const double base_wall = best_wall[0];
+  const double base_cycles =
+      static_cast<double>(results[0].cycles_evaluated);
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    const inject::CampaignResult& r = results[m];
+    const double wall_ovh = (best_wall[m] - base_wall) / base_wall;
+    const double cycle_ovh =
+        static_cast<double>(total_rerun_cycles(r)) / base_cycles;
+    t.add_row({modes[m].label, report::Table::num(n / best_wall[m], 0),
+               report::Table::num(best_wall[m]),
+               modes[m].enabled ? report::Table::pct(wall_ovh, 1) : "--",
+               modes[m].enabled ? report::Table::pct(cycle_ovh, 1) : "--",
+               report::Table::count(r.footprints.size()),
+               report::Table::count(total_samples(r)),
+               report::Table::count(total_rerun_cycles(r))});
+  }
+  std::cout << t.to_string();
+
+  // Forensics must be pure observation: outcome-for-outcome identical.
+  bool identical = true;
+  for (std::size_t m = 1; m < kNumModes; ++m) {
+    for (std::size_t i = 0; i < results[0].records.size(); ++i) {
+      if (results[0].records[i].outcome != results[m].records[i].outcome) {
+        identical = false;
+        std::cout << "MISMATCH: mode " << modes[m].label << " injection " << i
+                  << "\n";
+      }
+    }
+  }
+  std::cout << "\noutcomes identical across all modes: "
+            << (identical ? "yes" : "NO") << "\n";
+  const double exp_cycle_ovh =
+      static_cast<double>(total_rerun_cycles(results[1])) / base_cycles;
+  std::cout << "default-policy overhead: wall "
+            << report::Table::pct((best_wall[1] - base_wall) / base_wall, 1)
+            << ", cycles " << report::Table::pct(exp_cycle_ovh, 1)
+            << " (budget: <10%)\n";
+  return identical ? 0 : 1;
+}

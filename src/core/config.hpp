@@ -8,6 +8,9 @@
 // into the mask latches themselves behave identically.
 #pragma once
 
+#include <array>
+#include <string_view>
+
 #include "common/types.hpp"
 
 namespace sfi::core {
@@ -40,6 +43,21 @@ enum class CheckerId : u8 {
   MemEcc,
 };
 inline constexpr std::size_t kNumCheckers = 20;
+
+/// Stable label for reports and logs (propagation records name the first
+/// checker that fired).
+[[nodiscard]] constexpr std::string_view checker_name(CheckerId id) {
+  constexpr std::array<std::string_view, kNumCheckers> names = {
+      "ifu.icache_tag_parity", "ifu.ibuf_parity",   "ifu.icache_data_parity",
+      "idu.decode_parity",     "idu.control_parity", "fxu.gpr_parity",
+      "fxu.operand_parity",    "fxu.residue",        "fpu.fpr_parity",
+      "fpu.stage_parity",      "fpu.result_parity",  "lsu.stq_parity",
+      "lsu.dcache_tag_parity", "lsu.dcache_data_parity", "lsu.erat_parity",
+      "rut.ecc_report",        "rut.fsm_check",      "core.watchdog",
+      "core.recovery_protocol", "mem.ecc"};
+  const auto i = static_cast<std::size_t>(id);
+  return i < names.size() ? names[i] : "unknown";
+}
 
 struct CoreConfig {
   // --- structure sizes (fixed: changing them changes the latch inventory,

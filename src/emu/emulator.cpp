@@ -85,6 +85,19 @@ Checkpoint Emulator::save_checkpoint() {
   return cp;
 }
 
+void Emulator::save_checkpoint(Checkpoint& out) {
+  if (out.latches.num_bits() != cur_.num_bits()) {
+    out.latches = netlist::StateVector(cur_.num_bits());
+  }
+  const auto src = cur_.words();
+  std::copy(src.begin(), src.end(), out.latches.words_mut().begin());
+  out.cycle = cycle_;
+  // save_aux appends; drop the previous snapshot but keep its capacity.
+  out.aux.clear();
+  model_.save_aux(out.aux);
+  ++hostlink_.checkpoint_ops;
+}
+
 void Emulator::restore_checkpoint(const Checkpoint& cp) {
   require(cp.latches.num_bits() == cur_.num_bits(),
           "checkpoint does not match the model's latch count");

@@ -86,6 +86,10 @@ class Emulator {
 
   // --- checkpointing ---
   [[nodiscard]] Checkpoint save_checkpoint();
+  /// Save in place into preallocated storage (the footprint tracker snapshots
+  /// the pre-fault state once per injection; this path must not allocate
+  /// after the first call).
+  void save_checkpoint(Checkpoint& out);
   /// Restore in place into preallocated storage: no allocation on the
   /// injection hot path. The checkpoint must match the model's latch count.
   void restore_checkpoint(const Checkpoint& cp);

@@ -43,13 +43,19 @@ void LatchRegistry::finalize() {
   require(!fields_.empty(), "LatchRegistry::finalize with no fields");
   finalized_ = true;
 
-  hash_masks_.assign(words_for_bits(next_bit_), 0);
+  const std::size_t words = words_for_bits(next_bit_);
+  hash_masks_.assign(words, 0);
+  unit_masks_.assign(words * kNumUnits, 0);
+  type_masks_.assign(words * kNumLatchTypes, 0);
   for (const LatchMeta& f : fields_) {
     if (!f.hashable) continue;
     const u32 word = f.bit_offset / 64;
     const u32 lsb = f.bit_offset % 64;
     ensure(lsb + f.width <= 64, "field straddles a word");
-    hash_masks_[word] |= mask_low(f.width) << lsb;
+    const u64 m = mask_low(f.width) << lsb;
+    hash_masks_[word] |= m;
+    unit_masks_[static_cast<std::size_t>(f.unit) * words + word] |= m;
+    type_masks_[static_cast<std::size_t>(f.type) * words + word] |= m;
   }
 }
 
@@ -108,6 +114,16 @@ std::array<u32, kNumLatchTypes> LatchRegistry::latch_count_by_type() const {
 const std::vector<u64>& LatchRegistry::hash_masks() const {
   require(finalized_, "hash_masks before finalize");
   return hash_masks_;
+}
+
+const std::vector<u64>& LatchRegistry::unit_masks() const {
+  require(finalized_, "unit_masks before finalize");
+  return unit_masks_;
+}
+
+const std::vector<u64>& LatchRegistry::type_masks() const {
+  require(finalized_, "type_masks before finalize");
+  return type_masks_;
 }
 
 }  // namespace sfi::netlist

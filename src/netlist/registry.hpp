@@ -70,11 +70,24 @@ class LatchRegistry {
   /// (total_bits). Valid after finalize().
   [[nodiscard]] const std::vector<u64>& hash_masks() const;
 
+  /// Per-unit word masks selecting each unit's *hashable* bits, flattened
+  /// group-major: unit_masks()[u * W + w] is unit u's mask for state word w,
+  /// with W == hash_masks().size(). The infection tracker's per-unit diff
+  /// kernel (StateVector::masked_diff_groups) consumes this layout directly.
+  /// Valid after finalize().
+  [[nodiscard]] const std::vector<u64>& unit_masks() const;
+
+  /// Same layout per latch type: type_masks()[t * W + w]. Used to decide
+  /// whether corruption reached architected (REGFILE) state.
+  [[nodiscard]] const std::vector<u64>& type_masks() const;
+
  private:
   [[nodiscard]] std::size_t field_index_of_ordinal(u32 ordinal) const;
 
   std::vector<LatchMeta> fields_;
   std::vector<u64> hash_masks_;
+  std::vector<u64> unit_masks_;
+  std::vector<u64> type_masks_;
   u32 next_bit_ = 0;
   u32 next_ordinal_ = 0;
   bool finalized_ = false;

@@ -96,6 +96,30 @@ u32 StateVector::masked_distance(const StateVector& other,
   return d;
 }
 
+u32 StateVector::masked_diff_groups(std::span<const u64> masks, const u64* ref,
+                                    std::span<const u64> group_masks,
+                                    std::size_t num_groups,
+                                    std::span<u32> out_group_bits) const {
+  ensure(masks.size() == words_.size(), "mask/word size mismatch");
+  ensure(group_masks.size() == num_groups * words_.size(),
+         "group mask size mismatch");
+  ensure(out_group_bits.size() >= num_groups, "group output too small");
+  std::fill(out_group_bits.begin(), out_group_bits.begin() + num_groups, 0);
+  u32 total = 0;
+  const std::size_t n = words_.size();
+  for (std::size_t w = 0; w < n; ++w) {
+    const u64 diff = (words_[w] & masks[w]) ^ ref[w];
+    if (diff == 0) continue;
+    total += static_cast<u32>(std::popcount(diff));
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const u64 gm = group_masks[g * n + w];
+      if (gm == 0) continue;
+      out_group_bits[g] += static_cast<u32>(std::popcount(diff & gm));
+    }
+  }
+  return total;
+}
+
 void StateVector::fill_zero() { std::fill(words_.begin(), words_.end(), 0); }
 
 }  // namespace sfi::netlist

@@ -50,6 +50,18 @@ class StateVector {
   [[nodiscard]] u32 masked_distance(const StateVector& other,
                                     std::span<const u64> masks) const;
 
+  /// Per-group popcount of the diff against a pre-masked reference: for each
+  /// group g, out_group_bits[g] = popcount over words w of
+  /// ((words[w] & masks[w]) ^ ref[w]) & group_masks[g * W + w], with
+  /// W == masks.size() and group_masks holding num_groups masks group-major
+  /// (LatchRegistry::unit_masks()/type_masks() layout). Returns the total
+  /// diff popcount under `masks`. Infection footprints are sparse, so words
+  /// with a zero diff are skipped before any group work.
+  u32 masked_diff_groups(std::span<const u64> masks, const u64* ref,
+                         std::span<const u64> group_masks,
+                         std::size_t num_groups,
+                         std::span<u32> out_group_bits) const;
+
   void fill_zero();
 
   friend bool operator==(const StateVector&, const StateVector&) = default;

@@ -24,6 +24,14 @@ class Table {
   /// Render with a separator under the header, columns padded to content.
   [[nodiscard]] std::string to_string() const;
 
+  /// Render as RFC-4180 CSV: header row, then data rows, one per line.
+  /// Cells containing a comma, double quote, CR or LF are quoted, with
+  /// embedded quotes doubled.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// RFC-4180 escaping for one cell (exposed for tests).
+  [[nodiscard]] static std::string csv_cell(const std::string& cell);
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -45,6 +45,10 @@ u64 campaign_fingerprint(const inject::CampaignConfig& cfg,
   h = mix64(h ^ cfg.core.recovery_threshold);
   h = mix64(h ^ cfg.core.recovery_timeout);
   h = mix64(h ^ (cfg.core.recovery_enabled ? 4u : 0u));
+  // cfg.footprint and cfg.telemetry are deliberately NOT part of the
+  // fingerprint: both are observability-only and never change records, so a
+  // store written with forensics off resumes cleanly with them on (and vice
+  // versa).
   return h;
 }
 
@@ -180,13 +184,21 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
         tel != nullptr ? &tel->worker(tid) : nullptr;
     std::vector<store::StoredRecord> buf;
     buf.reserve(sched.flush_records);
+    std::vector<inject::PropagationRecord> fp_buf;
     inject::CampaignAggregate local;
+    u64 local_footprints = 0;
 
     const auto flush = [&] {
-      if (buf.empty()) return;
+      if (buf.empty() && fp_buf.empty()) return;
       const std::lock_guard<std::mutex> lock(store_mu);
       writer.append(std::span<const store::StoredRecord>(buf.data(),
                                                          buf.size()));
+      // Footprints ride in the same flush window: a crash tears at most one
+      // frame, and resume re-runs the injections whose records were lost
+      // (re-tracing their footprints with them).
+      for (const inject::PropagationRecord& fp : fp_buf) {
+        writer.append_propagation(fp);
+      }
       writer.flush();
       persisted += buf.size();
       executed_live += buf.size();
@@ -194,7 +206,9 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
         sched.on_progress({persisted, cfg.num_injections, result.resumed,
                            executed_live, wall_now(), steady_us_now()});
       }
+      local_footprints += fp_buf.size();
       buf.clear();
+      fp_buf.clear();
     };
 
     bool capped = false;
@@ -215,9 +229,11 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
         const u32 index = pending[p];
         store::StoredRecord sr;
         sr.index = index;
-        sr.rec = w.run(plan.faults[index], wt, index);
+        std::optional<inject::PropagationRecord> fp;
+        sr.rec = w.run(plan.faults[index], wt, index, &fp);
         local.add(sr.rec);
         buf.push_back(sr);
+        if (fp) fp_buf.push_back(std::move(*fp));
         ++shard_executed;
         if (buf.size() >= std::max(1u, sched.flush_records)) flush();
       }
@@ -232,6 +248,7 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
     const std::lock_guard<std::mutex> lock(store_mu);
     result.agg.merge(local);
     result.executed += local.total();
+    result.footprints += local_footprints;
   };
 
   if (!pending.empty() && cap > 0) {

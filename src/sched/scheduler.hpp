@@ -59,6 +59,7 @@ struct ScheduledResult {
   inject::CampaignAggregate agg;
   u64 executed = 0;   ///< injections run by this invocation
   u64 resumed = 0;    ///< injections skipped because already persisted
+  u64 footprints = 0; ///< propagation footprints persisted this invocation
   u64 shards = 0;     ///< shards dispatched this invocation
   bool complete = false;  ///< store now covers all num_injections indices
   double wall_seconds = 0.0;

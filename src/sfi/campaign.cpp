@@ -100,6 +100,11 @@ CampaignWorker::CampaignWorker(const avp::Testcase& tc,
   runner_ = std::make_unique<InjectionRunner>(
       *model_, *emu_, reset_cp_, plan.trace, plan.golden, cfg.run,
       plan.ckpts.empty() ? nullptr : &plan.ckpts);
+  if (cfg.footprint.enabled) {
+    tracker_ = std::make_unique<InfectionTracker>(
+        *model_, *emu_, *runner_, plan.trace, plan.golden, cfg.footprint);
+    if (!tracker_->usable()) tracker_.reset();
+  }
 }
 
 CampaignWorker::~CampaignWorker() = default;
@@ -108,13 +113,24 @@ CampaignWorker& CampaignWorker::operator=(CampaignWorker&&) noexcept =
     default;
 
 InjectionRecord CampaignWorker::run(const FaultSpec& fault) {
-  return run(fault, nullptr, 0);
+  return run(fault, nullptr, 0, nullptr);
 }
 
 InjectionRecord CampaignWorker::run(const FaultSpec& fault,
                                     WorkerTelemetry* telemetry, u32 index) {
+  return run(fault, telemetry, index, nullptr);
+}
+
+InjectionRecord CampaignWorker::run(
+    const FaultSpec& fault, WorkerTelemetry* telemetry, u32 index,
+    std::optional<PropagationRecord>* footprint) {
+  // The pre-fault snapshot only exists so the tracker's deferred re-run can
+  // skip the seek; the primary run never reads it back.
+  emu::Checkpoint* prefault =
+      tracker_ != nullptr ? &tracker_->prefault() : nullptr;
   const RunResult rr = runner_->run(
-      fault, telemetry != nullptr ? telemetry->phase_scratch() : nullptr);
+      fault, telemetry != nullptr ? telemetry->phase_scratch() : nullptr,
+      prefault);
   const netlist::LatchMeta& meta =
       model_->registry().meta_of_ordinal(fault.index);
   InjectionRecord rec;
@@ -129,6 +145,17 @@ InjectionRecord CampaignWorker::run(const FaultSpec& fault,
     std::optional<Cycle> latency;
     if (rr.detected_cycle) latency = *rr.detected_cycle - fault.cycle;
     telemetry->record_injection(index, rec, latency);
+  }
+  if (tracker_ != nullptr && tracker_->should_trace(index, rr.outcome)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    PropagationRecord prec = tracker_->trace(index, fault, rr);
+    if (telemetry != nullptr) {
+      telemetry->record_footprint(
+          index, prec,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    if (footprint != nullptr) *footprint = std::move(prec);
   }
   return rec;
 }
@@ -174,13 +201,19 @@ CampaignResult run_campaign(const avp::Testcase& tc,
 
   if (tel != nullptr) tel->prepare_workers(threads);
 
+  std::vector<std::vector<PropagationRecord>> worker_footprints(
+      std::max(1u, threads));
+
   const auto work = [&](CampaignWorker& w, u32 tid) {
     WorkerTelemetry* wt = tel != nullptr ? &tel->worker(tid) : nullptr;
+    std::vector<PropagationRecord>& fps = worker_footprints[tid];
     while (true) {
       const u32 k = next.fetch_add(1, std::memory_order_relaxed);
       if (k >= cfg.num_injections) break;
       const u32 i = order[k];
-      records[i] = w.run(plan.faults[i], wt, i);
+      std::optional<PropagationRecord> fp;
+      records[i] = w.run(plan.faults[i], wt, i, &fp);
+      if (fp) fps.push_back(std::move(*fp));
     }
     cycles_evaluated.fetch_add(w.cycles_evaluated(),
                                std::memory_order_relaxed);
@@ -209,6 +242,15 @@ CampaignResult run_campaign(const avp::Testcase& tc,
 
   CampaignResult result;
   result.records = std::move(records);
+  for (auto& fps : worker_footprints) {
+    result.footprints.insert(result.footprints.end(),
+                             std::make_move_iterator(fps.begin()),
+                             std::make_move_iterator(fps.end()));
+  }
+  std::sort(result.footprints.begin(), result.footprints.end(),
+            [](const PropagationRecord& a, const PropagationRecord& b) {
+              return a.index < b.index;
+            });
   result.population_size = plan.population.size();
   result.workload_cycles = plan.trace.completion_cycle;
   result.workload_instructions = plan.golden.instructions;

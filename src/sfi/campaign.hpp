@@ -19,6 +19,7 @@
 #include "avp/testgen.hpp"
 #include "sfi/aggregate.hpp"
 #include "sfi/outcome.hpp"
+#include "sfi/propagation.hpp"
 #include "sfi/record.hpp"
 #include "sfi/runner.hpp"
 #include "sfi/sampler.hpp"
@@ -50,6 +51,10 @@ struct CampaignConfig {
   u64 ckpt_memory_budget = 64ull << 20;
   /// Core configuration (checker masks etc. — Table 3's knob).
   core::CoreConfig core;
+  /// Propagation forensics (off by default). Strictly additive: injection
+  /// records, the campaign fingerprint and resume behaviour are identical
+  /// with tracing on — footprints ride alongside as separate records.
+  FootprintConfig footprint;
   /// Optional observability sink (non-owning; must outlive the run).
   /// Strictly read-only with respect to results: the campaign fingerprint,
   /// records, store bytes and resume behaviour are identical with or
@@ -100,6 +105,12 @@ class CampaignWorker {
   /// injection's campaign index (event/sampling identity).
   [[nodiscard]] InjectionRecord run(const FaultSpec& fault,
                                     WorkerTelemetry* telemetry, u32 index);
+  /// Same, additionally running the deferred footprint re-run when the
+  /// campaign's FootprintConfig selects this injection; the propagation
+  /// record (if any) is returned through `footprint`.
+  [[nodiscard]] InjectionRecord run(const FaultSpec& fault,
+                                    WorkerTelemetry* telemetry, u32 index,
+                                    std::optional<PropagationRecord>* footprint);
 
   [[nodiscard]] u64 cycles_evaluated() const;
   [[nodiscard]] u64 cycles_fast_forwarded() const;
@@ -110,6 +121,7 @@ class CampaignWorker {
   std::unique_ptr<emu::Emulator> emu_;
   emu::Checkpoint reset_cp_;
   std::unique_ptr<InjectionRunner> runner_;
+  std::unique_ptr<InfectionTracker> tracker_;
 };
 
 struct CampaignResult {
@@ -118,6 +130,9 @@ struct CampaignResult {
   /// campaigns and store replays are bit-for-bit comparable.
   CampaignAggregate agg;
   std::vector<InjectionRecord> records;
+  /// Propagation records for traced injections (empty when forensics are
+  /// off), sorted by injection index.
+  std::vector<PropagationRecord> footprints;
   std::size_t population_size = 0;
   Cycle workload_cycles = 0;
   u64 workload_instructions = 0;

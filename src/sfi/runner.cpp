@@ -144,13 +144,7 @@ RunResult InjectionRunner::classify_now(bool finished,
   return r;
 }
 
-RunResult InjectionRunner::run(const FaultSpec& fault, RunPhaseTimes* tel) {
-  if (tel != nullptr) *tel = RunPhaseTimes{};
-
-  // Bring the machine fault-free to the injection point (warm-started from
-  // the checkpoint store when one is attached).
-  seek_to(fault.cycle, tel);
-
+void InjectionRunner::apply_fault(const FaultSpec& fault) {
   // Inject (adjacent_bits > 1 models a multi-bit upset from one strike).
   const u32 width = std::max<u32>(1, fault.adjacent_bits);
   switch (fault.target) {
@@ -178,6 +172,19 @@ RunResult InjectionRunner::run(const FaultSpec& fault, RunPhaseTimes* tel) {
       break;
     }
   }
+}
+
+RunResult InjectionRunner::run(const FaultSpec& fault, RunPhaseTimes* tel,
+                               emu::Checkpoint* prefault) {
+  if (tel != nullptr) *tel = RunPhaseTimes{};
+
+  // Bring the machine fault-free to the injection point (warm-started from
+  // the checkpoint store when one is attached).
+  seek_to(fault.cycle, tel);
+
+  if (prefault != nullptr) emu_.save_checkpoint(*prefault);
+
+  apply_fault(fault);
 
   const auto& masks = model_.registry().hash_masks();
   const Cycle deadline = trace_.completion_cycle + cfg_.hang_margin;

@@ -67,12 +67,28 @@ class InjectionRunner {
   /// `phases` the runner additionally reports per-phase wall times into it
   /// (telemetry out-param only — never read back, so results are identical
   /// with or without it; nullptr costs one predicted branch per phase).
+  /// With a non-null `prefault` the fault-free machine state at the
+  /// injection cycle is snapshotted into it (in place, allocation-free after
+  /// the first call) just before the flip — the infection tracker's deferred
+  /// re-run restores it instead of re-seeking, so forensics never pay the
+  /// fast-forward twice.
   [[nodiscard]] RunResult run(const FaultSpec& fault,
-                              RunPhaseTimes* phases = nullptr);
+                              RunPhaseTimes* phases = nullptr,
+                              emu::Checkpoint* prefault = nullptr);
 
   /// Classify the machine's current terminal state (used by run(), exposed
   /// for the tracer which drives the emulator itself).
   [[nodiscard]] RunResult classify_now(bool finished, bool early_exited) const;
+
+  /// Bring the machine fault-free to `target` without telemetry: the
+  /// deferred-replay entry for clients that drive the emulator themselves
+  /// (tracer, infection tracker). Same warm-checkpoint path as run().
+  void seek_for_replay(Cycle target) { seek_to(target, nullptr); }
+
+  /// Apply `fault` to the machine at its current cycle (flip/force latches
+  /// or array cells; adjacent_bits > 1 models a multi-bit upset). Shared by
+  /// run() and forensic replays so both perturb the machine identically.
+  void apply_fault(const FaultSpec& fault);
 
   [[nodiscard]] const RunConfig& config() const { return cfg_; }
 

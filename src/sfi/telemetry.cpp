@@ -1,10 +1,12 @@
 #include "sfi/telemetry.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
 #include "sfi/aggregate.hpp"
+#include "sfi/propagation.hpp"
 #include "telemetry/json.hpp"
 
 namespace sfi::inject {
@@ -179,6 +181,97 @@ void WorkerTelemetry::record_injection(u32 index, const InjectionRecord& rec,
   ++seq_;
 }
 
+void WorkerTelemetry::record_footprint(u32 index,
+                                       const PropagationRecord& rec,
+                                       double seconds) {
+  CampaignTelemetry& o = owner_;
+
+  // --- metrics (lock-free: private shard) ---
+  shard_.add(o.c_footprints_);
+  shard_.add(o.c_fp_rerun_cycles_, rec.rerun_cycles);
+  shard_.add(o.c_fp_samples_, rec.samples.size());
+  if (rec.masked) {
+    shard_.add(o.c_fp_masked_);
+    shard_.observe(o.h_fp_mask_latency_, static_cast<double>(rec.masked_at));
+  }
+  if (rec.reached_arch) shard_.add(o.c_fp_reached_arch_);
+  if (rec.reached_memory) shard_.add(o.c_fp_reached_mem_);
+  if (rec.truncated) shard_.add(o.c_fp_truncated_);
+  for (std::size_t u = 0; u < netlist::kNumUnits; ++u) {
+    if (u == static_cast<std::size_t>(rec.unit)) continue;
+    if (rec.first_corrupt[u] != kNeverCorrupted) shard_.add(o.c_fp_crossed_[u]);
+  }
+  shard_.observe(o.h_fp_peak_bits_, static_cast<double>(rec.peak_bits));
+  shard_.observe(o.h_fp_seconds_, seconds);
+
+  // --- event log (same sampling policy as per-injection records) ---
+  auto* log = o.events();
+  const u32 es = o.cfg_.event_sample;
+  if (log != nullptr && es != 0 && index % es == 0) {
+    telemetry::JsonWriter& w = scratch_;
+    w.clear();
+    w.begin_object()
+        .field("ev", "propagation")
+        .field("t_us", o.now_us())
+        .field("i", u64{rec.index})
+        .field("worker", u64{tid_})
+        .field("unit", netlist::to_string(rec.unit))
+        .field("type", netlist::to_string(rec.type))
+        .field("outcome", to_string(rec.outcome))
+        .field("peak_bits", u64{rec.peak_bits})
+        .field("rerun_cycles", u64{rec.rerun_cycles})
+        .field("masked", rec.masked);
+    if (rec.masked) w.field("masked_at", rec.masked_at);
+    if (rec.detected) w.field("detected_at", rec.detected_at);
+    w.field("reached_arch", rec.reached_arch)
+        .field("reached_memory", rec.reached_memory)
+        .field("truncated", rec.truncated);
+    if (rec.checker_fired) {
+      w.field("checker", core::checker_name(rec.checker))
+          .field("checker_fatal", rec.checker_fatal);
+    }
+    w.key("samples").begin_array();
+    for (const FootprintSample& s : rec.samples) {
+      w.begin_array().value(u64{s.offset}).value(u64{s.total_bits}).end_array();
+    }
+    w.end_array().end_object();
+    log->emit(w.str());
+  }
+
+  // --- chrome trace (footprint slice + per-sample instants) ---
+  const u32 ss = o.cfg_.slice_sample;
+  if (track_ != nullptr && ss != 0 && seq_ % ss == 0) {
+    const u64 dur = micros(seconds);
+    const u64 end = o.trace_->now_us();
+    const u64 start = end > dur ? end - dur : 0;
+    telemetry::JsonWriter& args = scratch_;
+    args.clear();
+    args.begin_object()
+        .field("i", u64{rec.index})
+        .field("peak_bits", u64{rec.peak_bits})
+        .field("outcome", to_string(rec.outcome))
+        .end_object();
+    track_->slice(std::string("footprint ") +
+                      std::string(netlist::to_string(rec.unit)),
+                  "footprint", start, dur, args.str());
+    // Place sample instants proportionally over the slice so the infection
+    // curve is visible on the timeline.
+    const u32 span = rec.samples.empty() ? 1 : rec.samples.back().offset;
+    for (const FootprintSample& s : rec.samples) {
+      telemetry::JsonWriter sa;
+      sa.begin_object()
+          .field("offset", u64{s.offset})
+          .field("bits", u64{s.total_bits})
+          .end_object();
+      const u64 at =
+          span == 0 ? start : start + dur * s.offset / std::max<u32>(1, span);
+      track_->instant("+" + std::to_string(s.offset) + "c: " +
+                          std::to_string(s.total_bits) + "b",
+                      "footprint", at, sa.str());
+    }
+  }
+}
+
 CampaignTelemetry::CampaignTelemetry(TelemetryConfig cfg)
     : cfg_(cfg), epoch_(std::chrono::steady_clock::now()) {
   c_injections_ = registry_.counter("injections");
@@ -206,6 +299,22 @@ CampaignTelemetry::CampaignTelemetry(TelemetryConfig cfg)
     h_detect_unit_[static_cast<std::size_t>(u)] = registry_.histogram(
         "detect_latency_cycles." + std::string(netlist::to_string(u)), cyc);
   }
+  c_footprints_ = registry_.counter("footprint.traced");
+  c_fp_rerun_cycles_ = registry_.counter("footprint.rerun_cycles");
+  c_fp_samples_ = registry_.counter("footprint.samples");
+  c_fp_masked_ = registry_.counter("footprint.masked");
+  c_fp_reached_arch_ = registry_.counter("footprint.reached_arch");
+  c_fp_reached_mem_ = registry_.counter("footprint.reached_memory");
+  c_fp_truncated_ = registry_.counter("footprint.truncated");
+  for (const auto u : netlist::kAllUnits) {
+    c_fp_crossed_[static_cast<std::size_t>(u)] = registry_.counter(
+        "footprint.crossed." + std::string(netlist::to_string(u)));
+  }
+  h_fp_peak_bits_ = registry_.histogram("footprint.peak_bits",
+                                        pow2_buckets(12));  // 1 .. 4k bits
+  h_fp_mask_latency_ = registry_.histogram("footprint.mask_latency_cycles",
+                                           cyc);
+  h_fp_seconds_ = registry_.histogram("footprint.rerun_seconds", secs);
   g_wall_seconds_ = registry_.gauge("wall_seconds");
   g_executed_ = registry_.gauge("executed");
   g_resumed_ = registry_.gauge("resumed");
@@ -335,11 +444,17 @@ std::string CampaignTelemetry::progress_line(u64 done, u64 total,
       wall_seconds > 0.0 ? static_cast<double>(executed) / wall_seconds : 0.0;
   std::string line = std::to_string(done) + "/" + std::to_string(total);
   char buf[64];
-  if (rate > 0.0) {
+  // Guard the live line against degenerate rates: before the first
+  // completion (done == 0, executed == 0) or with a zero/denormal wall
+  // clock the division yields 0, inf or nan — print placeholders instead of
+  // leaking them into the terminal.
+  if (rate > 0.0 && std::isfinite(rate) && done <= total) {
     const double remaining = static_cast<double>(total - done) / rate;
     std::snprintf(buf, sizeof buf, " (%.0f inj/s, ETA %.0fs)", rate,
                   remaining);
     line += buf;
+  } else {
+    line += " (-- inj/s, ETA --)";
   }
   static constexpr std::array<std::string_view, kNumOutcomes> kShort = {
       "van", "corr", "hang", "cstop", "sdc"};

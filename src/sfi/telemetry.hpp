@@ -33,6 +33,7 @@
 namespace sfi::inject {
 
 struct CampaignAggregate;
+struct PropagationRecord;  // sfi/propagation.hpp
 
 /// The phases one injection decomposes into (ZOFI-style per-phase timing,
 /// arXiv:1906.09390): where the wall-time of a campaign actually goes.
@@ -99,6 +100,12 @@ class WorkerTelemetry {
   /// to first RAS reaction (nullopt: never detected).
   void record_injection(u32 index, const InjectionRecord& rec,
                         std::optional<Cycle> detect_latency);
+
+  /// Observe one completed footprint re-run: spread counters, peak/mask
+  /// histograms, sampled "propagation" event record and a trace slice with
+  /// per-sample instants. `seconds` is the re-run's wall time.
+  void record_footprint(u32 index, const PropagationRecord& rec,
+                        double seconds);
 
  private:
   friend class CampaignTelemetry;
@@ -194,6 +201,18 @@ class CampaignTelemetry {
   telemetry::HistogramId h_injection_seconds_{};
   telemetry::HistogramId h_detect_latency_{};
   std::array<telemetry::HistogramId, netlist::kNumUnits> h_detect_unit_{};
+  // Propagation forensics (only touched when footprint tracing is on).
+  telemetry::CounterId c_footprints_;
+  telemetry::CounterId c_fp_rerun_cycles_;
+  telemetry::CounterId c_fp_samples_;
+  telemetry::CounterId c_fp_masked_;
+  telemetry::CounterId c_fp_reached_arch_;
+  telemetry::CounterId c_fp_reached_mem_;
+  telemetry::CounterId c_fp_truncated_;
+  std::array<telemetry::CounterId, netlist::kNumUnits> c_fp_crossed_{};
+  telemetry::HistogramId h_fp_peak_bits_{};
+  telemetry::HistogramId h_fp_mask_latency_{};
+  telemetry::HistogramId h_fp_seconds_{};
   telemetry::GaugeId g_wall_seconds_{};
   telemetry::GaugeId g_executed_{};
   telemetry::GaugeId g_resumed_{};

@@ -99,6 +99,85 @@ StoredRecord decode_record(std::span<const u8> payload) {
   return sr;
 }
 
+std::vector<u8> encode_propagation(const inject::PropagationRecord& rec) {
+  ByteWriter w;
+  w.put_u32(rec.index);
+  w.put_u8(static_cast<u8>(rec.unit));
+  w.put_u8(static_cast<u8>(rec.type));
+  w.put_u8(static_cast<u8>(rec.outcome));
+  u8 flags = 0;
+  if (rec.masked) flags |= 1u << 0;
+  if (rec.detected) flags |= 1u << 1;
+  if (rec.reached_arch) flags |= 1u << 2;
+  if (rec.reached_memory) flags |= 1u << 3;
+  if (rec.truncated) flags |= 1u << 4;
+  if (rec.checker_fired) flags |= 1u << 5;
+  if (rec.checker_fatal) flags |= 1u << 6;
+  w.put_u8(flags);
+  w.put_u8(static_cast<u8>(rec.checker));
+  w.put_u64(rec.fault_cycle);
+  w.put_u64(rec.masked_at);
+  w.put_u64(rec.detected_at);
+  w.put_u32(rec.peak_bits);
+  w.put_u32(rec.rerun_cycles);
+  for (const u32 fc : rec.first_corrupt) w.put_u32(fc);
+  w.put_u32(static_cast<u32>(rec.samples.size()));
+  for (const inject::FootprintSample& s : rec.samples) {
+    w.put_u32(s.offset);
+    w.put_u32(s.total_bits);
+    for (const u32 b : s.unit_bits) w.put_u32(b);
+  }
+  return w.bytes();
+}
+
+inject::PropagationRecord decode_propagation(std::span<const u8> payload) {
+  ByteReader r(payload);
+  inject::PropagationRecord rec;
+  rec.index = r.get_u32();
+  rec.unit = checked_enum<netlist::Unit>(
+      r.get_u8(), static_cast<u8>(netlist::kNumUnits), "unit");
+  rec.type = checked_enum<netlist::LatchType>(
+      r.get_u8(), static_cast<u8>(netlist::kNumLatchTypes), "latch type");
+  rec.outcome = checked_enum<inject::Outcome>(
+      r.get_u8(), static_cast<u8>(inject::kNumOutcomes), "outcome");
+  const u8 flags = r.get_u8();
+  rec.masked = (flags & (1u << 0)) != 0;
+  rec.detected = (flags & (1u << 1)) != 0;
+  rec.reached_arch = (flags & (1u << 2)) != 0;
+  rec.reached_memory = (flags & (1u << 3)) != 0;
+  rec.truncated = (flags & (1u << 4)) != 0;
+  rec.checker_fired = (flags & (1u << 5)) != 0;
+  rec.checker_fatal = (flags & (1u << 6)) != 0;
+  const u8 checker = r.get_u8();
+  if (rec.checker_fired && checker >= core::kNumCheckers) {
+    throw StoreError("out-of-range checker id " + std::to_string(checker) +
+                     " in propagation payload");
+  }
+  rec.checker = static_cast<core::CheckerId>(checker);
+  rec.fault_cycle = r.get_u64();
+  rec.masked_at = r.get_u64();
+  rec.detected_at = r.get_u64();
+  rec.peak_bits = r.get_u32();
+  rec.rerun_cycles = r.get_u32();
+  for (u32& fc : rec.first_corrupt) fc = r.get_u32();
+  const u32 n = r.get_u32();
+  // Each sample is 8 + 4*kNumUnits bytes; reject counts the payload cannot
+  // hold before allocating for them.
+  constexpr std::size_t kSampleBytes = 8 + 4 * netlist::kNumUnits;
+  if (n > payload.size() / kSampleBytes) {
+    throw StoreError("implausible sample count " + std::to_string(n) +
+                     " in propagation payload");
+  }
+  rec.samples.resize(n);
+  for (inject::FootprintSample& s : rec.samples) {
+    s.offset = r.get_u32();
+    s.total_bits = r.get_u32();
+    for (u32& b : s.unit_bits) b = r.get_u32();
+  }
+  if (!r.exhausted()) throw StoreError("trailing bytes in propagation payload");
+  return rec;
+}
+
 std::vector<u8> make_frame(u8 kind, std::span<const u8> payload) {
   std::vector<u8> frame;
   frame.reserve(kFrameOverhead + payload.size());

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "sfi/propagation.hpp"
 #include "sfi/record.hpp"
 #include "store/format.hpp"
 
@@ -23,6 +24,11 @@ struct StoredRecord {
 
 [[nodiscard]] std::vector<u8> encode_record(const StoredRecord& sr);
 [[nodiscard]] StoredRecord decode_record(std::span<const u8> payload);
+
+[[nodiscard]] std::vector<u8> encode_propagation(
+    const inject::PropagationRecord& rec);
+[[nodiscard]] inject::PropagationRecord decode_propagation(
+    std::span<const u8> payload);
 
 /// Wrap a payload into a CRC-framed byte sequence ready for appending.
 [[nodiscard]] std::vector<u8> make_frame(u8 kind, std::span<const u8> payload);

@@ -37,6 +37,10 @@ inline constexpr u32 kFormatVersion = 1;
 
 inline constexpr u8 kHeaderFrame = 'H';
 inline constexpr u8 kRecordFrame = 'R';
+/// Propagation-forensics footprint (optional; readers that do not know a
+/// frame kind skip it after CRC validation, so stores stay readable by
+/// older builds and record-only consumers).
+inline constexpr u8 kPropagationFrame = 'P';
 
 /// Frame overhead: kind + payload_len + crc32.
 inline constexpr std::size_t kFrameOverhead = 1 + 4 + 4;

@@ -132,19 +132,27 @@ StoreReader::~StoreReader() = default;
 StoreReader::StoreReader(StoreReader&&) noexcept = default;
 StoreReader& StoreReader::operator=(StoreReader&&) noexcept = default;
 
-bool StoreReader::next(StoredRecord& out) {
+bool StoreReader::next_frame(u8& kind, std::vector<u8>& payload) {
   if (impl_->finished) return false;
-  u8 kind = 0;
-  std::vector<u8> payload;
   if (!read_frame(kind, payload)) return false;
-  if (kind != kRecordFrame) {
-    throw StoreError("unexpected frame kind '" +
-                     std::string(1, static_cast<char>(kind)) +
-                     "' mid-store: " + impl_->path);
+  // A second header frame is structural corruption (two concatenated
+  // stores), never a forward-compatible extension.
+  if (kind == kHeaderFrame) {
+    throw StoreError("unexpected header frame mid-store: " + impl_->path);
   }
-  out = decode_record(payload);
   valid_bytes_ = impl_->pos;
   return true;
+}
+
+bool StoreReader::next(StoredRecord& out) {
+  u8 kind = 0;
+  std::vector<u8> payload;
+  while (next_frame(kind, payload)) {
+    if (kind != kRecordFrame) continue;  // skip unknown/forensic frames
+    out = decode_record(payload);
+    return true;
+  }
+  return false;
 }
 
 StoreContents read_store(const std::string& path, ReadOptions opts) {
@@ -166,6 +174,22 @@ u64 for_each_record(const std::string& path,
   u64 n = 0;
   while (reader.next(sr)) {
     fn(sr);
+    ++n;
+  }
+  return n;
+}
+
+u64 for_each_propagation(
+    const std::string& path,
+    const std::function<void(const inject::PropagationRecord&)>& fn,
+    ReadOptions opts) {
+  StoreReader reader(path, opts);
+  u8 kind = 0;
+  std::vector<u8> payload;
+  u64 n = 0;
+  while (reader.next_frame(kind, payload)) {
+    if (kind != kPropagationFrame) continue;
+    fn(decode_propagation(payload));
     ++n;
   }
   return n;

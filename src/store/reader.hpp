@@ -40,9 +40,17 @@ class StoreReader {
 
   [[nodiscard]] const CampaignMeta& meta() const { return meta_; }
 
-  /// Read the next record. Returns false at end of stream (or at a
-  /// tolerated torn tail).
+  /// Read the next *injection* record. Returns false at end of stream (or
+  /// at a tolerated torn tail). Frames of other kinds — propagation
+  /// footprints, kinds from future format extensions — are CRC-validated
+  /// and skipped, so record-only consumers (report, merge, resume) read
+  /// stores with forensic frames unchanged.
   [[nodiscard]] bool next(StoredRecord& out);
+
+  /// Read the next frame of any kind (validated, payload returned raw).
+  /// Returns false at end of stream. Forensics consumers use this to pull
+  /// kPropagationFrame payloads out of a mixed store.
+  [[nodiscard]] bool next_frame(u8& kind, std::vector<u8>& payload);
 
   /// True once the stream ended at a torn (incomplete/corrupt) final frame
   /// under tolerate_torn_tail.
@@ -82,6 +90,13 @@ struct StoreContents {
 u64 for_each_record(const std::string& path,
                     const std::function<void(const StoredRecord&)>& fn,
                     ReadOptions opts = {});
+
+/// Stream `path`, calling `fn` per propagation footprint (kPropagationFrame);
+/// returns the footprint count. Injection records are skipped.
+u64 for_each_propagation(
+    const std::string& path,
+    const std::function<void(const inject::PropagationRecord&)>& fn,
+    ReadOptions opts = {});
 
 /// Rebuild the campaign aggregation (outcome histogram, by-unit, by-type)
 /// purely from a store file — no simulation.

@@ -44,6 +44,12 @@ void StoreWriter::append(std::span<const StoredRecord> records) {
   for (const StoredRecord& r : records) append(r);
 }
 
+void StoreWriter::append_propagation(const inject::PropagationRecord& rec) {
+  const std::vector<u8> payload = encode_propagation(rec);
+  const std::vector<u8> frame = make_frame(kPropagationFrame, payload);
+  write_bytes(frame);
+}
+
 void StoreWriter::flush() {
   out_->stream.flush();
   if (!out_->stream) throw StoreError("store flush failed: " + path_);

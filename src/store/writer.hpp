@@ -29,6 +29,11 @@ class StoreWriter {
   void append(const StoredRecord& record);
   void append(std::span<const StoredRecord> records);
 
+  /// Append one propagation footprint ('P' frame). Footprints are
+  /// observability data: they never count toward records_written() and a
+  /// reader that ignores them sees the same record stream.
+  void append_propagation(const inject::PropagationRecord& rec);
+
   /// Push buffered frames to the OS.
   void flush();
 

@@ -1,0 +1,53 @@
+// Report rendering: RFC-4180 CSV emission from report::Table.
+#include <gtest/gtest.h>
+
+#include "report/table.hpp"
+
+namespace sfi::report {
+namespace {
+
+TEST(TableCsv, PlainCellsPassThroughUnquoted) {
+  Table t({"unit", "count"});
+  t.add_row({"FXU", "42"});
+  t.add_row({"LSU", "7"});
+  EXPECT_EQ(t.to_csv(), "unit,count\nFXU,42\nLSU,7\n");
+}
+
+TEST(TableCsv, CommaCellIsQuoted) {
+  Table t({"label", "ci"});
+  t.add_row({"Vanished", "[1.2%, 3.4%]"});
+  EXPECT_EQ(t.to_csv(), "label,ci\nVanished,\"[1.2%, 3.4%]\"\n");
+}
+
+TEST(TableCsv, EmbeddedQuoteIsDoubledAndQuoted) {
+  Table t({"what"});
+  t.add_row({"say \"hi\""});
+  EXPECT_EQ(t.to_csv(), "what\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableCsv, NewlineAndCarriageReturnCellsAreQuoted) {
+  Table t({"a", "b"});
+  t.add_row({"line1\nline2", "cr\rhere"});
+  EXPECT_EQ(t.to_csv(), "a,b\n\"line1\nline2\",\"cr\rhere\"\n");
+}
+
+TEST(TableCsv, EmptyCellsStayEmpty) {
+  Table t({"x", "y", "z"});
+  t.add_row({"", "mid", ""});
+  EXPECT_EQ(t.to_csv(), "x,y,z\n,mid,\n");
+}
+
+TEST(TableCsv, CsvCellHelperMatchesRfc4180) {
+  EXPECT_EQ(Table::csv_cell("plain"), "plain");
+  EXPECT_EQ(Table::csv_cell("a,b"), "\"a,b\"");
+  EXPECT_EQ(Table::csv_cell("\""), "\"\"\"\"");
+  EXPECT_EQ(Table::csv_cell(""), "");
+}
+
+TEST(TableCsv, HeaderOnlyTableRendersHeaderRow) {
+  Table t({"just", "headers"});
+  EXPECT_EQ(t.to_csv(), "just,headers\n");
+}
+
+}  // namespace
+}  // namespace sfi::report

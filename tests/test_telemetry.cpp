@@ -241,6 +241,25 @@ TEST(CampaignTelemetry, ProgressLineHasRateAndTallies) {
   EXPECT_NE(line.find("sdc"), std::string::npos);
 }
 
+TEST(CampaignTelemetry, ProgressLineGuardsDegenerateRate) {
+  inject::CampaignTelemetry tel;
+  // Zero executed / zero wall time must not divide through to inf/nan ETAs.
+  const std::string at_start = tel.progress_line(0, 100, 0, 0.0);
+  EXPECT_NE(at_start.find("0/100"), std::string::npos);
+  EXPECT_NE(at_start.find("ETA --"), std::string::npos);
+  EXPECT_EQ(at_start.find("nan"), std::string::npos);
+  EXPECT_EQ(at_start.find("inf"), std::string::npos);
+
+  // Resumed-only progress: everything persisted, nothing executed live.
+  const std::string resumed_only = tel.progress_line(80, 100, 0, 5.0);
+  EXPECT_NE(resumed_only.find("ETA --"), std::string::npos);
+
+  // done > total (defensive: a resumed store with surplus records) must not
+  // print a negative ETA.
+  const std::string overshoot = tel.progress_line(120, 100, 120, 2.0);
+  EXPECT_NE(overshoot.find("ETA --"), std::string::npos);
+}
+
 TEST(CampaignTelemetry, EventSamplingThinsInjectionRecords) {
   const avp::Testcase tc = small_testcase();
   TempFile events("sampled_events.jsonl");

@@ -128,6 +128,43 @@ TEST(Tracer, SilentFaultHasNoDetectionLatency) {
   EXPECT_EQ(t.result.outcome, Outcome::Vanished);
 }
 
+// detection_latency() unit coverage on hand-built traces: the three encoding
+// cases (never detected, detected in the injection cycle, detected late)
+// without simulating anything.
+TEST(Tracer, DetectionLatencyNulloptWhenNoEvents) {
+  InjectionTrace t;
+  t.fault.cycle = 30;
+  EXPECT_FALSE(t.detection_latency().has_value());
+}
+
+TEST(Tracer, DetectionLatencyZeroAtInjectionCycle) {
+  InjectionTrace t;
+  t.fault.cycle = 30;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::CheckerFired;
+  e.cycle = 30;
+  t.events.push_back(e);
+  const auto latency = t.detection_latency();
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, 0u);  // zero latency, NOT "undetected"
+}
+
+TEST(Tracer, DetectionLatencyIsDeltaToFirstEvent) {
+  InjectionTrace t;
+  t.fault.cycle = 100;
+  TraceEvent first;
+  first.kind = TraceEvent::Kind::CheckerFired;
+  first.cycle = 117;
+  TraceEvent later;
+  later.kind = TraceEvent::Kind::RecoveryStarted;
+  later.cycle = 140;
+  t.events.push_back(first);
+  t.events.push_back(later);
+  const auto latency = t.detection_latency();
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, 17u);  // first event counts, not the last
+}
+
 TEST(Tracer, TracedResultMatchesUntracedRunner) {
   Harness h;
   // The tracer disables early exit to observe the whole propagation; use

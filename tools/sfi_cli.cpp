@@ -4,6 +4,7 @@
 //   sfi inventory                          latch/array population report
 //   sfi campaign [options]                 run a fault-injection campaign
 //   sfi report   --from FILE               regenerate tables from a store
+//   sfi explain  --from FILE               fault-propagation forensics report
 //   sfi merge    --out FILE IN...          merge campaign store shards
 //   sfi beam     [options]                 run a simulated beam exposure
 //   sfi trace    --latch NAME [options]    trace one fault cause→effect
@@ -35,6 +36,24 @@
 //                         flushes (default 32)
 //   --max-new N           stop after N new injections (simulates an
 //                         interrupted run; finish later with --resume)
+// Propagation forensics (campaign; records/store R frames stay byte-identical
+// with these on — footprints are extra 'P' frames older readers skip):
+//   --footprint           trace infection footprints: every non-Vanished
+//                         injection is re-run from a pre-fault snapshot and
+//                         its state diffed against the reference trace at
+//                         exponentially spaced cycles after the flip
+//   --footprint-sample N  also trace every Nth Vanished injection
+//                         (default 32; 0 = never trace Vanished)
+//   --footprint-window N  cap traced cycles after the flip for the bulk
+//                         classes Vanished/Corrected (default 512; escape
+//                         outcomes always get the full 4096-cycle window)
+//   --footprint-every-cycle
+//                         diff at every post-flip cycle instead of
+//                         exponentially (ablation/debug; implies --footprint)
+// Explain options:
+//   --from FILE.sfr       store to read 'P' frames from
+//   --json FILE           also write the full forensics report as JSON
+//   --csv FILE            also write one CSV row per traced injection
 // Telemetry options (campaign and beam; strictly read-only — records and
 // store bytes are identical with or without these):
 //   --metrics-out FILE    write the metrics registry (counters, gauges,
@@ -53,10 +72,12 @@
 // Trace options:
 //   --latch NAME[:BIT]    latch (by hierarchical name) to flip
 //   --cycle C             injection cycle               (default 30)
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -66,7 +87,10 @@
 
 #include "avp/testgen.hpp"
 #include "beam/beam.hpp"
+#include "core/config.hpp"
 #include "report/table.hpp"
+#include "sfi/propagation.hpp"
+#include "telemetry/json.hpp"
 #include "sched/scheduler.hpp"
 #include "sfi/campaign.hpp"
 #include "sfi/derating.hpp"
@@ -110,7 +134,9 @@ u64 parse_u64(const std::string& key, const std::string& value) {
 
 /// Options that are bare flags (consume no value).
 const std::set<std::string>& flag_options() {
-  static const std::set<std::string> flags = {"raw", "resume", "progress"};
+  static const std::set<std::string> flags = {"raw", "resume", "progress",
+                                              "footprint",
+                                              "footprint-every-cycle"};
   return flags;
 }
 
@@ -144,6 +170,9 @@ commands:
                continues an interrupted one exactly)
   report      regenerate campaign tables from a store (--from FILE.sfr),
               no re-simulation
+  explain     fault-propagation forensics from a store's footprints
+              (--from FILE.sfr [--json FILE] [--csv FILE]; needs a campaign
+               run with --footprint)
   merge       merge store shards: sfi merge --out MERGED.sfr SHARD...
   beam        run a simulated proton-beam exposure
   trace       trace one injected fault from cause to effect
@@ -346,6 +375,14 @@ inject::CampaignConfig campaign_config(const Args& a, u64 default_n) {
     cfg.mode = inject::FaultMode::Sticky;
     cfg.sticky_duration = d;
   }
+  cfg.footprint.enabled =
+      a.flag("footprint") || a.flag("footprint-every-cycle");
+  cfg.footprint.vanished_sample =
+      static_cast<u32>(a.num("footprint-sample", 32));
+  cfg.footprint.max_trace_cycles = a.num("footprint-window", 512);
+  if (a.flag("footprint-every-cycle")) {
+    cfg.footprint.sampling = inject::FootprintSampling::EveryCycle;
+  }
   if (const auto u = a.str("unit")) {
     const auto unit = parse_unit(*u);
     if (!unit) throw CliError("unknown unit " + *u);
@@ -395,6 +432,12 @@ int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
             << (r.complete ? "complete" : "INCOMPLETE — finish with --resume")
             << "); " << r.executed << " executed this run, " << r.resumed
             << " resumed, " << r.shards << " shards\n";
+  if (cfg.footprint.enabled) {
+    std::cout << "footprints: " << r.footprints
+              << " propagation traces persisted (inspect with `sfi explain "
+                 "--from "
+              << out << "`)\n";
+  }
   std::cout << "workload: " << r.meta.workload_instructions
             << " instructions / " << r.meta.workload_cycles
             << " cycles; population " << r.meta.population_size
@@ -462,6 +505,272 @@ int cmd_report(const Args& a) {
             << " cycles; population " << meta.population_size
             << " latches\n\n";
   print_campaign_tables(agg);
+  return 0;
+}
+
+/// Median of an unsorted sample (0 when empty). Forensics latencies are
+/// heavy-tailed, so medians, not means, go in the tables.
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+  std::nth_element(v.begin(), mid, v.end());
+  if (v.size() % 2 == 1) return *mid;
+  const double hi = *mid;
+  const double lo = *std::max_element(v.begin(), mid);
+  return (lo + hi) / 2.0;
+}
+
+/// Per-bucket forensic aggregate for `sfi explain` (buckets: origin unit, or
+/// outcome class).
+struct ExplainBucket {
+  u64 traced = 0;
+  u64 masked = 0;
+  u64 detected = 0;
+  u64 crossed = 0;       ///< infections that left their origin unit
+  u64 reached_arch = 0;
+  u64 reached_memory = 0;
+  u64 truncated = 0;
+  u64 checker_fired = 0;
+  std::vector<double> mask_latency;
+  std::vector<double> detection_latency;
+  std::vector<double> peak_bits;
+
+  void add(const inject::PropagationRecord& p) {
+    ++traced;
+    if (p.masked) {
+      ++masked;
+      mask_latency.push_back(static_cast<double>(p.masked_at));
+    }
+    if (p.detected) {
+      ++detected;
+      detection_latency.push_back(static_cast<double>(p.detected_at));
+    }
+    if (p.units_crossed() > 0) ++crossed;
+    if (p.reached_arch) ++reached_arch;
+    if (p.reached_memory) ++reached_memory;
+    if (p.truncated) ++truncated;
+    if (p.checker_fired) ++checker_fired;
+    peak_bits.push_back(static_cast<double>(p.peak_bits));
+  }
+};
+
+void explain_bucket_json(telemetry::JsonWriter& w, const std::string& label,
+                         const char* label_key, const ExplainBucket& b) {
+  w.begin_object()
+      .field(label_key, label)
+      .field("traced", b.traced)
+      .field("masked", b.masked)
+      .field("detected", b.detected)
+      .field("crossed_units", b.crossed)
+      .field("reached_arch", b.reached_arch)
+      .field("reached_memory", b.reached_memory)
+      .field("truncated", b.truncated)
+      .field("checker_fired", b.checker_fired)
+      .field("median_mask_latency", median_of(b.mask_latency))
+      .field("median_detection_latency", median_of(b.detection_latency))
+      .field("median_peak_bits", median_of(b.peak_bits))
+      .end_object();
+}
+
+int cmd_explain(const Args& a) {
+  const auto from = a.str("from");
+  if (!from) throw CliError("explain requires --from FILE.sfr");
+
+  // One pass over the store collects meta, the record count and every
+  // propagation frame.
+  store::StoreReader reader(*from, {});
+  std::vector<inject::PropagationRecord> fps;
+  u64 records = 0;
+  {
+    u8 kind = 0;
+    std::vector<u8> payload;
+    while (reader.next_frame(kind, payload)) {
+      if (kind == store::kRecordFrame) {
+        ++records;
+      } else if (kind == store::kPropagationFrame) {
+        fps.push_back(store::decode_propagation(payload));
+      }
+    }
+  }
+  std::sort(fps.begin(), fps.end(),
+            [](const inject::PropagationRecord& x,
+               const inject::PropagationRecord& y) { return x.index < y.index; });
+
+  std::cout << report::section("fault-propagation forensics");
+  std::cout << "store: " << *from << "; " << records << "/"
+            << reader.meta().num_injections << " records, " << fps.size()
+            << " propagation footprints\n";
+  if (fps.empty()) {
+    std::cout << "no footprints in this store — rerun the campaign with "
+                 "`sfi campaign --footprint --out "
+              << *from << "`\n";
+    return 0;
+  }
+
+  std::array<ExplainBucket, netlist::kNumUnits> by_unit{};
+  std::map<inject::Outcome, ExplainBucket> by_outcome;
+  std::array<u64, core::kNumCheckers> checker_fires{};
+  std::array<u64, core::kNumCheckers> checker_fatal{};
+  u64 rerun_cycles = 0;
+  for (const auto& p : fps) {
+    by_unit[static_cast<std::size_t>(p.unit)].add(p);
+    by_outcome[p.outcome].add(p);
+    rerun_cycles += p.rerun_cycles;
+    if (p.checker_fired) {
+      const auto c = static_cast<std::size_t>(p.checker);
+      ++checker_fires[c];
+      if (p.checker_fatal) ++checker_fatal[c];
+    }
+  }
+
+  std::cout << report::section("by origin unit");
+  report::Table ut({"unit", "traced", "masked", "med mask lat", "crossed",
+                    "reached arch", "reached mem", "med peak bits"});
+  for (const auto u : netlist::kAllUnits) {
+    const ExplainBucket& b = by_unit[static_cast<std::size_t>(u)];
+    if (b.traced == 0) continue;
+    ut.add_row({std::string(to_string(u)), report::Table::count(b.traced),
+                report::Table::count(b.masked),
+                report::Table::num(median_of(b.mask_latency), 0),
+                report::Table::count(b.crossed),
+                report::Table::count(b.reached_arch),
+                report::Table::count(b.reached_memory),
+                report::Table::num(median_of(b.peak_bits), 0)});
+  }
+  std::cout << ut.to_string();
+
+  std::cout << report::section("by outcome class");
+  report::Table ot({"outcome", "traced", "detected", "med detect lat",
+                    "med peak bits", "truncated"});
+  for (const auto o : inject::kAllOutcomes) {
+    const auto it = by_outcome.find(o);
+    if (it == by_outcome.end()) continue;
+    const ExplainBucket& b = it->second;
+    ot.add_row({std::string(to_string(o)), report::Table::count(b.traced),
+                report::Table::count(b.detected),
+                report::Table::num(median_of(b.detection_latency), 0),
+                report::Table::num(median_of(b.peak_bits), 0),
+                report::Table::count(b.truncated)});
+  }
+  std::cout << ot.to_string();
+
+  report::Table ct({"checker", "fired", "fatal"});
+  bool any_checker = false;
+  for (std::size_t c = 0; c < core::kNumCheckers; ++c) {
+    if (checker_fires[c] == 0) continue;
+    any_checker = true;
+    ct.add_row({std::string(core::checker_name(
+                    static_cast<core::CheckerId>(c))),
+                report::Table::count(checker_fires[c]),
+                report::Table::count(checker_fatal[c])});
+  }
+  if (any_checker) {
+    std::cout << report::section("first checker to fire (re-run)");
+    std::cout << ct.to_string();
+  }
+  std::cout << "\nre-run cost: " << rerun_cycles
+            << " cycles simulated for forensics\n";
+
+  if (const auto json_out = a.str("json")) {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("store", *from)
+        .field("records", records)
+        .field("footprints", static_cast<u64>(fps.size()))
+        .field("rerun_cycles", rerun_cycles);
+    w.key("by_unit").begin_array();
+    for (const auto u : netlist::kAllUnits) {
+      const ExplainBucket& b = by_unit[static_cast<std::size_t>(u)];
+      if (b.traced == 0) continue;
+      explain_bucket_json(w, std::string(to_string(u)), "unit", b);
+    }
+    w.end_array();
+    w.key("by_outcome").begin_array();
+    for (const auto& [o, b] : by_outcome) {
+      explain_bucket_json(w, std::string(to_string(o)), "outcome", b);
+    }
+    w.end_array();
+    w.key("checkers").begin_array();
+    for (std::size_t c = 0; c < core::kNumCheckers; ++c) {
+      if (checker_fires[c] == 0) continue;
+      w.begin_object()
+          .field("checker", std::string(core::checker_name(
+                                static_cast<core::CheckerId>(c))))
+          .field("fired", checker_fires[c])
+          .field("fatal", checker_fatal[c])
+          .end_object();
+    }
+    w.end_array();
+    w.key("injections").begin_array();
+    for (const auto& p : fps) {
+      w.begin_object()
+          .field("index", p.index)
+          .field("unit", std::string(to_string(p.unit)))
+          .field("type", std::string(to_string(p.type)))
+          .field("outcome", std::string(to_string(p.outcome)))
+          .field("fault_cycle", p.fault_cycle)
+          .field("masked", p.masked)
+          .field("detected", p.detected)
+          .field("reached_arch", p.reached_arch)
+          .field("reached_memory", p.reached_memory)
+          .field("truncated", p.truncated)
+          .field("peak_bits", p.peak_bits)
+          .field("units_crossed", p.units_crossed())
+          .field("rerun_cycles", p.rerun_cycles);
+      if (p.masked) w.field("masked_at", p.masked_at);
+      if (p.detected) w.field("detected_at", p.detected_at);
+      if (p.checker_fired) {
+        w.field("checker", std::string(core::checker_name(p.checker)))
+            .field("checker_fatal", p.checker_fatal);
+      }
+      w.key("samples").begin_array();
+      for (const auto& s : p.samples) {
+        w.begin_array().value(s.offset).value(s.total_bits).end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array().end_object();
+    std::ofstream out(*json_out, std::ios::trunc);
+    if (!out) throw CliError("cannot open --json file " + *json_out);
+    out << w.str() << "\n";
+    std::cout << "json: " << *json_out << "\n";
+  }
+
+  if (const auto csv_out = a.str("csv")) {
+    report::Table t({"index", "unit", "type", "outcome", "fault_cycle",
+                     "masked", "masked_at", "detected", "detected_at",
+                     "reached_arch", "reached_memory", "truncated", "checker",
+                     "peak_bits", "units_crossed", "rerun_cycles", "samples"});
+    for (const auto& p : fps) {
+      std::string samples;
+      for (const auto& s : p.samples) {
+        if (!samples.empty()) samples += ' ';
+        samples += std::to_string(s.offset) + ':' +
+                   std::to_string(s.total_bits);
+      }
+      t.add_row({report::Table::count(p.index), std::string(to_string(p.unit)),
+                 std::string(to_string(p.type)),
+                 std::string(to_string(p.outcome)),
+                 report::Table::count(p.fault_cycle),
+                 p.masked ? "1" : "0",
+                 p.masked ? report::Table::count(p.masked_at) : "",
+                 p.detected ? "1" : "0",
+                 p.detected ? report::Table::count(p.detected_at) : "",
+                 p.reached_arch ? "1" : "0", p.reached_memory ? "1" : "0",
+                 p.truncated ? "1" : "0",
+                 p.checker_fired
+                     ? std::string(core::checker_name(p.checker))
+                     : "",
+                 report::Table::count(p.peak_bits),
+                 report::Table::count(p.units_crossed()),
+                 report::Table::count(p.rerun_cycles), samples});
+    }
+    std::ofstream out(*csv_out, std::ios::trunc);
+    if (!out) throw CliError("cannot open --csv file " + *csv_out);
+    out << t.to_csv();
+    std::cout << "csv: " << *csv_out << "\n";
+  }
   return 0;
 }
 
@@ -601,6 +910,7 @@ int main(int argc, char** argv) {
     if (a.command == "inventory") return cmd_inventory();
     if (a.command == "campaign") return cmd_campaign(a);
     if (a.command == "report") return cmd_report(a);
+    if (a.command == "explain") return cmd_explain(a);
     if (a.command == "merge") return cmd_merge(a);
     if (a.command == "beam") return cmd_beam(a);
     if (a.command == "trace") return cmd_trace(a);
