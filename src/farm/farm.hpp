@@ -1,0 +1,111 @@
+// Farm coordinator: supervised multi-process campaign execution.
+//
+// The paper ran its 10^5-flip campaigns on a farm of AWAN emulator boards
+// (§2.2) for two reasons this module reproduces in miniature: throughput
+// beyond one host, and blast-radius control — an injected flip can wedge
+// the harness itself, and on a farm that costs one board, not the campaign.
+//
+// Shape: the coordinator spawns workers as OS processes (fork-call locally,
+// fork-exec / ssh for a hosts file), hands out cycle-sorted shards over a
+// pipe, and watches each worker's shard store grow through a commit-aware
+// FrameTail. The store *is* the protocol — heartbeats ('B'), assignment
+// echoes ('A'), records ('R'/'P'), each flush sealed by a commit marker
+// ('F') — so supervision state and durable results can never disagree: an
+// injection is "done" exactly when its record frame is committed on disk.
+//
+// Supervision policy:
+//   * crash (unexpected exit) or watchdog expiry (no committed frame for
+//     watchdog_seconds) kills the worker; its unfinished indices requeue
+//     with exponential backoff and a fresh worker takes the slot.
+//   * the culprit index (last heartbeat without a committed record) takes a
+//     strike; at max_strikes it is recorded as Outcome::HarnessFatal and
+//     excluded — graceful degradation instead of a sunk campaign.
+//   * completion = every index committed or struck out; the coordinator
+//     then merges shard stores (tolerantly — a killed worker's shard
+//     legitimately ends in a torn window) into the canonical output, which
+//     is byte-identical to a single-process run of the same (seed, size)
+//     campaign whenever nothing was struck out.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "farm/worker.hpp"
+#include "sched/scheduler.hpp"
+
+namespace sfi::farm {
+
+/// One line of a hosts file: `host [slots]` (comments with '#').
+/// "localhost" (or "local"/"127.0.0.1") execs directly; anything else is
+/// reached through `ssh host`, assuming a shared filesystem for the shard
+/// stores and the sfi binary.
+struct HostSlot {
+  std::string host;
+  u32 slots = 1;
+};
+
+[[nodiscard]] std::vector<HostSlot> parse_hosts_file(const std::string& path);
+
+struct FarmConfig {
+  /// Fork-call worker count; ignored when `hosts` is non-empty.
+  u32 workers = 2;
+  std::vector<HostSlot> hosts;
+  /// Exec-mode worker command (binary + `worker` verb + campaign flags,
+  /// without --shard-store/--worker-id, which the coordinator appends).
+  /// Required when `hosts` is non-empty; built by the CLI so the worker
+  /// sees exactly the flags the coordinator was invoked with.
+  std::vector<std::string> worker_command;
+  u32 shard_size = 64;
+  /// Strikes before an injection is declared HarnessFatal.
+  u32 max_strikes = 3;
+  /// No committed frame for this long => the worker is wedged; kill it.
+  double watchdog_seconds = 30.0;
+  /// First-frame deadline after spawn (exec workers rebuild the reference
+  /// plan first, which dominates startup).
+  double startup_seconds = 300.0;
+  double backoff_base_seconds = 0.25;
+  double backoff_cap_seconds = 10.0;
+  double poll_seconds = 0.02;
+  /// Test hook forwarded to fork-call workers (exec workers receive theirs
+  /// via worker_command flags).
+  SabotageConfig sabotage;
+  /// Cooperative stop (SIGINT/SIGTERM): stop dispatching, kill in-flight
+  /// workers (their committed records survive), merge what exists.
+  std::function<bool()> should_stop;
+  std::function<void(const sched::Progress&)> on_progress;
+  /// Keep per-worker shard files after the merge (forensics; default off).
+  bool keep_shards = false;
+};
+
+struct FarmResult {
+  store::CampaignMeta meta;
+  /// Aggregation over the merged output store (resumed + new + struck).
+  inject::CampaignAggregate agg;
+  u64 executed = 0;  ///< records newly committed by workers this run
+  u64 resumed = 0;   ///< records inherited from a prior output store
+  u64 assignments = 0;  ///< dispatched assignments, retries included
+  u64 workers_spawned = 0;
+  u64 worker_crashes = 0;   ///< unexpected exits (not watchdog kills)
+  u64 watchdog_kills = 0;
+  u64 shard_retries = 0;
+  u64 heartbeat_gaps = 0;
+  std::vector<u32> harness_fatal;  ///< struck-out indices, ascending
+  bool complete = false;
+  bool stopped = false;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double injections_per_second() const {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(executed) / wall_seconds;
+  }
+};
+
+/// Run (or with `resume` continue) a farm campaign; the canonical merged
+/// store lands at `out_path` (shard files live next to it while running).
+FarmResult run_farm_campaign(const avp::Testcase& testcase,
+                             const inject::CampaignConfig& config,
+                             const std::string& out_path,
+                             const FarmConfig& farm, bool resume = false);
+
+}  // namespace sfi::farm

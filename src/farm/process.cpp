@@ -1,0 +1,150 @@
+#include "farm/process.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <stdexcept>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace sfi::farm {
+
+namespace {
+
+[[noreturn]] void child_failed(const char* what) {
+  // Never unwind a forked child back into the parent's stack/atexit state.
+  std::perror(what);
+  _exit(127);
+}
+
+ChildProcess do_fork(int fds[2], const std::function<void(int)>& in_child) {
+  // Flush inherited stdio so buffered coordinator output is not emitted
+  // twice (once by each process).
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    throw std::runtime_error("farm: fork failed");
+  }
+  if (pid == 0) {
+    close(fds[1]);
+    in_child(fds[0]);  // never returns
+    _exit(127);
+  }
+  close(fds[0]);
+  return ChildProcess{static_cast<i64>(pid), fds[1]};
+}
+
+}  // namespace
+
+ChildProcess spawn_call(
+    const std::function<int(int control_fd)>& child_main) {
+  int fds[2];
+  if (pipe(fds) != 0) throw std::runtime_error("farm: pipe failed");
+  return do_fork(fds, [&](int read_fd) {
+    int rc = 127;
+    try {
+      rc = child_main(read_fd);
+    } catch (...) {
+      rc = 126;  // an escaped exception is a harness failure, not a crash
+    }
+    _exit(rc & 0xFF);
+  });
+}
+
+ChildProcess spawn_exec(const std::vector<std::string>& argv) {
+  if (argv.empty()) throw std::runtime_error("farm: empty exec argv");
+  int fds[2];
+  if (pipe(fds) != 0) throw std::runtime_error("farm: pipe failed");
+  return do_fork(fds, [&](int read_fd) {
+    if (dup2(read_fd, STDIN_FILENO) < 0) child_failed("farm dup2");
+    close(read_fd);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) {
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    }
+    cargv.push_back(nullptr);
+    execvp(cargv[0], cargv.data());
+    child_failed("farm execvp");
+  });
+}
+
+bool send_line(const ChildProcess& child, const std::string& line) {
+  if (child.control_fd < 0) return false;
+  std::string buf = line;
+  buf.push_back('\n');
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n =
+        write(child.control_fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE et al.: the worker is gone
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void close_control(ChildProcess& child) {
+  if (child.control_fd >= 0) {
+    close(child.control_fd);
+    child.control_fd = -1;
+  }
+}
+
+void kill_hard(const ChildProcess& child) {
+  if (child.valid()) kill(static_cast<pid_t>(child.pid), SIGKILL);
+}
+
+namespace {
+
+bool decode_status(int status, bool& clean, int& detail) {
+  if (WIFEXITED(status)) {
+    detail = WEXITSTATUS(status);
+    clean = detail == 0;
+    return true;
+  }
+  if (WIFSIGNALED(status)) {
+    detail = -WTERMSIG(status);
+    clean = false;
+    return true;
+  }
+  return false;  // stopped/continued: not an exit
+}
+
+}  // namespace
+
+bool try_reap(const ChildProcess& child, bool& clean, int& detail) {
+  if (!child.valid()) return false;
+  int status = 0;
+  const pid_t got = waitpid(static_cast<pid_t>(child.pid), &status, WNOHANG);
+  if (got != static_cast<pid_t>(child.pid)) return false;
+  return decode_status(status, clean, detail);
+}
+
+void reap(const ChildProcess& child, bool& clean, int& detail) {
+  if (!child.valid()) return;
+  int status = 0;
+  while (waitpid(static_cast<pid_t>(child.pid), &status, 0) < 0 &&
+         errno == EINTR) {
+  }
+  decode_status(status, clean, detail);
+}
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace sfi::farm

@@ -1,0 +1,69 @@
+// Minimal POSIX child-process supervision for the farm coordinator.
+//
+// Two spawn shapes, matching the two farm deployments:
+//
+//   * fork-call (`--workers N`): the child runs a callable in the forked
+//     address space and _exit()s. The campaign plan — golden trace,
+//     population, checkpoint store — is inherited copy-on-write, so local
+//     workers start instantly and share reference data physically.
+//   * fork-exec (`--farm hosts.txt`): the child execs a full `sfi worker`
+//     command line (optionally through ssh), rebuilding its plan from
+//     (testcase, config). Slower to start, but survives across machines.
+//
+// Either way the only channel *into* a worker is a pipe carrying newline-
+// delimited assignment lines; everything *out of* a worker travels through
+// its shard store's frame stream (store/tail.hpp). One channel out means
+// one consistency discipline: if the coordinator saw it, it is on disk.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sfi::farm {
+
+struct ChildProcess {
+  i64 pid = -1;
+  int control_fd = -1;  ///< write end of the child's command pipe
+  [[nodiscard]] bool valid() const { return pid > 0; }
+};
+
+/// Fork-call mode: the child runs `child_main(read_fd)` and _exit()s with
+/// its return value (never unwinds back into the caller's stack).
+ChildProcess spawn_call(const std::function<int(int control_fd)>& child_main);
+
+/// Fork-exec mode: the child dup2s the pipe's read end onto stdin and
+/// execs `argv`. An exec failure surfaces as immediate exit 127.
+ChildProcess spawn_exec(const std::vector<std::string>& argv);
+
+/// Write `line` + '\n' to the child's control pipe. Returns false on a
+/// broken pipe (child already dead) — the caller's failure path, not an
+/// exception, because a dying worker is routine for the supervisor.
+bool send_line(const ChildProcess& child, const std::string& line);
+
+/// Close our end of the control pipe (EOF is the worker's quit signal too).
+void close_control(ChildProcess& child);
+
+/// SIGKILL. The farm never soft-kills: the reason to kill a worker is that
+/// it is wedged, and a wedged worker won't run a SIGTERM handler either.
+void kill_hard(const ChildProcess& child);
+
+/// Non-blocking reap: true once the child has exited, filling `clean`
+/// (normal exit status 0) and `detail` (exit code, or -signal if killed).
+bool try_reap(const ChildProcess& child, bool& clean, int& detail);
+
+/// Blocking reap (same out-params).
+void reap(const ChildProcess& child, bool& clean, int& detail);
+
+/// Ignore SIGPIPE process-wide so writes to a dead worker's pipe fail with
+/// EPIPE instead of killing the coordinator. Idempotent.
+void ignore_sigpipe();
+
+/// Absolute path of the running executable (/proc/self/exe), for spawning
+/// `sfi worker` children in exec mode. Empty if unavailable.
+[[nodiscard]] std::string self_exe();
+
+}  // namespace sfi::farm

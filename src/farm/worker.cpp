@@ -1,0 +1,157 @@
+#include "farm/worker.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <sstream>
+#include <thread>
+
+#include "sched/scheduler.hpp"
+#include "store/writer.hpp"
+
+#include <unistd.h>
+
+namespace sfi::farm {
+
+namespace {
+
+/// Line-buffered reader over a raw fd (the control pipe). Blocking: a
+/// worker with nothing assigned should sit in read(), not spin.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next full line (without the '\n'); false on EOF/error.
+  bool next(std::string& line) {
+    for (;;) {
+      const auto nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line.assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = read(fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;  // EOF: coordinator is gone or done
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+struct Assignment {
+  u64 shard = 0;
+  u32 attempt = 0;
+  std::vector<u32> indices;
+};
+
+/// Parse "A <shard> <attempt> <count> <index>..."; false on malformed input
+/// (a malformed assignment is a coordinator bug — the worker exits nonzero
+/// rather than guessing).
+bool parse_assignment(const std::string& line, Assignment& out) {
+  std::istringstream in(line);
+  std::string verb;
+  u64 count = 0;
+  if (!(in >> verb >> out.shard >> out.attempt >> count) || verb != "A") {
+    return false;
+  }
+  out.indices.clear();
+  out.indices.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    u32 index = 0;
+    if (!(in >> index)) return false;
+    out.indices.push_back(index);
+  }
+  return true;
+}
+
+void maybe_sabotage(const SabotageConfig& sabotage, u32 index, u32 attempt) {
+  if (sabotage.crash_index && *sabotage.crash_index == index &&
+      attempt == 0) {
+    // A literal kill -9 of ourselves: no exit handlers, no flush — the
+    // shard store ends wherever the last commit marker landed.
+    raise(SIGKILL);
+  }
+  if (sabotage.wedge_index && *sabotage.wedge_index == index &&
+      (!sabotage.wedge_once || attempt == 0)) {
+    // Loss of forward progress without CPU burn; only the coordinator's
+    // SIGKILL ends this.
+    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace
+
+int run_worker(const avp::Testcase& tc, const inject::CampaignConfig& cfg,
+               const WorkerOptions& opts,
+               const inject::CampaignPlan* plan_in) {
+  // Workers are single-threaded and report nothing to a telemetry facade —
+  // their observable output is the shard store, full stop.
+  inject::CampaignConfig wcfg = cfg;
+  wcfg.telemetry = nullptr;
+  wcfg.threads = 1;
+
+  std::optional<inject::CampaignPlan> own_plan;
+  if (plan_in == nullptr) {
+    own_plan.emplace(inject::plan_campaign(tc, wcfg));
+    plan_in = &*own_plan;
+  }
+  const inject::CampaignPlan& plan = *plan_in;
+
+  const store::CampaignMeta meta = sched::make_campaign_meta(tc, wcfg, plan);
+  store::StoreWriter writer = store::StoreWriter::create(
+      opts.shard_path, meta, {.commit_markers = true});
+
+  inject::CampaignWorker worker(tc, wcfg, plan);
+
+  u64 hb_seq = 0;
+  u64 executed = 0;
+  // First committed frame doubles as the startup signal: the (possibly
+  // slow) plan build above is done and the watchdog clock may start.
+  writer.append_heartbeat(
+      {opts.worker_id, hb_seq++, store::kHeartbeatIdle, executed});
+  writer.flush();
+
+  LineReader lines(opts.control_fd);
+  std::string line;
+  Assignment a;
+  while (lines.next(line)) {
+    if (line.empty()) continue;
+    if (line == "Q") break;
+    if (!parse_assignment(line, a)) return 3;
+    writer.append_assignment({opts.worker_id, a.shard, a.attempt,
+                              static_cast<u32>(a.indices.size())});
+    writer.flush();
+    for (const u32 index : a.indices) {
+      if (index >= plan.faults.size()) return 3;
+      writer.append_heartbeat({opts.worker_id, hb_seq++, index, executed});
+      writer.flush();
+      // Sabotage strikes after the heartbeat commits, like the real failure
+      // it stands in for (the injected flip wedging the harness mid-run) —
+      // so the supervisor can finger this index as the culprit.
+      maybe_sabotage(opts.sabotage, index, a.attempt);
+      store::StoredRecord sr;
+      sr.index = index;
+      std::optional<inject::PropagationRecord> fp;
+      sr.rec = worker.run(plan.faults[index], nullptr, index, &fp);
+      writer.append(sr);
+      if (fp) writer.append_propagation(*fp);
+      // Per-record flush+commit: the coordinator's done-count advances one
+      // committed record at a time, and a crash can only lose the
+      // injection in flight — exactly what the supervisor re-runs.
+      writer.flush();
+      ++executed;
+    }
+  }
+  writer.flush();
+  return 0;
+}
+
+}  // namespace sfi::farm

@@ -1,0 +1,66 @@
+// Farm worker: the process end of farm mode (`sfi worker`, or a forked
+// child of `sfi campaign --workers N`).
+//
+// A worker owns one private simulation environment and one shard store
+// file. It reads newline-delimited assignments from its control fd:
+//
+//   A <shard> <attempt> <count> <index>...   execute these campaign indices
+//   Q                                        drain and exit 0
+//
+// and answers exclusively through the shard store's frame stream: an 'A'
+// echo when it accepts an assignment, a 'B' heartbeat flushed *before* each
+// injection runs (so a crash fingers the culprit index), then the 'R'
+// record (+ optional 'P' footprint) flushed — and commit-marked — per
+// injection. EOF on the control fd is equivalent to Q, so a dying
+// coordinator reaps its farm rather than orphaning it.
+//
+// Workers never decide campaign-level questions (retry, strikes, merge);
+// they only execute. Determinism does the heavy lifting: injection i is a
+// pure function of (seed, i), so a retried index re-executed here is
+// byte-identical to what the dead worker would have written.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sfi/campaign.hpp"
+
+namespace sfi::farm {
+
+/// Deterministic harness-failure injection for supervision tests and the
+/// farm-smoke CI gate: make the worker itself die or wedge when it reaches
+/// a chosen campaign index, as a stand-in for "the flip took down the
+/// emulator harness".
+struct SabotageConfig {
+  /// SIGKILL this process before running `crash_index` — but only on
+  /// attempt 0, so the supervised retry succeeds (a transient harness
+  /// crash).
+  std::optional<u32> crash_index;
+  /// Spin forever before running `wedge_index` (every attempt unless
+  /// `wedge_once`), forcing watchdog kills and, at K strikes, HarnessFatal.
+  std::optional<u32> wedge_index;
+  bool wedge_once = false;
+
+  [[nodiscard]] bool any() const {
+    return crash_index.has_value() || wedge_index.has_value();
+  }
+};
+
+struct WorkerOptions {
+  u32 worker_id = 0;
+  std::string shard_path;
+  /// Assignment stream (read side). Exec-mode workers pass STDIN_FILENO.
+  int control_fd = 0;
+  SabotageConfig sabotage;
+};
+
+/// Worker main loop; returns the process exit code (0 = clean drain).
+/// `plan` non-null reuses an already-built plan (fork-call mode inherits
+/// the coordinator's copy-on-write); null builds one from (testcase,
+/// config) — the exec-mode path.
+int run_worker(const avp::Testcase& testcase,
+               const inject::CampaignConfig& config,
+               const WorkerOptions& opts,
+               const inject::CampaignPlan* plan = nullptr);
+
+}  // namespace sfi::farm

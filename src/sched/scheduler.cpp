@@ -142,9 +142,12 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
     }
   }
 
+  // Commit markers seal each flush window so a crash can be rolled back to
+  // a whole-window boundary (no orphaned 'R' whose 'P' was lost).
+  const store::WriteOptions wopts{.commit_markers = true};
   store::StoreWriter writer =
-      fresh_store ? store::StoreWriter::create(store_path, meta)
-                  : store::StoreWriter::append_to(store_path);
+      fresh_store ? store::StoreWriter::create(store_path, meta, wopts)
+                  : store::StoreWriter::append_to(store_path, wopts);
 
   // --- shard the remaining index space, cycle-sorted ---
   // Workers warm-start from the plan's checkpoint store; handing out
@@ -172,6 +175,7 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
 
   std::atomic<u64> next_shard{0};
   std::atomic<u64> claimed{0};
+  std::atomic<bool> stop_observed{false};
   std::atomic<u64> cycles_evaluated{0};
   std::atomic<u64> cycles_fast_forwarded{0};
   std::atomic<u64> checkpoint_ops{0};
@@ -221,6 +225,13 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
       if (wt != nullptr) wt->shard_begin(shard, end - begin);
       u64 shard_executed = 0;
       for (std::size_t p = begin; p < end; ++p) {
+        // Cooperative interruption (SIGINT/SIGTERM): stop claiming work,
+        // fall through to the final flush so every finished record lands.
+        if (sched.should_stop && sched.should_stop()) {
+          stop_observed.store(true, std::memory_order_relaxed);
+          capped = true;
+          break;
+        }
         // Claim one execution slot; the cap models an interrupted run.
         if (claimed.fetch_add(1, std::memory_order_relaxed) >= cap) {
           capped = true;
@@ -284,6 +295,7 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
   result.checkpoints = plan.ckpts.size();
   result.checkpoint_bytes = plan.ckpts.resident_bytes();
   result.complete = result.agg.total() == cfg.num_injections;
+  result.stopped = stop_observed.load();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

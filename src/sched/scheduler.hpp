@@ -49,6 +49,12 @@ struct SchedulerConfig {
   /// This is the test hook that simulates an interrupted campaign without
   /// killing the process.
   u64 max_new_injections = 0;
+  /// Cooperative stop: polled before each injection is claimed. When it
+  /// returns true workers stop claiming, flush their at-risk buffers, and
+  /// the store is closed cleanly (no torn tail) — this is how `sfi campaign`
+  /// turns SIGINT/SIGTERM into an ordinary resumable interruption instead
+  /// of leaning on torn-tail truncation.
+  std::function<bool()> should_stop;
   /// Called under the store lock after every flushed batch.
   std::function<void(const Progress&)> on_progress;
 };
@@ -62,6 +68,7 @@ struct ScheduledResult {
   u64 footprints = 0; ///< propagation footprints persisted this invocation
   u64 shards = 0;     ///< shards dispatched this invocation
   bool complete = false;  ///< store now covers all num_injections indices
+  bool stopped = false;   ///< should_stop() interrupted dispatch
   double wall_seconds = 0.0;
   u64 cycles_evaluated = 0;
   /// Replay cycles skipped by warm-starting from reference checkpoints.

@@ -17,18 +17,24 @@ enum class Outcome : u8 {
   Hang,          ///< loss of forward progress (watchdog or harness)
   Checkstop,     ///< machine stopped itself (unrecoverable detected error)
   BadArchState,  ///< run "succeeded" with wrong architected state (SDC)
+  /// The injection reproducibly killed or wedged the harness process itself
+  /// (not just the modeled core). Assigned by the farm supervisor after K
+  /// strikes — the paper's AWAN farm had the same failure class: a flip that
+  /// takes down the emulator board rather than producing a result.
+  HarnessFatal,
 };
-inline constexpr std::size_t kNumOutcomes = 5;
+inline constexpr std::size_t kNumOutcomes = 6;
 
 [[nodiscard]] constexpr std::string_view to_string(Outcome o) {
   constexpr std::array<std::string_view, kNumOutcomes> names = {
-      "Vanished", "Corrected", "Hang", "Checkstop", "BadArchState"};
+      "Vanished", "Corrected",    "Hang",
+      "Checkstop", "BadArchState", "HarnessFatal"};
   return names[static_cast<std::size_t>(o)];
 }
 
 inline constexpr std::array<Outcome, kNumOutcomes> kAllOutcomes = {
-    Outcome::Vanished, Outcome::Corrected, Outcome::Hang, Outcome::Checkstop,
-    Outcome::BadArchState};
+    Outcome::Vanished,  Outcome::Corrected,    Outcome::Hang,
+    Outcome::Checkstop, Outcome::BadArchState, Outcome::HarnessFatal};
 
 /// Histogram over outcomes with proportion/confidence helpers.
 struct OutcomeCounts {

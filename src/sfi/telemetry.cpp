@@ -282,6 +282,12 @@ CampaignTelemetry::CampaignTelemetry(TelemetryConfig cfg)
   c_warm_restores_ = registry_.counter("warm_restores");
   c_ckpt_materializations_ = registry_.counter("ckpt_materializations");
   c_shards_ = registry_.counter("shards_completed");
+  c_farm_spawned_ = registry_.counter("farm.workers_spawned");
+  c_farm_crashes_ = registry_.counter("farm.worker_crashes");
+  c_farm_watchdog_kills_ = registry_.counter("farm.watchdog_kills");
+  c_farm_retries_ = registry_.counter("farm.shard_retries");
+  c_farm_strikeouts_ = registry_.counter("farm.strikeouts");
+  c_farm_hb_gaps_ = registry_.counter("farm.heartbeat_gaps");
   for (std::size_t i = 0; i < kNumOutcomes; ++i) {
     c_outcome_[i] = registry_.counter(
         "outcome." + std::string(to_string(kAllOutcomes[i])));
@@ -425,6 +431,79 @@ void CampaignTelemetry::campaign_finish(const CampaignAggregate& agg,
   }
 }
 
+namespace {
+
+/// Shared shape of the farm lifecycle events: {"ev": ..., "t_us": ...} plus
+/// caller-specific fields appended by `extra`.
+template <typename Fn>
+void emit_farm_event(telemetry::EventLog* log, u64 t_us, std::string_view ev,
+                     Fn&& extra) {
+  if (log == nullptr) return;
+  telemetry::JsonWriter w;
+  w.begin_object().field("ev", ev).field("t_us", t_us);
+  extra(w);
+  w.end_object();
+  log->emit(w.str());
+}
+
+}  // namespace
+
+void CampaignTelemetry::farm_worker_spawned(u32 slot, i64 pid,
+                                            u32 generation) {
+  registry_.add(c_farm_spawned_);
+  emit_farm_event(events(), now_us(), "farm_spawn", [&](auto& w) {
+    w.field("slot", static_cast<u64>(slot))
+        .field("pid", pid)
+        .field("generation", static_cast<u64>(generation));
+  });
+}
+
+void CampaignTelemetry::farm_worker_exited(u32 slot, i64 pid, bool clean,
+                                           int detail) {
+  if (!clean) registry_.add(c_farm_crashes_);
+  emit_farm_event(events(), now_us(), "farm_exit", [&](auto& w) {
+    w.field("slot", static_cast<u64>(slot))
+        .field("pid", pid)
+        .field("clean", clean)
+        .field("detail", static_cast<i64>(detail));
+  });
+}
+
+void CampaignTelemetry::farm_watchdog_kill(u32 slot, i64 pid,
+                                           std::optional<u32> in_flight) {
+  registry_.add(c_farm_watchdog_kills_);
+  emit_farm_event(events(), now_us(), "farm_watchdog_kill", [&](auto& w) {
+    w.field("slot", static_cast<u64>(slot)).field("pid", pid);
+    if (in_flight) w.field("in_flight", static_cast<u64>(*in_flight));
+  });
+}
+
+void CampaignTelemetry::farm_shard_retry(u64 shard, u32 attempt,
+                                         double backoff_seconds) {
+  registry_.add(c_farm_retries_);
+  emit_farm_event(events(), now_us(), "farm_retry", [&](auto& w) {
+    w.field("shard", shard)
+        .field("attempt", static_cast<u64>(attempt))
+        .field("backoff_seconds", backoff_seconds);
+  });
+}
+
+void CampaignTelemetry::farm_strikeout(u32 index, u32 strikes) {
+  registry_.add(c_farm_strikeouts_);
+  emit_farm_event(events(), now_us(), "farm_strikeout", [&](auto& w) {
+    w.field("index", static_cast<u64>(index))
+        .field("strikes", static_cast<u64>(strikes));
+  });
+}
+
+void CampaignTelemetry::farm_heartbeat_gap(u32 slot, double gap_seconds) {
+  registry_.add(c_farm_hb_gaps_);
+  emit_farm_event(events(), now_us(), "farm_heartbeat_gap", [&](auto& w) {
+    w.field("slot", static_cast<u64>(slot))
+        .field("gap_seconds", gap_seconds);
+  });
+}
+
 void CampaignTelemetry::prepare_workers(u32 n) {
   while (workers_.size() < n) {
     const u32 tid = static_cast<u32>(workers_.size());
@@ -457,7 +536,7 @@ std::string CampaignTelemetry::progress_line(u64 done, u64 total,
     line += " (-- inj/s, ETA --)";
   }
   static constexpr std::array<std::string_view, kNumOutcomes> kShort = {
-      "van", "corr", "hang", "cstop", "sdc"};
+      "van", "corr", "hang", "cstop", "sdc", "hfatal"};
   for (std::size_t i = 0; i < kNumOutcomes; ++i) {
     const u64 n = live_outcomes_[i].load(std::memory_order_relaxed);
     line += " ";

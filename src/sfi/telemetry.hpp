@@ -152,6 +152,22 @@ class CampaignTelemetry {
   void campaign_finish(const CampaignAggregate& agg, u64 executed,
                        double wall_seconds);
 
+  // --- farm supervision (coordinator process; single-threaded, so these
+  // use the registry's direct low-rate path, not a worker shard) ---
+  void farm_worker_spawned(u32 slot, i64 pid, u32 generation);
+  /// A worker process ended. `clean` means exit(0) after a Quit; anything
+  /// else (signal, nonzero exit, corrupt shard stream) is a crash.
+  void farm_worker_exited(u32 slot, i64 pid, bool clean, int detail);
+  /// The supervisor SIGKILLed a worker for missing its watchdog deadline.
+  /// `in_flight` is the campaign index its last heartbeat fingered.
+  void farm_watchdog_kill(u32 slot, i64 pid, std::optional<u32> in_flight);
+  void farm_shard_retry(u64 shard, u32 attempt, double backoff_seconds);
+  /// Injection `index` accumulated K strikes and was recorded HarnessFatal.
+  void farm_strikeout(u32 index, u32 strikes);
+  /// A live worker went `gap_seconds` without committing a frame (longer
+  /// than the warning threshold but short of the watchdog deadline).
+  void farm_heartbeat_gap(u32 slot, double gap_seconds);
+
   /// Create the per-worker handles (and trace tracks) before the pool
   /// starts. Idempotent for the same `n`; references stay stable.
   void prepare_workers(u32 n);
@@ -196,6 +212,12 @@ class CampaignTelemetry {
   telemetry::CounterId c_warm_restores_;
   telemetry::CounterId c_ckpt_materializations_;
   telemetry::CounterId c_shards_;
+  telemetry::CounterId c_farm_spawned_;
+  telemetry::CounterId c_farm_crashes_;
+  telemetry::CounterId c_farm_watchdog_kills_;
+  telemetry::CounterId c_farm_retries_;
+  telemetry::CounterId c_farm_strikeouts_;
+  telemetry::CounterId c_farm_hb_gaps_;
   std::array<telemetry::CounterId, kNumOutcomes> c_outcome_{};
   std::array<telemetry::HistogramId, kNumRunPhases> h_phase_{};
   telemetry::HistogramId h_injection_seconds_{};

@@ -27,16 +27,31 @@ Interval wilson(std::size_t successes, std::size_t n, double z) {
 std::size_t required_sample_size(double p, double half_width, double z) {
   require(p >= 0.0 && p <= 1.0, "required_sample_size p in [0,1]");
   require(half_width > 0.0, "required_sample_size half_width > 0");
+  require(z > 0.0, "required_sample_size z > 0");
+  // A Wilson interval is confined to [0,1], so its half-width can never
+  // exceed 0.5: any target that loose is met by a single observation.
+  if (half_width >= 0.5) return 1;
   // Normal-approximation sizing n = z^2 p(1-p) / w^2, then verify/adjust
-  // against the exact Wilson width (which is wider for tiny p).
+  // against the exact Wilson width (which is wider for tiny p). The variance
+  // floor keeps the degenerate ends (p == 0, p == 1, where the sampling
+  // variance term vanishes) from collapsing the start point to 0; the Wilson
+  // loop below then grows n until the interval around 0 (or n) hits really
+  // is narrow enough.
   const double pw = std::max(p * (1.0 - p), 1e-6);
-  auto n = static_cast<std::size_t>(
-      std::ceil(z * z * pw / (half_width * half_width)));
-  n = std::max<std::size_t>(n, 1);
+  const double approx = z * z * pw / (half_width * half_width);
+  // Cap before the float->int cast: for absurdly tight targets the
+  // approximation exceeds the exactly-representable integer range and the
+  // cast would be undefined.
+  constexpr double kMaxN = 9.0e15;
+  auto n = approx >= kMaxN
+               ? static_cast<std::size_t>(kMaxN)
+               : std::max<std::size_t>(
+                     static_cast<std::size_t>(std::ceil(approx)), 1);
   const auto hits = [p](std::size_t m) {
     return static_cast<std::size_t>(std::llround(p * static_cast<double>(m)));
   };
-  while (wilson(hits(n), n, z).width() / 2.0 > half_width) {
+  while (n < static_cast<std::size_t>(kMaxN) &&
+         wilson(hits(n), n, z).width() / 2.0 > half_width) {
     n += std::max<std::size_t>(n / 8, 1);
   }
   return n;

@@ -178,6 +178,46 @@ inject::PropagationRecord decode_propagation(std::span<const u8> payload) {
   return rec;
 }
 
+std::vector<u8> encode_heartbeat(const HeartbeatFrame& hb) {
+  ByteWriter w;
+  w.put_u32(hb.worker);
+  w.put_u64(hb.seq);
+  w.put_u32(hb.index);
+  w.put_u64(hb.executed);
+  return w.bytes();
+}
+
+HeartbeatFrame decode_heartbeat(std::span<const u8> payload) {
+  ByteReader r(payload);
+  HeartbeatFrame hb;
+  hb.worker = r.get_u32();
+  hb.seq = r.get_u64();
+  hb.index = r.get_u32();
+  hb.executed = r.get_u64();
+  if (!r.exhausted()) throw StoreError("trailing bytes in heartbeat payload");
+  return hb;
+}
+
+std::vector<u8> encode_assignment(const AssignmentFrame& as) {
+  ByteWriter w;
+  w.put_u32(as.worker);
+  w.put_u64(as.shard);
+  w.put_u32(as.attempt);
+  w.put_u32(as.count);
+  return w.bytes();
+}
+
+AssignmentFrame decode_assignment(std::span<const u8> payload) {
+  ByteReader r(payload);
+  AssignmentFrame as;
+  as.worker = r.get_u32();
+  as.shard = r.get_u64();
+  as.attempt = r.get_u32();
+  as.count = r.get_u32();
+  if (!r.exhausted()) throw StoreError("trailing bytes in assignment payload");
+  return as;
+}
+
 std::vector<u8> make_frame(u8 kind, std::span<const u8> payload) {
   std::vector<u8> frame;
   frame.reserve(kFrameOverhead + payload.size());

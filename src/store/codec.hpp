@@ -30,6 +30,35 @@ struct StoredRecord {
 [[nodiscard]] inject::PropagationRecord decode_propagation(
     std::span<const u8> payload);
 
+/// Farm-worker liveness beacon ('B' frame), flushed immediately before an
+/// injection runs. `index` is the campaign index in flight; a heartbeat with
+/// no later record for `index` fingers that injection as the one that took
+/// the worker down.
+/// `index` value for heartbeats with nothing in flight (the startup beacon
+/// a worker emits before its first assignment).
+inline constexpr u32 kHeartbeatIdle = 0xFFFFFFFFu;
+
+struct HeartbeatFrame {
+  u32 worker = 0;    ///< worker id within the farm
+  u64 seq = 0;       ///< monotonically increasing per worker
+  u32 index = 0;     ///< campaign index about to execute (kHeartbeatIdle)
+  u64 executed = 0;  ///< injections completed by this worker so far
+};
+
+/// Farm shard assignment echo ('A' frame): worker accepted (shard, attempt).
+struct AssignmentFrame {
+  u32 worker = 0;
+  u64 shard = 0;
+  u32 attempt = 0;  ///< 0 on first dispatch, +1 per supervised retry
+  u32 count = 0;    ///< indices in this assignment
+};
+
+[[nodiscard]] std::vector<u8> encode_heartbeat(const HeartbeatFrame& hb);
+[[nodiscard]] HeartbeatFrame decode_heartbeat(std::span<const u8> payload);
+
+[[nodiscard]] std::vector<u8> encode_assignment(const AssignmentFrame& as);
+[[nodiscard]] AssignmentFrame decode_assignment(std::span<const u8> payload);
+
 /// Wrap a payload into a CRC-framed byte sequence ready for appending.
 [[nodiscard]] std::vector<u8> make_frame(u8 kind, std::span<const u8> payload);
 

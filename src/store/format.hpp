@@ -41,6 +41,24 @@ inline constexpr u8 kRecordFrame = 'R';
 /// frame kind skip it after CRC validation, so stores stay readable by
 /// older builds and record-only consumers).
 inline constexpr u8 kPropagationFrame = 'P';
+/// Flush-commit marker (empty payload): everything before it reached the OS
+/// in one piece. Writers opened with commit markers emit one per flush();
+/// tolerant readers then truncate a torn tail back to the last marker,
+/// dropping a *whole* interrupted flush window instead of keeping a
+/// valid-looking orphan ('R' whose companion 'P' was lost mid-flush).
+inline constexpr u8 kCommitFrame = 'F';
+/// Farm-worker liveness beacon, flushed before each injection runs: the
+/// shard store's frame stream doubles as the worker's heartbeat channel, so
+/// the coordinator learns both "alive" and "which injection is in flight"
+/// from the file it must tail anyway.
+inline constexpr u8 kHeartbeatFrame = 'B';
+/// Farm shard assignment echo: which (shard, attempt) a worker accepted.
+/// Forensic only — replays of a supervised campaign can reconstruct the
+/// full dispatch history from the shard files.
+inline constexpr u8 kAssignmentFrame = 'A';
+// kCommitFrame/kHeartbeatFrame/kAssignmentFrame are all skipped by readers
+// that predate them (unknown kinds are CRC-validated and ignored), keeping
+// format_version at 1.
 
 /// Frame overhead: kind + payload_len + crc32.
 inline constexpr std::size_t kFrameOverhead = 1 + 4 + 4;

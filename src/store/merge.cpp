@@ -6,7 +6,7 @@
 namespace sfi::store {
 
 MergeSummary merge_stores(const std::vector<std::string>& inputs,
-                          const std::string& out_path) {
+                          const std::string& out_path, ReadOptions opts) {
   if (inputs.empty()) throw StoreError("merge needs at least one input");
 
   MergeSummary summary;
@@ -18,17 +18,19 @@ MergeSummary merge_stores(const std::vector<std::string>& inputs,
 
   bool have_meta = false;
   for (const std::string& path : inputs) {
-    StoreReader reader(path);
+    // read_store (not a streaming pass) so that, under tolerant reading,
+    // records sitting in an uncommitted flush window of a killed worker's
+    // shard are dropped before they can enter the merge.
+    const StoreContents contents = read_store(path, opts);
     if (!have_meta) {
-      summary.meta = reader.meta();
+      summary.meta = contents.meta;
       have_meta = true;
-    } else if (!summary.meta.same_campaign(reader.meta())) {
+    } else if (!summary.meta.same_campaign(contents.meta)) {
       throw StoreError("store " + path +
                        " belongs to a different campaign than " + inputs[0] +
                        " (seed/config/workload mismatch)");
     }
-    StoredRecord sr;
-    while (reader.next(sr)) {
+    for (const StoredRecord& sr : contents.records) {
       ++summary.records_read;
       if (sr.index >= summary.meta.num_injections) {
         throw StoreError("record index " + std::to_string(sr.index) +

@@ -29,8 +29,13 @@ struct MergeSummary {
 /// Merge `inputs` (≥1 store files of the same campaign) into `out_path`.
 /// Throws StoreError if the inputs disagree on campaign identity, if two
 /// shards carry different records for the same index, or on any corrupt
-/// input (inputs are read strictly).
+/// input. Inputs are read strictly by default; the farm supervisor passes
+/// tolerate_torn_tail because shard files of killed workers legitimately
+/// end in a torn flush window (whose records it re-ran elsewhere — the
+/// tolerant read drops exactly that uncommitted tail). The output is always
+/// canonical and marker-free, whatever discipline the inputs were written
+/// with.
 MergeSummary merge_stores(const std::vector<std::string>& inputs,
-                          const std::string& out_path);
+                          const std::string& out_path, ReadOptions opts = {});
 
 }  // namespace sfi::store

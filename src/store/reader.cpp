@@ -57,7 +57,10 @@ StoreReader::StoreReader(const std::string& path, ReadOptions opts)
   }
   meta_ = decode_meta(payload);
   valid_bytes_ = impl_->pos;
+  last_commit_ = impl_->pos;
 }
+
+u64 StoreReader::tell() const { return impl_->pos; }
 
 bool StoreReader::read_frame_impl(u8& kind, std::vector<u8>& payload,
                                   bool tolerant) {
@@ -66,6 +69,13 @@ bool StoreReader::read_frame_impl(u8& kind, std::vector<u8>& payload,
   const std::size_t got = s.read_some(head.data(), head.size());
   if (got == 0) {
     s.finished = true;
+    // Even a clean frame-boundary EOF is torn under the commit-marker
+    // discipline if complete frames trail the last marker: the flush they
+    // belonged to never sealed, so its window may be partial.
+    if (tolerant && saw_commit_ && valid_bytes_ != last_commit_) {
+      torn_tail_ = true;
+      valid_bytes_ = last_commit_;
+    }
     return false;  // clean end of stream at a frame boundary
   }
 
@@ -75,6 +85,9 @@ bool StoreReader::read_frame_impl(u8& kind, std::vector<u8>& payload,
     if (tolerant) {
       s.finished = true;
       torn_tail_ = true;
+      // Under marker discipline the whole uncommitted flush window is
+      // suspect, not just the frame that tore.
+      if (saw_commit_) valid_bytes_ = last_commit_;
       return false;
     }
     throw StoreError(why + ": " + s.path);
@@ -141,6 +154,10 @@ bool StoreReader::next_frame(u8& kind, std::vector<u8>& payload) {
     throw StoreError("unexpected header frame mid-store: " + impl_->path);
   }
   valid_bytes_ = impl_->pos;
+  if (kind == kCommitFrame) {
+    last_commit_ = impl_->pos;
+    saw_commit_ = true;
+  }
   return true;
 }
 
@@ -160,9 +177,20 @@ StoreContents read_store(const std::string& path, ReadOptions opts) {
   StoreContents c;
   c.meta = reader.meta();
   StoredRecord sr;
-  while (reader.next(sr)) c.records.push_back(sr);
+  std::vector<u64> ends;  // offset just past each record's frame
+  while (reader.next(sr)) {
+    c.records.push_back(sr);
+    ends.push_back(reader.tell());
+  }
   c.torn_tail = reader.torn_tail();
   c.valid_bytes = reader.valid_bytes();
+  if (c.torn_tail) {
+    // Commit-marker rollback can retract complete record frames that sat in
+    // the torn flush window; the materialised view must not contain them.
+    std::size_t keep = c.records.size();
+    while (keep > 0 && ends[keep - 1] > c.valid_bytes) --keep;
+    c.records.resize(keep);
+  }
   return c;
 }
 

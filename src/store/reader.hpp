@@ -14,6 +14,17 @@
 //   valid frame. The resume scheduler truncates the file there and
 //   re-executes only the injections past the tear. Corruption that is NOT
 //   at the tail (a bad CRC with further frames behind it) still throws.
+//
+//   Stores written with commit markers (store::WriteOptions::commit_markers)
+//   tighten the tolerant discipline: a flush is multi-frame (a batch of 'R'
+//   frames plus their 'P' footprints), so a tear mid-flush can leave a
+//   valid-looking orphan — an 'R' whose companion 'P' was lost. Once a
+//   kCommitFrame has been seen, the safe truncation point is therefore the
+//   last commit marker, and anything after it (complete frames included)
+//   counts as torn. read_store() additionally drops the uncommitted-tail
+//   records from its materialised result; the streaming APIs deliver frames
+//   as they validate and leave the rollback visible via torn_tail() /
+//   valid_bytes() only.
 #pragma once
 
 #include <functional>
@@ -56,9 +67,15 @@ class StoreReader {
   /// under tolerate_torn_tail.
   [[nodiscard]] bool torn_tail() const { return torn_tail_; }
 
-  /// Byte offset just past the last frame that validated — the safe
-  /// truncation point for resume-after-crash.
+  /// Byte offset of the safe truncation point for resume-after-crash: just
+  /// past the last frame that validated, or — once a commit marker has been
+  /// seen and the stream ended past one — just past the last commit marker.
   [[nodiscard]] u64 valid_bytes() const { return valid_bytes_; }
+
+  /// Byte offset just past the most recently returned frame. Lets
+  /// materialising readers decide, post hoc, whether a frame fell inside the
+  /// committed prefix (offset <= valid_bytes() once the stream ends).
+  [[nodiscard]] u64 tell() const;
 
  private:
   /// Read one frame; returns false at clean end of stream or tolerated torn
@@ -73,6 +90,9 @@ class StoreReader {
   CampaignMeta meta_;
   bool torn_tail_ = false;
   u64 valid_bytes_ = 0;
+  /// Offset just past the last kCommitFrame (or the header before any).
+  u64 last_commit_ = 0;
+  bool saw_commit_ = false;
 };
 
 /// A fully materialised store.

@@ -1,0 +1,101 @@
+#include "store/tail.hpp"
+
+#include <array>
+#include <fstream>
+
+namespace sfi::store {
+
+namespace {
+/// Same plausibility cap as the reader: shard frames are tiny, so a huge
+/// length field is corruption, not a frame we should wait for.
+constexpr u32 kMaxPayload = 1u << 20;
+}  // namespace
+
+std::size_t FrameTail::poll(
+    const std::function<void(u8, std::span<const u8>)>& fn) {
+  if (corrupt_) return 0;
+
+  // Pull whatever the worker has appended since the last poll. The file is
+  // append-only while the worker lives, so re-reading from read_offset_
+  // never observes mutated bytes.
+  std::ifstream in(path_, std::ios::binary);
+  if (in) {
+    in.seekg(static_cast<std::streamoff>(read_offset_));
+    std::array<char, 64 * 1024> chunk{};
+    while (in.read(chunk.data(), chunk.size()) || in.gcount() > 0) {
+      const auto got = static_cast<std::size_t>(in.gcount());
+      buf_.insert(buf_.end(), chunk.data(), chunk.data() + got);
+      read_offset_ += got;
+      if (got < chunk.size()) break;
+    }
+  }
+
+  std::size_t delivered = 0;
+  std::size_t cursor = 0;
+
+  if (!magic_seen_) {
+    if (buf_.size() < kMagic.size()) return 0;
+    for (std::size_t i = 0; i < kMagic.size(); ++i) {
+      if (buf_[i] != kMagic[i]) {
+        corrupt_ = true;
+        return 0;
+      }
+    }
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(kMagic.size()));
+    magic_seen_ = true;
+  }
+
+  const auto frame_at =
+      [&](std::size_t at, u8& kind, u32& len) -> bool /* complete extent */ {
+    if (buf_.size() - at < kFrameOverhead) return false;
+    kind = buf_[at];
+    len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<u32>(buf_[at + 1 + i]) << (8 * i);
+    }
+    if (len > kMaxPayload) {
+      corrupt_ = true;
+      return false;
+    }
+    return buf_.size() - at >= kFrameOverhead + len;
+  };
+
+  u8 kind = 0;
+  u32 len = 0;
+  while (!corrupt_ && frame_at(cursor, kind, len)) {
+    const u8* frame = buf_.data() + cursor;
+    const u32 actual =
+        crc32(std::span<const u8>(frame, 5 + len));
+    u32 stored = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored |= static_cast<u32>(frame[5 + len + i]) << (8 * i);
+    }
+    if (stored != actual) {
+      corrupt_ = true;
+      break;
+    }
+    if (!header_seen_) {
+      // First frame must be the campaign header; anything else means we are
+      // tailing something that is not a shard store.
+      if (kind != kHeaderFrame) corrupt_ = true;
+      header_seen_ = true;
+    } else if (kind == kCommitFrame) {
+      for (const auto& [k, payload] : pending_) {
+        fn(k, std::span<const u8>(payload.data(), payload.size()));
+        ++delivered;
+      }
+      pending_.clear();
+    } else {
+      pending_.emplace_back(
+          kind, std::vector<u8>(frame + 5, frame + 5 + len));
+    }
+    cursor += kFrameOverhead + len;
+  }
+
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(cursor));
+  return delivered;
+}
+
+}  // namespace sfi::store

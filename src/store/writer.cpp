@@ -8,8 +8,9 @@ struct StoreWriter::OfstreamHolder {
   std::ofstream stream;
 };
 
-StoreWriter::StoreWriter(const std::string& path, bool truncate)
-    : path_(path), out_(std::make_shared<OfstreamHolder>()) {
+StoreWriter::StoreWriter(const std::string& path, bool truncate,
+                         WriteOptions opts)
+    : path_(path), out_(std::make_shared<OfstreamHolder>()), opts_(opts) {
   const auto mode = std::ios::binary | std::ios::out |
                     (truncate ? std::ios::trunc : std::ios::app);
   out_->stream.open(path, mode);
@@ -19,18 +20,26 @@ StoreWriter::StoreWriter(const std::string& path, bool truncate)
 }
 
 StoreWriter StoreWriter::create(const std::string& path,
-                                const CampaignMeta& meta) {
-  StoreWriter w(path, /*truncate=*/true);
+                                const CampaignMeta& meta, WriteOptions opts) {
+  StoreWriter w(path, /*truncate=*/true, opts);
   w.write_bytes(std::span<const u8>(kMagic.data(), kMagic.size()));
   const std::vector<u8> payload = encode_meta(meta);
   const std::vector<u8> frame = make_frame(kHeaderFrame, payload);
   w.write_bytes(frame);
+  if (opts.commit_markers) {
+    // A marker directly after the header does double duty: it commits the
+    // (possibly empty) store, and it lets tolerant readers tell a
+    // marker-discipline store apart from a legacy one (which must keep the
+    // old any-complete-frame-is-valid truncation semantics).
+    w.uncommitted_frames_ = 1;
+  }
   w.flush();
   return w;
 }
 
-StoreWriter StoreWriter::append_to(const std::string& path) {
-  return StoreWriter(path, /*truncate=*/false);
+StoreWriter StoreWriter::append_to(const std::string& path,
+                                   WriteOptions opts) {
+  return StoreWriter(path, /*truncate=*/false, opts);
 }
 
 void StoreWriter::append(const StoredRecord& record) {
@@ -38,6 +47,7 @@ void StoreWriter::append(const StoredRecord& record) {
   const std::vector<u8> frame = make_frame(kRecordFrame, payload);
   write_bytes(frame);
   ++records_written_;
+  ++uncommitted_frames_;
 }
 
 void StoreWriter::append(std::span<const StoredRecord> records) {
@@ -48,9 +58,26 @@ void StoreWriter::append_propagation(const inject::PropagationRecord& rec) {
   const std::vector<u8> payload = encode_propagation(rec);
   const std::vector<u8> frame = make_frame(kPropagationFrame, payload);
   write_bytes(frame);
+  ++uncommitted_frames_;
+}
+
+void StoreWriter::append_heartbeat(const HeartbeatFrame& hb) {
+  const std::vector<u8> payload = encode_heartbeat(hb);
+  write_bytes(make_frame(kHeartbeatFrame, payload));
+  ++uncommitted_frames_;
+}
+
+void StoreWriter::append_assignment(const AssignmentFrame& as) {
+  const std::vector<u8> payload = encode_assignment(as);
+  write_bytes(make_frame(kAssignmentFrame, payload));
+  ++uncommitted_frames_;
 }
 
 void StoreWriter::flush() {
+  if (opts_.commit_markers && uncommitted_frames_ > 0) {
+    write_bytes(make_frame(kCommitFrame, std::span<const u8>{}));
+    uncommitted_frames_ = 0;
+  }
   out_->stream.flush();
   if (!out_->stream) throw StoreError("store flush failed: " + path_);
 }

@@ -14,17 +14,28 @@
 
 namespace sfi::store {
 
+struct WriteOptions {
+  /// Emit a kCommitFrame after the header and at every flush() that pushed
+  /// new frames. Markers let tolerant readers truncate a torn tail back to
+  /// the last *complete flush window* rather than the last complete frame —
+  /// closing the crash window where an 'R' survives but its companion 'P'
+  /// (same flush) was lost. Merge output stays marker-free so canonical
+  /// stores remain byte-identical across marker and legacy producers.
+  bool commit_markers = false;
+};
+
 class StoreWriter {
  public:
   /// Create (truncate) `path` and write the campaign header.
-  static StoreWriter create(const std::string& path,
-                            const CampaignMeta& meta);
+  static StoreWriter create(const std::string& path, const CampaignMeta& meta,
+                            WriteOptions opts = {});
 
   /// Open an existing, already-validated store for appending more records.
   /// (Callers are expected to have read/validated the file first — the
   /// resume path in src/sched/ does — since appending to a store with a
   /// torn tail would bury the tear mid-file.)
-  static StoreWriter append_to(const std::string& path);
+  static StoreWriter append_to(const std::string& path,
+                               WriteOptions opts = {});
 
   void append(const StoredRecord& record);
   void append(std::span<const StoredRecord> records);
@@ -34,7 +45,15 @@ class StoreWriter {
   /// reader that ignores them sees the same record stream.
   void append_propagation(const inject::PropagationRecord& rec);
 
-  /// Push buffered frames to the OS.
+  /// Append one farm-worker heartbeat ('B') / assignment echo ('A') frame.
+  /// Liveness-only, like footprints: never counted in records_written().
+  void append_heartbeat(const HeartbeatFrame& hb);
+  void append_assignment(const AssignmentFrame& as);
+
+  /// Push buffered frames to the OS. With commit markers enabled, seals the
+  /// window first by appending a kCommitFrame (only if frames are pending —
+  /// a redundant flush must not grow the file, or byte-level no-op resume
+  /// guarantees break).
   void flush();
 
   /// Records appended through this writer (not counting pre-existing ones).
@@ -43,7 +62,7 @@ class StoreWriter {
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
-  StoreWriter(const std::string& path, bool truncate);
+  StoreWriter(const std::string& path, bool truncate, WriteOptions opts);
 
   void write_bytes(std::span<const u8> bytes);
 
@@ -51,7 +70,11 @@ class StoreWriter {
   /// Using a FILE-free ofstream keeps the writer movable.
   struct OfstreamHolder;
   std::shared_ptr<OfstreamHolder> out_;
+  WriteOptions opts_;
   u64 records_written_ = 0;
+  /// Frames appended since the last commit marker (only tracked when
+  /// commit_markers is on).
+  u64 uncommitted_frames_ = 0;
 };
 
 }  // namespace sfi::store

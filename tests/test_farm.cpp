@@ -1,0 +1,259 @@
+// Farm mode (src/farm/): supervised multi-process campaign execution.
+//
+// The load-bearing assertions mirror the module's contract: a farm
+// campaign's merged output is byte-identical to a (canonicalised)
+// single-process run — including when a worker is kill -9'd mid-shard or
+// wedges and is shot by the watchdog — and a reproducible worker-killer
+// injection degrades to Outcome::HarnessFatal instead of sinking the
+// campaign.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "avp/testgen.hpp"
+#include "farm/farm.hpp"
+#include "sched/scheduler.hpp"
+#include "store/merge.hpp"
+#include "store/reader.hpp"
+
+namespace sfi::farm {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("sfi_farm_test_" + name + ".sfr"))
+                  .string()) {
+    std::filesystem::remove(path_);
+  }
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<u8> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+avp::Testcase small_testcase() {
+  avp::TestcaseConfig cfg;
+  cfg.seed = 11;
+  cfg.num_instructions = 80;
+  return avp::generate_testcase(cfg);
+}
+
+inject::CampaignConfig small_campaign(u32 n) {
+  inject::CampaignConfig cfg;
+  cfg.seed = 7;
+  cfg.num_injections = n;
+  return cfg;
+}
+
+/// The reference bytes every farm run must reproduce: a single-process
+/// scheduler run of the same campaign, canonicalised through merge (which
+/// strips commit markers and sorts by index).
+std::vector<u8> canonical_single_process(const avp::Testcase& tc,
+                                         const inject::CampaignConfig& cfg,
+                                         const std::string& tag) {
+  TempFile raw("single_" + tag), canon("canon_" + tag);
+  const auto r = sched::run_campaign_to_store(tc, cfg, raw.path(), {});
+  EXPECT_TRUE(r.complete);
+  (void)store::merge_stores({raw.path()}, canon.path());
+  return slurp(canon.path());
+}
+
+/// Fast supervision timings so failure tests finish in seconds.
+FarmConfig quick_farm(u32 workers) {
+  FarmConfig fc;
+  fc.workers = workers;
+  fc.shard_size = 8;
+  fc.watchdog_seconds = 0.4;
+  fc.startup_seconds = 60.0;
+  fc.backoff_base_seconds = 0.02;
+  fc.backoff_cap_seconds = 0.2;
+  fc.poll_seconds = 0.005;
+  return fc;
+}
+
+TEST(Farm, ParseHostsFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sfi_farm_hosts.txt")
+          .string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "# comment line\n"
+        << "localhost 2\n"
+        << "\n"
+        << "node-a\n";
+  }
+  const std::vector<HostSlot> hosts = parse_hosts_file(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(hosts.size(), 2u);
+  EXPECT_EQ(hosts[0].host, "localhost");
+  EXPECT_EQ(hosts[0].slots, 2u);
+  EXPECT_EQ(hosts[1].host, "node-a");
+  EXPECT_EQ(hosts[1].slots, 1u);
+
+  EXPECT_THROW((void)parse_hosts_file("/nonexistent/hosts.txt"),
+               std::exception);
+}
+
+TEST(Farm, MatchesSingleProcessByteIdentical) {
+  const avp::Testcase tc = small_testcase();
+  const inject::CampaignConfig cfg = small_campaign(40);
+
+  TempFile out("plain");
+  const FarmResult r = run_farm_campaign(tc, cfg, out.path(), quick_farm(2));
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.stopped);
+  EXPECT_EQ(r.executed, 40u);
+  EXPECT_EQ(r.resumed, 0u);
+  EXPECT_TRUE(r.harness_fatal.empty());
+  EXPECT_GE(r.workers_spawned, 2u);
+  EXPECT_EQ(r.worker_crashes, 0u);
+  EXPECT_EQ(r.watchdog_kills, 0u);
+
+  EXPECT_EQ(slurp(out.path()),
+            canonical_single_process(tc, cfg, "plain"));
+
+  // Shard files are cleaned up after the merge by default.
+  const auto dir = std::filesystem::temp_directory_path();
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    EXPECT_EQ(name.find("sfi_farm_test_plain.w"), std::string::npos)
+        << "leftover shard file " << name;
+  }
+}
+
+TEST(Farm, CrashedWorkerIsRetriedByteIdentical) {
+  const avp::Testcase tc = small_testcase();
+  const inject::CampaignConfig cfg = small_campaign(40);
+
+  // kill -9 mid-shard at index 13 (attempt 0 only): the supervisor must
+  // retry the shard's unfinished remainder on a fresh worker and the
+  // determinism contract makes the retry byte-identical.
+  FarmConfig fc = quick_farm(2);
+  fc.sabotage.crash_index = 13;
+
+  TempFile out("crash");
+  const FarmResult r = run_farm_campaign(tc, cfg, out.path(), fc);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.executed, 40u);
+  EXPECT_TRUE(r.harness_fatal.empty());
+  EXPECT_GE(r.worker_crashes, 1u);
+  EXPECT_GE(r.shard_retries, 1u);
+  EXPECT_GT(r.workers_spawned, 2u);  // the replacement worker
+
+  EXPECT_EQ(slurp(out.path()),
+            canonical_single_process(tc, cfg, "crash"));
+}
+
+TEST(Farm, WedgedWorkerStruckOutAsHarnessFatal) {
+  const avp::Testcase tc = small_testcase();
+  const inject::CampaignConfig cfg = small_campaign(16);
+
+  // Index 5 wedges its worker on *every* attempt — the reproducible
+  // killer. After max_strikes watchdog kills it must be recorded as
+  // HarnessFatal and the rest of the campaign must still complete.
+  FarmConfig fc = quick_farm(2);
+  fc.shard_size = 4;
+  fc.max_strikes = 2;
+  fc.sabotage.wedge_index = 5;
+
+  TempFile out("wedge");
+  const FarmResult r = run_farm_campaign(tc, cfg, out.path(), fc);
+  EXPECT_TRUE(r.complete);
+  ASSERT_EQ(r.harness_fatal, (std::vector<u32>{5}));
+  EXPECT_GE(r.watchdog_kills, 2u);  // one per strike
+  EXPECT_EQ(r.worker_crashes, 0u);
+  EXPECT_EQ(r.executed, 15u);  // everything but the killer
+
+  const store::StoreContents c = store::read_store(out.path());
+  ASSERT_EQ(c.records.size(), 16u);
+  EXPECT_EQ(c.records[5].rec.outcome, inject::Outcome::HarnessFatal);
+  EXPECT_EQ(r.agg.counts.of(inject::Outcome::HarnessFatal), 1u);
+}
+
+TEST(Farm, TransientWedgeRecoversByteIdentical) {
+  const avp::Testcase tc = small_testcase();
+  const inject::CampaignConfig cfg = small_campaign(24);
+
+  // Wedge only on attempt 0: one watchdog kill, one strike, then the retry
+  // succeeds — no HarnessFatal, canonical bytes intact.
+  FarmConfig fc = quick_farm(2);
+  fc.sabotage.wedge_index = 9;
+  fc.sabotage.wedge_once = true;
+
+  TempFile out("wedge_once");
+  const FarmResult r = run_farm_campaign(tc, cfg, out.path(), fc);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.harness_fatal.empty());
+  EXPECT_GE(r.watchdog_kills, 1u);
+  EXPECT_EQ(r.executed, 24u);
+
+  EXPECT_EQ(slurp(out.path()),
+            canonical_single_process(tc, cfg, "wedge_once"));
+}
+
+TEST(Farm, CooperativeStopIsResumable) {
+  const avp::Testcase tc = small_testcase();
+  const inject::CampaignConfig cfg = small_campaign(60);
+
+  TempFile out("stop");
+  std::atomic<bool> stop{false};
+  FarmConfig fc = quick_farm(1);
+  fc.on_progress = [&](const sched::Progress& p) {
+    if (p.done >= 8) stop.store(true);
+  };
+  fc.should_stop = [&] { return stop.load(); };
+
+  const FarmResult part = run_farm_campaign(tc, cfg, out.path(), fc);
+  EXPECT_TRUE(part.stopped);
+  EXPECT_FALSE(part.complete);
+  EXPECT_GE(part.executed, 8u);
+  EXPECT_LT(part.executed, 60u);
+
+  // The interrupted output is itself a valid store holding exactly the
+  // committed records.
+  const store::StoreContents c = store::read_store(out.path());
+  EXPECT_EQ(c.records.size(), part.executed);
+
+  // Resume finishes the campaign and converges on the canonical bytes.
+  const FarmResult rest =
+      run_farm_campaign(tc, cfg, out.path(), quick_farm(2), /*resume=*/true);
+  EXPECT_TRUE(rest.complete);
+  EXPECT_EQ(rest.resumed, part.executed);
+  EXPECT_EQ(rest.resumed + rest.executed, 60u);
+
+  EXPECT_EQ(slurp(out.path()),
+            canonical_single_process(tc, cfg, "stop"));
+}
+
+TEST(Farm, ResumeRefusesForeignStore) {
+  const avp::Testcase tc = small_testcase();
+  TempFile out("foreign");
+  const FarmResult r =
+      run_farm_campaign(tc, small_campaign(16), out.path(), quick_farm(2));
+  ASSERT_TRUE(r.complete);
+
+  inject::CampaignConfig other = small_campaign(16);
+  other.seed = 8;
+  EXPECT_THROW((void)run_farm_campaign(tc, other, out.path(), quick_farm(2),
+                                       /*resume=*/true),
+               store::StoreError);
+}
+
+}  // namespace
+}  // namespace sfi::farm

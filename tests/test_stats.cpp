@@ -162,6 +162,42 @@ TEST(Intervals, RequiredSampleSize) {
   EXPECT_LE(wilson(hits, n).width() / 2.0, 0.0105);
 }
 
+TEST(Intervals, RequiredSampleSizeEdgeCases) {
+  // p == 0 / p == 1: the sampling-variance term vanishes, but the variance
+  // floor plus the exact Wilson verification still yield a finite answer,
+  // symmetric across the two degenerate ends.
+  EXPECT_EQ(required_sample_size(0.0, 0.01), 204u);
+  EXPECT_EQ(required_sample_size(1.0, 0.01), 204u);
+  EXPECT_EQ(required_sample_size(0.0, 0.001), 2113u);
+  // A Wilson interval is confined to [0,1], so its half-width never exceeds
+  // 0.5: any target that loose is met by a single observation.
+  EXPECT_EQ(required_sample_size(0.3, 0.5), 1u);
+  EXPECT_EQ(required_sample_size(0.5, 0.7), 1u);
+  // Invalid inputs reject instead of looping or overflowing.
+  EXPECT_THROW((void)required_sample_size(-0.1, 0.01), UsageError);
+  EXPECT_THROW((void)required_sample_size(1.1, 0.01), UsageError);
+  EXPECT_THROW((void)required_sample_size(0.5, 0.0), UsageError);
+  EXPECT_THROW((void)required_sample_size(0.5, -0.01), UsageError);
+  EXPECT_THROW((void)required_sample_size(0.5, 0.01, 0.0), UsageError);
+  // Absurdly tight targets saturate instead of invoking UB in the
+  // float->int cast.
+  EXPECT_GT(required_sample_size(0.5, 1e-12), u64{1} << 40);
+}
+
+TEST(Intervals, RequiredSampleSizeTableOneScale) {
+  // Proportions at the scale of the paper's Table 1, sized for the
+  // campaign-report precision of ±1% at 95% confidence: a few thousand
+  // flips suffice — the analytical form of the "10k flips" observation.
+  EXPECT_EQ(required_sample_size(0.87, 0.01), 4888u);   // Vanished-scale
+  EXPECT_EQ(required_sample_size(0.125, 0.01), 4202u);  // Corrected-scale
+  EXPECT_EQ(required_sample_size(0.05, 0.01), 2053u);
+  // Rare severe outcomes at matching relative precision.
+  EXPECT_EQ(required_sample_size(0.005, 0.002), 5375u);
+  // Tightening the target never shrinks the requirement.
+  EXPECT_GE(required_sample_size(0.1, 0.005),
+            required_sample_size(0.1, 0.01));
+}
+
 TEST(Sampling, WithoutReplacementBasics) {
   Xoshiro256 rng(11);
   const auto s = sample_without_replacement(1000, 100, rng);

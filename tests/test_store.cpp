@@ -221,6 +221,134 @@ TEST(Store, CorruptTailByteIsTornNotFatal) {
   EXPECT_EQ(c.records.size(), 2u);
 }
 
+TEST(Codec, HeartbeatRoundTrip) {
+  const HeartbeatFrame hb{3, 77, kHeartbeatIdle, 12};
+  const HeartbeatFrame back = decode_heartbeat(encode_heartbeat(hb));
+  EXPECT_EQ(back.worker, hb.worker);
+  EXPECT_EQ(back.seq, hb.seq);
+  EXPECT_EQ(back.index, hb.index);
+  EXPECT_EQ(back.executed, hb.executed);
+  std::vector<u8> bad = encode_heartbeat(hb);
+  bad.push_back(0);
+  EXPECT_THROW((void)decode_heartbeat(bad), StoreError);
+}
+
+TEST(Codec, AssignmentRoundTrip) {
+  const AssignmentFrame as{2, 9, 1, 64};
+  const AssignmentFrame back = decode_assignment(encode_assignment(as));
+  EXPECT_EQ(back.worker, as.worker);
+  EXPECT_EQ(back.shard, as.shard);
+  EXPECT_EQ(back.attempt, as.attempt);
+  EXPECT_EQ(back.count, as.count);
+  std::vector<u8> bad = encode_assignment(as);
+  bad.pop_back();
+  EXPECT_THROW((void)decode_assignment(bad), StoreError);
+}
+
+TEST(Store, CommitMarkersInvisibleToRecordConsumers) {
+  TempFile marked("markers"), plain("markerless");
+  const CampaignMeta meta = sample_meta();
+  {
+    StoreWriter w = StoreWriter::create(marked.path(), meta,
+                                        {.commit_markers = true});
+    for (u32 i = 0; i < 5; ++i) w.append(sample_record(i));
+    w.flush();
+  }
+  write_sample_store(plain.path(), 5, meta);
+
+  // Same records through the reader, marker frames skipped like any other
+  // unknown-to-the-consumer kind.
+  const StoreContents c = read_store(marked.path());
+  ASSERT_EQ(c.records.size(), 5u);
+  EXPECT_FALSE(c.torn_tail);
+
+  // Canonical merge strips markers: both producers collapse to identical
+  // bytes — the farm/scheduler byte-identity bridge.
+  TempFile ma("markers_canon"), mb("markerless_canon");
+  (void)merge_stores({marked.path()}, ma.path());
+  (void)merge_stores({plain.path()}, mb.path());
+  EXPECT_EQ(slurp(ma.path()), slurp(mb.path()));
+}
+
+TEST(Store, TornFlushWindowDroppedWholly) {
+  TempFile f("commitwin");
+  const CampaignMeta meta = sample_meta();
+  {
+    StoreWriter w = StoreWriter::create(f.path(), meta,
+                                        {.commit_markers = true});
+    w.append(sample_record(0));
+    w.flush();  // window 1 sealed
+    w.append(sample_record(1));
+    w.append(sample_record(2));
+    w.flush();  // window 2 sealed
+  }
+  // Shear off exactly the final commit marker (empty payload: 1 kind +
+  // 4 length + 4 CRC = 9 bytes). Records 1 and 2 remain as fully valid,
+  // CRC-clean frames — but their flush window never committed.
+  std::vector<u8> bytes = slurp(f.path());
+  bytes.resize(bytes.size() - 9);
+  spit(f.path(), bytes);
+
+  const StoreContents c = read_store(f.path(), {.tolerate_torn_tail = true});
+  EXPECT_TRUE(c.torn_tail);
+  ASSERT_EQ(c.records.size(), 1u);  // the orphans are dropped wholly
+  EXPECT_EQ(c.records[0].index, 0u);
+  EXPECT_LT(c.valid_bytes, bytes.size());
+
+  // Truncating at valid_bytes yields a clean marker store again.
+  std::filesystem::resize_file(f.path(), c.valid_bytes);
+  const StoreContents clean = read_store(f.path());
+  EXPECT_FALSE(clean.torn_tail);
+  EXPECT_EQ(clean.records.size(), 1u);
+}
+
+TEST(Store, TornFlushWindowMixedKinds) {
+  TempFile f("commitwin_mixed");
+  const CampaignMeta meta = sample_meta();
+  {
+    StoreWriter w = StoreWriter::create(f.path(), meta,
+                                        {.commit_markers = true});
+    w.append(sample_record(0));
+    w.flush();
+    // A farm-shaped flush window: heartbeat, record, its footprint.
+    w.append_heartbeat({1, 4, 1, 1});
+    w.append(sample_record(1));
+    inject::PropagationRecord fp;
+    fp.index = 1;
+    w.append_propagation(fp);
+    w.flush();
+  }
+  std::vector<u8> bytes = slurp(f.path());
+  bytes.resize(bytes.size() - 9);  // drop the window's commit marker
+  spit(f.path(), bytes);
+
+  // The orphan 'R' looks valid on its own, but its companion frames can no
+  // longer be trusted complete: the whole window is truncated away.
+  const StoreContents c = read_store(f.path(), {.tolerate_torn_tail = true});
+  EXPECT_TRUE(c.torn_tail);
+  ASSERT_EQ(c.records.size(), 1u);
+  EXPECT_EQ(c.records[0].index, 0u);
+
+  std::filesystem::resize_file(f.path(), c.valid_bytes);
+  u64 fps = 0;
+  (void)for_each_propagation(f.path(),
+                             [&](const inject::PropagationRecord&) { ++fps; });
+  EXPECT_EQ(fps, 0u);  // the footprint died with its window
+}
+
+TEST(Store, LegacyStoresKeepPerFrameTornSemantics) {
+  // No markers anywhere: the tolerant reader must keep truncating to the
+  // last complete *frame*, as before — old stores do not get stricter.
+  TempFile f("legacy_torn");
+  write_sample_store(f.path(), 3, sample_meta());
+  std::vector<u8> bytes = slurp(f.path());
+  bytes.resize(bytes.size() - 2);  // tear inside the final record frame
+  spit(f.path(), bytes);
+  const StoreContents c = read_store(f.path(), {.tolerate_torn_tail = true});
+  EXPECT_TRUE(c.torn_tail);
+  EXPECT_EQ(c.records.size(), 2u);  // per-frame, not whole-window
+}
+
 TEST(Store, AggregateMatchesRecords) {
   TempFile f("agg");
   write_sample_store(f.path(), 20, sample_meta());

@@ -3,6 +3,8 @@
 //
 //   sfi inventory                          latch/array population report
 //   sfi campaign [options]                 run a fault-injection campaign
+//   sfi worker   --shard-store FILE        farm worker (spawned by campaign
+//                                          --farm; reads stdin assignments)
 //   sfi report   --from FILE               regenerate tables from a store
 //   sfi explain  --from FILE               fault-propagation forensics report
 //   sfi merge    --out FILE IN...          merge campaign store shards
@@ -36,6 +38,26 @@
 //                         flushes (default 32)
 //   --max-new N           stop after N new injections (simulates an
 //                         interrupted run; finish later with --resume)
+//   SIGINT/SIGTERM        stop dispatching, flush committed work, close the
+//                         store cleanly and print the --resume hint (exit
+//                         130); a second signal kills immediately
+// Farm options (campaign; requires --out — workers stream per-worker shard
+// stores which the coordinator merges byte-identically to a 1-process run):
+//   --workers N           spawn N supervised local worker processes
+//   --farm HOSTS.txt      spawn workers per hosts file (`host [slots]`;
+//                         non-local hosts via ssh + shared filesystem)
+//   --watchdog SECS       kill a worker with no committed frame for SECS
+//                         (default 30); unfinished work retries elsewhere
+//   --strikes K           reproducible worker-killer injections get K tries
+//                         before being recorded as HarnessFatal (default 3)
+//   --keep-shards         keep per-worker shard files after the merge
+//   --sabotage-crash I    test hook: worker SIGKILLs itself at index I
+//                         (attempt 0 only, so the retry succeeds)
+//   --sabotage-wedge I    test hook: worker spins forever at index I
+//   --sabotage-wedge-once wedge only on attempt 0 (watchdog drill)
+// Worker options (`sfi worker`; campaign flags same as the coordinator):
+//   --shard-store FILE    shard store this worker appends to (required)
+//   --worker-id N         id stamped into heartbeat/assignment frames
 // Propagation forensics (campaign; records/store R frames stay byte-identical
 // with these on — footprints are extra 'P' frames older readers skip):
 //   --footprint           trace infection footprints: every non-Vanished
@@ -75,6 +97,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -88,6 +111,8 @@
 #include "avp/testgen.hpp"
 #include "beam/beam.hpp"
 #include "core/config.hpp"
+#include "farm/farm.hpp"
+#include "farm/process.hpp"
 #include "report/table.hpp"
 #include "sfi/propagation.hpp"
 #include "telemetry/json.hpp"
@@ -134,9 +159,10 @@ u64 parse_u64(const std::string& key, const std::string& value) {
 
 /// Options that are bare flags (consume no value).
 const std::set<std::string>& flag_options() {
-  static const std::set<std::string> flags = {"raw", "resume", "progress",
-                                              "footprint",
-                                              "footprint-every-cycle"};
+  static const std::set<std::string> flags = {
+      "raw",       "resume",      "progress",
+      "footprint", "footprint-every-cycle",
+      "keep-shards", "sabotage-wedge-once"};
   return flags;
 }
 
@@ -167,7 +193,10 @@ commands:
   inventory   latch/array population report
   campaign    run a statistical fault-injection campaign
               (--out FILE.sfr streams records to a durable store; --resume
-               continues an interrupted one exactly)
+               continues an interrupted one exactly; --workers N / --farm
+               HOSTS.txt run it on supervised worker processes)
+  worker      farm worker process (spawned by campaign --farm; reads
+              shard assignments on stdin, answers via --shard-store)
   report      regenerate campaign tables from a store (--from FILE.sfr),
               no re-simulation
   explain     fault-propagation forensics from a store's footprints
@@ -399,6 +428,154 @@ inject::CampaignConfig campaign_config(const Args& a, u64 default_n) {
   return cfg;
 }
 
+/// Cooperative-stop latch for durable campaigns. The first SIGINT/SIGTERM
+/// flips the flag and lets the scheduler/farm wind down cleanly (flush, close
+/// store, print the --resume hint); a second one restores the default
+/// disposition and re-raises, for when winding down is itself stuck.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void on_stop_signal(int sig) {
+  if (g_stop_requested != 0) {
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    return;
+  }
+  g_stop_requested = 1;
+}
+
+void install_stop_handler() {
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+}
+
+void print_resume_hint(const std::string& out) {
+  std::cout << "interrupted — committed records are durable; finish with:\n"
+            << "  sfi campaign --out " << out
+            << " --resume [same campaign options]\n";
+}
+
+farm::SabotageConfig sabotage_from_args(const Args& a) {
+  farm::SabotageConfig s;
+  if (a.opts.count("sabotage-crash") != 0) {
+    s.crash_index = static_cast<u32>(a.num("sabotage-crash", 0));
+  }
+  if (a.opts.count("sabotage-wedge") != 0) {
+    s.wedge_index = static_cast<u32>(a.num("sabotage-wedge", 0));
+  }
+  s.wedge_once = a.flag("sabotage-wedge-once");
+  return s;
+}
+
+/// Rebuild the campaign-defining flags for an exec-mode worker command line.
+/// Whitelisted: everything that feeds make_testcase/campaign_config (plus the
+/// sabotage hooks, which are attempt-gated and so safe on every worker);
+/// coordinator-only options (--out, --workers, telemetry sinks, ...) and
+/// --threads (workers are single-threaded by construction) stay behind.
+std::vector<std::string> worker_command_from_args(const Args& a) {
+  static const std::set<std::string> keep = {
+      "seed",          "testcase-seed",    "instructions",
+      "n",             "unit",             "type",
+      "sticky",        "ckpt-interval",    "ckpt-mem",
+      "footprint-sample", "footprint-window",
+      "sabotage-crash", "sabotage-wedge"};
+  static const std::set<std::string> keep_flags = {
+      "raw", "footprint", "footprint-every-cycle", "sabotage-wedge-once"};
+  std::vector<std::string> cmd = {farm::self_exe(), "worker"};
+  for (const auto& [key, value] : a.opts) {
+    if (keep.count(key) == 0) continue;
+    cmd.push_back("--" + key);
+    cmd.push_back(value);
+  }
+  for (const auto& flag : a.flags) {
+    if (keep_flags.count(flag) != 0) cmd.push_back("--" + flag);
+  }
+  return cmd;
+}
+
+/// Farm campaign: supervised multi-process execution into per-worker shard
+/// stores, merged byte-identically into `out`.
+int cmd_campaign_farm(const Args& a, const avp::Testcase& tc,
+                      const inject::CampaignConfig& cfg,
+                      const std::string& out, const TelemetrySinks& sinks) {
+  farm::FarmConfig fc;
+  fc.workers = static_cast<u32>(a.num("workers", 2));
+  if (const auto hosts = a.str("farm")) {
+    fc.hosts = farm::parse_hosts_file(*hosts);
+    fc.worker_command = worker_command_from_args(a);
+  }
+  fc.shard_size = static_cast<u32>(a.num("shard-size", 64));
+  fc.max_strikes = static_cast<u32>(a.num("strikes", 3));
+  fc.watchdog_seconds = static_cast<double>(a.num("watchdog", 30));
+  fc.sabotage = sabotage_from_args(a);
+  fc.keep_shards = a.flag("keep-shards");
+  install_stop_handler();
+  fc.should_stop = [] { return g_stop_requested != 0; };
+  if (sinks.progress && sinks.tel) {
+    inject::CampaignTelemetry* tel = sinks.get();
+    fc.on_progress = [tel](const sched::Progress& p) {
+      std::cerr << "\r[farm] "
+                << tel->progress_line(p.done, p.total, p.executed,
+                                      p.wall_seconds)
+                << std::flush;
+    };
+  } else {
+    fc.on_progress = [](const sched::Progress& p) {
+      std::cerr << "\r[farm] " << p.done << "/" << p.total
+                << " injections committed" << std::flush;
+    };
+  }
+
+  const farm::FarmResult r =
+      farm::run_farm_campaign(tc, cfg, out, fc, a.flag("resume"));
+  std::cerr << "\n";
+
+  std::cout << report::section("farm campaign result");
+  std::cout << "store: " << out << " ("
+            << (r.complete ? "complete" : "INCOMPLETE — finish with --resume")
+            << "); " << r.executed << " executed this run, " << r.resumed
+            << " resumed\n";
+  std::cout << "farm: " << r.workers_spawned << " worker(s) spawned, "
+            << r.assignments << " assignment(s), " << r.worker_crashes
+            << " crash(es), " << r.watchdog_kills << " watchdog kill(s), "
+            << r.shard_retries << " shard retr" << (r.shard_retries == 1 ? "y" : "ies")
+            << ", " << r.heartbeat_gaps << " heartbeat gap(s)\n";
+  if (!r.harness_fatal.empty()) {
+    std::cout << "harness-fatal injections (struck out after "
+              << fc.max_strikes << " strikes):";
+    for (const u32 i : r.harness_fatal) std::cout << " " << i;
+    std::cout << "\n";
+  }
+  std::cout << "workload: " << r.meta.workload_instructions
+            << " instructions / " << r.meta.workload_cycles
+            << " cycles; population " << r.meta.population_size
+            << " latches; "
+            << report::Table::num(r.injections_per_second(), 0)
+            << " injections/s\n";
+  sinks.write_outputs();
+  std::cout << "\n";
+  print_campaign_tables(r.agg);
+  if (r.stopped) {
+    print_resume_hint(out);
+    return 130;
+  }
+  return 0;
+}
+
+/// Farm worker process: `sfi worker --shard-store FILE [--worker-id N]`.
+/// Campaign flags mirror the coordinator's so both build the same plan.
+int cmd_worker(const Args& a) {
+  const auto shard = a.str("shard-store");
+  if (!shard) throw CliError("worker requires --shard-store FILE.sfr");
+  const avp::Testcase tc = make_testcase(a);
+  const inject::CampaignConfig cfg = campaign_config(a, 1000);
+  farm::WorkerOptions wo;
+  wo.worker_id = static_cast<u32>(a.num("worker-id", 0));
+  wo.shard_path = *shard;
+  wo.control_fd = 0;  // assignments arrive on stdin
+  wo.sabotage = sabotage_from_args(a);
+  return farm::run_worker(tc, cfg, wo);
+}
+
 /// Scheduled (durable) campaign: stream records into a store file.
 int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
                           const inject::CampaignConfig& cfg,
@@ -408,6 +585,8 @@ int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
   sc.shard_size = static_cast<u32>(a.num("shard-size", 64));
   sc.flush_records = static_cast<u32>(a.num("flush", 32));
   sc.max_new_injections = a.num("max-new", 0);
+  install_stop_handler();
+  sc.should_stop = [] { return g_stop_requested != 0; };
   if (sinks.progress && sinks.tel) {
     inject::CampaignTelemetry* tel = sinks.get();
     sc.on_progress = [tel](const sched::Progress& p) {
@@ -450,6 +629,10 @@ int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
   sinks.write_outputs();
   std::cout << "\n";
   print_campaign_tables(r.agg);
+  if (r.stopped) {
+    print_resume_hint(out);
+    return 130;
+  }
   return 0;
 }
 
@@ -459,8 +642,15 @@ int cmd_campaign(const Args& a) {
   const TelemetrySinks sinks = make_telemetry(a);
   cfg.telemetry = sinks.get();
 
+  const bool farm_mode =
+      a.opts.count("workers") != 0 || a.opts.count("farm") != 0;
   if (const auto out = a.str("out")) {
+    if (farm_mode) return cmd_campaign_farm(a, tc, cfg, *out, sinks);
     return cmd_campaign_to_store(a, tc, cfg, *out, sinks);
+  }
+  if (farm_mode) {
+    throw CliError(
+        "--workers/--farm require --out FILE.sfr (shards merge into it)");
   }
   if (a.flag("resume")) {
     throw CliError("--resume requires --out FILE (a store to resume into)");
@@ -909,6 +1099,7 @@ int main(int argc, char** argv) {
     const Args a = parse(argc, argv);
     if (a.command == "inventory") return cmd_inventory();
     if (a.command == "campaign") return cmd_campaign(a);
+    if (a.command == "worker") return cmd_worker(a);
     if (a.command == "report") return cmd_report(a);
     if (a.command == "explain") return cmd_explain(a);
     if (a.command == "merge") return cmd_merge(a);
