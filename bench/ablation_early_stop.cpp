@@ -1,0 +1,79 @@
+// Ablation — sequential early stop vs fixed-N: how many injections the
+// serve daemon's online Wilson-interval stop saves over picking N up front.
+//
+// One fixed-N campaign runs once; its records are then replayed in dispatch
+// order against the real serve::target_met decision for a sweep of
+// (confidence, half-width) targets. n_stop is the first prefix whose every
+// stratum interval is at or under the target — exactly where the daemon
+// would have stopped dispatching. Exits nonzero if any met stop's widest
+// half-width exceeds its target (the stop decision would be lying).
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "serve/stop.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 n = opt.full ? 10000 : 2000;
+  bench::print_scale_note(opt, "2000 flips", "10000 flips");
+
+  const avp::Testcase tc = bench::standard_testcase();
+  inject::CampaignConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.num_injections = n;
+  const inject::CampaignResult fixed = inject::run_campaign(tc, cfg);
+  inject::CampaignAggregate full;
+  for (const inject::InjectionRecord& rec : fixed.records) full.add(rec);
+
+  struct Sweep {
+    double confidence;
+    double half_width;
+  };
+  const Sweep sweeps[] = {{0.95, 0.05}, {0.95, 0.02}, {0.95, 0.01},
+                          {0.95, 0.005}, {0.99, 0.05}, {0.99, 0.02}};
+
+  std::cout << report::section(
+      "Ablation: sequential early stop vs fixed-N sample size");
+  report::Table t({"confidence", "target hw", "n_stop", "fixed N", "saved",
+                   "hw @ stop", "hw @ N"});
+  bool sound = true;
+  for (const Sweep& s : sweeps) {
+    serve::StopTarget target;
+    target.confidence = s.confidence;
+    target.half_width = s.half_width;
+
+    inject::CampaignAggregate agg;
+    u64 n_stop = 0;
+    double hw_at_stop = -1.0;
+    for (const inject::InjectionRecord& rec : fixed.records) {
+      agg.add(rec);
+      if (serve::target_met(agg, target)) {
+        n_stop = agg.total();
+        hw_at_stop = serve::widest_half_width(agg, target);
+        break;
+      }
+    }
+    const double hw_at_n = serve::widest_half_width(full, target);
+    const bool met = n_stop > 0;
+    if (met && hw_at_stop > target.half_width) {
+      std::cout << "VIOLATION: stop at " << n_stop << " has half-width "
+                << hw_at_stop << " > target " << target.half_width << "\n";
+      sound = false;
+    }
+    const double saved =
+        met ? 1.0 - static_cast<double>(n_stop) / static_cast<double>(n)
+            : 0.0;
+    t.add_row({report::Table::pct(s.confidence),
+               report::Table::num(s.half_width, 3),
+               met ? report::Table::count(n_stop) : "never",
+               report::Table::count(n),
+               report::Table::pct(saved),
+               met ? report::Table::num(hw_at_stop, 4) : "-",
+               report::Table::num(hw_at_n, 4)});
+  }
+  std::cout << t.to_string();
+  std::cout << "\nevery met stop is at or under its target half-width: "
+            << (sound ? "yes" : "NO") << "\n";
+  return sound ? 0 : 1;
+}

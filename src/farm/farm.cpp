@@ -171,6 +171,7 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
         done[sr.index] = true;
         ++done_count;
         ++result.resumed;
+        if (farm.on_record) farm.on_record(sr);
       }
     }
     merge_inputs.push_back(out_path);
@@ -339,6 +340,7 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
           ++result.executed;
           if (remaining > 0) --remaining;
           failures_without_progress = 0;
+          if (farm.on_record) farm.on_record(sr);
         }
         break;
       }

@@ -74,6 +74,12 @@ struct FarmConfig {
   /// workers (their committed records survive), merge what exists.
   std::function<bool()> should_stop;
   std::function<void(const sched::Progress&)> on_progress;
+  /// Called once per durable record — resumed records on startup, then each
+  /// newly committed record as its frame is sealed in a shard store. This is
+  /// the online-statistics feed (`sfi serve` computes sequential Wilson
+  /// intervals from it); because it fires only on committed frames, anything
+  /// counted through it is already safe on disk.
+  std::function<void(const store::StoredRecord&)> on_record;
   /// Keep per-worker shard files after the merge (forensics; default off).
   bool keep_shards = false;
 };

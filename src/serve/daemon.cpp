@@ -1,0 +1,965 @@
+#include "serve/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "avp/testgen.hpp"
+#include "common/check.hpp"
+#include "farm/farm.hpp"
+#include "farm/process.hpp"
+#include "sched/scheduler.hpp"
+#include "store/reader.hpp"
+#include "telemetry/json.hpp"
+
+namespace sfi::serve {
+
+namespace fs = std::filesystem;
+
+std::string_view to_string(CampaignState s) {
+  switch (s) {
+    case CampaignState::Queued: return "queued";
+    case CampaignState::Running: return "running";
+    case CampaignState::Done: return "done";
+  }
+  return "unknown";
+}
+
+/// One tenant campaign tracked by the daemon. IO-thread-visible fields are
+/// guarded by Daemon::mu_ except the atomics, which runner callbacks update
+/// on the injection hot path.
+struct Daemon::Campaign {
+  u64 id = 0;
+  CampaignSpec spec;
+  std::string store_path;
+  std::string manifest_path;
+
+  CampaignState state = CampaignState::Queued;
+  bool failed = false;
+  std::string error;
+  bool complete = false;
+  u64 records = 0;     ///< final committed record count (set by finalize)
+  u64 stop_point = 0;  ///< records at early stop (0 unless early_stop)
+
+  std::atomic<bool> early_stop{false};
+  std::atomic<u64> live_done{0};
+  u64 committed = 0;       ///< monitor's committed count (mu_)
+  double widest_hw = -1.0; ///< widest stratum half-width so far (mu_)
+
+  std::vector<std::string> events;  ///< watch replay buffer (mu_)
+
+  std::thread runner;
+  bool has_runner = false;
+  std::atomic<bool> runner_finished{false};
+};
+
+/// One client connection (request, or watch stream).
+struct Daemon::Conn {
+  int fd = -1;
+  std::string inbuf;
+  std::string outbuf;
+  bool watcher = false;
+  u64 watch_id = 0;
+  std::size_t next_event = 0;
+  bool close_after_flush = false;
+  bool dead = false;
+};
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Atomic manifest write: a crash never leaves a half-written manifest, so
+/// adoption always sees either the old state or the new one.
+void write_file_atomically(const std::string& path,
+                           const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) throw std::runtime_error("serve: cannot write " + tmp);
+    out << contents;
+  }
+  fs::rename(tmp, path);
+}
+
+constexpr std::size_t kMaxRequestBytes = 1 << 20;
+constexpr std::size_t kMaxWatcherBacklog = 8u << 20;
+
+}  // namespace
+
+Daemon::Daemon(ServeConfig cfg) : cfg_(std::move(cfg)) {
+  require(!cfg_.state_dir.empty(), "serve: state_dir is required");
+  require(cfg_.max_active >= 1, "serve: max_active >= 1");
+  const std::string listen =
+      cfg_.listen.empty()
+          ? "unix:" + (fs::path(cfg_.state_dir) / "sfi.sock").string()
+          : cfg_.listen;
+  addr_ = parse_address(listen);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+Daemon::~Daemon() {
+  stopping_.store(true);
+  // Join without mu_: runners lock it in finalize(). run() has returned by
+  // now, so the campaign table itself is no longer mutated.
+  for (auto& [id, c] : campaigns_) {
+    if (c->runner.joinable()) c->runner.join();
+  }
+  for (auto& conn : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+u64 Daemon::now_us() const {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - epoch_)
+                              .count());
+}
+
+void Daemon::emit(Campaign& c, const std::string& line) {
+  std::lock_guard lk(mu_);
+  c.events.push_back(line);
+  log_.emit(line);
+}
+
+int Daemon::run() {
+  // A watcher that disconnects mid-stream must never take the daemon (and
+  // with it every tenant's campaign) down with a SIGPIPE.
+  farm::ignore_sigpipe();
+  fs::create_directories(cfg_.state_dir);
+  log_.open((fs::path(cfg_.state_dir) / "serve.events.jsonl").string());
+  adopt_state_dir();
+  listen_fd_ = listen_on(addr_);
+  set_nonblocking(listen_fd_);
+  {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "serve_start")
+        .field("t_us", now_us())
+        .field("listen", addr_.describe())
+        .field("state_dir", cfg_.state_dir)
+        .field("max_active", cfg_.max_active)
+        .end_object();
+    log_.emit(w.str());
+  }
+
+  while (true) {
+    if (!stopping_.load() &&
+        (stop_requested_.load() || (cfg_.should_stop && cfg_.should_stop()))) {
+      begin_shutdown();
+    }
+    admit_ready();
+    reap_finished();
+    if (stopping_.load()) {
+      std::lock_guard lk(mu_);
+      bool busy = false;
+      for (const auto& [id, c] : campaigns_) {
+        if (c->has_runner && !c->runner_finished.load()) busy = true;
+      }
+      if (!busy) break;
+    }
+    pump_io();
+  }
+  reap_finished();
+
+  // Let watchers drain the final events before the sockets close.
+  for (int i = 0; i < 8; ++i) pump_io();
+  for (auto& conn : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  conns_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (!addr_.tcp) {
+    std::error_code ec;
+    fs::remove(addr_.path, ec);
+  }
+  {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "serve_exit")
+        .field("t_us", now_us())
+        .end_object();
+    log_.emit(w.str());
+  }
+  log_.flush();
+  return 0;
+}
+
+void Daemon::begin_shutdown() {
+  stopping_.store(true);
+  telemetry::JsonWriter w;
+  w.begin_object()
+      .field("ev", "serve_stopping")
+      .field("t_us", now_us())
+      .end_object();
+  log_.emit(w.str());
+}
+
+// --- durable state -------------------------------------------------------
+
+void Daemon::write_manifest(const Campaign& c) {
+  telemetry::JsonWriter w;
+  w.begin_object()
+      .field("id", c.id)
+      .field("tenant", c.spec.tenant)
+      .field("state", c.failed ? std::string_view("failed")
+                               : to_string(c.state))
+      .field("seed", c.spec.seed)
+      .field("testcase_seed", c.spec.testcase_seed)
+      .field("instructions", c.spec.instructions)
+      .field("n", c.spec.n)
+      .field("confidence", c.spec.target.confidence)
+      .field("half_width", c.spec.target.half_width)
+      .field("by_unit", c.spec.target.by_unit)
+      .field("threads", c.spec.threads)
+      .field("workers", c.spec.workers)
+      .field("shard_size", c.spec.shard_size)
+      .field("flush_records", c.spec.flush_records)
+      .field("early_stop", c.early_stop.load())
+      .field("stop_point", c.stop_point)
+      .field("records", c.records)
+      .field("complete", c.complete)
+      .field("store", c.store_path)
+      .end_object();
+  write_file_atomically(c.manifest_path, w.str() + "\n");
+}
+
+void Daemon::adopt_state_dir() {
+  std::vector<fs::path> manifests;
+  for (const auto& entry : fs::directory_iterator(cfg_.state_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("campaign-", 0) == 0 &&
+        name.size() > 14 &&  // "campaign-" + id + ".json"
+        name.substr(name.size() - 5) == ".json") {
+      manifests.push_back(entry.path());
+    }
+  }
+  std::sort(manifests.begin(), manifests.end());
+
+  std::lock_guard lk(mu_);
+  for (const fs::path& path : manifests) {
+    Json m;
+    try {
+      std::ifstream in(path, std::ios::binary);
+      const std::string text{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+      m = Json::parse(text);
+    } catch (const std::exception&) {
+      continue;  // unreadable manifest: leave the files alone, don't adopt
+    }
+    const u64 id = m.get_u64("id", 0);
+    if (id == 0 || campaigns_.count(id) != 0) continue;
+
+    auto c = std::make_unique<Campaign>();
+    c->id = id;
+    c->spec.tenant = m.get_str("tenant", "default");
+    c->spec.seed = m.get_u64("seed", 42);
+    c->spec.testcase_seed = m.get_u64("testcase_seed", 2026);
+    c->spec.instructions = static_cast<u32>(m.get_u64("instructions", 160));
+    c->spec.n = static_cast<u32>(m.get_u64("n", 1000));
+    c->spec.target.confidence =
+        m.get_num("confidence", stats::kDefaultConfidence);
+    c->spec.target.half_width = m.get_num("half_width", 0.02);
+    c->spec.target.by_unit = m.get_bool("by_unit", false);
+    c->spec.threads = static_cast<u32>(m.get_u64("threads", 0));
+    c->spec.workers = static_cast<u32>(m.get_u64("workers", 0));
+    c->spec.shard_size =
+        std::max<u32>(1, static_cast<u32>(m.get_u64("shard_size", 16)));
+    c->spec.flush_records =
+        std::max<u32>(1, static_cast<u32>(m.get_u64("flush_records", 8)));
+    c->manifest_path = path.string();
+    c->store_path = m.get_str(
+        "store",
+        (fs::path(cfg_.state_dir) / ("campaign-" + std::to_string(id) + ".sfr"))
+            .string());
+    c->records = m.get_u64("records", 0);
+    c->stop_point = m.get_u64("stop_point", 0);
+    c->complete = m.get_bool("complete", false);
+    c->early_stop.store(m.get_bool("early_stop", false));
+
+    const std::string state = m.get_str("state", "queued");
+    if (state == "done" || state == "failed") {
+      c->state = CampaignState::Done;
+      c->failed = state == "failed";
+      c->committed = c->records;
+    } else {
+      // queued / running / anything else: requeue — the store (if any) is
+      // durable and the runner resumes from it; an early-stopped store is
+      // re-recognised as met before a single new injection is claimed.
+      c->state = CampaignState::Queued;
+      c->early_stop.store(false);
+    }
+    next_id_ = std::max(next_id_, id + 1);
+
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "adopted")
+        .field("t_us", now_us())
+        .field("id", id)
+        .field("tenant", c->spec.tenant)
+        .field("state", c->failed ? std::string_view("failed")
+                                  : to_string(c->state))
+        .field("records", c->records)
+        .end_object();
+    c->events.push_back(w.str());
+    log_.emit(w.str());
+    campaigns_.emplace(id, std::move(c));
+  }
+}
+
+// --- admission -----------------------------------------------------------
+
+void Daemon::admit_ready() {
+  std::lock_guard lk(mu_);
+  while (!stopping_.load()) {
+    u32 active = 0;
+    for (const auto& [id, c] : campaigns_) {
+      if (c->state == CampaignState::Running) ++active;
+    }
+    if (active >= cfg_.max_active) return;
+
+    // Fair share: the slot goes to the queued tenant with the least
+    // admitted spend; within a tenant, FIFO by id (map order is ascending,
+    // and only a strictly smaller spend displaces the current pick).
+    Campaign* best = nullptr;
+    u64 best_spend = 0;
+    for (auto& [id, c] : campaigns_) {
+      if (c->state != CampaignState::Queued) continue;
+      const u64 spend = tenant_spend_[c->spec.tenant];
+      if (best == nullptr || spend < best_spend) {
+        best = c.get();
+        best_spend = spend;
+      }
+    }
+    if (best == nullptr) return;
+
+    best->state = CampaignState::Running;
+    tenant_spend_[best->spec.tenant] += best->spec.price();
+    write_manifest(*best);
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "admitted")
+        .field("t_us", now_us())
+        .field("id", best->id)
+        .field("tenant", best->spec.tenant)
+        .field("price", best->spec.price())
+        .field("workers", best->spec.workers)
+        .end_object();
+    best->events.push_back(w.str());
+    log_.emit(w.str());
+    best->has_runner = true;
+    best->runner_finished.store(false);
+    Campaign* cp = best;
+    best->runner = std::thread([this, cp] { run_one(*cp); });
+  }
+}
+
+void Daemon::reap_finished() {
+  std::lock_guard lk(mu_);
+  for (auto& [id, c] : campaigns_) {
+    if (c->has_runner && c->runner_finished.load() && c->runner.joinable()) {
+      c->runner.join();
+      c->has_runner = false;
+    }
+  }
+}
+
+// --- campaign execution --------------------------------------------------
+
+void Daemon::run_one(Campaign& c) {
+  try {
+    avp::TestcaseConfig tcfg;
+    tcfg.seed = c.spec.testcase_seed;
+    tcfg.num_instructions = c.spec.instructions;
+    const avp::Testcase tc = avp::generate_testcase(tcfg);
+
+    inject::CampaignConfig cfg;
+    cfg.seed = c.spec.seed;
+    cfg.num_injections = c.spec.n;
+
+    const bool farm_mode = c.spec.workers > 0;
+    std::mutex mon_mu;
+    std::unique_ptr<StopMonitor> monitor =
+        farm_mode
+            ? std::make_unique<StopMonitor>(c.spec.n, c.spec.target)
+            : std::make_unique<StopMonitor>(c.store_path, c.spec.n,
+                                            c.spec.target);
+
+    using clock = std::chrono::steady_clock;
+    clock::time_point last_interval{};  // guarded by mon_mu
+
+    // Throttled "interval" event + live-stats refresh; caller holds mon_mu.
+    const auto note_intervals = [&](bool force) {
+      const auto now = clock::now();
+      if (!force && now - last_interval < std::chrono::milliseconds(250)) {
+        return;
+      }
+      last_interval = now;
+      const double widest = widest_half_width(monitor->agg(), c.spec.target);
+      const u64 committed = monitor->committed();
+      {
+        std::lock_guard lk(mu_);
+        c.committed = committed;
+        c.widest_hw = widest;
+      }
+      telemetry::JsonWriter w;
+      w.begin_object()
+          .field("ev", "interval")
+          .field("t_us", now_us())
+          .field("id", c.id)
+          .field("committed", committed)
+          .field("widest_half_width", widest)
+          .field("target_half_width", c.spec.target.half_width)
+          .field("confidence", c.spec.target.confidence)
+          .field("met", monitor->met())
+          .end_object();
+      emit(c, w.str());
+    };
+
+    // The sequential stop decision: polled by the engine before every
+    // claim. Commit-gated counting (FrameTail / farm on_record) means the
+    // recorded stop point is exactly the durable record set.
+    const auto stop_fn = [&]() -> bool {
+      if (stopping_.load(std::memory_order_relaxed)) return true;
+      if (c.early_stop.load(std::memory_order_relaxed)) return true;
+      std::unique_lock lk(mon_mu, std::try_to_lock);
+      if (!lk.owns_lock()) return false;
+      // Tail mode polls on every claim, unthrottled: with one scheduler
+      // thread the buffer is empty exactly at flush boundaries, so the stop
+      // lands on the flush that met the target and the decision set IS the
+      // final record set (a throttle here would admit straggler records
+      // that could push a stratum back over the target).
+      if (!farm_mode) monitor->poll();
+      if (monitor->met()) {
+        c.early_stop.store(true);
+        note_intervals(/*force=*/true);
+        telemetry::JsonWriter w;
+        w.begin_object()
+            .field("ev", "early_stop")
+            .field("t_us", now_us())
+            .field("id", c.id)
+            .field("committed", monitor->committed())
+            .field("target_half_width", c.spec.target.half_width)
+            .field("confidence", c.spec.target.confidence)
+            .end_object();
+        emit(c, w.str());
+        return true;
+      }
+      note_intervals(/*force=*/false);
+      return false;
+    };
+
+    std::mutex prog_mu;
+    clock::time_point last_progress{};
+    const auto progress_fn = [&](const sched::Progress& p) {
+      c.live_done.store(p.done, std::memory_order_relaxed);
+      std::unique_lock lk(prog_mu, std::try_to_lock);
+      if (!lk.owns_lock()) return;
+      const auto now = clock::now();
+      if (now - last_progress < std::chrono::milliseconds(500)) return;
+      last_progress = now;
+      telemetry::JsonWriter w;
+      w.begin_object()
+          .field("ev", "progress")
+          .field("t_us", now_us())
+          .field("id", c.id)
+          .field("done", p.done)
+          .field("total", p.total)
+          .field("executed", p.executed)
+          .end_object();
+      emit(c, w.str());
+    };
+
+    if (farm_mode) {
+      farm::FarmConfig fc;
+      fc.hosts = {{"localhost", c.spec.workers}};
+      fc.worker_command = {
+          cfg_.worker_binary.empty() ? farm::self_exe() : cfg_.worker_binary,
+          "worker",
+          "--seed", std::to_string(c.spec.seed),
+          "--testcase-seed", std::to_string(c.spec.testcase_seed),
+          "--instructions", std::to_string(c.spec.instructions),
+          "--n", std::to_string(c.spec.n)};
+      fc.shard_size = c.spec.shard_size;
+      fc.should_stop = stop_fn;
+      fc.on_progress = progress_fn;
+      fc.on_record = [&](const store::StoredRecord& sr) {
+        std::lock_guard lk(mon_mu);
+        monitor->observe(sr);
+      };
+      (void)farm::run_farm_campaign(tc, cfg, c.store_path, fc,
+                                    /*resume=*/true);
+    } else {
+      sched::SchedulerConfig sc;
+      sc.threads =
+          c.spec.threads != 0 ? c.spec.threads : cfg_.default_threads;
+      sc.shard_size = c.spec.shard_size;
+      sc.flush_records = c.spec.flush_records;
+      sc.should_stop = stop_fn;
+      sc.on_progress = progress_fn;
+      (void)sched::run_campaign_to_store(tc, cfg, c.store_path, sc,
+                                         /*resume=*/true);
+    }
+    finalize(c, /*failed=*/false, "");
+  } catch (const std::exception& e) {
+    finalize(c, /*failed=*/true, e.what());
+  }
+  c.runner_finished.store(true);
+}
+
+void Daemon::finalize(Campaign& c, bool failed, const std::string& error) {
+  inject::CampaignAggregate agg;
+  u64 records = 0;
+  std::string why = error;
+  if (!failed) {
+    try {
+      auto [meta, a] =
+          store::aggregate_store(c.store_path, {.tolerate_torn_tail = true});
+      agg = a;
+      records = agg.total();
+    } catch (const std::exception& e) {
+      failed = true;
+      why = e.what();
+    }
+  }
+
+  const bool early = c.early_stop.load();
+  const bool complete = records == c.spec.n;
+  {
+    // The final event must land in the watch buffer under the SAME lock
+    // hold that flips the state to Done: the IO thread closes a caught-up
+    // watcher the moment it sees Done, so a gap here would cut streams off
+    // just before their finish line.
+    std::lock_guard lk(mu_);
+    c.failed = failed;
+    c.error = why;
+    c.records = records;
+    c.complete = complete;
+    c.committed = records;
+    if (early) c.stop_point = records;
+    if (!failed) c.widest_hw = widest_half_width(agg, c.spec.target);
+    // Interrupted (daemon shutdown before the target or N was reached):
+    // stays Running on disk, so the next daemon requeues and resumes it.
+    c.state = (failed || early || complete) ? CampaignState::Done
+                                            : CampaignState::Running;
+    telemetry::JsonWriter w;
+    std::string line;
+    if (failed) {
+      w.begin_object()
+          .field("ev", "failed")
+          .field("t_us", now_us())
+          .field("id", c.id)
+          .field("error", why)
+          .end_object();
+      line = w.str();
+    } else if (c.state == CampaignState::Done) {
+      line = finish_event_json(c, agg);
+    } else {
+      w.begin_object()
+          .field("ev", "interrupted")
+          .field("t_us", now_us())
+          .field("id", c.id)
+          .field("records", records)
+          .field("total", c.spec.n)
+          .end_object();
+      line = w.str();
+    }
+    c.events.push_back(line);
+    log_.emit(line);
+  }
+  write_manifest(c);
+}
+
+std::string Daemon::finish_event_json(
+    const Campaign& c, const inject::CampaignAggregate& agg) const {
+  telemetry::JsonWriter w;
+  w.begin_object()
+      .field("ev", "finish")
+      .field("t_us", now_us())
+      .field("id", c.id)
+      .field("tenant", c.spec.tenant)
+      .field("records", agg.total())
+      .field("n", c.spec.n)
+      .field("complete", c.complete)
+      .field("early_stop", c.early_stop.load())
+      .field("stop_point", c.stop_point)
+      .field("confidence", c.spec.target.confidence)
+      .field("target_half_width", c.spec.target.half_width)
+      .field("store", c.store_path);
+  w.key("counts").begin_object();
+  for (const inject::Outcome o : inject::kAllOutcomes) {
+    w.field(inject::to_string(o), agg.counts.of(o));
+  }
+  w.end_object();
+  w.key("strata").begin_array();
+  for (const StratumInterval& s : stratum_intervals(agg, c.spec.target)) {
+    w.begin_object()
+        .field("stratum", s.stratum)
+        .field("count", s.count)
+        .field("n", s.n)
+        .field("low", s.interval.low)
+        .field("high", s.interval.high)
+        .field("half_width", s.half_width())
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+void Daemon::ensure_final_event(Campaign& c) {
+  // Adopted-done campaigns carry no finish event yet; synthesize one from
+  // the durable store so `sfi watch` of an old campaign still ends with the
+  // full report line (identical content — same aggregation path).
+  if (c.state != CampaignState::Done) return;
+  for (const std::string& e : c.events) {
+    if (e.find("\"ev\":\"finish\"") != std::string::npos ||
+        e.find("\"ev\":\"failed\"") != std::string::npos) {
+      return;
+    }
+  }
+  if (c.failed) {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "failed")
+        .field("t_us", now_us())
+        .field("id", c.id)
+        .field("error", c.error)
+        .end_object();
+    c.events.push_back(w.str());
+    log_.emit(w.str());
+    return;
+  }
+  try {
+    auto [meta, agg] =
+        store::aggregate_store(c.store_path, {.tolerate_torn_tail = true});
+    const std::string line = finish_event_json(c, agg);
+    c.events.push_back(line);
+    log_.emit(line);
+  } catch (const std::exception& e) {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "failed")
+        .field("t_us", now_us())
+        .field("id", c.id)
+        .field("error", std::string(e.what()))
+        .end_object();
+    c.events.push_back(w.str());
+    log_.emit(w.str());
+  }
+}
+
+// --- IO ------------------------------------------------------------------
+
+void Daemon::pump_io() {
+  push_watch_events();
+
+  std::vector<pollfd> fds;
+  const bool accepting = !stopping_.load();
+  if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
+  for (const auto& conn : conns_) {
+    short events = POLLIN;
+    if (!conn->outbuf.empty()) events |= POLLOUT;
+    fds.push_back({conn->fd, events, 0});
+  }
+  const int timeout_ms =
+      std::max(1, static_cast<int>(cfg_.poll_seconds * 1000.0));
+  (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+  const std::size_t base = accepting ? 1 : 0;
+  // Conns accepted below have no pollfd entry this round; they are serviced
+  // on the next pump. Only walk the conns that were actually polled.
+  const std::size_t polled = conns_.size();
+  if (accepting && (fds[0].revents & POLLIN) != 0) accept_clients();
+
+  for (std::size_t i = 0; i < polled; ++i) {
+    Conn& conn = *conns_[i];
+    const short re = fds[base + i].revents;
+    if ((re & (POLLERR | POLLNVAL)) != 0) {
+      conn.dead = true;
+      continue;
+    }
+    if ((re & POLLIN) != 0) {
+      char buf[4096];
+      while (!conn.dead) {
+        const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          conn.inbuf.append(buf, static_cast<std::size_t>(n));
+          if (conn.inbuf.size() > kMaxRequestBytes) conn.dead = true;
+          continue;
+        }
+        if (n == 0) {
+          // Peer closed. A watcher that hangs up simply stops watching —
+          // the campaign it was watching is unaffected.
+          conn.dead = true;
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        conn.dead = true;
+        break;
+      }
+      std::size_t nl;
+      while (!conn.dead &&
+             (nl = conn.inbuf.find('\n')) != std::string::npos) {
+        const std::string line = conn.inbuf.substr(0, nl);
+        conn.inbuf.erase(0, nl + 1);
+        if (!line.empty()) handle_line(conn, line);
+      }
+    } else if ((re & POLLHUP) != 0 && conn.outbuf.empty()) {
+      conn.dead = true;
+    }
+    if (!conn.dead && !conn.outbuf.empty()) {
+      const ssize_t n = ::send(conn.fd, conn.outbuf.data(),
+                               conn.outbuf.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.outbuf.erase(0, static_cast<std::size_t>(n));
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        conn.dead = true;  // EPIPE and friends: the client went away
+      }
+    }
+    if (!conn.dead && conn.close_after_flush && conn.outbuf.empty()) {
+      conn.dead = true;
+    }
+  }
+
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->dead) {
+      ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Daemon::accept_clients() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient error: try again next pump
+    }
+    set_nonblocking(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Daemon::handle_line(Conn& conn, const std::string& line) {
+  Json req;
+  try {
+    req = Json::parse(line);
+  } catch (const std::exception& e) {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ok", false)
+        .field("error", std::string(e.what()))
+        .end_object();
+    conn.outbuf += w.str() + "\n";
+    conn.close_after_flush = true;
+    return;
+  }
+  const std::string op = req.get_str("op", "");
+  if (op == "submit") {
+    handle_submit(conn, req);
+  } else if (op == "status") {
+    handle_status(conn);
+  } else if (op == "watch") {
+    handle_watch(conn, req);
+  } else if (op == "ping") {
+    std::lock_guard lk(mu_);
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ok", true)
+        .field("campaigns", static_cast<u64>(campaigns_.size()))
+        .end_object();
+    conn.outbuf += w.str() + "\n";
+  } else if (op == "shutdown") {
+    telemetry::JsonWriter w;
+    w.begin_object().field("ok", true).end_object();
+    conn.outbuf += w.str() + "\n";
+    conn.close_after_flush = true;
+    stop_requested_.store(true);
+  } else {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ok", false)
+        .field("error", "unknown op '" + op + "'")
+        .end_object();
+    conn.outbuf += w.str() + "\n";
+    conn.close_after_flush = true;
+  }
+}
+
+void Daemon::handle_submit(Conn& conn, const Json& req) {
+  CampaignSpec spec;
+  spec.tenant = req.get_str("tenant", "default");
+  spec.seed = req.get_u64("seed", 42);
+  spec.testcase_seed = req.get_u64("testcase_seed", 2026);
+  spec.instructions = static_cast<u32>(req.get_u64("instructions", 160));
+  spec.n = static_cast<u32>(req.get_u64("n", 1000));
+  spec.target.confidence = req.get_num("confidence", stats::kDefaultConfidence);
+  spec.target.half_width = req.get_num("half_width", 0.02);
+  spec.target.by_unit = req.get_bool("by_unit", false);
+  spec.threads = static_cast<u32>(req.get_u64("threads", 0));
+  spec.workers = static_cast<u32>(req.get_u64("workers", 0));
+  spec.shard_size =
+      std::max<u32>(1, static_cast<u32>(req.get_u64("shard_size", 16)));
+  spec.flush_records =
+      std::max<u32>(1, static_cast<u32>(req.get_u64("flush_records", 8)));
+
+  std::string problem;
+  if (spec.n == 0) problem = "n must be >= 1";
+  if (spec.instructions == 0) problem = "instructions must be >= 1";
+  if (!(spec.target.half_width > 0.0)) problem = "half_width must be > 0";
+  if (!(spec.target.confidence > 0.0 && spec.target.confidence < 1.0)) {
+    problem = "confidence must be in (0,1)";
+  }
+  if (stopping_.load()) problem = "daemon is shutting down";
+  if (!problem.empty()) {
+    telemetry::JsonWriter w;
+    w.begin_object().field("ok", false).field("error", problem).end_object();
+    conn.outbuf += w.str() + "\n";
+    conn.close_after_flush = true;
+    return;
+  }
+
+  u64 id = 0;
+  std::string store_path;
+  {
+    std::lock_guard lk(mu_);
+    id = next_id_++;
+    auto c = std::make_unique<Campaign>();
+    c->id = id;
+    c->spec = spec;
+    c->store_path =
+        (fs::path(cfg_.state_dir) / ("campaign-" + std::to_string(id) + ".sfr"))
+            .string();
+    c->manifest_path =
+        (fs::path(cfg_.state_dir) /
+         ("campaign-" + std::to_string(id) + ".json"))
+            .string();
+    store_path = c->store_path;
+    write_manifest(*c);
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ev", "submitted")
+        .field("t_us", now_us())
+        .field("id", id)
+        .field("tenant", spec.tenant)
+        .field("n", spec.n)
+        .field("confidence", spec.target.confidence)
+        .field("half_width", spec.target.half_width)
+        .field("price", spec.price())
+        .field("workers", spec.workers)
+        .end_object();
+    c->events.push_back(w.str());
+    log_.emit(w.str());
+    campaigns_.emplace(id, std::move(c));
+  }
+
+  telemetry::JsonWriter w;
+  w.begin_object()
+      .field("ok", true)
+      .field("id", id)
+      .field("store", store_path)
+      .field("price", spec.price())
+      .end_object();
+  conn.outbuf += w.str() + "\n";
+}
+
+void Daemon::handle_status(Conn& conn) {
+  std::lock_guard lk(mu_);
+  telemetry::JsonWriter w;
+  w.begin_object()
+      .field("ok", true)
+      .field("stopping", stopping_.load());
+  w.key("campaigns").begin_array();
+  for (const auto& [id, c] : campaigns_) {
+    w.begin_object()
+        .field("id", id)
+        .field("tenant", c->spec.tenant)
+        .field("state", c->failed ? std::string_view("failed")
+                                  : to_string(c->state))
+        .field("n", c->spec.n)
+        .field("done", c->state == CampaignState::Done
+                           ? c->records
+                           : c->live_done.load())
+        .field("committed", c->committed)
+        .field("confidence", c->spec.target.confidence)
+        .field("target_half_width", c->spec.target.half_width)
+        .field("widest_half_width", c->widest_hw)
+        .field("early_stop", c->early_stop.load())
+        .field("stop_point", c->stop_point)
+        .field("complete", c->complete)
+        .field("price", c->spec.price())
+        .field("store", c->store_path)
+        .end_object();
+  }
+  w.end_array().end_object();
+  conn.outbuf += w.str() + "\n";
+}
+
+void Daemon::handle_watch(Conn& conn, const Json& req) {
+  const u64 id = req.get_u64("id", 0);
+  std::lock_guard lk(mu_);
+  const auto it = campaigns_.find(id);
+  if (it == campaigns_.end()) {
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ok", false)
+        .field("error", "no campaign with id " + std::to_string(id))
+        .end_object();
+    conn.outbuf += w.str() + "\n";
+    conn.close_after_flush = true;
+    return;
+  }
+  ensure_final_event(*it->second);
+  conn.watcher = true;
+  conn.watch_id = id;
+  conn.next_event = 0;  // replay history first, then follow live
+}
+
+void Daemon::push_watch_events() {
+  std::lock_guard lk(mu_);
+  for (const auto& connp : conns_) {
+    Conn& conn = *connp;
+    if (!conn.watcher || conn.dead) continue;
+    const auto it = campaigns_.find(conn.watch_id);
+    if (it == campaigns_.end()) {
+      conn.dead = true;
+      continue;
+    }
+    Campaign& c = *it->second;
+    while (conn.next_event < c.events.size()) {
+      conn.outbuf += c.events[conn.next_event] + "\n";
+      ++conn.next_event;
+      if (conn.outbuf.size() > kMaxWatcherBacklog) {
+        conn.dead = true;  // watcher is not draining; drop it
+        break;
+      }
+    }
+    if (!conn.dead && c.state == CampaignState::Done &&
+        conn.next_event == c.events.size() ) {
+      conn.close_after_flush = true;
+    }
+  }
+}
+
+}  // namespace sfi::serve

@@ -19,9 +19,13 @@ double OutcomeCounts::fraction(Outcome o) const {
 }
 
 stats::Interval OutcomeCounts::interval(Outcome o) const {
+  return interval(o, stats::z_for_confidence(stats::kDefaultConfidence));
+}
+
+stats::Interval OutcomeCounts::interval(Outcome o, double z) const {
   const u64 t = total();
   if (t == 0) return {};
-  return stats::wilson(of(o), t);
+  return stats::wilson(of(o), t, z);
 }
 
 }  // namespace sfi::inject

@@ -49,8 +49,11 @@ struct OutcomeCounts {
   }
   /// Fraction of all injections with this outcome (0 when empty).
   [[nodiscard]] double fraction(Outcome o) const;
-  /// 95% Wilson interval on the proportion.
+  /// Wilson interval on the proportion at the default (95%) confidence.
   [[nodiscard]] stats::Interval interval(Outcome o) const;
+  /// Wilson interval at an explicit normal quantile z
+  /// (stats::z_for_confidence turns a confidence level into one).
+  [[nodiscard]] stats::Interval interval(Outcome o, double z) const;
 };
 
 }  // namespace sfi::inject

@@ -16,16 +16,27 @@ struct Interval {
   [[nodiscard]] bool contains(double p) const { return p >= low && p <= high; }
 };
 
+/// The confidence level every default interval in the repo is computed at
+/// (the paper reports 95% throughout).
+inline constexpr double kDefaultConfidence = 0.95;
+
+/// Two-sided normal quantile for a confidence level in (0, 1):
+/// z such that P(|Z| <= z) = confidence (z_for_confidence(0.95) ≈ 1.960,
+/// 0.99 ≈ 2.576). This is the one place a confidence level becomes a z
+/// value — callers must not hardcode 1.96-style constants.
+[[nodiscard]] double z_for_confidence(double confidence);
+
 /// Wilson score interval for `successes` out of `n` trials at confidence
-/// given by z (1.96 ≈ 95%). Well-behaved for proportions near 0 — exactly
-/// the regime of checkstop/SDC rates.
+/// given by z (defaults to the 95% quantile). Well-behaved for proportions
+/// near 0 — exactly the regime of checkstop/SDC rates.
 [[nodiscard]] Interval wilson(std::size_t successes, std::size_t n,
-                              double z = 1.96);
+                              double z = z_for_confidence(kDefaultConfidence));
 
 /// Sample size such that the Wilson interval half-width for an expected
 /// proportion p is at most `half_width`. Used to justify the paper's "10k
 /// flips suffice" observation analytically.
-[[nodiscard]] std::size_t required_sample_size(double p, double half_width,
-                                               double z = 1.96);
+[[nodiscard]] std::size_t required_sample_size(
+    double p, double half_width,
+    double z = z_for_confidence(kDefaultConfidence));
 
 }  // namespace sfi::stats

@@ -1,0 +1,527 @@
+// Serve mode (src/serve/): the multi-tenant campaign daemon with adaptive
+// early stop.
+//
+// The load-bearing assertions mirror the module's contract: the sequential
+// stop decision counts only durable (committed) records; a daemon-run
+// campaign stopped at k records is byte-identical (after canonical merge)
+// to a direct single-threaded `--max-new k` run; a restarted daemon
+// re-adopts its state dir, and an early-stopped campaign resumes to the
+// SAME stop point — zero new injections — rather than re-inflating to the
+// fixed-N ceiling; admission is fair-share across tenants; a watcher that
+// disconnects never takes a campaign down with it.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "avp/testgen.hpp"
+#include "sched/scheduler.hpp"
+#include "serve/daemon.hpp"
+#include "serve/stop.hpp"
+#include "serve/wire.hpp"
+#include "store/merge.hpp"
+#include "store/reader.hpp"
+
+namespace sfi::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_((fs::temp_directory_path() / ("sfi_serve_test_" + name))
+                  .string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (fs::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+std::vector<u8> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+// --- wire ----------------------------------------------------------------
+
+TEST(Wire, ParsesProtocolShapes) {
+  const Json v = Json::parse(
+      R"({"op":"submit","n":600,"half_width":0.05,"by_unit":true,)"
+      R"("tenant":"a\"b","nested":{"x":[1,2,3]},"none":null})");
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.get_str("op", ""), "submit");
+  EXPECT_EQ(v.get_u64("n", 0), 600u);
+  EXPECT_NEAR(v.get_num("half_width", 0.0), 0.05, 1e-12);
+  EXPECT_TRUE(v.get_bool("by_unit", false));
+  EXPECT_EQ(v.get_str("tenant", ""), "a\"b");
+  ASSERT_NE(v.find("nested"), nullptr);
+  const Json* xs = v.find("nested")->find("x");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_EQ(xs->items().size(), 3u);
+  EXPECT_EQ(xs->items()[1].num(), 2.0);
+  // Lenient accessors: absent / mistyped -> default.
+  EXPECT_EQ(v.get_u64("missing", 7), 7u);
+  EXPECT_EQ(v.get_str("n", "dflt"), "dflt");
+}
+
+TEST(Wire, RejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), WireError);
+  EXPECT_THROW((void)Json::parse("{"), WireError);
+  EXPECT_THROW((void)Json::parse("{\"a\":1} trailing"), WireError);
+  EXPECT_THROW((void)Json::parse("{'a':1}"), WireError);
+}
+
+TEST(Wire, AddressGrammar) {
+  const Address u = parse_address("unix:/tmp/x.sock");
+  EXPECT_FALSE(u.tcp);
+  EXPECT_EQ(u.path, "/tmp/x.sock");
+  const Address bare = parse_address("/tmp/y.sock");
+  EXPECT_FALSE(bare.tcp);
+  EXPECT_EQ(bare.path, "/tmp/y.sock");
+  const Address t = parse_address("tcp:127.0.0.1:9001");
+  EXPECT_TRUE(t.tcp);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 9001);
+  const Address lp = parse_address("tcp:9002");
+  EXPECT_TRUE(lp.tcp);
+  EXPECT_EQ(lp.port, 9002);
+  EXPECT_THROW((void)parse_address(""), WireError);
+  EXPECT_THROW((void)parse_address("tcp:"), WireError);
+  EXPECT_THROW((void)parse_address("tcp:host:notaport"), WireError);
+}
+
+// --- stop decision -------------------------------------------------------
+
+inject::InjectionRecord rec_of(inject::Outcome o, netlist::Unit u) {
+  inject::InjectionRecord r;
+  r.outcome = o;
+  r.unit = u;
+  return r;
+}
+
+TEST(Stop, NeverMetBeforeFirstRecord) {
+  inject::CampaignAggregate agg;
+  StopTarget loose;
+  loose.half_width = 0.49;
+  EXPECT_FALSE(target_met(agg, loose));
+  EXPECT_LT(widest_half_width(agg, loose), 0.0);
+  EXPECT_TRUE(stratum_intervals(agg, loose).empty());
+}
+
+TEST(Stop, MetOnceEveryStratumNarrowEnough) {
+  inject::CampaignAggregate agg;
+  StopTarget target;
+  target.half_width = 0.05;
+  for (int i = 0; i < 10; ++i) {
+    agg.add(rec_of(inject::Outcome::Vanished, netlist::Unit::IFU));
+  }
+  // 10 records: a Wilson 95% half-width is far above 0.05 on every stratum.
+  EXPECT_FALSE(target_met(agg, target));
+  for (int i = 0; i < 2000; ++i) {
+    agg.add(rec_of(i % 10 == 0 ? inject::Outcome::Corrected
+                               : inject::Outcome::Vanished,
+                   netlist::Unit::IFU));
+  }
+  EXPECT_TRUE(target_met(agg, target));
+  const double widest = widest_half_width(agg, target);
+  EXPECT_GT(widest, 0.0);
+  EXPECT_LE(widest, target.half_width);
+}
+
+TEST(Stop, ByUnitStrataTightenTheTarget) {
+  inject::CampaignAggregate agg;
+  // 2000 overall records, but only 20 in the LSU stratum: overall strata
+  // meet a 0.05 target, the LSU per-unit strata cannot.
+  for (int i = 0; i < 1980; ++i) {
+    agg.add(rec_of(inject::Outcome::Vanished, netlist::Unit::IFU));
+  }
+  for (int i = 0; i < 20; ++i) {
+    agg.add(rec_of(inject::Outcome::Vanished, netlist::Unit::LSU));
+  }
+  StopTarget overall;
+  overall.half_width = 0.05;
+  EXPECT_TRUE(target_met(agg, overall));
+  StopTarget by_unit = overall;
+  by_unit.by_unit = true;
+  EXPECT_FALSE(target_met(agg, by_unit));
+  // Unit-labelled strata only exist in by-unit mode.
+  bool unit_stratum = false;
+  for (const StratumInterval& s : stratum_intervals(agg, by_unit)) {
+    if (s.stratum.rfind("LSU/", 0) == 0) unit_stratum = true;
+  }
+  EXPECT_TRUE(unit_stratum);
+}
+
+TEST(Stop, TighterConfidenceNeedsMoreRecords) {
+  inject::CampaignAggregate agg;
+  for (int i = 0; i < 500; ++i) {
+    agg.add(rec_of(i % 5 == 0 ? inject::Outcome::Corrected
+                              : inject::Outcome::Vanished,
+                   netlist::Unit::IFU));
+  }
+  StopTarget c95;
+  c95.half_width = 0.036;
+  StopTarget c99 = c95;
+  c99.confidence = 0.99;
+  EXPECT_TRUE(target_met(agg, c95));
+  EXPECT_FALSE(target_met(agg, c99));
+}
+
+TEST(Stop, MonitorCountsOnlyCommittedRecords) {
+  // Run a real scheduler campaign; the monitor tailing the same store must
+  // see exactly the committed record set, and re-polling must not double
+  // count.
+  TempDir dir("monitor");
+  avp::TestcaseConfig tcfg;
+  tcfg.seed = 11;
+  tcfg.num_instructions = 80;
+  const avp::Testcase tc = avp::generate_testcase(tcfg);
+  inject::CampaignConfig cfg;
+  cfg.seed = 7;
+  cfg.num_injections = 64;
+  sched::SchedulerConfig sc;
+  sc.threads = 1;
+  sc.shard_size = 16;
+  sc.flush_records = 8;
+  const std::string store = dir.file("mon.sfr");
+  const auto r = sched::run_campaign_to_store(tc, cfg, store, sc);
+  ASSERT_TRUE(r.complete);
+
+  StopTarget loose;
+  loose.half_width = 0.49;
+  StopMonitor mon(store, cfg.num_injections, loose);
+  EXPECT_EQ(mon.poll(), 64u);
+  EXPECT_EQ(mon.committed(), 64u);
+  EXPECT_TRUE(mon.met());
+  EXPECT_EQ(mon.poll(), 0u);  // no new frames, no re-count
+  EXPECT_EQ(mon.agg().total(), 64u);
+
+  // Observe-mode dedupe: replaying an already-tailed index is a no-op.
+  store::StoredRecord dup;
+  dup.index = 3;
+  StopMonitor obs(cfg.num_injections, loose);
+  obs.observe(dup);
+  obs.observe(dup);
+  EXPECT_EQ(obs.committed(), 1u);
+}
+
+// --- daemon --------------------------------------------------------------
+
+/// A daemon running on its own thread in a private state dir, plus the
+/// client plumbing the tests share.
+class DaemonHarness {
+ public:
+  explicit DaemonHarness(const std::string& state_dir, u32 max_active = 2) {
+    ServeConfig cfg;
+    cfg.state_dir = state_dir;
+    cfg.max_active = max_active;
+    cfg.poll_seconds = 0.002;
+    daemon_ = std::make_unique<Daemon>(cfg);
+    thread_ = std::thread([this] { rc_ = daemon_->run(); });
+    wait_ready();
+  }
+  ~DaemonHarness() { stop(); }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    daemon_->request_stop();
+    thread_.join();
+  }
+
+  [[nodiscard]] const Address& addr() const { return daemon_->address(); }
+  [[nodiscard]] int rc() const { return rc_; }
+
+  /// One request, one reply.
+  Json request(const std::string& line) {
+    LineChannel ch(connect_to(addr()));
+    if (!ch.send_line(line)) ADD_FAILURE() << "send failed";
+    std::string reply;
+    if (!ch.recv_line(reply)) ADD_FAILURE() << "no reply";
+    return Json::parse(reply);
+  }
+
+  u64 submit(const std::string& body) {
+    const Json r = request(R"({"op":"submit",)" + body + "}");
+    EXPECT_TRUE(r.get_bool("ok", false));
+    return r.get_u64("id", 0);
+  }
+
+  /// Stream a campaign's full event list (blocks until it finishes).
+  std::vector<Json> watch(u64 id) {
+    LineChannel ch(connect_to(addr()));
+    EXPECT_TRUE(ch.send_line(R"({"op":"watch","id":)" + std::to_string(id) +
+                             "}"));
+    std::vector<Json> events;
+    std::string line;
+    while (ch.recv_line(line)) events.push_back(Json::parse(line));
+    return events;
+  }
+
+  Json status_of(u64 id) {
+    const Json r = request(R"({"op":"status"})");
+    if (const Json* cs = r.find("campaigns")) {
+      for (const Json& c : cs->items()) {
+        if (c.get_u64("id", 0) == id) return c;
+      }
+    }
+    return {};
+  }
+
+ private:
+  void wait_ready() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      try {
+        LineChannel ch(connect_to(daemon_->address()));
+        if (ch.send_line(R"({"op":"ping"})")) {
+          std::string reply;
+          if (ch.recv_line(reply)) return;
+        }
+      } catch (const WireError&) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    FAIL() << "daemon never became ready";
+  }
+
+  std::unique_ptr<Daemon> daemon_;
+  std::thread thread_;
+  int rc_ = -1;
+};
+
+/// The small campaign every daemon test submits (fast: 80-instruction
+/// workload). A 0.12 half-width target stops a ~90%-Vanished campaign after
+/// a few dozen records, far short of n.
+constexpr const char* kSmallSpec =
+    R"("tenant":"t","seed":7,"testcase_seed":11,"instructions":80,)"
+    R"("n":600,"half_width":0.12)";
+
+const Json* find_event(const std::vector<Json>& events, const std::string& ev) {
+  for (const Json& e : events) {
+    if (e.get_str("ev", "") == ev) return &e;
+  }
+  for (const Json& e : events) {  // make "no such event" failures debuggable
+    ADD_FAILURE() << "event: " << e.get_str("ev", "?") << " error='"
+                  << e.get_str("error", "") << "'";
+  }
+  return nullptr;
+}
+
+TEST(Daemon, EarlyStopsAndReportsDurableRecords) {
+  TempDir dir("early_stop");
+  DaemonHarness h(dir.path());
+  const u64 id = h.submit(kSmallSpec);
+  ASSERT_NE(id, 0u);
+  const std::vector<Json> events = h.watch(id);
+
+  const Json* stop = find_event(events, "early_stop");
+  ASSERT_NE(stop, nullptr) << "campaign never early-stopped";
+  const Json* finish = find_event(events, "finish");
+  ASSERT_NE(finish, nullptr);
+  EXPECT_TRUE(finish->get_bool("early_stop", false));
+  const u64 stop_point = finish->get_u64("stop_point", 0);
+  EXPECT_GT(stop_point, 0u);
+  EXPECT_LT(stop_point, 600u);
+
+  // The finish event is computed from the durable store: offline
+  // aggregation agrees exactly.
+  const auto [meta, agg] =
+      store::aggregate_store(dir.file("campaign-1.sfr"));
+  EXPECT_EQ(agg.total(), finish->get_u64("records", 0));
+  EXPECT_EQ(agg.counts.of(inject::Outcome::Vanished),
+            finish->find("counts")->get_u64("Vanished", ~u64{0}));
+
+  // Every stratum met the submitted target at the stop point.
+  StopTarget target;
+  target.half_width = 0.12;
+  EXPECT_TRUE(target_met(agg, target));
+}
+
+TEST(Daemon, StoppedStoreIsByteIdenticalToMaxNewRun) {
+  TempDir dir("byte_identity");
+  u64 stop_point = 0;
+  {
+    DaemonHarness h(dir.path());
+    const u64 id = h.submit(kSmallSpec);
+    const std::vector<Json> events = h.watch(id);
+    const Json* finish = find_event(events, "finish");
+    ASSERT_NE(finish, nullptr);
+    ASSERT_TRUE(finish->get_bool("early_stop", false));
+    stop_point = finish->get_u64("stop_point", 0);
+  }
+
+  // Direct run of the same plan, same engine defaults (threads 1, shard 16,
+  // flush 8), capped at the daemon's stop point.
+  avp::TestcaseConfig tcfg;
+  tcfg.seed = 11;
+  tcfg.num_instructions = 80;
+  const avp::Testcase tc = avp::generate_testcase(tcfg);
+  inject::CampaignConfig cfg;
+  cfg.seed = 7;
+  cfg.num_injections = 600;
+  sched::SchedulerConfig sc;
+  sc.threads = 1;
+  sc.shard_size = 16;
+  sc.flush_records = 8;
+  sc.max_new_injections = stop_point;
+  const std::string direct = dir.file("direct.sfr");
+  const auto r = sched::run_campaign_to_store(tc, cfg, direct, sc);
+  EXPECT_EQ(r.executed, stop_point);
+
+  const std::string canon_daemon = dir.file("daemon.canon.sfr");
+  const std::string canon_direct = dir.file("direct.canon.sfr");
+  (void)store::merge_stores({dir.file("campaign-1.sfr")}, canon_daemon);
+  (void)store::merge_stores({direct}, canon_direct);
+  EXPECT_EQ(slurp(canon_daemon), slurp(canon_direct));
+}
+
+TEST(Daemon, ResumeHonorsEarlyStopPoint) {
+  TempDir dir("resume_stop");
+  u64 stop_point = 0;
+  {
+    DaemonHarness h(dir.path());
+    const u64 id = h.submit(kSmallSpec);
+    const std::vector<Json> events = h.watch(id);
+    const Json* finish = find_event(events, "finish");
+    ASSERT_NE(finish, nullptr);
+    ASSERT_TRUE(finish->get_bool("early_stop", false));
+    stop_point = finish->get_u64("stop_point", 0);
+  }
+  const std::vector<u8> before = slurp(dir.file("campaign-1.sfr"));
+
+  // Simulate a crash after the store was durable but before the manifest
+  // recorded "done": the next daemon must requeue it, and the monitor's
+  // re-count of committed records must stop it again at the SAME point —
+  // zero new injections, not a re-inflation to the fixed-N ceiling.
+  {
+    std::string manifest = [&] {
+      std::ifstream in(dir.file("campaign-1.json"));
+      return std::string{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+    }();
+    const auto pos = manifest.find("\"state\":\"done\"");
+    ASSERT_NE(pos, std::string::npos);
+    manifest.replace(pos, 14, "\"state\":\"running\"");
+    std::ofstream out(dir.file("campaign-1.json"), std::ios::trunc);
+    out << manifest;
+  }
+
+  {
+    DaemonHarness h(dir.path());
+    const std::vector<Json> events = h.watch(1);
+    const Json* finish = find_event(events, "finish");
+    ASSERT_NE(finish, nullptr);
+    EXPECT_TRUE(finish->get_bool("early_stop", false));
+    EXPECT_EQ(finish->get_u64("stop_point", 0), stop_point);
+    EXPECT_EQ(finish->get_u64("records", 0), stop_point);
+  }
+  // Byte-for-byte: the resumed run appended nothing.
+  EXPECT_EQ(slurp(dir.file("campaign-1.sfr")), before);
+}
+
+TEST(Daemon, AdoptsFinishedCampaignsAcrossRestart) {
+  TempDir dir("adopt");
+  u64 records = 0;
+  {
+    DaemonHarness h(dir.path());
+    const u64 id = h.submit(kSmallSpec);
+    const std::vector<Json> events = h.watch(id);
+    const Json* finish = find_event(events, "finish");
+    ASSERT_NE(finish, nullptr);
+    records = finish->get_u64("records", 0);
+  }
+  {
+    DaemonHarness h(dir.path());
+    const Json c = h.status_of(1);
+    EXPECT_EQ(c.get_str("state", ""), "done");
+    EXPECT_EQ(c.get_u64("done", 0), records);
+    // Watching an adopted campaign still ends with a full finish report.
+    const std::vector<Json> events = h.watch(1);
+    const Json* finish = find_event(events, "finish");
+    ASSERT_NE(finish, nullptr);
+    EXPECT_EQ(finish->get_u64("records", 0), records);
+  }
+}
+
+TEST(Daemon, FairShareAdmissionAcrossTenants) {
+  TempDir dir("fair_share");
+  // One slot; alice submits two campaigns back to back, then bob one. The
+  // second slot must go to bob (zero spend) before alice's second
+  // submission, despite FIFO order.
+  DaemonHarness h(dir.path(), /*max_active=*/1);
+  const char* spec =
+      R"("seed":7,"testcase_seed":11,"instructions":80,"n":200,)"
+      R"("half_width":0.2,"tenant":)";
+  const u64 a1 = h.submit(std::string(spec) + "\"alice\"");
+  const u64 a2 = h.submit(std::string(spec) + "\"alice\"");
+  const u64 b1 = h.submit(std::string(spec) + "\"bob\"");
+  ASSERT_NE(a1, 0u);
+  ASSERT_NE(a2, 0u);
+  ASSERT_NE(b1, 0u);
+
+  const std::vector<Json> events_a2 = h.watch(a2);
+  const std::vector<Json> events_b1 = h.watch(b1);
+  const Json* adm_a2 = find_event(events_a2, "admitted");
+  const Json* adm_b1 = find_event(events_b1, "admitted");
+  ASSERT_NE(adm_a2, nullptr);
+  ASSERT_NE(adm_b1, nullptr);
+  EXPECT_LT(adm_b1->get_num("t_us", 0), adm_a2->get_num("t_us", 0))
+      << "bob (fresh tenant) should get the slot before alice's backlog";
+}
+
+TEST(Daemon, WatcherDisconnectDoesNotKillCampaign) {
+  TempDir dir("watcher_gone");
+  DaemonHarness h(dir.path());
+  const u64 id = h.submit(kSmallSpec);
+  {
+    // Connect a watcher and hang up immediately: the daemon writes into the
+    // dead socket (EPIPE territory) and must shrug it off.
+    LineChannel ch(connect_to(h.addr()));
+    ASSERT_TRUE(ch.send_line(R"({"op":"watch","id":)" + std::to_string(id) +
+                             "}"));
+    ch.close();
+  }
+  const std::vector<Json> events = h.watch(id);
+  const Json* finish = find_event(events, "finish");
+  ASSERT_NE(finish, nullptr);
+  EXPECT_EQ(finish->get_str("state", "done"), "done");
+}
+
+TEST(Daemon, RejectsBadSubmissionsAndUnknownOps) {
+  TempDir dir("rejects");
+  DaemonHarness h(dir.path());
+  const Json bad_hw =
+      h.request(R"({"op":"submit","n":10,"half_width":0.0})");
+  EXPECT_FALSE(bad_hw.get_bool("ok", true));
+  const Json bad_conf =
+      h.request(R"({"op":"submit","n":10,"confidence":1.5})");
+  EXPECT_FALSE(bad_conf.get_bool("ok", true));
+  const Json unknown = h.request(R"({"op":"frobnicate"})");
+  EXPECT_FALSE(unknown.get_bool("ok", true));
+  const Json bad_watch = h.request(R"({"op":"watch","id":999})");
+  EXPECT_FALSE(bad_watch.get_bool("ok", true));
+  // The daemon survives all of the above.
+  const Json ping = h.request(R"({"op":"ping"})");
+  EXPECT_TRUE(ping.get_bool("ok", false));
+}
+
+}  // namespace
+}  // namespace sfi::serve

@@ -152,6 +152,46 @@ TEST(Intervals, WilsonNarrowsWithN) {
   EXPECT_GT(wilson(5, 100).width(), wilson(50, 1000).width());
 }
 
+TEST(Intervals, ZForConfidenceReferenceValues) {
+  // Reference quantiles to a tolerance well inside the Acklam+Halley
+  // accuracy (~1e-15 relative).
+  EXPECT_NEAR(z_for_confidence(0.90), 1.6448536269514722, 1e-9);
+  EXPECT_NEAR(z_for_confidence(0.95), 1.9599639845400545, 1e-9);
+  EXPECT_NEAR(z_for_confidence(0.99), 2.5758293035489004, 1e-9);
+  EXPECT_NEAR(z_for_confidence(0.999), 3.2905267314919255, 1e-9);
+  // The default-z wilson overloads are exactly the 95% quantile — the
+  // tables the CLI prints without --confidence are unchanged semantics.
+  EXPECT_NEAR(z_for_confidence(kDefaultConfidence), 1.959964, 1e-6);
+}
+
+TEST(Intervals, ZForConfidenceMonotonicAndInverse) {
+  double prev = 0.0;
+  for (double c = 0.05; c < 0.999; c += 0.01) {
+    const double z = z_for_confidence(c);
+    EXPECT_GT(z, prev);
+    prev = z;
+    // Round-trip through the normal CDF: P(|Z| <= z) == c.
+    const double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+    EXPECT_NEAR(2.0 * cdf - 1.0, c, 1e-12);
+  }
+}
+
+TEST(Intervals, ZForConfidenceRejectsOutOfRange) {
+  EXPECT_THROW((void)z_for_confidence(0.0), UsageError);
+  EXPECT_THROW((void)z_for_confidence(1.0), UsageError);
+  EXPECT_THROW((void)z_for_confidence(-0.5), UsageError);
+  EXPECT_THROW((void)z_for_confidence(1.5), UsageError);
+}
+
+TEST(Intervals, WilsonRespectsExplicitZ) {
+  // A 99% interval is strictly wider than a 95% one on the same counts.
+  const Interval z95 = wilson(50, 1000, z_for_confidence(0.95));
+  const Interval z99 = wilson(50, 1000, z_for_confidence(0.99));
+  EXPECT_GT(z99.width(), z95.width());
+  EXPECT_LE(z99.low, z95.low);
+  EXPECT_GE(z99.high, z95.high);
+}
+
 TEST(Intervals, RequiredSampleSize) {
   const std::size_t n = required_sample_size(0.05, 0.01);
   // Expect in the vicinity of z^2 p(1-p)/w^2 ≈ 1825.

@@ -12,6 +12,11 @@
 //   sfi trace    --latch NAME [options]    trace one fault cause→effect
 //   sfi mix      [options]                 AVP instruction mix & CPI
 //   sfi derate   [options]                 derating factors & FIT budget
+//   sfi serve    --state-dir DIR           multi-tenant campaign daemon
+//   sfi submit   --connect ADDR [options]  submit a campaign to a daemon
+//   sfi status   --connect ADDR            daemon + campaign status
+//   sfi watch    --connect ADDR --id N     stream a campaign's events
+//   sfi shutdown --connect ADDR            graceful daemon stop
 //
 // Common options:
 //   --seed N              experiment seed               (default 42)
@@ -91,6 +96,28 @@
 //                         sampled away)
 //   --progress            live one-line progress (rate, ETA, outcome
 //                         tallies) on stderr
+// Serve options (`sfi serve`):
+//   --state-dir DIR       durable home for campaign stores + manifests
+//                         (required; a restarted daemon re-adopts it and
+//                         resumes incomplete campaigns)
+//   --listen ADDR         unix:PATH, tcp:HOST:PORT, or tcp:PORT
+//                         (default unix:<state-dir>/sfi.sock)
+//   --max-active N        campaigns running concurrently (default 2);
+//                         queued submissions are admitted fair-share by
+//                         tenant spend (price = injections x instructions)
+//   --campaign-threads N  scheduler threads for submissions that leave
+//                         --threads 0 (default 1: deterministic stop points)
+// Client options (`sfi submit` / `status` / `watch` / `shutdown`):
+//   --connect ADDR        daemon address (same grammar as --listen)
+//   --tenant T            fair-share accounting bucket (default "default")
+//   --confidence C        interval confidence in (0,1)  (default 0.95; also
+//                         sets the CI level campaign/report tables print)
+//   --half-width W        early-stop target: stop once every stratum's
+//                         Wilson half-width is <= W     (default 0.02)
+//   --stratify-unit       require per-unit strata to meet the target too
+//   --wait                submit, then stream events until the campaign ends
+//   --json                status: raw JSON reply instead of the table
+//   --id N                watch: campaign id
 // Trace options:
 //   --latch NAME[:BIT]    latch (by hierarchical name) to flip
 //   --cycle C             injection cycle               (default 30)
@@ -99,6 +126,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -117,6 +145,8 @@
 #include "sfi/propagation.hpp"
 #include "telemetry/json.hpp"
 #include "sched/scheduler.hpp"
+#include "serve/daemon.hpp"
+#include "stats/intervals.hpp"
 #include "sfi/campaign.hpp"
 #include "sfi/derating.hpp"
 #include "sfi/tracer.hpp"
@@ -157,12 +187,30 @@ u64 parse_u64(const std::string& key, const std::string& value) {
   return v;
 }
 
+/// Strict floating-point parse: the whole token must be a finite number.
+double parse_f64(const std::string& key, const std::string& value) {
+  const auto fail = [&](const char* why) -> double {
+    throw CliError("invalid value for --" + key + ": '" + value + "' (" +
+                   why + ")");
+  };
+  if (value.empty()) return fail("expected a number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (errno == ERANGE) return fail("out of range");
+  if (end != value.c_str() + value.size()) {
+    return fail("trailing characters after the number");
+  }
+  return v;
+}
+
 /// Options that are bare flags (consume no value).
 const std::set<std::string>& flag_options() {
   static const std::set<std::string> flags = {
       "raw",       "resume",      "progress",
       "footprint", "footprint-every-cycle",
-      "keep-shards", "sabotage-wedge-once"};
+      "keep-shards", "sabotage-wedge-once",
+      "wait", "json", "stratify-unit"};
   return flags;
 }
 
@@ -175,6 +223,10 @@ struct Args {
   [[nodiscard]] u64 num(const std::string& key, u64 dflt) const {
     const auto it = opts.find(key);
     return it == opts.end() ? dflt : parse_u64(key, it->second);
+  }
+  [[nodiscard]] double fnum(const std::string& key, double dflt) const {
+    const auto it = opts.find(key);
+    return it == opts.end() ? dflt : parse_f64(key, it->second);
   }
   [[nodiscard]] std::optional<std::string> str(const std::string& key) const {
     const auto it = opts.find(key);
@@ -207,6 +259,16 @@ commands:
   trace       trace one injected fault from cause to effect
   mix         AVP instruction mix and CPI report
   derate      derating factors & chip FIT budget from a campaign
+  serve       multi-tenant campaign daemon with adaptive early stop
+              (--state-dir DIR [--listen unix:PATH|tcp:HOST:PORT]
+               [--max-active N]); campaigns stop as soon as every stratum's
+              Wilson interval is under the submitted half-width target
+  submit      submit a campaign to a daemon (--connect ADDR [--tenant T]
+              [--n N] [--confidence C] [--half-width W] [--stratify-unit]
+              [--workers N] [--wait])
+  status      one-line-per-campaign daemon status (--connect ADDR [--json])
+  watch       stream a campaign's JSONL event log (--connect ADDR --id N)
+  shutdown    ask a daemon to stop (running campaigns stay resumable)
 telemetry (campaign/beam): --metrics-out FILE, --events-out FILE.jsonl,
   --chrome-trace FILE.json, --telemetry-sample N, --progress
 run `head -60 tools/sfi_cli.cpp` for the full option list.
@@ -257,10 +319,26 @@ std::optional<netlist::LatchType> parse_type(const std::string& s) {
   return std::nullopt;
 }
 
-void print_outcomes(const inject::OutcomeCounts& counts) {
-  report::Table t({"outcome", "count", "fraction", "95% CI"});
+/// Confidence level for every interval a command prints (default 95%).
+double confidence_from(const Args& a) {
+  const double c = a.fnum("confidence", stats::kDefaultConfidence);
+  if (!(c > 0.0 && c < 1.0)) {
+    throw CliError("--confidence must be in (0,1)");
+  }
+  return c;
+}
+
+std::string ci_label(double confidence) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g%% CI", confidence * 100.0);
+  return buf;
+}
+
+void print_outcomes(const inject::OutcomeCounts& counts, double confidence) {
+  const double z = stats::z_for_confidence(confidence);
+  report::Table t({"outcome", "count", "fraction", ci_label(confidence)});
   for (const auto o : inject::kAllOutcomes) {
-    const auto iv = counts.interval(o);
+    const auto iv = counts.interval(o, z);
     t.add_row({std::string(to_string(o)), report::Table::count(counts.of(o)),
                report::Table::pct(counts.fraction(o)),
                "[" + report::Table::pct(iv.low) + ", " +
@@ -288,8 +366,9 @@ void print_unit_table(const inject::CampaignAggregate& agg) {
 /// The tables every campaign view shares — live run, scheduled run, and
 /// store replay print through this one path, which is what makes
 /// `sfi report --from` reproduce the live tables exactly.
-void print_campaign_tables(const inject::CampaignAggregate& agg) {
-  print_outcomes(agg.counts);
+void print_campaign_tables(const inject::CampaignAggregate& agg,
+                           double confidence) {
+  print_outcomes(agg.counts, confidence);
   print_unit_table(agg);
 }
 
@@ -553,7 +632,7 @@ int cmd_campaign_farm(const Args& a, const avp::Testcase& tc,
             << " injections/s\n";
   sinks.write_outputs();
   std::cout << "\n";
-  print_campaign_tables(r.agg);
+  print_campaign_tables(r.agg, confidence_from(a));
   if (r.stopped) {
     print_resume_hint(out);
     return 130;
@@ -628,7 +707,7 @@ int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
                    r.checkpoint_bytes);
   sinks.write_outputs();
   std::cout << "\n";
-  print_campaign_tables(r.agg);
+  print_campaign_tables(r.agg, confidence_from(a));
   if (r.stopped) {
     print_resume_hint(out);
     return 130;
@@ -674,7 +753,7 @@ int cmd_campaign(const Args& a) {
                    r.checkpoint_bytes);
   sinks.write_outputs();
   std::cout << "\n";
-  print_campaign_tables(r.agg);
+  print_campaign_tables(r.agg, confidence_from(a));
   return 0;
 }
 
@@ -694,7 +773,7 @@ int cmd_report(const Args& a) {
             << " instructions / " << meta.workload_cycles
             << " cycles; population " << meta.population_size
             << " latches\n\n";
-  print_campaign_tables(agg);
+  print_campaign_tables(agg, confidence_from(a));
   return 0;
 }
 
@@ -1004,7 +1083,7 @@ int cmd_beam(const Args& a) {
   std::cout << report::section("beam exposure result");
   std::cout << r.latch_events << " latch strikes, " << r.array_events
             << " protected-array strikes\n\n";
-  print_outcomes(r.counts());
+  print_outcomes(r.counts(), confidence_from(a));
   sinks.write_outputs();
   return 0;
 }
@@ -1092,6 +1171,153 @@ int cmd_mix(const Args& a) {
   return 0;
 }
 
+// --- serve: campaign daemon + clients --------------------------------------
+
+int cmd_serve(const Args& a) {
+  const auto state_dir = a.str("state-dir");
+  if (!state_dir) throw CliError("serve requires --state-dir DIR");
+  serve::ServeConfig sc;
+  sc.state_dir = *state_dir;
+  if (const auto l = a.str("listen")) sc.listen = *l;
+  sc.max_active = static_cast<u32>(a.num("max-active", 2));
+  sc.default_threads = static_cast<u32>(a.num("campaign-threads", 1));
+  install_stop_handler();
+  sc.should_stop = [] { return g_stop_requested != 0; };
+  serve::Daemon d(sc);
+  std::cout << "sfi serve: listening on " << d.address().describe()
+            << "; state dir " << *state_dir << "; max active " << sc.max_active
+            << "\n"
+            << std::flush;
+  return d.run();
+}
+
+serve::Address client_address(const Args& a) {
+  const auto spec = a.str("connect");
+  if (!spec) {
+    throw CliError("requires --connect ADDR (unix:PATH or tcp:HOST:PORT)");
+  }
+  return serve::parse_address(*spec);
+}
+
+int cmd_submit(const Args& a) {
+  farm::ignore_sigpipe();
+  // Build (and strictly parse) the request before touching the socket so a
+  // usage error is reported as such even when no daemon is listening.
+  const serve::Address addr = client_address(a);
+  telemetry::JsonWriter w;
+  w.begin_object()
+      .field("op", "submit")
+      .field("tenant", a.str("tenant").value_or("default"))
+      .field("seed", a.num("seed", 42))
+      .field("testcase_seed", a.num("testcase-seed", 2026))
+      .field("instructions", a.num("instructions", 160))
+      .field("n", a.num("n", 1000))
+      .field("confidence", confidence_from(a))
+      .field("half_width", a.fnum("half-width", 0.02))
+      .field("by_unit", a.flag("stratify-unit"))
+      .field("threads", a.num("threads", 0))
+      .field("workers", a.num("workers", 0))
+      .field("shard_size", a.num("shard-size", 16))
+      .field("flush_records", a.num("flush", 8))
+      .end_object();
+  serve::LineChannel ch(serve::connect_to(addr));
+  if (!ch.send_line(w.str())) {
+    throw std::runtime_error("submit: daemon closed the connection");
+  }
+  std::string reply;
+  if (!ch.recv_line(reply)) {
+    throw std::runtime_error("submit: no reply from daemon");
+  }
+  std::cout << reply << "\n" << std::flush;
+  const serve::Json r = serve::Json::parse(reply);
+  if (!r.get_bool("ok", false)) return 1;
+  if (!a.flag("wait")) return 0;
+
+  // --wait: follow the campaign's event stream on the same connection until
+  // the daemon finishes it (the final line is the "finish" report event).
+  telemetry::JsonWriter watch;
+  watch.begin_object()
+      .field("op", "watch")
+      .field("id", r.get_u64("id", 0))
+      .end_object();
+  if (!ch.send_line(watch.str())) {
+    throw std::runtime_error("submit --wait: daemon closed the connection");
+  }
+  std::string line;
+  while (ch.recv_line(line)) std::cout << line << "\n" << std::flush;
+  return 0;
+}
+
+int cmd_status(const Args& a) {
+  farm::ignore_sigpipe();
+  serve::LineChannel ch(serve::connect_to(client_address(a)));
+  if (!ch.send_line(R"({"op":"status"})")) {
+    throw std::runtime_error("status: daemon closed the connection");
+  }
+  std::string reply;
+  if (!ch.recv_line(reply)) {
+    throw std::runtime_error("status: no reply from daemon");
+  }
+  if (a.flag("json")) {
+    std::cout << reply << "\n";
+    return 0;
+  }
+  const serve::Json r = serve::Json::parse(reply);
+  if (!r.get_bool("ok", false)) {
+    std::cout << reply << "\n";
+    return 1;
+  }
+  std::cout << report::section("serve status");
+  report::Table t({"id", "tenant", "state", "records", "widest hw", "target",
+                   "early stop"});
+  if (const serve::Json* cs = r.find("campaigns")) {
+    for (const serve::Json& c : cs->items()) {
+      const double widest = c.get_num("widest_half_width", -1.0);
+      t.add_row({std::to_string(c.get_u64("id", 0)),
+                 c.get_str("tenant", "?"), c.get_str("state", "?"),
+                 std::to_string(c.get_u64("done", 0)) + "/" +
+                     std::to_string(c.get_u64("n", 0)),
+                 widest < 0.0 ? "-" : report::Table::num(widest, 4),
+                 report::Table::num(c.get_num("target_half_width", 0.0), 4),
+                 c.get_bool("early_stop", false)
+                     ? "@" + std::to_string(c.get_u64("stop_point", 0))
+                     : "-"});
+    }
+  }
+  std::cout << t.to_string();
+  return 0;
+}
+
+int cmd_watch(const Args& a) {
+  farm::ignore_sigpipe();
+  const u64 id = a.num("id", 0);
+  if (id == 0) throw CliError("watch requires --id N");
+  serve::LineChannel ch(serve::connect_to(client_address(a)));
+  telemetry::JsonWriter w;
+  w.begin_object().field("op", "watch").field("id", id).end_object();
+  if (!ch.send_line(w.str())) {
+    throw std::runtime_error("watch: daemon closed the connection");
+  }
+  std::string line;
+  int rc = 0;
+  while (ch.recv_line(line)) {
+    std::cout << line << "\n" << std::flush;
+    if (line.rfind("{\"ok\":false", 0) == 0) rc = 1;
+  }
+  return rc;
+}
+
+int cmd_shutdown(const Args& a) {
+  farm::ignore_sigpipe();
+  serve::LineChannel ch(serve::connect_to(client_address(a)));
+  if (!ch.send_line(R"({"op":"shutdown"})")) {
+    throw std::runtime_error("shutdown: daemon closed the connection");
+  }
+  std::string reply;
+  if (ch.recv_line(reply)) std::cout << reply << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1107,6 +1333,11 @@ int main(int argc, char** argv) {
     if (a.command == "trace") return cmd_trace(a);
     if (a.command == "mix") return cmd_mix(a);
     if (a.command == "derate") return cmd_derate(a);
+    if (a.command == "serve") return cmd_serve(a);
+    if (a.command == "submit") return cmd_submit(a);
+    if (a.command == "status") return cmd_status(a);
+    if (a.command == "watch") return cmd_watch(a);
+    if (a.command == "shutdown") return cmd_shutdown(a);
   } catch (const CliError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
