@@ -1,0 +1,159 @@
+// Ablation — observability-plane overhead and read-only gate: a farm
+// campaign with the full plane enabled (campaign telemetry, per-worker 'M'
+// metrics frames, a concurrent Prometheus-rendering scrape thread, the
+// crash flight recorder) must produce a byte-identical merged store to a
+// plane-off run of the same plan, at <5% wall-clock overhead.
+//
+// Both invariants gate CI (nonzero exit on violation). Arms are interleaved
+// off/on/off/on... and compared min-vs-min so one noisy neighbour on a CI
+// runner doesn't fail the build; byte identity is checked on every pair.
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "farm/farm.hpp"
+#include "sfi/telemetry.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/prometheus.hpp"
+
+namespace {
+
+std::vector<sfi::u8> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sfi;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const u32 n = opt.full ? 10000 : 2000;
+  const u32 reps = opt.full ? 2 : 3;
+  bench::print_scale_note(opt, "2000 flips x 3 reps/arm",
+                          "10000 flips x 2 reps/arm");
+
+  const avp::Testcase tc = bench::standard_testcase();
+  inject::CampaignConfig base;
+  base.seed = opt.seed;
+  base.num_injections = n;
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string out_off = (dir / "sfi_obs_plane_off.sfr").string();
+  const std::string out_on = (dir / "sfi_obs_plane_on.sfr").string();
+  const std::string postmortem = (dir / "sfi_obs_plane.postmortem").string();
+
+  // The plane's process-wide half: the crash flight recorder ring that the
+  // event-emission path tees into on every line.
+  telemetry::FlightRecorder::global().enable(2048);
+
+  farm::FarmConfig farm_base;
+  farm_base.workers = 2;
+  farm_base.shard_size = 64;
+
+  const auto run_off = [&] {
+    std::filesystem::remove(out_off);
+    inject::CampaignConfig cfg = base;
+    return farm::run_farm_campaign(tc, cfg, out_off, farm_base);
+  };
+
+  u64 scrapes = 0;
+  u64 scrape_bytes = 0;
+  const auto run_on = [&] {
+    std::filesystem::remove(out_on);
+    inject::CampaignTelemetry tel;
+    tel.set_stop_target(0.95, 0.02);
+    inject::CampaignConfig cfg = base;
+    cfg.telemetry = &tel;
+    farm::FarmConfig fc = farm_base;
+    fc.metrics_every = 32;      // workers stream cumulative 'M' frames
+    fc.postmortem_path = postmortem;
+
+    // A /metrics scrape once a second, rendered exactly the way the serve
+    // daemon renders it: fleet snapshot (with quantile gauges) under the
+    // campaign labels, concurrent with the running coordinator.
+    std::atomic<bool> running{true};
+    std::thread scraper([&] {
+      const std::vector<telemetry::PromLabel> labels = {
+          {"campaign", "1"}, {"tenant", "bench"}, {"engine", "farm"}};
+      while (running.load(std::memory_order_relaxed)) {
+        telemetry::PrometheusWriter pw;
+        pw.add_gauge("campaign.injections_total", labels, n);
+        pw.add_gauge("campaign.fleet_workers", labels,
+                     static_cast<double>(tel.fleet_workers()));
+        pw.add_snapshot(tel.fleet_snapshot(), labels);
+        scrape_bytes += pw.str().size();
+        ++scrapes;
+        for (int i = 0; i < 20 && running.load(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+    const farm::FarmResult r = farm::run_farm_campaign(tc, cfg, out_on, fc);
+    running.store(false);
+    scraper.join();
+    return r;
+  };
+
+  std::cout << report::section(
+      "Ablation: observability plane overhead + read-only gate");
+  report::Table t({"rep", "plane", "executed", "wall (s)", "inj/s"});
+  double best_off = -1.0;
+  double best_on = -1.0;
+  bool identical = true;
+  for (u32 rep = 0; rep < reps; ++rep) {
+    const farm::FarmResult off = run_off();
+    const farm::FarmResult on = run_on();
+    if (!off.complete || !on.complete) {
+      std::cout << "ERROR: farm run incomplete\n";
+      return 1;
+    }
+    if (slurp(out_off) != slurp(out_on)) identical = false;
+    if (best_off < 0.0 || off.wall_seconds < best_off) {
+      best_off = off.wall_seconds;
+    }
+    if (best_on < 0.0 || on.wall_seconds < best_on) {
+      best_on = on.wall_seconds;
+    }
+    t.add_row({report::Table::count(rep), "off",
+               report::Table::count(off.executed),
+               report::Table::num(off.wall_seconds, 2),
+               report::Table::count(
+                   static_cast<u64>(off.injections_per_second()))});
+    t.add_row({report::Table::count(rep), "ON",
+               report::Table::count(on.executed),
+               report::Table::num(on.wall_seconds, 2),
+               report::Table::count(
+                   static_cast<u64>(on.injections_per_second()))});
+  }
+  std::cout << t.to_string();
+
+  const double overhead = best_off > 0.0 ? best_on / best_off - 1.0 : 0.0;
+  std::cout << "\nscrapes: " << scrapes << " (" << scrape_bytes
+            << " bytes of exposition text)\n";
+  std::cout << "min wall: off " << report::Table::num(best_off, 3) << "s, on "
+            << report::Table::num(best_on, 3) << "s -> overhead "
+            << report::Table::pct(overhead) << " (budget 5%)\n";
+  std::cout << "merged store byte-identical plane-on vs plane-off: "
+            << (identical ? "yes" : "NO") << "\n";
+
+  std::filesystem::remove(out_off);
+  std::filesystem::remove(out_on);
+  std::filesystem::remove(postmortem);
+
+  if (!identical) {
+    std::cout << "VIOLATION: observability plane changed store bytes\n";
+    return 1;
+  }
+  if (overhead >= 0.05) {
+    std::cout << "VIOLATION: plane overhead above the 5% budget\n";
+    return 1;
+  }
+  return 0;
+}

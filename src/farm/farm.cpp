@@ -14,6 +14,7 @@
 #include "farm/process.hpp"
 #include "store/merge.hpp"
 #include "store/tail.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 
 namespace sfi::farm {
@@ -261,7 +262,7 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
       s.proc = spawn_exec(argv);
     } else {
       const WorkerOptions wo{s.id, s.shard_path, /*control_fd=*/-1,
-                             farm.sabotage};
+                             farm.sabotage, farm.metrics_every};
       s.proc = spawn_call([&tc, &cfg, &plan, wo](int control_fd) {
         WorkerOptions opts = wo;
         opts.control_fd = control_fd;
@@ -278,6 +279,16 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
     ++result.workers_spawned;
     if (tel != nullptr) {
       tel->farm_worker_spawned(s.id, s.proc.pid, s.generation);
+    }
+  };
+
+  // Crash flight recorder: every supervision failure rewrites the
+  // postmortem file with the ring's current contents, so the artifact that
+  // survives is the last seconds before the most recent fatality.
+  const auto postmortem = [&farm] {
+    auto& recorder = telemetry::FlightRecorder::global();
+    if (!farm.postmortem_path.empty() && recorder.enabled()) {
+      recorder.dump(farm.postmortem_path);
     }
   };
 
@@ -322,6 +333,7 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
     }
     // The dead generation's shard file stays: its committed records are
     // merge input. (usable_store filters headerless stubs later.)
+    postmortem();
   };
 
   // Frame delivery from one slot's tail.
@@ -340,7 +352,23 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
           ++result.executed;
           if (remaining > 0) --remaining;
           failures_without_progress = 0;
+          // Coordinator-side live tallies: farm workers report through
+          // their shard stores, so this is where the progress line's
+          // outcome mix (and its Wilson half-width) comes from.
+          if (tel != nullptr) tel->live_outcome_add(sr.rec.outcome);
           if (farm.on_record) farm.on_record(sr);
+        }
+        break;
+      }
+      case store::kMetricsFrame: {
+        if (tel == nullptr) break;
+        try {
+          store::MetricsFrame mf = store::decode_metrics(payload);
+          tel->note_worker_snapshot(s.id, s.generation,
+                                    std::move(mf.snapshot));
+        } catch (const store::StoreError&) {
+          // A snapshot a newer/older worker encoded differently is an
+          // observability loss, never a campaign failure.
         }
         break;
       }

@@ -82,6 +82,18 @@ struct FarmConfig {
   std::function<void(const store::StoredRecord&)> on_record;
   /// Keep per-worker shard files after the merge (forensics; default off).
   bool keep_shards = false;
+  /// Ask workers to serialize a cumulative metrics snapshot ('M' frame)
+  /// into their shard store every N executed injections (0 = off). The
+  /// coordinator folds delivered snapshots into the campaign telemetry's
+  /// fleet view (CampaignTelemetry::note_worker_snapshot), which is what
+  /// the serve daemon's /metrics endpoint reads. Fork-call workers receive
+  /// this directly; exec workers need --metrics-every in worker_command.
+  u32 metrics_every = 0;
+  /// When non-empty and the global flight recorder is enabled, dump the
+  /// recorder's ring here after every supervision failure (worker crash,
+  /// watchdog kill, strikeout) — the postmortem trace of the last seconds
+  /// before the fatality. Rewritten per failure; observability-only.
+  std::string postmortem_path;
 };
 
 struct FarmResult {

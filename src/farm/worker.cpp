@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "sched/scheduler.hpp"
+#include "sfi/telemetry.hpp"
 #include "store/writer.hpp"
 
 #include <unistd.h>
@@ -93,10 +94,20 @@ int run_worker(const avp::Testcase& tc, const inject::CampaignConfig& cfg,
                const WorkerOptions& opts,
                const inject::CampaignPlan* plan_in) {
   // Workers are single-threaded and report nothing to a telemetry facade —
-  // their observable output is the shard store, full stop.
+  // their observable output is the shard store, full stop. (With
+  // metrics_every set, a worker-private registry accumulates phase/outcome
+  // metrics and ships them as 'M' frames through that same store.)
   inject::CampaignConfig wcfg = cfg;
   wcfg.telemetry = nullptr;
   wcfg.threads = 1;
+
+  std::optional<inject::CampaignTelemetry> tel;
+  inject::WorkerTelemetry* wt = nullptr;
+  if (opts.metrics_every > 0) {
+    tel.emplace();
+    tel->prepare_workers(1);
+    wt = &tel->worker(0);
+  }
 
   std::optional<inject::CampaignPlan> own_plan;
   if (plan_in == nullptr) {
@@ -113,6 +124,17 @@ int run_worker(const avp::Testcase& tc, const inject::CampaignConfig& cfg,
 
   u64 hb_seq = 0;
   u64 executed = 0;
+  u64 m_seq = 0;
+  u64 last_snapshot = 0;
+  // Cumulative snapshot: fold the shard, copy the registry, append. The
+  // coordinator keeps only the newest per (slot, generation), so cadence
+  // only trades freshness against bytes.
+  const auto emit_metrics = [&] {
+    if (wt == nullptr) return;
+    wt->fold();
+    writer.append_metrics({opts.worker_id, m_seq++, tel->metrics().snapshot()});
+    last_snapshot = executed;
+  };
   // First committed frame doubles as the startup signal: the (possibly
   // slow) plan build above is done and the watchdog clock may start.
   writer.append_heartbeat(
@@ -140,16 +162,22 @@ int run_worker(const avp::Testcase& tc, const inject::CampaignConfig& cfg,
       store::StoredRecord sr;
       sr.index = index;
       std::optional<inject::PropagationRecord> fp;
-      sr.rec = worker.run(plan.faults[index], nullptr, index, &fp);
+      sr.rec = worker.run(plan.faults[index], wt, index, &fp);
       writer.append(sr);
       if (fp) writer.append_propagation(*fp);
+      ++executed;
+      if (opts.metrics_every > 0 &&
+          executed - last_snapshot >= opts.metrics_every) {
+        emit_metrics();
+      }
       // Per-record flush+commit: the coordinator's done-count advances one
       // committed record at a time, and a crash can only lose the
       // injection in flight — exactly what the supervisor re-runs.
       writer.flush();
-      ++executed;
     }
   }
+  // Parting snapshot so the fleet view ends exact, not one interval stale.
+  if (wt != nullptr && executed != last_snapshot) emit_metrics();
   writer.flush();
   return 0;
 }

@@ -52,6 +52,11 @@ struct WorkerOptions {
   /// Assignment stream (read side). Exec-mode workers pass STDIN_FILENO.
   int control_fd = 0;
   SabotageConfig sabotage;
+  /// Serialize a cumulative metrics snapshot ('M' frame) into the shard
+  /// store every N executed injections (0 = off). Observability-only: the
+  /// coordinator folds the snapshots into its fleet view; canonical merge
+  /// drops the frames, so the merged store is byte-identical either way.
+  u32 metrics_every = 0;
 };
 
 /// Worker main loop; returns the process exit code (0 = clean drain).

@@ -193,6 +193,11 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
     u64 local_footprints = 0;
 
     const auto flush = [&] {
+      // Fold this worker's metrics shard into the registry at every flush
+      // boundary: live readers (the daemon's /metrics scrape) then see
+      // near-current totals without ever touching a foreign shard. The
+      // worker thread owns the shard, so this is race-free by construction.
+      if (wt != nullptr) wt->fold();
       if (buf.empty() && fp_buf.empty()) return;
       const std::lock_guard<std::mutex> lock(store_mu);
       writer.append(std::span<const store::StoredRecord>(buf.data(),

@@ -1,6 +1,7 @@
 #include "serve/daemon.hpp"
 
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -11,14 +12,18 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 
 #include "avp/testgen.hpp"
 #include "common/check.hpp"
 #include "farm/farm.hpp"
 #include "farm/process.hpp"
 #include "sched/scheduler.hpp"
+#include "sfi/telemetry.hpp"
 #include "store/reader.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/prometheus.hpp"
 
 namespace sfi::serve {
 
@@ -56,16 +61,25 @@ struct Daemon::Campaign {
 
   std::vector<std::string> events;  ///< watch replay buffer (mu_)
 
+  /// Campaign telemetry: the fleet metrics view /metrics exposes. Created
+  /// with the campaign so a scrape never races runner startup; shared_ptr
+  /// because metrics_text() snapshots it outside mu_.
+  std::shared_ptr<inject::CampaignTelemetry> tel;
+  std::vector<StratumInterval> strata;  ///< live early-stop intervals (mu_)
+
   std::thread runner;
   bool has_runner = false;
   std::atomic<bool> runner_finished{false};
+
+  [[nodiscard]] bool farm() const { return spec.workers > 0; }
 };
 
-/// One client connection (request, or watch stream).
+/// One client connection (request, watch stream, or HTTP scrape).
 struct Daemon::Conn {
   int fd = -1;
   std::string inbuf;
   std::string outbuf;
+  bool http = false;  ///< accepted on the HTTP listener (request/response)
   bool watcher = false;
   u64 watch_id = 0;
   std::size_t next_event = 0;
@@ -107,6 +121,21 @@ Daemon::Daemon(ServeConfig cfg) : cfg_(std::move(cfg)) {
           : cfg_.listen;
   addr_ = parse_address(listen);
   epoch_ = std::chrono::steady_clock::now();
+  if (!cfg_.http.empty()) {
+    // Bind in the constructor, not run(): tests (and the CLI banner) can
+    // read the resolved ephemeral port before the IO thread starts.
+    http_addr_ = parse_address(cfg_.http);
+    http_fd_ = listen_on(http_addr_);
+    set_nonblocking(http_fd_);
+    if (http_addr_.tcp && http_addr_.port == 0) {
+      sockaddr_in sin{};
+      socklen_t len = sizeof(sin);
+      if (::getsockname(http_fd_, reinterpret_cast<sockaddr*>(&sin), &len) ==
+          0) {
+        http_addr_.port = ntohs(sin.sin_port);
+      }
+    }
+  }
 }
 
 Daemon::~Daemon() {
@@ -121,6 +150,7 @@ Daemon::~Daemon() {
   }
   conns_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (http_fd_ >= 0) ::close(http_fd_);
 }
 
 u64 Daemon::now_us() const {
@@ -140,6 +170,14 @@ int Daemon::run() {
   // with it every tenant's campaign) down with a SIGPIPE.
   farm::ignore_sigpipe();
   fs::create_directories(cfg_.state_dir);
+  if (cfg_.flight_recorder_slots > 0) {
+    // Crash flight recorder: every telemetry line emitted from here on is
+    // teed into a fixed ring; a fatal signal dumps the last seconds of the
+    // daemon's life next to the state it was managing.
+    telemetry::FlightRecorder::global().enable(cfg_.flight_recorder_slots);
+    telemetry::FlightRecorder::arm_signals(
+        (fs::path(cfg_.state_dir) / "serve.postmortem.jsonl").string());
+  }
   log_.open((fs::path(cfg_.state_dir) / "serve.events.jsonl").string());
   adopt_state_dir();
   listen_fd_ = listen_on(addr_);
@@ -151,8 +189,9 @@ int Daemon::run() {
         .field("t_us", now_us())
         .field("listen", addr_.describe())
         .field("state_dir", cfg_.state_dir)
-        .field("max_active", cfg_.max_active)
-        .end_object();
+        .field("max_active", cfg_.max_active);
+    if (http_fd_ >= 0) w.field("http", http_addr_.describe());
+    w.end_object();
     log_.emit(w.str());
   }
 
@@ -266,6 +305,7 @@ void Daemon::adopt_state_dir() {
 
     auto c = std::make_unique<Campaign>();
     c->id = id;
+    c->tel = std::make_shared<inject::CampaignTelemetry>();
     c->spec.tenant = m.get_str("tenant", "default");
     c->spec.seed = m.get_u64("seed", 42);
     c->spec.testcase_seed = m.get_u64("testcase_seed", 2026);
@@ -390,6 +430,13 @@ void Daemon::run_one(Campaign& c) {
     inject::CampaignConfig cfg;
     cfg.seed = c.spec.seed;
     cfg.num_injections = c.spec.n;
+    // Observability only: telemetry never feeds back into execution, so the
+    // store bytes are identical with the plane on or off.
+    cfg.telemetry = c.tel.get();
+    if (c.tel != nullptr) {
+      c.tel->set_stop_target(c.spec.target.confidence,
+                             c.spec.target.half_width);
+    }
 
     const bool farm_mode = c.spec.workers > 0;
     std::mutex mon_mu;
@@ -411,10 +458,13 @@ void Daemon::run_one(Campaign& c) {
       last_interval = now;
       const double widest = widest_half_width(monitor->agg(), c.spec.target);
       const u64 committed = monitor->committed();
+      std::vector<StratumInterval> strata =
+          stratum_intervals(monitor->agg(), c.spec.target);
       {
         std::lock_guard lk(mu_);
         c.committed = committed;
         c.widest_hw = widest;
+        c.strata = std::move(strata);
       }
       telemetry::JsonWriter w;
       w.begin_object()
@@ -494,6 +544,16 @@ void Daemon::run_one(Campaign& c) {
           "--testcase-seed", std::to_string(c.spec.testcase_seed),
           "--instructions", std::to_string(c.spec.instructions),
           "--n", std::to_string(c.spec.n)};
+      if (http_fd_ >= 0 && cfg_.metrics_every > 0) {
+        // Fleet metrics: workers snapshot their registries into the shard
+        // stream so /metrics covers every process, not just this one.
+        fc.metrics_every = cfg_.metrics_every;
+        fc.worker_command.push_back("--metrics-every");
+        fc.worker_command.push_back(std::to_string(cfg_.metrics_every));
+      }
+      if (cfg_.flight_recorder_slots > 0) {
+        fc.postmortem_path = c.store_path + ".postmortem.jsonl";
+      }
       fc.shard_size = c.spec.shard_size;
       fc.should_stop = stop_fn;
       fc.on_progress = progress_fn;
@@ -551,7 +611,10 @@ void Daemon::finalize(Campaign& c, bool failed, const std::string& error) {
     c.complete = complete;
     c.committed = records;
     if (early) c.stop_point = records;
-    if (!failed) c.widest_hw = widest_half_width(agg, c.spec.target);
+    if (!failed) {
+      c.widest_hw = widest_half_width(agg, c.spec.target);
+      c.strata = stratum_intervals(agg, c.spec.target);
+    }
     // Interrupted (daemon shutdown before the target or N was reached):
     // stays Running on disk, so the next daemon requeues and resumes it.
     c.state = (failed || early || complete) ? CampaignState::Done
@@ -669,7 +732,17 @@ void Daemon::pump_io() {
 
   std::vector<pollfd> fds;
   const bool accepting = !stopping_.load();
-  if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
+  int main_idx = -1;
+  int http_idx = -1;
+  if (accepting) {
+    main_idx = static_cast<int>(fds.size());
+    fds.push_back({listen_fd_, POLLIN, 0});
+    if (http_fd_ >= 0) {
+      http_idx = static_cast<int>(fds.size());
+      fds.push_back({http_fd_, POLLIN, 0});
+    }
+  }
+  const std::size_t base = fds.size();
   for (const auto& conn : conns_) {
     short events = POLLIN;
     if (!conn->outbuf.empty()) events |= POLLOUT;
@@ -679,11 +752,15 @@ void Daemon::pump_io() {
       std::max(1, static_cast<int>(cfg_.poll_seconds * 1000.0));
   (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
 
-  const std::size_t base = accepting ? 1 : 0;
   // Conns accepted below have no pollfd entry this round; they are serviced
   // on the next pump. Only walk the conns that were actually polled.
   const std::size_t polled = conns_.size();
-  if (accepting && (fds[0].revents & POLLIN) != 0) accept_clients();
+  if (main_idx >= 0 && (fds[main_idx].revents & POLLIN) != 0) {
+    accept_clients(listen_fd_, /*http=*/false);
+  }
+  if (http_idx >= 0 && (fds[http_idx].revents & POLLIN) != 0) {
+    accept_clients(http_fd_, /*http=*/true);
+  }
 
   for (std::size_t i = 0; i < polled; ++i) {
     Conn& conn = *conns_[i];
@@ -712,12 +789,16 @@ void Daemon::pump_io() {
         conn.dead = true;
         break;
       }
-      std::size_t nl;
-      while (!conn.dead &&
-             (nl = conn.inbuf.find('\n')) != std::string::npos) {
-        const std::string line = conn.inbuf.substr(0, nl);
-        conn.inbuf.erase(0, nl + 1);
-        if (!line.empty()) handle_line(conn, line);
+      if (conn.http) {
+        if (!conn.dead) handle_http(conn);
+      } else {
+        std::size_t nl;
+        while (!conn.dead &&
+               (nl = conn.inbuf.find('\n')) != std::string::npos) {
+          const std::string line = conn.inbuf.substr(0, nl);
+          conn.inbuf.erase(0, nl + 1);
+          if (!line.empty()) handle_line(conn, line);
+        }
       }
     } else if ((re & POLLHUP) != 0 && conn.outbuf.empty()) {
       conn.dead = true;
@@ -747,9 +828,9 @@ void Daemon::pump_io() {
   }
 }
 
-void Daemon::accept_clients() {
+void Daemon::accept_clients(int listen_fd, bool http) {
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN or a transient error: try again next pump
@@ -757,6 +838,7 @@ void Daemon::accept_clients() {
     set_nonblocking(fd);
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
+    conn->http = http;
     conns_.push_back(std::move(conn));
   }
 }
@@ -847,6 +929,7 @@ void Daemon::handle_submit(Conn& conn, const Json& req) {
     id = next_id_++;
     auto c = std::make_unique<Campaign>();
     c->id = id;
+    c->tel = std::make_shared<inject::CampaignTelemetry>();
     c->spec = spec;
     c->store_path =
         (fs::path(cfg_.state_dir) / ("campaign-" + std::to_string(id) + ".sfr"))
@@ -885,35 +968,9 @@ void Daemon::handle_submit(Conn& conn, const Json& req) {
 }
 
 void Daemon::handle_status(Conn& conn) {
-  std::lock_guard lk(mu_);
-  telemetry::JsonWriter w;
-  w.begin_object()
-      .field("ok", true)
-      .field("stopping", stopping_.load());
-  w.key("campaigns").begin_array();
-  for (const auto& [id, c] : campaigns_) {
-    w.begin_object()
-        .field("id", id)
-        .field("tenant", c->spec.tenant)
-        .field("state", c->failed ? std::string_view("failed")
-                                  : to_string(c->state))
-        .field("n", c->spec.n)
-        .field("done", c->state == CampaignState::Done
-                           ? c->records
-                           : c->live_done.load())
-        .field("committed", c->committed)
-        .field("confidence", c->spec.target.confidence)
-        .field("target_half_width", c->spec.target.half_width)
-        .field("widest_half_width", c->widest_hw)
-        .field("early_stop", c->early_stop.load())
-        .field("stop_point", c->stop_point)
-        .field("complete", c->complete)
-        .field("price", c->spec.price())
-        .field("store", c->store_path)
-        .end_object();
-  }
-  w.end_array().end_object();
-  conn.outbuf += w.str() + "\n";
+  // Same document the HTTP plane serves at /campaigns: one builder, two
+  // transports (extra fields are fine — the wire protocol is lenient).
+  conn.outbuf += campaigns_json() + "\n";
 }
 
 void Daemon::handle_watch(Conn& conn, const Json& req) {
@@ -960,6 +1017,237 @@ void Daemon::push_watch_events() {
       conn.close_after_flush = true;
     }
   }
+}
+
+// --- HTTP observability plane ---------------------------------------------
+//
+// A deliberately minimal HTTP/1.1 server: GET only, one request per
+// connection (Connection: close), responses fully buffered in the conn
+// outbox. It exists to be scraped — Prometheus, `sfi top`, curl — not to
+// serve the web; and it is strictly read-only: nothing reachable from here
+// mutates a campaign, its store, or the admission queue.
+
+void Daemon::handle_http(Conn& conn) {
+  const std::size_t end = conn.inbuf.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    if (conn.inbuf.size() > 8192) conn.dead = true;  // header flood
+    return;  // headers incomplete; wait for more bytes
+  }
+  std::istringstream in(conn.inbuf.substr(0, end));
+  conn.inbuf.clear();
+  std::string method;
+  std::string target;
+  in >> method >> target;
+  const std::string path = target.substr(0, target.find('?'));
+
+  const auto respond = [&conn](std::string_view status, std::string_view type,
+                               const std::string& body) {
+    conn.outbuf += "HTTP/1.1 ";
+    conn.outbuf += status;
+    conn.outbuf += "\r\nContent-Type: ";
+    conn.outbuf += type;
+    conn.outbuf += "\r\nContent-Length: " + std::to_string(body.size());
+    conn.outbuf += "\r\nConnection: close\r\n\r\n";
+    conn.outbuf += body;
+    conn.close_after_flush = true;
+  };
+
+  if (method != "GET") {
+    respond("405 Method Not Allowed", "text/plain", "GET only\n");
+    return;
+  }
+  if (path == "/metrics") {
+    respond("200 OK", "text/plain; version=0.0.4; charset=utf-8",
+            metrics_text());
+  } else if (path == "/healthz") {
+    u64 n = 0;
+    {
+      std::lock_guard lk(mu_);
+      n = campaigns_.size();
+    }
+    telemetry::JsonWriter w;
+    w.begin_object()
+        .field("ok", true)
+        .field("stopping", stopping_.load())
+        .field("t_us", now_us())
+        .field("campaigns", n)
+        .end_object();
+    respond("200 OK", "application/json", w.str() + "\n");
+  } else if (path == "/campaigns") {
+    respond("200 OK", "application/json", campaigns_json() + "\n");
+  } else {
+    respond("404 Not Found", "text/plain", "not found\n");
+  }
+}
+
+std::string Daemon::metrics_text() {
+  // Copy what mu_ guards, then render (and snapshot telemetry) unlocked:
+  // fleet_snapshot() copies a whole registry, which has no business running
+  // under the campaign-table lock.
+  struct Row {
+    u64 id = 0;
+    std::string tenant;
+    bool farm = false;
+    u64 n = 0;
+    u64 done = 0;
+    u64 committed = 0;
+    bool early = false;
+    double confidence = 0.0;
+    double target_hw = 0.0;
+    double widest = -1.0;
+    std::vector<StratumInterval> strata;
+    std::shared_ptr<inject::CampaignTelemetry> tel;
+  };
+  std::vector<Row> rows;
+  u64 queued = 0;
+  u64 running = 0;
+  u64 done = 0;
+  {
+    std::lock_guard lk(mu_);
+    rows.reserve(campaigns_.size());
+    for (const auto& [id, c] : campaigns_) {
+      switch (c->state) {
+        case CampaignState::Queued: ++queued; break;
+        case CampaignState::Running: ++running; break;
+        case CampaignState::Done: ++done; break;
+      }
+      rows.push_back({id, c->spec.tenant, c->farm(), c->spec.n,
+                      c->state == CampaignState::Done ? c->records
+                                                      : c->live_done.load(),
+                      c->committed, c->early_stop.load(),
+                      c->spec.target.confidence, c->spec.target.half_width,
+                      c->widest_hw, c->strata, c->tel});
+    }
+  }
+
+  telemetry::PrometheusWriter pw;
+  const std::vector<telemetry::PromLabel> none;
+  pw.add_gauge("serve.uptime_seconds", none,
+               static_cast<double>(now_us()) / 1e6);
+  pw.add_gauge("serve.stopping", none, stopping_.load() ? 1.0 : 0.0);
+  const auto state_label = [](const char* s) {
+    return std::vector<telemetry::PromLabel>{{"state", s}};
+  };
+  pw.add_gauge("serve.campaigns", state_label("queued"),
+               static_cast<double>(queued));
+  pw.add_gauge("serve.campaigns", state_label("running"),
+               static_cast<double>(running));
+  pw.add_gauge("serve.campaigns", state_label("done"),
+               static_cast<double>(done));
+  for (const Row& r : rows) {
+    const std::vector<telemetry::PromLabel> labels = {
+        {"campaign", std::to_string(r.id)},
+        {"tenant", r.tenant},
+        {"engine", r.farm ? "farm" : "sched"}};
+    pw.add_gauge("campaign.injections_total", labels,
+                 static_cast<double>(r.n));
+    pw.add_gauge("campaign.done", labels, static_cast<double>(r.done));
+    pw.add_gauge("campaign.committed", labels,
+                 static_cast<double>(r.committed));
+    pw.add_gauge("campaign.early_stop", labels, r.early ? 1.0 : 0.0);
+    pw.add_gauge("campaign.confidence", labels, r.confidence);
+    pw.add_gauge("campaign.target_half_width", labels, r.target_hw);
+    if (r.widest >= 0.0) {
+      pw.add_gauge("campaign.widest_half_width", labels, r.widest);
+    }
+    // Live early-stop state, one gauge triple per stratum: how many records
+    // the stratum has, the proportion estimate, and how tight its Wilson
+    // interval is against the target above.
+    for (const StratumInterval& s : r.strata) {
+      std::vector<telemetry::PromLabel> sl = labels;
+      sl.push_back({"stratum", s.stratum});
+      pw.add_gauge("stratum.n", sl, static_cast<double>(s.n));
+      if (s.n > 0) {
+        pw.add_gauge("stratum.proportion", sl,
+                     static_cast<double>(s.count) / static_cast<double>(s.n));
+      }
+      pw.add_gauge("stratum.half_width", sl, s.half_width());
+    }
+    if (r.tel != nullptr) {
+      pw.add_gauge("campaign.fleet_workers", labels,
+                   static_cast<double>(r.tel->fleet_workers()));
+      pw.add_snapshot(r.tel->fleet_snapshot(), labels);
+    }
+  }
+  return pw.str();
+}
+
+std::string Daemon::campaigns_json() {
+  struct Row {
+    u64 id = 0;
+    std::string tenant;
+    std::string state;
+    bool farm = false;
+    u64 n = 0;
+    u64 done = 0;
+    u64 committed = 0;
+    double confidence = 0.0;
+    double target_hw = 0.0;
+    double widest = -1.0;
+    bool early = false;
+    u64 stop_point = 0;
+    bool complete = false;
+    u64 price = 0;
+    std::string store;
+    std::shared_ptr<inject::CampaignTelemetry> tel;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard lk(mu_);
+    rows.reserve(campaigns_.size());
+    for (const auto& [id, c] : campaigns_) {
+      rows.push_back({id, c->spec.tenant,
+                      std::string(c->failed ? std::string_view("failed")
+                                            : to_string(c->state)),
+                      c->farm(), c->spec.n,
+                      c->state == CampaignState::Done ? c->records
+                                                      : c->live_done.load(),
+                      c->committed, c->spec.target.confidence,
+                      c->spec.target.half_width, c->widest_hw,
+                      c->early_stop.load(), c->stop_point, c->complete,
+                      c->spec.price(), c->store_path, c->tel});
+    }
+  }
+
+  telemetry::JsonWriter w;
+  w.begin_object()
+      .field("ok", true)
+      .field("stopping", stopping_.load())
+      .field("t_us", now_us());
+  w.key("campaigns").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object()
+        .field("id", r.id)
+        .field("tenant", r.tenant)
+        .field("state", r.state)
+        .field("engine", r.farm ? std::string_view("farm")
+                                : std::string_view("sched"))
+        .field("n", r.n)
+        .field("done", r.done)
+        .field("committed", r.committed)
+        .field("confidence", r.confidence)
+        .field("target_half_width", r.target_hw)
+        .field("widest_half_width", r.widest)
+        .field("early_stop", r.early)
+        .field("stop_point", r.stop_point)
+        .field("complete", r.complete)
+        .field("price", r.price)
+        .field("store", r.store);
+    if (r.tel != nullptr) {
+      const telemetry::MetricsSnapshot snap = r.tel->fleet_snapshot();
+      w.field("workers", static_cast<u64>(r.tel->fleet_workers()));
+      w.key("counts").begin_object();
+      for (const inject::Outcome o : inject::kAllOutcomes) {
+        w.field(inject::to_string(o),
+                snap.counter_value("outcome." +
+                                   std::string(inject::to_string(o))));
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
 }
 
 }  // namespace sfi::serve

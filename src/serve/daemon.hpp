@@ -103,6 +103,23 @@ struct ServeConfig {
   std::function<bool()> should_stop;
   /// Binary for farm-mode worker processes; empty uses this executable.
   std::string worker_binary;
+  /// HTTP observability listener (wire::parse_address grammar; `tcp:0`
+  /// binds an ephemeral port — read it back via http_address()). Empty:
+  /// HTTP plane off. Serves GET /metrics (Prometheus 0.0.4 text exposition
+  /// over every campaign's fleet metrics snapshot plus live early-stop
+  /// gauges), /healthz and /campaigns (JSON). Strictly read-only: scraping
+  /// never changes campaign behaviour or store bytes.
+  std::string http;
+  /// Farm-worker metrics cadence while the HTTP plane is on: workers
+  /// serialize a cumulative snapshot ('M' frame) every N injections so
+  /// /metrics covers the whole fleet, not just the coordinator. 0 = off.
+  u32 metrics_every = 32;
+  /// Flight-recorder ring size (recent telemetry lines kept in memory).
+  /// When > 0 a fatal signal in the daemon dumps the ring to
+  /// <state_dir>/serve.postmortem.jsonl, and farm-mode supervision
+  /// failures (crash / watchdog kill / strikeout) dump to
+  /// <store>.postmortem.jsonl. 0 disables the recorder.
+  u32 flight_recorder_slots = 2048;
 };
 
 class Daemon {
@@ -122,6 +139,12 @@ class Daemon {
   /// The resolved listen address (for tests and the CLI banner).
   [[nodiscard]] const Address& address() const { return addr_; }
 
+  /// True when the HTTP observability listener is bound.
+  [[nodiscard]] bool http_enabled() const { return http_fd_ >= 0; }
+  /// The resolved HTTP listen address (the ephemeral port of `tcp:0` is
+  /// filled in at construction). Meaningful only when http_enabled().
+  [[nodiscard]] const Address& http_address() const { return http_addr_; }
+
  private:
   struct Campaign;
   struct Conn;
@@ -137,12 +160,17 @@ class Daemon {
 
   // --- IO ---
   void pump_io();
-  void accept_clients();
+  void accept_clients(int listen_fd, bool http);
   void handle_line(Conn& conn, const std::string& line);
   void handle_submit(Conn& conn, const Json& req);
   void handle_status(Conn& conn);
   void handle_watch(Conn& conn, const Json& req);
   void push_watch_events();
+
+  // --- HTTP observability plane (read-only) ---
+  void handle_http(Conn& conn);
+  [[nodiscard]] std::string metrics_text();
+  [[nodiscard]] std::string campaigns_json();
 
   // --- events ---
   [[nodiscard]] u64 now_us() const;
@@ -153,7 +181,9 @@ class Daemon {
 
   ServeConfig cfg_;
   Address addr_;
+  Address http_addr_;
   int listen_fd_ = -1;
+  int http_fd_ = -1;  ///< HTTP observability listener (-1: plane off)
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> stopping_{false};  ///< shutdown begun (runners see this)
   std::chrono::steady_clock::time_point epoch_;

@@ -302,8 +302,10 @@ Address parse_address(const std::string& spec) {
     u64 port = 0;
     const auto [ptr, ec] = std::from_chars(
         port_str.data(), port_str.data() + port_str.size(), port);
+    // Port 0 is legal for listeners: the OS assigns an ephemeral port and
+    // the daemon reads it back with getsockname (connect_to rejects it).
     if (ec != std::errc() || ptr != port_str.data() + port_str.size() ||
-        port == 0 || port > 65535) {
+        port > 65535) {
       throw WireError("wire: bad tcp port in '" + spec + "'");
     }
     a.port = static_cast<u16>(port);

@@ -1,5 +1,6 @@
 #include "sfi/telemetry.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -7,6 +8,8 @@
 
 #include "sfi/aggregate.hpp"
 #include "sfi/propagation.hpp"
+#include "stats/intervals.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 
 namespace sfi::inject {
@@ -438,12 +441,21 @@ namespace {
 template <typename Fn>
 void emit_farm_event(telemetry::EventLog* log, u64 t_us, std::string_view ev,
                      Fn&& extra) {
-  if (log == nullptr) return;
+  // Without an event log the line still goes to the crash flight recorder
+  // (when one is enabled): farm supervision events are exactly the context
+  // a postmortem needs. EventLog::emit tees on its own, so the direct
+  // note() only runs on the log-less path.
+  auto& recorder = telemetry::FlightRecorder::global();
+  if (log == nullptr && !recorder.enabled()) return;
   telemetry::JsonWriter w;
   w.begin_object().field("ev", ev).field("t_us", t_us);
   extra(w);
   w.end_object();
-  log->emit(w.str());
+  if (log != nullptr) {
+    log->emit(w.str());
+  } else {
+    recorder.note(w.str());
+  }
 }
 
 }  // namespace
@@ -516,6 +528,44 @@ void CampaignTelemetry::merge_workers() {
   for (const auto& w : workers_) registry_.merge(w->shard_);
 }
 
+void WorkerTelemetry::fold() { owner_.registry_.merge(shard_); }
+
+void CampaignTelemetry::note_worker_snapshot(u32 slot, u32 generation,
+                                             telemetry::MetricsSnapshot snap) {
+  const u64 key = (static_cast<u64>(slot) << 32) | generation;
+  const std::lock_guard<std::mutex> lock(fleet_mu_);
+  worker_snapshots_[key] = std::move(snap);
+}
+
+telemetry::MetricsSnapshot CampaignTelemetry::fleet_snapshot() const {
+  telemetry::MetricsSnapshot fleet = registry_.snapshot();
+  const std::lock_guard<std::mutex> lock(fleet_mu_);
+  for (const auto& [key, snap] : worker_snapshots_) {
+    fleet.merge_from(snap);
+  }
+  return fleet;
+}
+
+std::size_t CampaignTelemetry::fleet_workers() const {
+  const std::lock_guard<std::mutex> lock(fleet_mu_);
+  return worker_snapshots_.size();
+}
+
+std::array<u64, kNumOutcomes> CampaignTelemetry::live_outcome_counts() const {
+  std::array<u64, kNumOutcomes> counts{};
+  for (std::size_t i = 0; i < kNumOutcomes; ++i) {
+    counts[i] = live_outcomes_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void CampaignTelemetry::set_stop_target(double confidence,
+                                        double half_width) {
+  target_half_width_.store(half_width, std::memory_order_relaxed);
+  target_z_.store(stats::z_for_confidence(confidence),
+                  std::memory_order_relaxed);
+}
+
 std::string CampaignTelemetry::progress_line(u64 done, u64 total,
                                              u64 executed,
                                              double wall_seconds) const {
@@ -537,12 +587,36 @@ std::string CampaignTelemetry::progress_line(u64 done, u64 total,
   }
   static constexpr std::array<std::string_view, kNumOutcomes> kShort = {
       "van", "corr", "hang", "cstop", "sdc", "hfatal"};
+  u64 tally_total = 0;
   for (std::size_t i = 0; i < kNumOutcomes; ++i) {
     const u64 n = live_outcomes_[i].load(std::memory_order_relaxed);
+    tally_total += n;
     line += " ";
     line += kShort[i];
     line += " ";
     line += std::to_string(n);
+  }
+  // Live early-stop state: the worst (widest) outcome-stratum Wilson
+  // half-width so far, against the stop target when one is set — the same
+  // statistic the daemon stops campaigns on, visible while it converges.
+  const double target = target_half_width_.load(std::memory_order_relaxed);
+  double z = target_z_.load(std::memory_order_relaxed);
+  if (z <= 0.0) z = stats::z_for_confidence(stats::kDefaultConfidence);
+  if (tally_total > 0) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < kNumOutcomes; ++i) {
+      const u64 n = live_outcomes_[i].load(std::memory_order_relaxed);
+      const stats::Interval iv = stats::wilson(n, tally_total, z);
+      worst = std::max(worst, iv.width() / 2.0);
+    }
+    std::snprintf(buf, sizeof buf, " hw %.4f", worst);
+    line += buf;
+    if (target > 0.0) {
+      std::snprintf(buf, sizeof buf, "/%.4f", target);
+      line += buf;
+    }
+  } else {
+    line += " hw --";
   }
   return line;
 }

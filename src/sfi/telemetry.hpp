@@ -19,7 +19,9 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -107,6 +109,12 @@ class WorkerTelemetry {
   void record_footprint(u32 index, const PropagationRecord& rec,
                         double seconds);
 
+  /// Fold this worker's shard into the owning registry now. Called by the
+  /// worker thread itself (the only thread allowed to touch the shard) at
+  /// flush boundaries, so live readers — the daemon's /metrics scrape —
+  /// see near-current totals without racing a foreign shard.
+  void fold();
+
  private:
   friend class CampaignTelemetry;
   WorkerTelemetry(CampaignTelemetry& owner, u32 tid);
@@ -177,9 +185,39 @@ class CampaignTelemetry {
   /// are zeroed). Called by campaign_finish; safe to call again.
   void merge_workers();
 
+  // --- fleet view (cross-process aggregation) ---
+  /// Keep the latest metrics snapshot a farm worker reported ('M' frame).
+  /// Keyed by (slot, generation) so a replacement worker does not erase its
+  /// crashed predecessor's final counts. Thread-safe.
+  void note_worker_snapshot(u32 slot, u32 generation,
+                            telemetry::MetricsSnapshot snap);
+  /// This process's registry folded with the latest snapshot from every
+  /// worker process ever observed: the fleet-wide view /metrics exposes.
+  /// Does NOT touch live worker shards (those fold themselves at flush
+  /// boundaries), so it is safe to call from any thread mid-campaign.
+  /// Approximate under supervised retries: injections a crashed worker
+  /// reported before dying are re-run (and re-counted) by its replacement.
+  [[nodiscard]] telemetry::MetricsSnapshot fleet_snapshot() const;
+  /// Worker processes that have reported at least one snapshot.
+  [[nodiscard]] std::size_t fleet_workers() const;
+
   // --- live progress ---
+  /// Outcome tally feed for records that arrive outside a WorkerTelemetry
+  /// (the farm coordinator counting shard-store deliveries).
+  void live_outcome_add(Outcome outcome) {
+    live_outcomes_[static_cast<std::size_t>(outcome)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::array<u64, kNumOutcomes> live_outcome_counts() const;
+
+  /// Give the progress line (and /metrics consumers) an early-stop target
+  /// to render half-width progress against. Display-only.
+  void set_stop_target(double confidence, double half_width);
+
   /// One-line status built from the registry's live tallies:
-  /// "4312/10000 (1523 inj/s, ETA 4s) van 3900 corr 380 hang 12 ...".
+  /// "4312/10000 (1523 inj/s, ETA 4s) van 3900 corr 380 ... hw 0.013/0.020"
+  /// — the trailing pair is the worst outcome-stratum Wilson half-width
+  /// against the stop target (target omitted when none is set).
   [[nodiscard]] std::string progress_line(u64 done, u64 total, u64 executed,
                                           double wall_seconds) const;
 
@@ -246,6 +284,16 @@ class CampaignTelemetry {
   /// Live outcome tallies for the progress line (relaxed atomics; the
   /// authoritative numbers are the merged registry counters).
   std::array<std::atomic<u64>, kNumOutcomes> live_outcomes_{};
+
+  /// Latest per-worker-process snapshots ('M' frames), keyed
+  /// (slot << 32) | generation. Guarded by fleet_mu_.
+  mutable std::mutex fleet_mu_;
+  std::map<u64, telemetry::MetricsSnapshot> worker_snapshots_;
+
+  /// Early-stop target for display (0 target = none). Relaxed atomics:
+  /// set once before workers start, read by the progress printer.
+  std::atomic<double> target_half_width_{0.0};
+  std::atomic<double> target_z_{0.0};
 };
 
 }  // namespace sfi::inject

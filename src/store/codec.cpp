@@ -1,5 +1,7 @@
 #include "store/codec.hpp"
 
+#include <bit>
+
 namespace sfi::store {
 
 std::vector<u8> encode_meta(const CampaignMeta& m) {
@@ -216,6 +218,105 @@ AssignmentFrame decode_assignment(std::span<const u8> payload) {
   as.count = r.get_u32();
   if (!r.exhausted()) throw StoreError("trailing bytes in assignment payload");
   return as;
+}
+
+namespace {
+
+// Length-prefixed UTF-8; metric names are short, so byte-at-a-time reads
+// are fine at snapshot rate (~1 Hz per worker).
+void put_str(ByteWriter& w, const std::string& s) {
+  w.put_u32(static_cast<u32>(s.size()));
+  for (const char c : s) w.put_u8(static_cast<u8>(c));
+}
+
+std::string get_str(ByteReader& r) {
+  const u32 n = r.get_u32();
+  if (n > 4096) throw StoreError("metric name too long in metrics payload");
+  std::string s;
+  s.reserve(n);
+  for (u32 i = 0; i < n; ++i) s.push_back(static_cast<char>(r.get_u8()));
+  return s;
+}
+
+void put_f64(ByteWriter& w, double v) { w.put_u64(std::bit_cast<u64>(v)); }
+
+double get_f64(ByteReader& r) { return std::bit_cast<double>(r.get_u64()); }
+
+u32 get_count(ByteReader& r, const char* what) {
+  const u32 n = r.get_u32();
+  if (n > 1u << 20) {
+    throw StoreError(std::string("implausible ") + what +
+                     " count in metrics payload");
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<u8> encode_metrics(const MetricsFrame& mf) {
+  ByteWriter w;
+  w.put_u32(mf.worker);
+  w.put_u64(mf.seq);
+  const telemetry::MetricsSnapshot& s = mf.snapshot;
+  w.put_u32(static_cast<u32>(s.counters.size()));
+  for (const auto& [name, value] : s.counters) {
+    put_str(w, name);
+    w.put_u64(value);
+  }
+  w.put_u32(static_cast<u32>(s.gauges.size()));
+  for (const auto& [name, value] : s.gauges) {
+    put_str(w, name);
+    put_f64(w, value);
+  }
+  w.put_u32(static_cast<u32>(s.histograms.size()));
+  for (const telemetry::MetricsSnapshot::Hist& h : s.histograms) {
+    put_str(w, h.name);
+    w.put_u32(static_cast<u32>(h.bounds.size()));
+    for (const double b : h.bounds) put_f64(w, b);
+    // buckets.size() is pinned to bounds.size() + 1 by construction.
+    for (const u64 c : h.buckets) w.put_u64(c);
+    w.put_u64(h.count);
+    put_f64(w, h.sum);
+  }
+  return w.bytes();
+}
+
+MetricsFrame decode_metrics(std::span<const u8> payload) {
+  ByteReader r(payload);
+  MetricsFrame mf;
+  mf.worker = r.get_u32();
+  mf.seq = r.get_u64();
+  telemetry::MetricsSnapshot& s = mf.snapshot;
+  const u32 n_counters = get_count(r, "counter");
+  s.counters.reserve(n_counters);
+  for (u32 i = 0; i < n_counters; ++i) {
+    std::string name = get_str(r);
+    const u64 value = r.get_u64();
+    s.counters.emplace_back(std::move(name), value);
+  }
+  const u32 n_gauges = get_count(r, "gauge");
+  s.gauges.reserve(n_gauges);
+  for (u32 i = 0; i < n_gauges; ++i) {
+    std::string name = get_str(r);
+    const double value = get_f64(r);
+    s.gauges.emplace_back(std::move(name), value);
+  }
+  const u32 n_hists = get_count(r, "histogram");
+  s.histograms.reserve(n_hists);
+  for (u32 i = 0; i < n_hists; ++i) {
+    telemetry::MetricsSnapshot::Hist h;
+    h.name = get_str(r);
+    const u32 n_bounds = get_count(r, "histogram bound");
+    h.bounds.reserve(n_bounds);
+    for (u32 b = 0; b < n_bounds; ++b) h.bounds.push_back(get_f64(r));
+    h.buckets.resize(n_bounds + 1);
+    for (u64& c : h.buckets) c = r.get_u64();
+    h.count = r.get_u64();
+    h.sum = get_f64(r);
+    s.histograms.push_back(std::move(h));
+  }
+  if (!r.exhausted()) throw StoreError("trailing bytes in metrics payload");
+  return mf;
 }
 
 std::vector<u8> make_frame(u8 kind, std::span<const u8> payload) {

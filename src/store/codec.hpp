@@ -10,6 +10,7 @@
 #include "sfi/propagation.hpp"
 #include "sfi/record.hpp"
 #include "store/format.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sfi::store {
 
@@ -58,6 +59,19 @@ struct AssignmentFrame {
 
 [[nodiscard]] std::vector<u8> encode_assignment(const AssignmentFrame& as);
 [[nodiscard]] AssignmentFrame decode_assignment(std::span<const u8> payload);
+
+/// Farm-worker metrics snapshot ('M' frame): the worker's cumulative
+/// metrics registry at one point in time. `seq` is monotonically increasing
+/// per worker process; the coordinator keeps only the latest snapshot per
+/// (slot, generation), so a replayed or reordered frame is harmless.
+struct MetricsFrame {
+  u32 worker = 0;  ///< worker id within the farm
+  u64 seq = 0;     ///< monotonically increasing per worker process
+  telemetry::MetricsSnapshot snapshot;
+};
+
+[[nodiscard]] std::vector<u8> encode_metrics(const MetricsFrame& mf);
+[[nodiscard]] MetricsFrame decode_metrics(std::span<const u8> payload);
 
 /// Wrap a payload into a CRC-framed byte sequence ready for appending.
 [[nodiscard]] std::vector<u8> make_frame(u8 kind, std::span<const u8> payload);

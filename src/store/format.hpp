@@ -56,9 +56,16 @@ inline constexpr u8 kHeartbeatFrame = 'B';
 /// Forensic only — replays of a supervised campaign can reconstruct the
 /// full dispatch history from the shard files.
 inline constexpr u8 kAssignmentFrame = 'A';
-// kCommitFrame/kHeartbeatFrame/kAssignmentFrame are all skipped by readers
-// that predate them (unknown kinds are CRC-validated and ignored), keeping
-// format_version at 1.
+/// Farm-worker metrics snapshot: the worker's whole metrics registry
+/// (cumulative counters/gauges/histograms) serialized every N injections so
+/// the coordinator — and through it the serve daemon's /metrics endpoint —
+/// sees fleet-wide telemetry without a side channel. Observability-only:
+/// canonical merge drops these frames, so a store written with snapshots on
+/// merges byte-identical to one written with them off.
+inline constexpr u8 kMetricsFrame = 'M';
+// kCommitFrame/kHeartbeatFrame/kAssignmentFrame/kMetricsFrame are all
+// skipped by readers that predate them (unknown kinds are CRC-validated and
+// ignored), keeping format_version at 1.
 
 /// Frame overhead: kind + payload_len + crc32.
 inline constexpr std::size_t kFrameOverhead = 1 + 4 + 4;

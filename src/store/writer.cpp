@@ -73,6 +73,12 @@ void StoreWriter::append_assignment(const AssignmentFrame& as) {
   ++uncommitted_frames_;
 }
 
+void StoreWriter::append_metrics(const MetricsFrame& mf) {
+  const std::vector<u8> payload = encode_metrics(mf);
+  write_bytes(make_frame(kMetricsFrame, payload));
+  ++uncommitted_frames_;
+}
+
 void StoreWriter::flush() {
   if (opts_.commit_markers && uncommitted_frames_ > 0) {
     write_bytes(make_frame(kCommitFrame, std::span<const u8>{}));

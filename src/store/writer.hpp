@@ -50,6 +50,10 @@ class StoreWriter {
   void append_heartbeat(const HeartbeatFrame& hb);
   void append_assignment(const AssignmentFrame& as);
 
+  /// Append one worker metrics snapshot ('M' frame). Observability-only:
+  /// never counted in records_written(), dropped by canonical merge.
+  void append_metrics(const MetricsFrame& mf);
+
   /// Push buffered frames to the OS. With commit markers enabled, seals the
   /// window first by appending a kCommitFrame (only if frames are pending —
   /// a redundant flush must not grow the file, or byte-level no-op resume

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/flight_recorder.hpp"
+
 namespace sfi::telemetry {
 
 void EventLog::open(const std::string& path) {
@@ -13,6 +15,9 @@ void EventLog::open(const std::string& path) {
 }
 
 void EventLog::emit(std::string_view json_object) {
+  // Tee into the crash flight recorder (one relaxed load when disabled):
+  // the ring sees every event line, even ones a crash keeps from the file.
+  FlightRecorder::global().note(json_object);
   const std::lock_guard<std::mutex> lock(mu_);
   if (!out_.is_open()) return;
   out_.write(json_object.data(),

@@ -1,0 +1,91 @@
+// Crash flight recorder: a fixed-size in-memory ring of recent telemetry
+// event lines, flushed to a postmortem file when something dies.
+//
+// A farm worker SIGKILLed by the watchdog, a daemon taken down by a bad
+// deploy, a strikeout after three crashes — the JSONL event log (when one
+// is even attached) ends mid-stream with none of the context that explains
+// the last seconds. The recorder keeps the tail of the event stream in
+// preallocated memory:
+//
+//   * note() claims a slot with one relaxed fetch_add and memcpy's the line
+//     — no allocation, no locks, bounded work — so it can sit on the event
+//     emission path permanently;
+//   * the ring overwrites oldest-first; capacity bounds memory, not
+//     runtime;
+//   * dump() writes the surviving lines oldest-first to a file. dump_fd()
+//     is async-signal-safe (write(2) only), and arm_signals() installs
+//     fatal-signal handlers (SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT) that
+//     dump the global recorder before re-raising, so even an abort leaves
+//     a readable trace.
+//
+// The recorder never feeds anything back into the campaign: it is a copy
+// of lines that were (or would have been) emitted anyway, so enabling it
+// cannot change records or stores.
+//
+// Concurrency: note() is safe from any thread. A dump that races a wrapping
+// writer can catch a slot mid-overwrite; slots publish their length last
+// (release) and dump() revalidates it (acquire), so a torn slot is skipped
+// rather than emitted garbled — acceptable for a postmortem artifact.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace sfi::telemetry {
+
+class FlightRecorder {
+ public:
+  /// Longest line a slot holds; longer lines are truncated, not dropped.
+  static constexpr std::size_t kLineBytes = 480;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder that EventLog tees into and fatal-signal
+  /// handlers dump. Starts disabled (note() is one relaxed load + branch).
+  static FlightRecorder& global();
+
+  /// Allocate the ring. First call wins; later calls are no-ops (the ring
+  /// must never move once signal handlers may read it).
+  void enable(std::size_t slots);
+  [[nodiscard]] bool enabled() const {
+    return slots_.load(std::memory_order_acquire) != nullptr;
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Lines ever noted (>= capacity ⇒ the ring has wrapped).
+  [[nodiscard]] u64 noted() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Record one line (no trailing newline). No-op while disabled.
+  void note(std::string_view line);
+
+  /// Write the live ring, oldest line first, one per line, to `path`
+  /// (created/truncated). Returns lines written; 0 if disabled.
+  std::size_t dump(const std::string& path) const;
+
+  /// Async-signal-safe dump to an already-open fd.
+  void dump_fd(int fd) const;
+
+  /// Install fatal-signal handlers that dump the *global* recorder to
+  /// `path` and then re-raise with the default disposition. Call once,
+  /// after global().enable().
+  static void arm_signals(const std::string& path);
+
+ private:
+  struct Slot {
+    std::atomic<u32> len{0};  ///< 0 = empty / being written
+    char text[kLineBytes];
+  };
+
+  std::atomic<Slot*> slots_{nullptr};
+  std::size_t capacity_ = 0;
+  std::atomic<u64> head_{0};
+};
+
+}  // namespace sfi::telemetry

@@ -19,6 +19,104 @@ std::vector<double> exp_buckets(double lo, double hi, u32 per_decade) {
   return bounds;
 }
 
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<u64>& buckets, double q) {
+  u64 total = 0;
+  for (const u64 c : buckets) total += c;
+  if (total == 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, ceil): the same convention
+  // Prometheus uses, so pinned values are comparable across stacks.
+  const double rank = q * static_cast<double>(total);
+  u64 below = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const u64 in_bucket = buckets[b];
+    if (static_cast<double>(below + in_bucket) < rank) {
+      below += in_bucket;
+      continue;
+    }
+    if (b >= bounds.size()) return bounds.back();  // overflow: clamp
+    const double hi = bounds[b];
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    if (in_bucket == 0) return hi;
+    const double frac =
+        (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds.back();
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  const auto find_counter = [this](std::string_view name) -> u64* {
+    for (auto& [n, v] : counters) {
+      if (n == name) return &v;
+    }
+    return nullptr;
+  };
+  for (const auto& [name, value] : other.counters) {
+    if (u64* mine = find_counter(name)) {
+      *mine += value;
+    } else {
+      counters.emplace_back(name, value);
+    }
+  }
+  const auto find_gauge = [this](std::string_view name) -> double* {
+    for (auto& [n, v] : gauges) {
+      if (n == name) return &v;
+    }
+    return nullptr;
+  };
+  for (const auto& [name, value] : other.gauges) {
+    if (double* mine = find_gauge(name)) {
+      *mine = value;
+    } else {
+      gauges.emplace_back(name, value);
+    }
+  }
+  const auto find_hist = [this](std::string_view name) -> Hist* {
+    for (Hist& h : histograms) {
+      if (h.name == name) return &h;
+    }
+    return nullptr;
+  };
+  for (const Hist& theirs : other.histograms) {
+    Hist* mine = find_hist(theirs.name);
+    if (mine == nullptr) {
+      histograms.push_back(theirs);
+      continue;
+    }
+    if (mine->bounds == theirs.bounds) {
+      for (std::size_t b = 0; b < mine->buckets.size(); ++b) {
+        mine->buckets[b] += theirs.buckets[b];
+      }
+    }
+    mine->count += theirs.count;
+    mine->sum += theirs.sum;
+  }
+}
+
+u64 MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge_value(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const MetricsSnapshot::Hist* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const Hist& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
 void MetricsShard::observe(HistogramId h, double value) {
   Hist& hist = hists_[h.index];
   const std::vector<double>& bounds = reg_->hist_defs_[h.index].bounds;
@@ -140,6 +238,30 @@ double MetricsRegistry::histogram_sum(HistogramId h) const {
 std::vector<u64> MetricsRegistry::histogram_buckets(HistogramId h) const {
   const std::lock_guard<std::mutex> lock(mu_);
   return hists_[h.index].buckets;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    s.counters.emplace_back(counter_names_[i], counters_[i]);
+  }
+  s.gauges.reserve(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    s.gauges.emplace_back(gauge_names_[i], gauges_[i]);
+  }
+  s.histograms.reserve(hist_defs_.size());
+  for (std::size_t i = 0; i < hist_defs_.size(); ++i) {
+    MetricsSnapshot::Hist h;
+    h.name = hist_defs_[i].name;
+    h.bounds = hist_defs_[i].bounds;
+    h.buckets = hists_[i].buckets;
+    h.count = hists_[i].count;
+    h.sum = hists_[i].sum;
+    s.histograms.push_back(std::move(h));
+  }
+  return s;
 }
 
 std::string MetricsRegistry::to_json() const {

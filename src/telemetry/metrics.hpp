@@ -43,6 +43,51 @@ struct HistogramId {
 
 class MetricsRegistry;
 
+/// Estimate the q-quantile (q in [0, 1]) of a bucketed histogram by linear
+/// interpolation inside the bucket holding the target rank, Prometheus
+/// `histogram_quantile` style: the first bucket interpolates from 0, the
+/// overflow bucket clamps to the last finite bound (an exp-bucket histogram
+/// has no upper edge to interpolate toward). Returns 0 for an empty
+/// histogram. `buckets` has bounds.size() + 1 entries (last = overflow).
+[[nodiscard]] double histogram_quantile(const std::vector<double>& bounds,
+                                        const std::vector<u64>& buckets,
+                                        double q);
+
+/// A point-in-time copy of a registry's instruments, detached from ids and
+/// shards so it can cross process boundaries (farm workers serialize one per
+/// reporting interval; the coordinator folds them into a fleet view).
+/// Everything is keyed by name: two snapshots from registries with the same
+/// registration set merge instrument-for-instrument, and snapshots from
+/// *different* registrations still merge by name union.
+struct MetricsSnapshot {
+  struct Hist {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<u64> buckets;  ///< bounds.size() + 1 (last = overflow)
+    u64 count = 0;
+    double sum = 0.0;
+
+    [[nodiscard]] double quantile(double q) const {
+      return histogram_quantile(bounds, buckets, q);
+    }
+  };
+
+  std::vector<std::pair<std::string, u64>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<Hist> histograms;
+
+  /// Fold `other` into this snapshot: counters and histogram buckets add,
+  /// gauges take `other`'s value (last write wins — gauges are levels, not
+  /// rates). Instruments missing on either side are unioned in. Histograms
+  /// with mismatched bounds keep this snapshot's buckets untouched and only
+  /// fold count/sum (cross-version workers; should not happen in practice).
+  void merge_from(const MetricsSnapshot& other);
+
+  [[nodiscard]] u64 counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+  [[nodiscard]] const Hist* histogram(std::string_view name) const;
+};
+
 /// One worker's private accumulation slots. Not thread-safe by design —
 /// exactly one thread writes a shard, and the owning registry folds it in
 /// under its own lock. Create via MetricsRegistry::make_shard() after all
@@ -115,6 +160,11 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{name:{bounds,buckets,
   /// count,sum}}} in registration order (stable across runs).
   [[nodiscard]] std::string to_json() const;
+
+  /// Copy every instrument's current merged value (registration order,
+  /// stable across runs). Takes the registry lock once; worker shards that
+  /// have not been folded yet are not included.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
   friend class MetricsShard;

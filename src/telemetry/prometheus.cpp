@@ -1,0 +1,206 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace sfi::telemetry {
+
+namespace {
+
+bool legal_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "sfi_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    out.push_back(legal_name_char(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_unescape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 == value.size()) {
+      out.push_back(value[i]);
+      continue;
+    }
+    const char next = value[++i];
+    switch (next) {
+      case '\\':
+        out.push_back('\\');
+        break;
+      case '"':
+        out.push_back('"');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      default:
+        // Prometheus's parser passes unknown escapes through verbatim.
+        out.push_back('\\');
+        out.push_back(next);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_number(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  // Integral values (the common case: counters, bucket counts) render
+  // exactly; 2^53 bounds where double still holds every integer.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  // Shortest representation that parses back to the same double.
+  char buf[40];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+PrometheusWriter::Family& PrometheusWriter::family(std::string name,
+                                                   std::string_view type) {
+  auto [it, inserted] = families_.try_emplace(std::move(name));
+  if (inserted) {
+    it->second.type = std::string(type);
+    order_.push_back(it->first);
+  }
+  return it->second;
+}
+
+void PrometheusWriter::sample(Family& fam, std::string_view name,
+                              std::span<const PromLabel> labels,
+                              std::string_view extra_label,
+                              std::string_view extra_value, double value) {
+  std::string line(name);
+  if (!labels.empty() || !extra_label.empty()) {
+    line.push_back('{');
+    bool first = true;
+    for (const PromLabel& l : labels) {
+      if (!first) line.push_back(',');
+      first = false;
+      line += l.name;
+      line += "=\"";
+      line += prometheus_escape(l.value);
+      line.push_back('"');
+    }
+    if (!extra_label.empty()) {
+      if (!first) line.push_back(',');
+      line += extra_label;
+      line += "=\"";
+      line += extra_value;  // le bounds / quantiles: never need escaping
+      line.push_back('"');
+    }
+    line.push_back('}');
+  }
+  line.push_back(' ');
+  line += prometheus_number(value);
+  fam.samples.push_back(std::move(line));
+}
+
+void PrometheusWriter::add_counter(std::string_view raw_name,
+                                   std::span<const PromLabel> labels,
+                                   double value) {
+  const std::string name = prometheus_name(raw_name);
+  Family& fam = family(name, "counter");
+  sample(fam, name, labels, {}, {}, value);
+}
+
+void PrometheusWriter::add_gauge(std::string_view raw_name,
+                                 std::span<const PromLabel> labels,
+                                 double value) {
+  const std::string name = prometheus_name(raw_name);
+  Family& fam = family(name, "gauge");
+  sample(fam, name, labels, {}, {}, value);
+}
+
+void PrometheusWriter::add_histogram(std::string_view raw_name,
+                                     std::span<const PromLabel> labels,
+                                     const MetricsSnapshot::Hist& hist) {
+  const std::string name = prometheus_name(raw_name);
+  Family& fam = family(name, "histogram");
+  u64 cumulative = 0;
+  for (std::size_t b = 0; b < hist.bounds.size(); ++b) {
+    cumulative += b < hist.buckets.size() ? hist.buckets[b] : 0;
+    sample(fam, name + "_bucket", labels, "le",
+           prometheus_number(hist.bounds[b]),
+           static_cast<double>(cumulative));
+  }
+  sample(fam, name + "_bucket", labels, "le", "+Inf",
+         static_cast<double>(hist.count));
+  sample(fam, name + "_sum", labels, {}, {}, hist.sum);
+  sample(fam, name + "_count", labels, {}, {},
+         static_cast<double>(hist.count));
+}
+
+void PrometheusWriter::add_snapshot(const MetricsSnapshot& snapshot,
+                                    std::span<const PromLabel> labels,
+                                    bool quantiles) {
+  for (const auto& [name, value] : snapshot.counters) {
+    add_counter(name, labels, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    add_gauge(name, labels, value);
+  }
+  for (const MetricsSnapshot::Hist& hist : snapshot.histograms) {
+    add_histogram(hist.name, labels, hist);
+    if (quantiles && hist.count > 0) {
+      add_gauge(hist.name + "_p50", labels, hist.quantile(0.50));
+      add_gauge(hist.name + "_p95", labels, hist.quantile(0.95));
+      add_gauge(hist.name + "_p99", labels, hist.quantile(0.99));
+    }
+  }
+}
+
+std::string PrometheusWriter::str() const {
+  std::string out;
+  for (const std::string& name : order_) {
+    const Family& fam = families_.at(name);
+    out += "# TYPE ";
+    out += name;
+    out.push_back(' ');
+    out += fam.type;
+    out.push_back('\n');
+    for (const std::string& s : fam.samples) {
+      out += s;
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace sfi::telemetry

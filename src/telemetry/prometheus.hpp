@@ -1,0 +1,97 @@
+// Prometheus text exposition (format 0.0.4) for MetricsSnapshot.
+//
+// The daemon's /metrics endpoint renders one snapshot per campaign plus the
+// fleet totals; every series carries the caller's labels (campaign, tenant,
+// engine). Two rules this module is the single owner of:
+//
+//   * metric names: registry names use dots ("farm.worker_crashes"); the
+//     exposition name is the sanitized form prefixed "sfi_"
+//     ("sfi_farm_worker_crashes"). Sanitization is pure and total, so any
+//     registry name yields a legal exposition name.
+//   * label values: quotes, backslashes and newlines are escaped exactly as
+//     the exposition format demands — and, by construction, so that
+//     prometheus_unescape(prometheus_escape(s)) == s for every string. The
+//     JSONL side (telemetry/json.hpp) holds the same round-trip through its
+//     own escaping; tests/test_serve.cpp fuzzes both against each other so a
+//     tenant name can never render differently in /metrics and the event
+//     log.
+//
+// Series for one metric family must form a contiguous block, so the writer
+// accumulates and groups by family; interleave calls freely and read str()
+// once at the end.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace sfi::telemetry {
+
+struct PromLabel {
+  std::string name;
+  std::string value;
+};
+
+/// Sanitized exposition name: "sfi_" + name with every character outside
+/// [a-zA-Z0-9_:] replaced by '_' (dots become underscores).
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Escape a label value per the exposition format: backslash, double quote
+/// and newline become \\, \" and \n. Total and injective.
+[[nodiscard]] std::string prometheus_escape(std::string_view value);
+
+/// Inverse of prometheus_escape (unknown escapes pass the character
+/// through, matching Prometheus's own parser).
+[[nodiscard]] std::string prometheus_unescape(std::string_view value);
+
+/// Shortest-round-trip exposition number: integers render without exponent
+/// or trailing zeros, everything else with enough digits to parse back
+/// exactly. Used for sample values and `le` bounds alike.
+[[nodiscard]] std::string prometheus_number(double v);
+
+class PrometheusWriter {
+ public:
+  /// One sample of a counter/gauge family `raw_name` (registry spelling;
+  /// sanitization happens here). Repeated calls with different labels add
+  /// series to the same family block.
+  void add_counter(std::string_view raw_name,
+                   std::span<const PromLabel> labels, double value);
+  void add_gauge(std::string_view raw_name, std::span<const PromLabel> labels,
+                 double value);
+
+  /// One histogram series set: cumulative _bucket{le=...} lines (plus
+  /// le="+Inf"), _sum and _count.
+  void add_histogram(std::string_view raw_name,
+                     std::span<const PromLabel> labels,
+                     const MetricsSnapshot::Hist& hist);
+
+  /// Render every instrument of a snapshot under `labels`. With
+  /// `quantiles` true each histogram also contributes p50/p95/p99 gauges
+  /// (`<name>_p50` etc.) estimated by histogram_quantile().
+  void add_snapshot(const MetricsSnapshot& snapshot,
+                    std::span<const PromLabel> labels, bool quantiles = true);
+
+  /// The full exposition text: families in first-insertion order, each as
+  /// one `# TYPE` line followed by its samples.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  struct Family {
+    std::string type;  ///< "counter" | "gauge" | "histogram"
+    std::vector<std::string> samples;
+  };
+
+  Family& family(std::string name, std::string_view type);
+  void sample(Family& fam, std::string_view name,
+              std::span<const PromLabel> labels, std::string_view extra_label,
+              std::string_view extra_value, double value);
+
+  std::vector<std::string> order_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace sfi::telemetry

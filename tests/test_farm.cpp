@@ -17,8 +17,10 @@
 #include "avp/testgen.hpp"
 #include "farm/farm.hpp"
 #include "sched/scheduler.hpp"
+#include "sfi/telemetry.hpp"
 #include "store/merge.hpp"
 #include "store/reader.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace sfi::farm {
 namespace {
@@ -205,6 +207,78 @@ TEST(Farm, TransientWedgeRecoversByteIdentical) {
 
   EXPECT_EQ(slurp(out.path()),
             canonical_single_process(tc, cfg, "wedge_once"));
+}
+
+TEST(Farm, MetricsSnapshotsFeedFleetViewStoreUnchanged) {
+  const avp::Testcase tc = small_testcase();
+  inject::CampaignConfig cfg = small_campaign(40);
+
+  // Workers report cumulative 'M' frames every 4 injections; the
+  // coordinator folds them into the campaign telemetry's fleet view.
+  inject::CampaignTelemetry tel;
+  cfg.telemetry = &tel;
+  FarmConfig fc = quick_farm(2);
+  fc.metrics_every = 4;
+
+  TempFile out("metrics");
+  const FarmResult r = run_farm_campaign(tc, cfg, out.path(), fc);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.executed, 40u);
+
+  // Every worker sent a parting snapshot, and the fleet totals cover the
+  // whole campaign (each injection is counted by exactly one worker —
+  // nothing crashed, so no supervised-retry double counts).
+  EXPECT_GE(tel.fleet_workers(), 2u);
+  const telemetry::MetricsSnapshot fleet = tel.fleet_snapshot();
+  EXPECT_EQ(fleet.counter_value("injections"), 40u);
+  u64 outcome_total = 0;
+  for (const auto o : inject::kAllOutcomes) {
+    outcome_total +=
+        fleet.counter_value("outcome." + std::string(to_string(o)));
+  }
+  EXPECT_EQ(outcome_total, 40u);
+
+  // The observability plane is read-only: the merged store with 'M' frames
+  // flowing is byte-identical to the plain single-process canonical run.
+  cfg.telemetry = nullptr;
+  EXPECT_EQ(slurp(out.path()), canonical_single_process(tc, cfg, "metrics"));
+}
+
+TEST(Farm, PostmortemDumpOnSupervisionFailure) {
+  const avp::Testcase tc = small_testcase();
+  const inject::CampaignConfig cfg = small_campaign(24);
+
+  // The global recorder is process-wide (first enable wins) — that is the
+  // deployment shape too: one ring per coordinator process.
+  telemetry::FlightRecorder::global().enable(256);
+
+  FarmConfig fc = quick_farm(2);
+  fc.sabotage.crash_index = 9;  // kill -9 one worker mid-shard, attempt 0
+  const std::string postmortem =
+      (std::filesystem::temp_directory_path() / "sfi_farm_postmortem.jsonl")
+          .string();
+  std::filesystem::remove(postmortem);
+  fc.postmortem_path = postmortem;
+
+  TempFile out("postmortem");
+  inject::CampaignTelemetry tel;
+  inject::CampaignConfig tcfg = cfg;
+  tcfg.telemetry = &tel;
+  const FarmResult r = run_farm_campaign(tc, tcfg, out.path(), fc);
+  EXPECT_TRUE(r.complete);
+  EXPECT_GE(r.worker_crashes, 1u);
+
+  // The supervision failure left a readable trace of the last seconds.
+  ASSERT_TRUE(std::filesystem::exists(postmortem));
+  const std::vector<u8> bytes = slurp(postmortem);
+  EXPECT_FALSE(bytes.empty());
+  const std::string text(bytes.begin(), bytes.end());
+  EXPECT_NE(text.find("\"ev\":"), std::string::npos);
+  std::filesystem::remove(postmortem);
+
+  // Observability only: the campaign still converged on canonical bytes.
+  EXPECT_EQ(slurp(out.path()),
+            canonical_single_process(tc, cfg, "postmortem"));
 }
 
 TEST(Farm, CooperativeStopIsResumable) {

@@ -10,11 +10,15 @@
 // fixed-N ceiling; admission is fair-share across tenants; a watcher that
 // disconnects never takes a campaign down with it.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +30,9 @@
 #include "serve/wire.hpp"
 #include "store/merge.hpp"
 #include "store/reader.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
 
 namespace sfi::serve {
 namespace {
@@ -102,9 +109,92 @@ TEST(Wire, AddressGrammar) {
   const Address lp = parse_address("tcp:9002");
   EXPECT_TRUE(lp.tcp);
   EXPECT_EQ(lp.port, 9002);
+  // Port 0 is a legal listener spec: the OS assigns an ephemeral port.
+  const Address eph = parse_address("tcp:127.0.0.1:0");
+  EXPECT_TRUE(eph.tcp);
+  EXPECT_EQ(eph.port, 0);
+  EXPECT_THROW((void)parse_address("tcp:host:70000"), WireError);
   EXPECT_THROW((void)parse_address(""), WireError);
   EXPECT_THROW((void)parse_address("tcp:"), WireError);
   EXPECT_THROW((void)parse_address("tcp:host:notaport"), WireError);
+}
+
+// --- prometheus exposition -------------------------------------------------
+
+TEST(Prometheus, NameSanitizationIsPureAndTotal) {
+  using telemetry::prometheus_name;
+  EXPECT_EQ(prometheus_name("farm.worker_crashes"), "sfi_farm_worker_crashes");
+  EXPECT_EQ(prometheus_name("outcome.Vanished"), "sfi_outcome_Vanished");
+  EXPECT_EQ(prometheus_name("weird name-#1"), "sfi_weird_name__1");
+  EXPECT_EQ(prometheus_name(""), "sfi_");
+}
+
+TEST(Prometheus, EscapeRoundTripAgreesWithJsonWriter) {
+  // S3: a tenant name must render identically through both escapers — the
+  // Prometheus label escaping in /metrics and the JSONL escaping in the
+  // event log / wire protocol. Fuzz both round trips against each other
+  // with a deterministic byte soup rich in the characters that matter.
+  std::mt19937 rng(20260808);
+  const std::string alphabet =
+      "abcXYZ012 \"\\\n\t\r{}=,\x01\x7f\xc3\xa9";  // quotes, ctrl, utf-8
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<std::size_t> len(0, 24);
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string s;
+    const std::size_t n = len(rng);
+    for (std::size_t i = 0; i < n; ++i) s += alphabet[pick(rng)];
+
+    // Prometheus: escape is injective and unescape inverts it.
+    EXPECT_EQ(telemetry::prometheus_unescape(telemetry::prometheus_escape(s)),
+              s)
+        << "iter " << iter;
+
+    // JSON: JsonWriter's escaping parses back to the same string through
+    // the wire parser (skip raw control bytes the parser — correctly, per
+    // RFC 8259 — refuses inside strings when unescaped... JsonWriter
+    // escapes them, so every string must survive).
+    telemetry::JsonWriter w;
+    w.begin_object().field("s", s).end_object();
+    const Json back = Json::parse(w.str());
+    EXPECT_EQ(back.get_str("s", "<parse-miss>"), s) << "iter " << iter;
+  }
+}
+
+TEST(Prometheus, WriterGroupsFamiliesAndRendersHistograms) {
+  telemetry::PrometheusWriter pw;
+  const std::vector<telemetry::PromLabel> a = {{"campaign", "1"},
+                                               {"tenant", "a\"b\\c\nd"}};
+  const std::vector<telemetry::PromLabel> b = {{"campaign", "2"}};
+  pw.add_gauge("campaign.done", a, 5);
+  pw.add_counter("injections", a, 40);
+  pw.add_gauge("campaign.done", b, 7);  // same family, later call
+
+  telemetry::MetricsSnapshot::Hist h;
+  h.name = "lat";
+  h.bounds = {1.0, 2.0};
+  h.buckets = {3, 1, 1};
+  h.count = 5;
+  h.sum = 7.5;
+  pw.add_histogram("lat", b, h);
+
+  const std::string text = pw.str();
+  // Families are contiguous: both campaign.done samples follow one TYPE.
+  const auto type_pos = text.find("# TYPE sfi_campaign_done gauge\n");
+  ASSERT_NE(type_pos, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE sfi_campaign_done", type_pos + 1),
+            std::string::npos);
+  // The escaped tenant value appears escaped, once per labelled sample.
+  EXPECT_NE(text.find("tenant=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+  // Histogram renders cumulative buckets, +Inf, sum and count.
+  EXPECT_NE(text.find("sfi_lat_bucket{campaign=\"2\",le=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("sfi_lat_bucket{campaign=\"2\",le=\"2\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("sfi_lat_bucket{campaign=\"2\",le=\"+Inf\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("sfi_lat_sum{campaign=\"2\"} 7.5"), std::string::npos);
+  EXPECT_NE(text.find("sfi_lat_count{campaign=\"2\"} 5"), std::string::npos);
 }
 
 // --- stop decision -------------------------------------------------------
@@ -228,11 +318,13 @@ TEST(Stop, MonitorCountsOnlyCommittedRecords) {
 /// client plumbing the tests share.
 class DaemonHarness {
  public:
-  explicit DaemonHarness(const std::string& state_dir, u32 max_active = 2) {
+  explicit DaemonHarness(const std::string& state_dir, u32 max_active = 2,
+                         const std::string& http = "") {
     ServeConfig cfg;
     cfg.state_dir = state_dir;
     cfg.max_active = max_active;
     cfg.poll_seconds = 0.002;
+    cfg.http = http;  // "tcp:127.0.0.1:0" binds an ephemeral port
     daemon_ = std::make_unique<Daemon>(cfg);
     thread_ = std::thread([this] { rc_ = daemon_->run(); });
     wait_ready();
@@ -246,7 +338,50 @@ class DaemonHarness {
   }
 
   [[nodiscard]] const Address& addr() const { return daemon_->address(); }
+  [[nodiscard]] const Address& http_addr() const {
+    return daemon_->http_address();
+  }
   [[nodiscard]] int rc() const { return rc_; }
+
+  /// One blocking HTTP request; returns the raw response (status line,
+  /// headers, body). Empty string on connect/send failure.
+  std::string http(const std::string& request_line) {
+    int fd = -1;
+    try {
+      fd = connect_to(daemon_->http_address());
+    } catch (const WireError&) {
+      return "";
+    }
+    const std::string req =
+        request_line + "\r\nHost: test\r\nConnection: close\r\n\r\n";
+    std::size_t off = 0;
+    while (off < req.size()) {
+      const auto n = ::send(fd, req.data() + off, req.size() - off, 0);
+      if (n <= 0) {
+        ::close(fd);
+        return "";
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    std::string resp;
+    char buf[4096];
+    while (true) {
+      const auto n = ::recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      resp.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return resp;
+  }
+
+  /// GET `path`, expecting 200; returns the body alone.
+  std::string http_get(const std::string& path) {
+    const std::string resp = http("GET " + path + " HTTP/1.1");
+    EXPECT_EQ(resp.rfind("HTTP/1.1 200", 0), 0u)
+        << "GET " << path << " -> " << resp.substr(0, 80);
+    const auto sep = resp.find("\r\n\r\n");
+    return sep == std::string::npos ? std::string{} : resp.substr(sep + 4);
+  }
 
   /// One request, one reply.
   Json request(const std::string& line) {
@@ -521,6 +656,130 @@ TEST(Daemon, RejectsBadSubmissionsAndUnknownOps) {
   // The daemon survives all of the above.
   const Json ping = h.request(R"({"op":"ping"})");
   EXPECT_TRUE(ping.get_bool("ok", false));
+}
+
+// --- HTTP observability plane ----------------------------------------------
+
+TEST(DaemonHttp, ServesHealthCampaignsAndMetrics) {
+  TempDir dir("http_basics");
+  DaemonHarness h(dir.path(), 2, "tcp:127.0.0.1:0");
+  ASSERT_TRUE(h.http_addr().tcp);
+  ASSERT_NE(h.http_addr().port, 0)
+      << "ephemeral port must be resolved at bind time";
+
+  const Json health = Json::parse(h.http_get("/healthz"));
+  EXPECT_TRUE(health.get_bool("ok", false));
+  EXPECT_EQ(health.get_u64("campaigns", ~u64{0}), 0u);
+
+  const u64 id = h.submit(kSmallSpec);
+  ASSERT_NE(id, 0u);
+  (void)h.watch(id);
+
+  // /campaigns is the status op's JSON on an HTTP carrier.
+  const Json cs = Json::parse(h.http_get("/campaigns"));
+  ASSERT_NE(cs.find("campaigns"), nullptr);
+  ASSERT_EQ(cs.find("campaigns")->items().size(), 1u);
+  const Json& c = cs.find("campaigns")->items()[0];
+  EXPECT_EQ(c.get_u64("id", 0), id);
+  EXPECT_EQ(c.get_str("state", ""), "done");
+  EXPECT_EQ(c.get_str("engine", ""), "sched");
+  EXPECT_TRUE(c.get_bool("early_stop", false));
+  ASSERT_NE(c.find("counts"), nullptr);
+
+  // /metrics exposes the campaign series with its labels, the live
+  // early-stop gauges, and the fleet snapshot (histogram quantiles
+  // included).
+  const std::string metrics = h.http_get("/metrics");
+  EXPECT_NE(metrics.find("# TYPE sfi_serve_campaigns gauge"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("sfi_campaign_done{campaign=\"1\",tenant=\"t\","
+                         "engine=\"sched\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("sfi_campaign_early_stop{campaign=\"1\""),
+            std::string::npos);
+  EXPECT_NE(metrics.find("sfi_stratum_half_width{campaign=\"1\""),
+            std::string::npos);
+  EXPECT_NE(metrics.find("sfi_injections{campaign=\"1\""), std::string::npos);
+  EXPECT_NE(metrics.find("sfi_injection_seconds_p95{campaign=\"1\""),
+            std::string::npos);
+
+  // Unknown paths 404, non-GET 405; the daemon survives both and the wire
+  // protocol socket is unaffected.
+  EXPECT_EQ(h.http("GET /nope HTTP/1.1").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(h.http("POST /metrics HTTP/1.1").rfind("HTTP/1.1 405", 0), 0u);
+  EXPECT_TRUE(h.request(R"({"op":"ping"})").get_bool("ok", false));
+}
+
+TEST(DaemonHttp, ScrapeDuringRunIsReadOnlyByteIdentical) {
+  // S4: hammer /metrics and /campaigns WHILE a campaign runs; the stopped
+  // store must still be byte-identical (canonical merge) to a direct
+  // single-threaded --max-new run — the whole plane is read-only.
+  TempDir dir("http_scrape");
+  u64 stop_point = 0;
+  u64 scrapes_ok = 0;
+  {
+    DaemonHarness h(dir.path(), 2, "tcp:127.0.0.1:0");
+    const u64 id = h.submit(kSmallSpec);
+    ASSERT_NE(id, 0u);
+
+    std::atomic<bool> running{true};
+    std::thread scraper([&] {
+      while (running.load()) {
+        const std::string m = h.http("GET /metrics HTTP/1.1");
+        const std::string c = h.http("GET /campaigns HTTP/1.1");
+        if (m.rfind("HTTP/1.1 200", 0) == 0 &&
+            c.rfind("HTTP/1.1 200", 0) == 0) {
+          ++scrapes_ok;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    const std::vector<Json> events = h.watch(id);
+    running.store(false);
+    scraper.join();
+
+    const Json* finish = find_event(events, "finish");
+    ASSERT_NE(finish, nullptr);
+    ASSERT_TRUE(finish->get_bool("early_stop", false));
+    stop_point = finish->get_u64("stop_point", 0);
+    EXPECT_GT(scrapes_ok, 0u) << "scraper never got a 200 pair";
+
+    // A post-finish scrape agrees with the finish event.
+    const Json cs = Json::parse(h.http_get("/campaigns"));
+    const Json& c = cs.find("campaigns")->items()[0];
+    EXPECT_EQ(c.get_u64("done", 0), stop_point);
+  }
+
+  avp::TestcaseConfig tcfg;
+  tcfg.seed = 11;
+  tcfg.num_instructions = 80;
+  const avp::Testcase tc = avp::generate_testcase(tcfg);
+  inject::CampaignConfig cfg;
+  cfg.seed = 7;
+  cfg.num_injections = 600;
+  sched::SchedulerConfig sc;
+  sc.threads = 1;
+  sc.shard_size = 16;
+  sc.flush_records = 8;
+  sc.max_new_injections = stop_point;
+  const std::string direct = dir.file("direct.sfr");
+  const auto r = sched::run_campaign_to_store(tc, cfg, direct, sc);
+  EXPECT_EQ(r.executed, stop_point);
+
+  const std::string canon_daemon = dir.file("daemon.canon.sfr");
+  const std::string canon_direct = dir.file("direct.canon.sfr");
+  (void)store::merge_stores({dir.file("campaign-1.sfr")}, canon_daemon);
+  (void)store::merge_stores({direct}, canon_direct);
+  EXPECT_EQ(slurp(canon_daemon), slurp(canon_direct));
+}
+
+TEST(DaemonHttp, DisabledPlaneLeavesNoListener) {
+  TempDir dir("http_off");
+  DaemonHarness h(dir.path());
+  // Without --http the daemon must not open any HTTP socket; the wire
+  // protocol works as before.
+  EXPECT_FALSE(h.http_addr().tcp);
+  EXPECT_TRUE(h.request(R"({"op":"ping"})").get_bool("ok", false));
 }
 
 }  // namespace

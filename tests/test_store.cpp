@@ -98,6 +98,74 @@ TEST(Codec, MetaRoundTrip) {
   EXPECT_TRUE(m.same_campaign(back));
 }
 
+TEST(Codec, MetricsFrameRoundTrip) {
+  MetricsFrame mf;
+  mf.worker = 3;
+  mf.seq = 41;
+  mf.snapshot.counters.emplace_back("injections", 1234);
+  mf.snapshot.counters.emplace_back("outcome.Vanished", 1100);
+  mf.snapshot.gauges.emplace_back("wall_seconds", 2.5);
+  telemetry::MetricsSnapshot::Hist h;
+  h.name = "injection_seconds";
+  h.bounds = {0.001, 0.01, 0.1};
+  h.buckets = {7, 5, 1, 0};
+  h.count = 13;
+  h.sum = 0.125;
+  mf.snapshot.histograms.push_back(h);
+
+  const MetricsFrame back = decode_metrics(encode_metrics(mf));
+  EXPECT_EQ(back.worker, 3u);
+  EXPECT_EQ(back.seq, 41u);
+  EXPECT_EQ(back.snapshot.counter_value("injections"), 1234u);
+  EXPECT_EQ(back.snapshot.counter_value("outcome.Vanished"), 1100u);
+  EXPECT_DOUBLE_EQ(back.snapshot.gauge_value("wall_seconds"), 2.5);
+  const telemetry::MetricsSnapshot::Hist* bh =
+      back.snapshot.histogram("injection_seconds");
+  ASSERT_NE(bh, nullptr);
+  EXPECT_EQ(bh->bounds, h.bounds);
+  EXPECT_EQ(bh->buckets, h.buckets);
+  EXPECT_EQ(bh->count, 13u);
+  EXPECT_DOUBLE_EQ(bh->sum, 0.125);
+
+  // Canonical encoding: re-encoding the decoded frame is byte-identical.
+  EXPECT_EQ(encode_metrics(back), encode_metrics(mf));
+}
+
+TEST(Store, MetricsFramesAreInvisibleToReadersAndMerge) {
+  const CampaignMeta meta = sample_meta();
+  TempFile plain("no_metrics"), with("with_metrics");
+  write_sample_store(plain.path(), 5, meta);
+  {
+    StoreWriter w = StoreWriter::create(with.path(), meta);
+    MetricsFrame mf;
+    mf.worker = 0;
+    for (u32 i = 0; i < 5; ++i) {
+      w.append(sample_record(i));
+      mf.seq = i;
+      mf.snapshot.counters.assign({{"injections", u64{i} + 1}});
+      w.append_metrics(mf);
+    }
+    w.flush();
+  }
+
+  // The 'M' frames made the file strictly larger...
+  ASSERT_GT(slurp(with.path()).size(), slurp(plain.path()).size());
+  // ...but a reader sees the identical record stream,
+  const StoreContents a = read_store(plain.path());
+  const StoreContents b = read_store(with.path());
+  ASSERT_EQ(b.records.size(), a.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(b.records[i].index, a.records[i].index);
+    EXPECT_EQ(b.records[i].rec.outcome, a.records[i].rec.outcome);
+  }
+  EXPECT_FALSE(b.torn_tail);
+  // ...and canonical merge drops them: byte-identical outputs.
+  TempFile canon_a("no_metrics_canon"), canon_b("with_metrics_canon");
+  (void)merge_stores({plain.path()}, canon_a.path());
+  (void)merge_stores({with.path()}, canon_b.path());
+  EXPECT_EQ(slurp(canon_a.path()), slurp(canon_b.path()));
+}
+
 TEST(Codec, MetaRejectsTrailingBytes) {
   std::vector<u8> payload = encode_meta(sample_meta());
   payload.push_back(0);

@@ -17,6 +17,7 @@
 #include "store/reader.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/events.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -117,6 +118,89 @@ TEST(Metrics, HistogramBucketsAndOverflow) {
   EXPECT_EQ(buckets[3], 1u);
 }
 
+TEST(Metrics, QuantilePinnedValues) {
+  // bounds {1,2,4}, buckets {2,4,2} + 2 overflow; 10 observations total.
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  const std::vector<u64> buckets = {2, 4, 2, 2};
+
+  // Prometheus convention: rank = q * total, linear interpolation inside
+  // the holding bucket, first bucket interpolates from 0, overflow clamps
+  // to the last finite bound. Every value below is hand-computed.
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(bounds, buckets, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(bounds, buckets, 0.2), 1.0);
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(bounds, buckets, 0.5), 1.75);
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(bounds, buckets, 0.75), 3.5);
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(bounds, buckets, 0.95), 4.0);
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(bounds, buckets, 0.99), 4.0);
+  // q outside [0,1] clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(bounds, buckets, 1.5), 4.0);
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(bounds, buckets, -0.5), 0.0);
+
+  // Empty histogram: 0, not NaN.
+  EXPECT_DOUBLE_EQ(
+      telemetry::histogram_quantile(bounds, {0, 0, 0, 0}, 0.5), 0.0);
+  // A rank landing in an empty bucket resolves to that bucket's bound.
+  EXPECT_DOUBLE_EQ(
+      telemetry::histogram_quantile(bounds, {0, 0, 0, 5}, 0.1), 4.0);
+
+  // The snapshot-side helper is the same estimator.
+  telemetry::MetricsSnapshot::Hist h;
+  h.bounds = bounds;
+  h.buckets = buckets;
+  h.count = 10;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.75);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 4.0);
+}
+
+TEST(Metrics, SnapshotMergeAddsAndUnions) {
+  telemetry::MetricsRegistry a;
+  const auto ca = a.counter("hits");
+  const auto ga = a.gauge("level");
+  const auto ha = a.histogram("lat", {1.0, 2.0});
+  a.add(ca, 3);
+  a.set_gauge(ga, 1.0);
+  a.observe(ha, 0.5);
+
+  telemetry::MetricsRegistry b;
+  const auto cb = b.counter("hits");
+  const auto cb2 = b.counter("misses");  // only registered in b
+  const auto gb = b.gauge("level");
+  const auto hb = b.histogram("lat", {1.0, 2.0});
+  b.add(cb, 4);
+  b.add(cb2, 9);
+  b.set_gauge(gb, 2.0);
+  b.observe(hb, 1.5);
+  b.observe(hb, 9.0);
+
+  telemetry::MetricsSnapshot s = a.snapshot();
+  s.merge_from(b.snapshot());
+
+  // Counters add; instruments unknown on one side are unioned in.
+  EXPECT_EQ(s.counter_value("hits"), 7u);
+  EXPECT_EQ(s.counter_value("misses"), 9u);
+  EXPECT_EQ(s.counter_value("unknown"), 0u);
+  // Gauges are levels: last write (the merged-in snapshot) wins.
+  EXPECT_DOUBLE_EQ(s.gauge_value("level"), 2.0);
+  // Histogram buckets add element-wise.
+  const telemetry::MetricsSnapshot::Hist* h = s.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_DOUBLE_EQ(h->sum, 11.0);
+  ASSERT_EQ(h->buckets.size(), 3u);
+  EXPECT_EQ(h->buckets[0], 1u);
+  EXPECT_EQ(h->buckets[1], 1u);
+  EXPECT_EQ(h->buckets[2], 1u);
+
+  // Merging is associative enough for the fleet use: folding the same
+  // worker snapshot into a fresh base twice gives doubled counters (the
+  // coordinator guards against this by keeping only the LATEST snapshot
+  // per worker; this just pins the additive semantics it relies on).
+  telemetry::MetricsSnapshot twice = a.snapshot();
+  twice.merge_from(b.snapshot());
+  twice.merge_from(b.snapshot());
+  EXPECT_EQ(twice.counter_value("hits"), 11u);
+}
+
 TEST(Metrics, ExpBucketsAreStrictlyIncreasing) {
   const auto b = telemetry::exp_buckets(1e-6, 10.0, 3);
   ASSERT_GE(b.size(), 2u);
@@ -138,6 +222,66 @@ TEST(Metrics, ToJsonCarriesEveryInstrument) {
   EXPECT_NE(j.find("\"level\":2.5"), std::string::npos);
   EXPECT_NE(j.find("\"lat\""), std::string::npos);
   EXPECT_NE(j.find("\"count\":1"), std::string::npos);
+}
+
+// --- flight recorder -------------------------------------------------------
+
+TEST(FlightRecorder, DisabledRecorderIsInert) {
+  telemetry::FlightRecorder fr;
+  EXPECT_FALSE(fr.enabled());
+  fr.note("never stored");  // must not crash
+  TempFile f("fr_disabled.jsonl");
+  EXPECT_EQ(fr.dump(f.path()), 0u);
+}
+
+TEST(FlightRecorder, RingOverflowKeepsNewestOldestFirst) {
+  telemetry::FlightRecorder fr;
+  fr.enable(4);
+  ASSERT_TRUE(fr.enabled());
+  EXPECT_EQ(fr.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) fr.note("line " + std::to_string(i));
+  EXPECT_EQ(fr.noted(), 10u);  // wrapped: 10 noted into 4 slots
+
+  TempFile f("fr_ring.jsonl");
+  EXPECT_EQ(fr.dump(f.path()), 4u);
+  // The survivors are exactly the newest capacity lines, oldest first.
+  EXPECT_EQ(slurp(f.path()), "line 6\nline 7\nline 8\nline 9\n");
+
+  // enable() is first-call-wins: the ring must never move or resize once
+  // signal handlers may read it.
+  fr.enable(64);
+  EXPECT_EQ(fr.capacity(), 4u);
+}
+
+TEST(FlightRecorder, OverlongLinesAreTruncatedNotDropped) {
+  telemetry::FlightRecorder fr;
+  fr.enable(2);
+  const std::string big(telemetry::FlightRecorder::kLineBytes + 100, 'x');
+  fr.note(big);
+  TempFile f("fr_trunc.jsonl");
+  ASSERT_EQ(fr.dump(f.path()), 1u);
+  const std::string out = slurp(f.path());
+  EXPECT_EQ(out.size(), telemetry::FlightRecorder::kLineBytes + 1);  // + \n
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_EQ(out.find_first_not_of("x\n"), std::string::npos);
+}
+
+TEST(FlightRecorder, EventLogTeesIntoGlobalRecorder) {
+  // The global recorder is process-wide and first-enable-wins; use a small
+  // ring here (other tests in this binary use local instances).
+  telemetry::FlightRecorder& g = telemetry::FlightRecorder::global();
+  g.enable(16);
+  const u64 before = g.noted();
+  TempFile f("fr_tee.jsonl");
+  telemetry::EventLog log;
+  log.open(f.path());
+  log.emit("{\"ev\":\"recorded\"}");
+  log.flush();
+  EXPECT_GE(g.noted(), before + 1);
+  TempFile dumped("fr_tee_dump.jsonl");
+  ASSERT_GT(g.dump(dumped.path()), 0u);
+  EXPECT_NE(slurp(dumped.path()).find("\"ev\":\"recorded\""),
+            std::string::npos);
 }
 
 // --- event log & chrome trace --------------------------------------------
@@ -258,6 +402,56 @@ TEST(CampaignTelemetry, ProgressLineGuardsDegenerateRate) {
   // print a negative ETA.
   const std::string overshoot = tel.progress_line(120, 100, 120, 2.0);
   EXPECT_NE(overshoot.find("ETA --"), std::string::npos);
+}
+
+TEST(CampaignTelemetry, ProgressLineShowsEarlyStopState) {
+  inject::CampaignTelemetry tel;
+  // No records yet: the half-width is meaningless, print a placeholder.
+  EXPECT_NE(tel.progress_line(0, 100, 0, 0.0).find("hw --"),
+            std::string::npos);
+
+  // 90/10 split over 100 records: the worst outcome-stratum Wilson
+  // half-width is a concrete number, rendered against the stop target.
+  for (int i = 0; i < 90; ++i) {
+    tel.live_outcome_add(inject::Outcome::Vanished);
+  }
+  for (int i = 0; i < 10; ++i) {
+    tel.live_outcome_add(inject::Outcome::Corrected);
+  }
+  tel.set_stop_target(0.95, 0.05);
+  const std::string line = tel.progress_line(100, 600, 100, 1.0);
+  const auto hw = line.find(" hw 0.0");
+  ASSERT_NE(hw, std::string::npos) << line;
+  EXPECT_NE(line.find("/0.05", hw), std::string::npos) << line;
+  EXPECT_EQ(line.find("hw --"), std::string::npos);
+}
+
+TEST(CampaignTelemetry, FleetSnapshotFoldsWorkerReports) {
+  inject::CampaignTelemetry tel;
+  EXPECT_EQ(tel.fleet_workers(), 0u);
+
+  telemetry::MetricsSnapshot w0;
+  w0.counters.emplace_back("injections", 10);
+  telemetry::MetricsSnapshot w0_later;
+  w0_later.counters.emplace_back("injections", 25);
+  telemetry::MetricsSnapshot w1;
+  w1.counters.emplace_back("injections", 7);
+
+  tel.note_worker_snapshot(0, 0, w0);
+  tel.note_worker_snapshot(0, 0, w0_later);  // same worker: latest wins
+  tel.note_worker_snapshot(1, 0, w1);
+  EXPECT_EQ(tel.fleet_workers(), 2u);
+  // Snapshots are cumulative per worker, so the fleet view is the sum of
+  // the LATEST report per (slot, generation) — not of every report.
+  EXPECT_EQ(tel.fleet_snapshot().counter_value("injections"), 32u);
+
+  // A replacement worker (new generation) adds rather than overwrites: the
+  // crashed predecessor's final counts stay in the fleet view.
+  telemetry::MetricsSnapshot w0g1;
+  w0g1.counters.emplace_back("injections", 3);
+  tel.note_worker_snapshot(0, 1, w0g1);
+  EXPECT_EQ(tel.fleet_workers(), 3u);
+  EXPECT_EQ(tel.fleet_snapshot().counter_value("injections"), 35u);
 }
 
 TEST(CampaignTelemetry, EventSamplingThinsInjectionRecords) {

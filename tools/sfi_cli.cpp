@@ -17,6 +17,7 @@
 //   sfi status   --connect ADDR            daemon + campaign status
 //   sfi watch    --connect ADDR --id N     stream a campaign's events
 //   sfi shutdown --connect ADDR            graceful daemon stop
+//   sfi top      --http ADDR               live per-campaign fleet table
 //
 // Common options:
 //   --seed N              experiment seed               (default 42)
@@ -60,9 +61,21 @@
 //                         (attempt 0 only, so the retry succeeds)
 //   --sabotage-wedge I    test hook: worker spins forever at index I
 //   --sabotage-wedge-once wedge only on attempt 0 (watchdog drill)
+//   --metrics-every N     workers serialize a cumulative metrics snapshot
+//                         ('M' frame) into their shard store every N
+//                         injections (0 = off); the coordinator folds them
+//                         into its fleet metrics view. Observability-only:
+//                         the canonical merge drops 'M' frames, so the
+//                         merged store is byte-identical either way
+//   --postmortem FILE     crash flight recorder: keep recent telemetry
+//                         lines in a fixed in-memory ring and dump them to
+//                         FILE on a fatal signal; in farm mode also dumped
+//                         after every supervision failure (worker crash,
+//                         watchdog kill, strikeout)
 // Worker options (`sfi worker`; campaign flags same as the coordinator):
 //   --shard-store FILE    shard store this worker appends to (required)
 //   --worker-id N         id stamped into heartbeat/assignment frames
+//   --metrics-every N     as above (appended by the coordinator)
 // Propagation forensics (campaign; records/store R frames stay byte-identical
 // with these on — footprints are extra 'P' frames older readers skip):
 //   --footprint           trace infection footprints: every non-Vanished
@@ -107,6 +120,17 @@
 //                         tenant spend (price = injections x instructions)
 //   --campaign-threads N  scheduler threads for submissions that leave
 //                         --threads 0 (default 1: deterministic stop points)
+//   --http ADDR           HTTP observability listener (tcp:HOST:PORT or
+//                         tcp:PORT; tcp:0 picks a free port): GET /metrics
+//                         (Prometheus text format: fleet-wide counters,
+//                         histograms with p50/p95/p99, live per-stratum
+//                         early-stop gauges), /healthz and /campaigns (JSON)
+//   --metrics-every N     farm-worker snapshot cadence for daemon campaigns
+//                         while --http is on (default 32; 0 = off)
+// Top options (`sfi top`; a terminal dashboard over the HTTP plane):
+//   --http ADDR           daemon HTTP address to poll (required)
+//   --interval SECS       refresh period (default 2)
+//   --once                print one table and exit (no screen clearing)
 // Client options (`sfi submit` / `status` / `watch` / `shutdown`):
 //   --connect ADDR        daemon address (same grammar as --listen)
 //   --tenant T            fair-share accounting bucket (default "default")
@@ -121,9 +145,13 @@
 // Trace options:
 //   --latch NAME[:BIT]    latch (by hierarchical name) to flip
 //   --cycle C             injection cycle               (default 30)
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstdio>
@@ -134,6 +162,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "avp/testgen.hpp"
@@ -152,6 +181,7 @@
 #include "sfi/tracer.hpp"
 #include "store/merge.hpp"
 #include "store/reader.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "workload/spec_profiles.hpp"
 
 namespace {
@@ -210,7 +240,7 @@ const std::set<std::string>& flag_options() {
       "raw",       "resume",      "progress",
       "footprint", "footprint-every-cycle",
       "keep-shards", "sabotage-wedge-once",
-      "wait", "json", "stratify-unit"};
+      "wait", "json", "stratify-unit", "once"};
   return flags;
 }
 
@@ -269,6 +299,9 @@ commands:
   status      one-line-per-campaign daemon status (--connect ADDR [--json])
   watch       stream a campaign's JSONL event log (--connect ADDR --id N)
   shutdown    ask a daemon to stop (running campaigns stay resumable)
+  top         live refreshing per-campaign table over the daemon's HTTP
+              plane (--http ADDR [--interval SECS] [--once]); the same
+              endpoint Prometheus scrapes at /metrics
 telemetry (campaign/beam): --metrics-out FILE, --events-out FILE.jsonl,
   --chrome-trace FILE.json, --telemetry-sample N, --progress
 run `head -60 tools/sfi_cli.cpp` for the full option list.
@@ -461,7 +494,14 @@ TelemetrySinks make_telemetry(const Args& a) {
   // Parse before the early return: a malformed value must error even when
   // no sink is enabled.
   const auto sample = static_cast<u32>(a.num("telemetry-sample", 1));
-  if (!s.metrics_out && !s.trace_out && !events_out && !s.progress) return s;
+  // --postmortem implies a telemetry facade: the flight-recorder ring only
+  // holds lines the telemetry layer emits, so without one the dump would
+  // always be empty.
+  const bool postmortem = a.str("postmortem").has_value();
+  if (!s.metrics_out && !s.trace_out && !events_out && !s.progress &&
+      !postmortem) {
+    return s;
+  }
   inject::TelemetryConfig tc;
   tc.event_sample = sample;
   tc.slice_sample = sample;
@@ -533,6 +573,17 @@ void print_resume_hint(const std::string& out) {
             << " --resume [same campaign options]\n";
 }
 
+/// --postmortem FILE: enable the global crash flight recorder (telemetry
+/// lines tee into a fixed in-memory ring) and arm fatal-signal dumps to
+/// FILE. Returns the path, empty when not requested. Observability-only.
+std::string postmortem_from_args(const Args& a) {
+  const auto path = a.str("postmortem");
+  if (!path) return "";
+  telemetry::FlightRecorder::global().enable(2048);
+  telemetry::FlightRecorder::arm_signals(*path);
+  return *path;
+}
+
 farm::SabotageConfig sabotage_from_args(const Args& a) {
   farm::SabotageConfig s;
   if (a.opts.count("sabotage-crash") != 0) {
@@ -556,7 +607,7 @@ std::vector<std::string> worker_command_from_args(const Args& a) {
       "n",             "unit",             "type",
       "sticky",        "ckpt-interval",    "ckpt-mem",
       "footprint-sample", "footprint-window",
-      "sabotage-crash", "sabotage-wedge"};
+      "sabotage-crash", "sabotage-wedge",  "metrics-every"};
   static const std::set<std::string> keep_flags = {
       "raw", "footprint", "footprint-every-cycle", "sabotage-wedge-once"};
   std::vector<std::string> cmd = {farm::self_exe(), "worker"};
@@ -587,6 +638,8 @@ int cmd_campaign_farm(const Args& a, const avp::Testcase& tc,
   fc.watchdog_seconds = static_cast<double>(a.num("watchdog", 30));
   fc.sabotage = sabotage_from_args(a);
   fc.keep_shards = a.flag("keep-shards");
+  fc.metrics_every = static_cast<u32>(a.num("metrics-every", 0));
+  fc.postmortem_path = postmortem_from_args(a);
   install_stop_handler();
   fc.should_stop = [] { return g_stop_requested != 0; };
   if (sinks.progress && sinks.tel) {
@@ -652,6 +705,7 @@ int cmd_worker(const Args& a) {
   wo.shard_path = *shard;
   wo.control_fd = 0;  // assignments arrive on stdin
   wo.sabotage = sabotage_from_args(a);
+  wo.metrics_every = static_cast<u32>(a.num("metrics-every", 0));
   return farm::run_worker(tc, cfg, wo);
 }
 
@@ -664,6 +718,7 @@ int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
   sc.shard_size = static_cast<u32>(a.num("shard-size", 64));
   sc.flush_records = static_cast<u32>(a.num("flush", 32));
   sc.max_new_injections = a.num("max-new", 0);
+  (void)postmortem_from_args(a);  // in-process: dump on fatal signal only
   install_stop_handler();
   sc.should_stop = [] { return g_stop_requested != 0; };
   if (sinks.progress && sinks.tel) {
@@ -1181,13 +1236,19 @@ int cmd_serve(const Args& a) {
   if (const auto l = a.str("listen")) sc.listen = *l;
   sc.max_active = static_cast<u32>(a.num("max-active", 2));
   sc.default_threads = static_cast<u32>(a.num("campaign-threads", 1));
+  if (const auto h = a.str("http")) sc.http = *h;
+  sc.metrics_every = static_cast<u32>(a.num("metrics-every", 32));
   install_stop_handler();
   sc.should_stop = [] { return g_stop_requested != 0; };
   serve::Daemon d(sc);
   std::cout << "sfi serve: listening on " << d.address().describe()
-            << "; state dir " << *state_dir << "; max active " << sc.max_active
-            << "\n"
-            << std::flush;
+            << "; state dir " << *state_dir << "; max active "
+            << sc.max_active;
+  if (d.http_enabled()) {
+    std::cout << "; http " << d.http_address().describe()
+              << " (/metrics /healthz /campaigns)";
+  }
+  std::cout << "\n" << std::flush;
   return d.run();
 }
 
@@ -1307,6 +1368,144 @@ int cmd_watch(const Args& a) {
   return rc;
 }
 
+/// One blocking HTTP/1.1 GET against the daemon's observability listener;
+/// returns the response body. Enough protocol for our own server (and any
+/// other that honours Connection: close).
+std::string http_get(const serve::Address& addr, const std::string& path) {
+  const int fd = serve::connect_to(addr);
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: sfi\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n =
+        ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw std::runtime_error("http: send failed to " + addr.describe());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t hdr = resp.find("\r\n\r\n");
+  if (hdr == std::string::npos) {
+    throw std::runtime_error("http: malformed response from " +
+                             addr.describe());
+  }
+  if (resp.rfind("HTTP/1.1 200", 0) != 0) {
+    throw std::runtime_error("http: " + resp.substr(0, resp.find("\r\n")));
+  }
+  return resp.substr(hdr + 4);
+}
+
+/// `sfi top`: a terminal dashboard over GET /campaigns — one row per
+/// campaign with live rate (from successive polls), ETA, half-width
+/// progress and the outcome mix. Read-only by construction: it talks to
+/// the same endpoint Prometheus scrapes.
+int cmd_top(const Args& a) {
+  farm::ignore_sigpipe();
+  const auto spec = a.str("http");
+  if (!spec) {
+    throw CliError("top requires --http ADDR (the daemon's --http address)");
+  }
+  const serve::Address addr = serve::parse_address(*spec);
+  const double interval = a.fnum("interval", 2.0);
+  const bool once = a.flag("once");
+  install_stop_handler();
+
+  struct Seen {
+    u64 done = 0;
+    std::chrono::steady_clock::time_point at;
+  };
+  std::map<u64, Seen> last;
+  while (g_stop_requested == 0) {
+    const std::string body = http_get(addr, "/campaigns");
+    const serve::Json r = serve::Json::parse(body);
+    const auto now = std::chrono::steady_clock::now();
+    if (!once) std::cout << "\x1b[H\x1b[2J";  // cursor home + clear screen
+    std::cout << "sfi top — " << addr.describe()
+              << (r.get_bool("stopping", false) ? " (stopping)" : "") << "\n";
+    report::Table t({"id", "tenant", "state", "eng", "done", "rate/s", "eta",
+                     "hw/target", "wrk", "outcome mix"});
+    if (const serve::Json* cs = r.find("campaigns")) {
+      for (const serve::Json& c : cs->items()) {
+        const u64 id = c.get_u64("id", 0);
+        const u64 done = c.get_u64("done", 0);
+        const u64 n = c.get_u64("n", 0);
+        const std::string state = c.get_str("state", "?");
+        double rate = 0.0;
+        if (const auto it = last.find(id); it != last.end()) {
+          const double dt =
+              std::chrono::duration<double>(now - it->second.at).count();
+          if (dt > 0.0 && done >= it->second.done) {
+            rate = static_cast<double>(done - it->second.done) / dt;
+          }
+        }
+        last[id] = {done, now};
+        std::string eta = "-";
+        if (state == "running" && rate > 0.0 && n > done) {
+          eta = report::Table::num(static_cast<double>(n - done) / rate, 0) +
+                "s";
+        }
+        const double widest = c.get_num("widest_half_width", -1.0);
+        std::string hw =
+            (widest < 0.0 ? std::string("-")
+                          : report::Table::num(widest, 4)) +
+            "/" +
+            report::Table::num(c.get_num("target_half_width", 0.0), 4);
+        if (c.get_bool("early_stop", false)) hw += " met";
+        std::string mix;
+        if (const serve::Json* counts = c.find("counts")) {
+          u64 total = 0;
+          for (const auto o : inject::kAllOutcomes) {
+            total += counts->get_u64(std::string(to_string(o)), 0);
+          }
+          for (const auto o : inject::kAllOutcomes) {
+            const u64 v = counts->get_u64(std::string(to_string(o)), 0);
+            if (v == 0) continue;
+            std::string lbl(to_string(o).substr(0, 3));
+            for (char& ch : lbl) {
+              ch = static_cast<char>(
+                  std::tolower(static_cast<unsigned char>(ch)));
+            }
+            if (!mix.empty()) mix += ' ';
+            mix += lbl + ' ' +
+                   report::Table::pct(static_cast<double>(v) /
+                                      static_cast<double>(total));
+          }
+        }
+        t.add_row({std::to_string(id), c.get_str("tenant", "?"), state,
+                   c.get_str("engine", "?"),
+                   std::to_string(done) + "/" + std::to_string(n),
+                   report::Table::num(rate, 1), eta, hw,
+                   std::to_string(c.get_u64("workers", 0)), mix});
+      }
+    }
+    std::cout << t.to_string() << std::flush;
+    if (once) return 0;
+    // Sleep in slices so Ctrl-C lands promptly, not a poll later.
+    const auto deadline =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(interval));
+    while (g_stop_requested == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  return 0;
+}
+
 int cmd_shutdown(const Args& a) {
   farm::ignore_sigpipe();
   serve::LineChannel ch(serve::connect_to(client_address(a)));
@@ -1338,6 +1537,7 @@ int main(int argc, char** argv) {
     if (a.command == "status") return cmd_status(a);
     if (a.command == "watch") return cmd_watch(a);
     if (a.command == "shutdown") return cmd_shutdown(a);
+    if (a.command == "top") return cmd_top(a);
   } catch (const CliError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
