@@ -14,6 +14,7 @@
 #include "farm/process.hpp"
 #include "store/merge.hpp"
 #include "store/tail.hpp"
+#include "store/writer.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 
@@ -75,12 +76,25 @@ bool usable_store(const std::string& path) {
   }
 }
 
-std::string assignment_line(const WorkShard& shard) {
+/// Trailing `<trace_id> <dispatch_span_id>` tokens are the span plane's
+/// compatible extension: parse_assignment reads exactly `count` indices, so
+/// older workers never see them and newer workers treat them as optional.
+std::string assignment_line(const WorkShard& shard, u64 trace_id,
+                            u64 dispatch_span) {
   std::ostringstream line;
   line << "A " << shard.id << " " << shard.attempt << " "
        << shard.indices.size();
   for (const u32 i : shard.indices) line << " " << i;
+  if (trace_id != 0) line << " " << trace_id << " " << dispatch_span;
   return line.str();
+}
+
+std::string trace_sidecar_path(const std::string& out_path) {
+  std::string base = out_path;
+  if (base.size() > 4 && base.ends_with(".sfr")) {
+    base.resize(base.size() - 4);
+  }
+  return base + ".trace.sfr";
 }
 
 }  // namespace
@@ -141,6 +155,38 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
 
   const inject::CampaignPlan plan = inject::plan_campaign(tc, cfg);
   const store::CampaignMeta meta = sched::make_campaign_meta(tc, cfg, plan);
+
+  // --- span plane: coordinator book + durable sidecar ---
+  const bool spans_on = farm.trace_spans && tel != nullptr;
+  u64 trace_id = 0;
+  std::optional<store::StoreWriter> sidecar;
+  if (spans_on) {
+    trace_id = farm.trace_id;
+    if (trace_id == 0) {
+      // Campaign-scoped, fleet-unique enough: fingerprint ties the id to
+      // the campaign, wall microseconds split re-runs of the same one.
+      trace_id = meta.config_fingerprint ^
+                 static_cast<u64>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count());
+      if (trace_id == 0) trace_id = 1;
+    }
+    tel->enable_span_plane("sfi farm", trace_id);
+    sidecar.emplace(
+        store::StoreWriter::create(trace_sidecar_path(out_path), meta));
+  }
+  // Drain the coordinator's own book into the sidecar, keeping a copy for
+  // the live /trace view. Called opportunistically from the supervision
+  // loop and once at the very end (after campaign_finish's root slice).
+  const auto flush_own_spans = [&] {
+    if (!sidecar || tel == nullptr || tel->spans() == nullptr) return;
+    const std::vector<telemetry::SpanRecord> drained = tel->spans()->drain();
+    if (drained.empty()) return;
+    for (const telemetry::SpanRecord& sp : drained) sidecar->append_span(sp);
+    sidecar->flush();
+    tel->retain_spans(drained);
+  };
 
   FarmResult result;
   result.meta = meta;
@@ -259,10 +305,13 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
       argv.push_back(s.shard_path);
       argv.push_back("--worker-id");
       argv.push_back(std::to_string(s.id));
+      if (farm.trace_spans) argv.push_back("--trace-spans");
       s.proc = spawn_exec(argv);
     } else {
-      const WorkerOptions wo{s.id, s.shard_path, /*control_fd=*/-1,
-                             farm.sabotage, farm.metrics_every};
+      const WorkerOptions wo{s.id,          s.shard_path,
+                             /*control_fd=*/-1,
+                             farm.sabotage, farm.metrics_every,
+                             farm.trace_spans};
       s.proc = spawn_call([&tc, &cfg, &plan, wo](int control_fd) {
         WorkerOptions opts = wo;
         opts.control_fd = control_fd;
@@ -285,10 +334,15 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
   // Crash flight recorder: every supervision failure rewrites the
   // postmortem file with the ring's current contents, so the artifact that
   // survives is the last seconds before the most recent fatality.
-  const auto postmortem = [&farm] {
+  const auto postmortem = [&farm, tel, spans_on] {
     auto& recorder = telemetry::FlightRecorder::global();
     if (!farm.postmortem_path.empty() && recorder.enabled()) {
       recorder.dump(farm.postmortem_path);
+    }
+    // The same ring tail, as trace instants: the stitched timeline shows
+    // what the fleet was doing in the seconds around the fatality.
+    if (spans_on) {
+      tel->flight_recorder_tail_to_spans("supervision failure");
     }
   };
 
@@ -369,6 +423,20 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
         } catch (const store::StoreError&) {
           // A snapshot a newer/older worker encoded differently is an
           // observability loss, never a campaign failure.
+        }
+        break;
+      }
+      case store::kSpanFrame: {
+        if (!spans_on) break;
+        try {
+          const telemetry::SpanRecord sp = store::decode_span(payload);
+          if (sidecar) {
+            sidecar->append_span(sp);
+          }
+          tel->retain_spans({sp});
+        } catch (const store::StoreError&) {
+          // Same policy as 'M': a span another version encoded differently
+          // is an observability loss, never a campaign failure.
         }
         break;
       }
@@ -505,7 +573,24 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
       });
       if (shard.indices.empty()) continue;
       if (!s.alive) spawn_slot(s);
-      if (!send_line(s.proc, assignment_line(shard))) {
+      // Dispatch span: the worker parents its shard slice under this id,
+      // which is how the stitched trace links coordinator to worker.
+      u64 dispatch_span = 0;
+      if (spans_on && tel->spans() != nullptr) {
+        telemetry::SpanBook* book = tel->spans();
+        telemetry::JsonWriter args;
+        args.begin_object()
+            .field("shard", shard.id)
+            .field("attempt", shard.attempt)
+            .field("indices", shard.indices.size())
+            .field("slot", s.id)
+            .end_object();
+        dispatch_span = book->instant(
+            "dispatch shard " + std::to_string(shard.id), "farm.dispatch",
+            book->now_us(), 0, args.str());
+      }
+      if (!send_line(s.proc, assignment_line(shard, trace_id,
+                                             dispatch_span))) {
         // The pipe died before the assignment landed; the reap branch next
         // iteration handles the corpse. Requeue this shard immediately.
         shard.not_before = now_s() + farm.backoff_base_seconds;
@@ -519,6 +604,7 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
       ++result.assignments;
     }
 
+    flush_own_spans();
     std::this_thread::sleep_for(
         std::chrono::duration<double>(std::max(0.001, farm.poll_seconds)));
   }
@@ -644,6 +730,8 @@ FarmResult run_farm_campaign(const avp::Testcase& tc,
   if (tel != nullptr) {
     tel->campaign_finish(result.agg, result.executed, result.wall_seconds);
   }
+  // Final drain after the campaign root slice so the sidecar is complete.
+  flush_own_spans();
   return result;
 }
 

@@ -94,6 +94,17 @@ struct FarmConfig {
   /// watchdog kill, strikeout) — the postmortem trace of the last seconds
   /// before the fatality. Rewritten per failure; observability-only.
   std::string postmortem_path;
+  /// Distributed span plane: workers record spans ('S' frames) into their
+  /// shard stores; the coordinator tees delivered spans plus its own into
+  /// the `<out>.trace.sfr` sidecar, which survives shard cleanup so
+  /// `sfi trace` can stitch the fleet's timeline later. The canonical merge
+  /// drops 'S' frames, so the merged store is byte-identical either way.
+  /// Fork-call workers receive this directly; exec workers get
+  /// --trace-spans appended to worker_command by the coordinator.
+  bool trace_spans = false;
+  /// Campaign-scoped trace id propagated through assignment lines to every
+  /// worker (0: derive one from the campaign fingerprint and wall clock).
+  u64 trace_id = 0;
 };
 
 struct FarmResult {

@@ -9,6 +9,7 @@
 #include "sched/scheduler.hpp"
 #include "sfi/telemetry.hpp"
 #include "store/writer.hpp"
+#include "telemetry/json.hpp"
 
 #include <unistd.h>
 
@@ -51,11 +52,14 @@ struct Assignment {
   u64 shard = 0;
   u32 attempt = 0;
   std::vector<u32> indices;
+  u64 trace_id = 0;       ///< span-plane extension (0 when absent)
+  u64 dispatch_span = 0;  ///< coordinator's dispatch span: shard parent
 };
 
 /// Parse "A <shard> <attempt> <count> <index>..."; false on malformed input
 /// (a malformed assignment is a coordinator bug — the worker exits nonzero
-/// rather than guessing).
+/// rather than guessing). Trailing `<trace_id> <dispatch_span>` tokens are
+/// the span plane's optional extension.
 bool parse_assignment(const std::string& line, Assignment& out) {
   std::istringstream in(line);
   std::string verb;
@@ -69,6 +73,12 @@ bool parse_assignment(const std::string& line, Assignment& out) {
     u32 index = 0;
     if (!(in >> index)) return false;
     out.indices.push_back(index);
+  }
+  out.trace_id = 0;
+  out.dispatch_span = 0;
+  if (!(in >> out.trace_id >> out.dispatch_span)) {
+    out.trace_id = 0;
+    out.dispatch_span = 0;
   }
   return true;
 }
@@ -103,15 +113,37 @@ int run_worker(const avp::Testcase& tc, const inject::CampaignConfig& cfg,
 
   std::optional<inject::CampaignTelemetry> tel;
   inject::WorkerTelemetry* wt = nullptr;
-  if (opts.metrics_every > 0) {
+  if (opts.metrics_every > 0 || opts.trace_spans) {
     tel.emplace();
+    if (opts.trace_spans) {
+      // Trace id arrives with the first assignment; until then spans carry
+      // id 0 and the book back-fills nothing — all spans recorded after
+      // set_trace_id carry the campaign id, and the pre-assignment ones
+      // (plan build) are stitched by pid anyway.
+      tel->enable_span_plane(
+          "sfi worker " + std::to_string(opts.worker_id), 0);
+    }
     tel->prepare_workers(1);
     wt = &tel->worker(0);
   }
+  telemetry::SpanBook* book = tel ? tel->spans() : nullptr;
+  // Drain recorded spans into the shard store as 'S' frames; committed by
+  // the caller's next flush, delivered by the coordinator's FrameTail.
+  const auto ship_spans = [&](store::StoreWriter& w) {
+    if (book == nullptr || book->size() == 0) return;
+    for (const telemetry::SpanRecord& sp : book->drain()) w.append_span(sp);
+  };
 
   std::optional<inject::CampaignPlan> own_plan;
   if (plan_in == nullptr) {
+    const u64 plan_t0 = book != nullptr ? book->now_us() : 0;
     own_plan.emplace(inject::plan_campaign(tc, wcfg));
+    if (book != nullptr) {
+      // Exec-mode startup is dominated by this rebuild; the slice is what
+      // makes the farm's startup_seconds grace visible in the trace.
+      book->slice("plan build", "worker.startup", plan_t0,
+                  book->now_us() - plan_t0);
+    }
     plan_in = &*own_plan;
   }
   const inject::CampaignPlan& plan = *plan_in;
@@ -148,6 +180,8 @@ int run_worker(const avp::Testcase& tc, const inject::CampaignConfig& cfg,
     if (line.empty()) continue;
     if (line == "Q") break;
     if (!parse_assignment(line, a)) return 3;
+    if (book != nullptr && a.trace_id != 0) book->set_trace_id(a.trace_id);
+    const u64 shard_t0 = book != nullptr ? book->now_us() : 0;
     writer.append_assignment({opts.worker_id, a.shard, a.attempt,
                               static_cast<u32>(a.indices.size())});
     writer.flush();
@@ -173,11 +207,29 @@ int run_worker(const avp::Testcase& tc, const inject::CampaignConfig& cfg,
       // Per-record flush+commit: the coordinator's done-count advances one
       // committed record at a time, and a crash can only lose the
       // injection in flight — exactly what the supervisor re-runs.
+      ship_spans(writer);
+      writer.flush();
+    }
+    if (book != nullptr) {
+      // The shard slice parents under the coordinator's dispatch span —
+      // the cross-process edge the stitched trace hangs together by.
+      telemetry::JsonWriter args;
+      args.begin_object()
+          .field("shard", a.shard)
+          .field("attempt", a.attempt)
+          .field("indices", a.indices.size())
+          .end_object();
+      book->slice("shard " + std::to_string(a.shard) + " attempt " +
+                      std::to_string(a.attempt),
+                  "shard.exec", shard_t0, book->now_us() - shard_t0,
+                  a.dispatch_span, args.str());
+      ship_spans(writer);
       writer.flush();
     }
   }
   // Parting snapshot so the fleet view ends exact, not one interval stale.
   if (wt != nullptr && executed != last_snapshot) emit_metrics();
+  ship_spans(writer);
   writer.flush();
   return 0;
 }

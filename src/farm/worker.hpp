@@ -57,6 +57,12 @@ struct WorkerOptions {
   /// coordinator folds the snapshots into its fleet view; canonical merge
   /// drops the frames, so the merged store is byte-identical either way.
   u32 metrics_every = 0;
+  /// Record distributed trace spans ('S' frames) into the shard store:
+  /// plan-build and per-assignment shard slices, plus tail-latency exemplar
+  /// phase slices per injection. The trace/parent ids arrive with each
+  /// assignment line, so worker spans stitch under the coordinator's
+  /// dispatch span. Observability-only, like metrics_every.
+  bool trace_spans = false;
 };
 
 /// Worker main loop; returns the process exit code (0 = clean drain).

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -21,6 +22,7 @@
 #include "sched/scheduler.hpp"
 #include "sfi/telemetry.hpp"
 #include "store/reader.hpp"
+#include "store/writer.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/prometheus.hpp"
@@ -306,6 +308,9 @@ void Daemon::adopt_state_dir() {
     auto c = std::make_unique<Campaign>();
     c->id = id;
     c->tel = std::make_shared<inject::CampaignTelemetry>();
+    // Span plane from birth: the book's wall epoch is the adoption/submit
+    // instant, which is what the admission-wait slice measures from.
+    c->tel->enable_span_plane("sfi serve", id);
     c->spec.tenant = m.get_str("tenant", "default");
     c->spec.seed = m.get_u64("seed", 42);
     c->spec.testcase_seed = m.get_u64("testcase_seed", 2026);
@@ -422,6 +427,19 @@ void Daemon::reap_finished() {
 
 void Daemon::run_one(Campaign& c) {
   try {
+    if (c.tel != nullptr && c.tel->spans() != nullptr) {
+      // Queue time, as a slice: from the book's wall epoch (submit or
+      // adoption) to this admission instant.
+      telemetry::SpanBook* book = c.tel->spans();
+      telemetry::JsonWriter args;
+      args.begin_object()
+          .field("id", c.id)
+          .field("tenant", c.spec.tenant)
+          .end_object();
+      const u64 t0 = book->wall_epoch_us();
+      book->slice("admission wait", "serve.admission", t0,
+                  book->now_us() - t0, 0, args.str());
+    }
     avp::TestcaseConfig tcfg;
     tcfg.seed = c.spec.testcase_seed;
     tcfg.num_instructions = c.spec.instructions;
@@ -478,6 +496,19 @@ void Daemon::run_one(Campaign& c) {
           .field("met", monitor->met())
           .end_object();
       emit(c, w.str());
+      if (c.tel != nullptr && c.tel->spans() != nullptr) {
+        // Same throttle as the interval event: the trace shows the stop
+        // monitor's cadence without paying a span per claim.
+        telemetry::SpanBook* book = c.tel->spans();
+        telemetry::JsonWriter args;
+        args.begin_object()
+            .field("committed", committed)
+            .field("widest_half_width", widest)
+            .field("met", monitor->met())
+            .end_object();
+        book->instant("stop poll", "serve.stop", book->now_us(), 0,
+                      args.str());
+      }
     };
 
     // The sequential stop decision: polled by the engine before every
@@ -554,6 +585,11 @@ void Daemon::run_one(Campaign& c) {
       if (cfg_.flight_recorder_slots > 0) {
         fc.postmortem_path = c.store_path + ".postmortem.jsonl";
       }
+      // Distributed trace: the farm coordinator (this thread) propagates
+      // the campaign id as the trace id and appends --trace-spans to the
+      // worker command itself; the sidecar lands next to the store.
+      fc.trace_spans = true;
+      fc.trace_id = c.id;
       fc.shard_size = c.spec.shard_size;
       fc.should_stop = stop_fn;
       fc.on_progress = progress_fn;
@@ -591,6 +627,27 @@ void Daemon::finalize(Campaign& c, bool failed, const std::string& error) {
           store::aggregate_store(c.store_path, {.tolerate_torn_tail = true});
       agg = a;
       records = agg.total();
+      // Durable trace sidecar: everything the live /trace view has (this
+      // process's book plus spans delivered from workers), rewritten whole
+      // so `sfi trace` works on the state dir after the daemon is gone.
+      // Best-effort — a trace that fails to serialize never fails a
+      // campaign.
+      if (c.tel != nullptr && c.tel->spans() != nullptr) {
+        try {
+          const std::vector<telemetry::SpanRecord> spans = c.tel->all_spans();
+          if (!spans.empty()) {
+            std::string base = c.store_path;
+            if (base.size() > 4 && base.ends_with(".sfr")) {
+              base.resize(base.size() - 4);
+            }
+            store::StoreWriter sw =
+                store::StoreWriter::create(base + ".trace.sfr", meta);
+            for (const telemetry::SpanRecord& sp : spans) sw.append_span(sp);
+            sw.flush();
+          }
+        } catch (const std::exception&) {
+        }
+      }
     } catch (const std::exception& e) {
       failed = true;
       why = e.what();
@@ -930,6 +987,7 @@ void Daemon::handle_submit(Conn& conn, const Json& req) {
     auto c = std::make_unique<Campaign>();
     c->id = id;
     c->tel = std::make_shared<inject::CampaignTelemetry>();
+    c->tel->enable_span_plane("sfi serve", id);
     c->spec = spec;
     c->store_path =
         (fs::path(cfg_.state_dir) / ("campaign-" + std::to_string(id) + ".sfr"))
@@ -1075,6 +1133,34 @@ void Daemon::handle_http(Conn& conn) {
     respond("200 OK", "application/json", w.str() + "\n");
   } else if (path == "/campaigns") {
     respond("200 OK", "application/json", campaigns_json() + "\n");
+  } else if (path == "/trace") {
+    // /trace?campaign=N → the campaign's live span set as a Trace Event
+    // JSON document (load it straight into Perfetto / chrome://tracing).
+    u64 id = 0;
+    const std::size_t q = target.find('?');
+    if (q != std::string::npos) {
+      const std::string query = target.substr(q + 1);
+      const std::size_t key = query.find("campaign=");
+      if (key != std::string::npos) {
+        id = std::strtoull(query.c_str() + key + 9, nullptr, 10);
+      }
+    }
+    std::shared_ptr<inject::CampaignTelemetry> tel;
+    {
+      std::lock_guard lk(mu_);
+      const auto it = campaigns_.find(id);
+      if (it != campaigns_.end()) tel = it->second->tel;
+    }
+    if (id == 0) {
+      respond("400 Bad Request", "text/plain",
+              "usage: /trace?campaign=ID\n");
+    } else if (tel == nullptr) {
+      respond("404 Not Found", "text/plain",
+              "no campaign with id " + std::to_string(id) + "\n");
+    } else {
+      // Rendered outside mu_: stitching copies every span.
+      respond("200 OK", "application/json", tel->trace_chrome_json() + "\n");
+    }
   } else {
     respond("404 Not Found", "text/plain", "not found\n");
   }

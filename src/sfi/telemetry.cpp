@@ -36,10 +36,12 @@ WorkerTelemetry::WorkerTelemetry(CampaignTelemetry& owner, u32 tid)
   if (owner_.trace_) {
     track_ = &owner_.trace_->add_track("worker " + std::to_string(tid));
   }
+  book_ = owner.span_book_.get();
 }
 
 void WorkerTelemetry::shard_begin(u64 shard, u64 injections) {
   if (track_ != nullptr) shard_start_us_ = owner_.trace_->now_us();
+  if (book_ != nullptr) span_shard_start_us_ = book_->now_us();
   if (auto* log = owner_.events()) {
     telemetry::JsonWriter w;
     w.begin_object()
@@ -62,6 +64,15 @@ void WorkerTelemetry::shard_end(u64 shard, u64 executed) {
         .end_object();
     track_->slice("shard " + std::to_string(shard), "shard", shard_start_us_,
                   now - shard_start_us_, args.str());
+  }
+  if (book_ != nullptr) {
+    const u64 now = book_->now_us();
+    telemetry::JsonWriter args;
+    args.begin_object().field("shard", shard).field("executed", executed)
+        .end_object();
+    book_->slice("shard " + std::to_string(shard), "shard",
+                 span_shard_start_us_, now - span_shard_start_us_, 0,
+                 args.str(), tid_);
   }
   if (auto* log = owner_.events()) {
     telemetry::JsonWriter w;
@@ -180,6 +191,45 @@ void WorkerTelemetry::record_injection(u32 index, const InjectionRecord& rec,
     track_->slice("convergence-poll", "phase", at, us_poll);
     at += us_sim + us_poll;
     track_->slice("classify", "phase", at, us_classify);
+  }
+
+  // --- span plane (tail-latency exemplar policy) ---
+  // Full phase slices for every injection would dominate the 5% budget, so
+  // the policy keeps the ones worth looking at: anything over the moving
+  // p99 is always recorded and tagged an exemplar with its record id
+  // (`"i"`, the index `sfi explain` keys on); the rest sample 1-in-N.
+  if (book_ != nullptr) {
+    const u64 us_restore = micros(ph.seconds[0]);
+    const u64 us_ff = micros(ph.seconds[1]);
+    const u64 us_sim = micros(ph.seconds[2]);
+    const u64 us_poll = micros(ph.seconds[3]);
+    const u64 us_classify = micros(ph.seconds[4]);
+    const u64 total = us_restore + us_ff + us_sim + us_poll + us_classify;
+    const auto d = exemplar_.note(total);
+    if (d.record) {
+      const u64 end = book_->now_us();
+      const u64 start = end > total ? end - total : 0;
+      telemetry::JsonWriter& args = scratch_;
+      args.clear();
+      args.begin_object()
+          .field("i", u64{index})
+          .field("outcome", to_string(rec.outcome))
+          .field("exemplar", d.exemplar)
+          .end_object();
+      const u64 parent = book_->slice(
+          std::string("inject → ") + std::string(to_string(rec.outcome)),
+          d.exemplar ? "injection.exemplar" : "injection", start, total, 0,
+          args.str(), tid_);
+      u64 at = start;
+      book_->slice("restore", "phase", at, us_restore, parent, {}, tid_);
+      at += us_restore;
+      book_->slice("fast-forward", "phase", at, us_ff, parent, {}, tid_);
+      at += us_ff;
+      book_->slice("post-fault-sim", "phase", at, us_sim + us_poll, parent,
+                   {}, tid_);
+      at += us_sim + us_poll;
+      book_->slice("classify", "phase", at, us_classify, parent, {}, tid_);
+    }
   }
   ++seq_;
 }
@@ -351,11 +401,104 @@ void CampaignTelemetry::enable_chrome_trace() {
   main_track_ = &trace_->add_track("scheduler");
 }
 
+void CampaignTelemetry::enable_span_plane(std::string process_name,
+                                          u64 trace_id) {
+  if (!span_book_) {
+    span_book_ =
+        std::make_unique<telemetry::SpanBook>(std::move(process_name));
+    span_campaign_start_us_ = span_book_->wall_epoch_us();
+    // Late enablement: handles made before the plane was on pick up the
+    // book here (prepare_workers is idempotent and keeps references).
+    for (const auto& w : workers_) w->book_ = span_book_.get();
+  } else if (!process_name.empty()) {
+    span_book_->set_process_name(std::move(process_name));
+  }
+  if (trace_id != 0) span_book_->set_trace_id(trace_id);
+}
+
+void CampaignTelemetry::retain_spans(
+    const std::vector<telemetry::SpanRecord>& spans) {
+  // Cap: keep the oldest — campaign lifecycle and dispatch spans land
+  // early; a runaway tail of per-injection slices is the droppable part.
+  constexpr std::size_t kMaxRetained = 200'000;
+  const std::lock_guard<std::mutex> lock(span_mu_);
+  for (const telemetry::SpanRecord& s : spans) {
+    if (retained_spans_.size() >= kMaxRetained) break;
+    retained_spans_.push_back(s);
+  }
+}
+
+std::vector<telemetry::SpanRecord> CampaignTelemetry::all_spans() const {
+  std::vector<telemetry::SpanRecord> out;
+  if (span_book_) out = span_book_->snapshot();
+  const std::lock_guard<std::mutex> lock(span_mu_);
+  out.insert(out.end(), retained_spans_.begin(), retained_spans_.end());
+  return out;
+}
+
+std::string CampaignTelemetry::trace_chrome_json() const {
+  return telemetry::spans_to_chrome_json(all_spans());
+}
+
+namespace {
+
+/// `"ev":"..."` extraction from a flight-recorder line (machine-written
+/// JSONL; a miss degrades to a generic name, never an error).
+std::string_view event_name_of(std::string_view line) {
+  const auto key = line.find("\"ev\":\"");
+  if (key == std::string_view::npos) return "event";
+  const auto begin = key + 6;
+  const auto end = line.find('"', begin);
+  if (end == std::string_view::npos) return "event";
+  return line.substr(begin, end - begin);
+}
+
+}  // namespace
+
+void CampaignTelemetry::flight_recorder_tail_to_spans(
+    std::string_view reason) {
+  if (!span_book_) return;
+  auto& recorder = telemetry::FlightRecorder::global();
+  if (!recorder.enabled()) return;
+  // Lines are stamped on this telemetry's steady clock ("t_us"); the book
+  // shares the process, so the wall offset between the two clocks is exact.
+  const u64 wall_offset = span_book_->now_us() - now_us();
+  telemetry::JsonWriter name;
+  for (const std::string& line : recorder.snapshot()) {
+    const auto t = line.find("\"t_us\":");
+    u64 t_us = 0;
+    if (t != std::string::npos) {
+      for (std::size_t i = t + 7; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c < '0' || c > '9') break;
+        t_us = t_us * 10 + static_cast<u64>(c - '0');
+      }
+    }
+    name.clear();
+    name.begin_object().field("reason", reason).field("line", line)
+        .end_object();
+    span_book_->instant(std::string(event_name_of(line)), "flight_recorder",
+                        t_us + wall_offset, 0, name.str());
+  }
+}
+
 void CampaignTelemetry::campaign_start(std::string_view kind, u64 seed,
                                        u64 total, u64 resumed) {
   start_us_ = now_us();
   registry_.set_gauge(g_total_, static_cast<double>(total));
   registry_.set_gauge(g_resumed_, static_cast<double>(resumed));
+  if (span_book_) {
+    span_campaign_start_us_ = span_book_->now_us();
+    telemetry::JsonWriter args;
+    args.begin_object()
+        .field("kind", kind)
+        .field("seed", seed)
+        .field("total", total)
+        .field("resumed", resumed)
+        .end_object();
+    span_book_->instant("campaign start", "lifecycle",
+                        span_campaign_start_us_, 0, args.str());
+  }
   if (auto* log = events()) {
     telemetry::JsonWriter w;
     w.begin_object()
@@ -432,6 +575,19 @@ void CampaignTelemetry::campaign_finish(const CampaignAggregate& agg,
     main_track_->slice("campaign", "campaign", start_us_,
                        end > start_us_ ? end - start_us_ : 0);
   }
+  if (span_book_) {
+    const u64 end = span_book_->now_us();
+    telemetry::JsonWriter args;
+    args.begin_object()
+        .field("executed", executed)
+        .field("wall_seconds", wall_seconds)
+        .end_object();
+    span_book_->slice("campaign", "lifecycle", span_campaign_start_us_,
+                      end > span_campaign_start_us_
+                          ? end - span_campaign_start_us_
+                          : 0,
+                      0, args.str());
+  }
 }
 
 namespace {
@@ -468,6 +624,16 @@ void CampaignTelemetry::farm_worker_spawned(u32 slot, i64 pid,
         .field("pid", pid)
         .field("generation", static_cast<u64>(generation));
   });
+  if (span_book_) {
+    telemetry::JsonWriter args;
+    args.begin_object()
+        .field("slot", static_cast<u64>(slot))
+        .field("pid", pid)
+        .field("generation", static_cast<u64>(generation))
+        .end_object();
+    span_book_->instant("spawn worker " + std::to_string(slot), "farm",
+                        span_book_->now_us(), 0, args.str());
+  }
 }
 
 void CampaignTelemetry::farm_worker_exited(u32 slot, i64 pid, bool clean,
@@ -479,6 +645,19 @@ void CampaignTelemetry::farm_worker_exited(u32 slot, i64 pid, bool clean,
         .field("clean", clean)
         .field("detail", static_cast<i64>(detail));
   });
+  if (span_book_) {
+    telemetry::JsonWriter args;
+    args.begin_object()
+        .field("slot", static_cast<u64>(slot))
+        .field("pid", pid)
+        .field("clean", clean)
+        .field("detail", static_cast<i64>(detail))
+        .end_object();
+    span_book_->instant(
+        std::string(clean ? "worker exit " : "worker crash ") +
+            std::to_string(slot),
+        "farm", span_book_->now_us(), 0, args.str());
+  }
 }
 
 void CampaignTelemetry::farm_watchdog_kill(u32 slot, i64 pid,
@@ -488,6 +667,15 @@ void CampaignTelemetry::farm_watchdog_kill(u32 slot, i64 pid,
     w.field("slot", static_cast<u64>(slot)).field("pid", pid);
     if (in_flight) w.field("in_flight", static_cast<u64>(*in_flight));
   });
+  if (span_book_) {
+    telemetry::JsonWriter args;
+    args.begin_object().field("slot", static_cast<u64>(slot)).field("pid",
+                                                                    pid);
+    if (in_flight) args.field("in_flight", static_cast<u64>(*in_flight));
+    args.end_object();
+    span_book_->instant("watchdog kill " + std::to_string(slot), "farm",
+                        span_book_->now_us(), 0, args.str());
+  }
 }
 
 void CampaignTelemetry::farm_shard_retry(u64 shard, u32 attempt,
@@ -498,6 +686,19 @@ void CampaignTelemetry::farm_shard_retry(u64 shard, u32 attempt,
         .field("attempt", static_cast<u64>(attempt))
         .field("backoff_seconds", backoff_seconds);
   });
+  if (span_book_) {
+    telemetry::JsonWriter args;
+    args.begin_object()
+        .field("shard", shard)
+        .field("attempt", static_cast<u64>(attempt))
+        .field("backoff_seconds", backoff_seconds)
+        .end_object();
+    // The backoff window is a real slice of campaign wall time: dispatch of
+    // this shard is deferred until the slice's right edge.
+    span_book_->slice("retry shard " + std::to_string(shard) + " backoff",
+                      "farm.retry", span_book_->now_us(),
+                      micros(backoff_seconds), 0, args.str());
+  }
 }
 
 void CampaignTelemetry::farm_strikeout(u32 index, u32 strikes) {
@@ -506,6 +707,15 @@ void CampaignTelemetry::farm_strikeout(u32 index, u32 strikes) {
     w.field("index", static_cast<u64>(index))
         .field("strikes", static_cast<u64>(strikes));
   });
+  if (span_book_) {
+    telemetry::JsonWriter args;
+    args.begin_object()
+        .field("i", static_cast<u64>(index))
+        .field("strikes", static_cast<u64>(strikes))
+        .end_object();
+    span_book_->instant("strikeout i=" + std::to_string(index), "farm",
+                        span_book_->now_us(), 0, args.str());
+  }
 }
 
 void CampaignTelemetry::farm_heartbeat_gap(u32 slot, double gap_seconds) {

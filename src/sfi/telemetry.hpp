@@ -31,6 +31,7 @@
 #include "telemetry/events.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace sfi::inject {
 
@@ -127,6 +128,10 @@ class WorkerTelemetry {
   telemetry::JsonWriter scratch_;  ///< reused per event (no per-event alloc)
   u64 seq_ = 0;            ///< injections seen by this worker (sampling)
   u64 shard_start_us_ = 0;  ///< open shard span start
+  /// Span plane (owner's book; null when the plane is off).
+  telemetry::SpanBook* book_ = nullptr;
+  telemetry::TailExemplarPolicy exemplar_;
+  u64 span_shard_start_us_ = 0;  ///< open shard span start (wall-anchored)
 };
 
 class CampaignTelemetry {
@@ -139,6 +144,32 @@ class CampaignTelemetry {
   // --- sinks (attach before the campaign starts) ---
   void open_event_log(const std::string& path);
   void enable_chrome_trace();
+  /// Attach the distributed span plane: a wall-anchored SpanBook every
+  /// lifecycle / farm / per-injection hook records into, plus the
+  /// tail-latency exemplar policy for per-injection phase slices.
+  /// `process_name` labels this process's row in the stitched trace;
+  /// `trace_id` scopes the spans to one campaign (0: keep the current id —
+  /// workers learn theirs later, from the assignment line). Idempotent.
+  void enable_span_plane(std::string process_name, u64 trace_id);
+  [[nodiscard]] telemetry::SpanBook* spans() { return span_book_.get(); }
+
+  /// Keep spans another process reported (delivered 'S' frames) for the
+  /// live /trace view. Thread-safe; capped (oldest kept — the lifecycle
+  /// spans live early) so a runaway worker cannot balloon the daemon.
+  void retain_spans(const std::vector<telemetry::SpanRecord>& spans);
+  /// Everything the live /trace view renders: this process's book plus
+  /// every retained foreign span. Thread-safe.
+  [[nodiscard]] std::vector<telemetry::SpanRecord> all_spans() const;
+  /// all_spans() rendered as a Trace Event JSON document.
+  [[nodiscard]] std::string trace_chrome_json() const;
+
+  /// Convert the crash flight recorder's current ring tail into span
+  /// instants on this process's row (no-op when either plane is off).
+  /// Called on supervision failures: the stitched trace then shows what
+  /// the process was doing when its worker died. Line timestamps are on
+  /// this telemetry's steady clock and are re-anchored exactly (same
+  /// process, same clock).
+  void flight_recorder_tail_to_spans(std::string_view reason);
 
   [[nodiscard]] telemetry::MetricsRegistry& metrics() { return registry_; }
   [[nodiscard]] telemetry::EventLog* events() {
@@ -240,6 +271,13 @@ class CampaignTelemetry {
   std::unique_ptr<telemetry::TraceCollector> trace_;
   telemetry::TraceTrack* main_track_ = nullptr;
   std::vector<std::unique_ptr<WorkerTelemetry>> workers_;
+
+  /// Span plane (enable_span_plane): the process-wide book plus spans
+  /// retained from other processes ('S' frames the coordinator delivered).
+  std::unique_ptr<telemetry::SpanBook> span_book_;
+  u64 span_campaign_start_us_ = 0;  ///< campaign root slice start
+  mutable std::mutex span_mu_;      ///< guards retained_spans_
+  std::vector<telemetry::SpanRecord> retained_spans_;
 
   // Well-known ids (registered once in the constructor).
   telemetry::CounterId c_injections_;

@@ -319,6 +319,47 @@ MetricsFrame decode_metrics(std::span<const u8> payload) {
   return mf;
 }
 
+std::vector<u8> encode_span(const telemetry::SpanRecord& span) {
+  ByteWriter w;
+  w.put_u64(span.trace_id);
+  w.put_u64(span.span_id);
+  w.put_u64(span.parent_id);
+  w.put_u64(span.pid);
+  w.put_u32(span.tid);
+  w.put_u8(static_cast<u8>(span.ph));
+  w.put_u64(span.ts_us);
+  w.put_u64(span.dur_us);
+  put_str(w, span.process);
+  put_str(w, span.name);
+  put_str(w, span.cat);
+  put_str(w, span.args_json);
+  return w.bytes();
+}
+
+telemetry::SpanRecord decode_span(std::span<const u8> payload) {
+  ByteReader r(payload);
+  telemetry::SpanRecord s;
+  s.trace_id = r.get_u64();
+  s.span_id = r.get_u64();
+  s.parent_id = r.get_u64();
+  s.pid = r.get_u64();
+  s.tid = r.get_u32();
+  const u8 ph = r.get_u8();
+  if (ph != 'X' && ph != 'i') {
+    throw StoreError("unknown span phase " + std::to_string(ph) +
+                     " in span payload");
+  }
+  s.ph = static_cast<char>(ph);
+  s.ts_us = r.get_u64();
+  s.dur_us = r.get_u64();
+  s.process = get_str(r);
+  s.name = get_str(r);
+  s.cat = get_str(r);
+  s.args_json = get_str(r);
+  if (!r.exhausted()) throw StoreError("trailing bytes in span payload");
+  return s;
+}
+
 std::vector<u8> make_frame(u8 kind, std::span<const u8> payload) {
   std::vector<u8> frame;
   frame.reserve(kFrameOverhead + payload.size());

@@ -11,6 +11,7 @@
 #include "sfi/record.hpp"
 #include "store/format.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace sfi::store {
 
@@ -72,6 +73,12 @@ struct MetricsFrame {
 
 [[nodiscard]] std::vector<u8> encode_metrics(const MetricsFrame& mf);
 [[nodiscard]] MetricsFrame decode_metrics(std::span<const u8> payload);
+
+/// Distributed-tracing span ('S' frame): self-describing (process label and
+/// wall-anchored timestamps travel inside), so a stitcher can reassemble a
+/// fleet timeline from shard stores alone.
+[[nodiscard]] std::vector<u8> encode_span(const telemetry::SpanRecord& span);
+[[nodiscard]] telemetry::SpanRecord decode_span(std::span<const u8> payload);
 
 /// Wrap a payload into a CRC-framed byte sequence ready for appending.
 [[nodiscard]] std::vector<u8> make_frame(u8 kind, std::span<const u8> payload);

@@ -63,9 +63,14 @@ inline constexpr u8 kAssignmentFrame = 'A';
 /// canonical merge drops these frames, so a store written with snapshots on
 /// merges byte-identical to one written with them off.
 inline constexpr u8 kMetricsFrame = 'M';
-// kCommitFrame/kHeartbeatFrame/kAssignmentFrame/kMetricsFrame are all
-// skipped by readers that predate them (unknown kinds are CRC-validated and
-// ignored), keeping format_version at 1.
+/// Distributed-tracing span ('S' frame): one wall-anchored slice or instant
+/// from the process that owns the store (worker shard, coordinator sidecar).
+/// Observability-only, exactly like 'M': canonical merge drops these frames
+/// and `sfi trace` stitches them back into one fleet timeline afterwards.
+inline constexpr u8 kSpanFrame = 'S';
+// kCommitFrame/kHeartbeatFrame/kAssignmentFrame/kMetricsFrame/kSpanFrame are
+// all skipped by readers that predate them (unknown kinds are CRC-validated
+// and ignored), keeping format_version at 1.
 
 /// Frame overhead: kind + payload_len + crc32.
 inline constexpr std::size_t kFrameOverhead = 1 + 4 + 4;

@@ -1,0 +1,170 @@
+#include "store/trace_stitch.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "store/reader.hpp"
+
+namespace sfi::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// `path` minus a trailing ".sfr" (shard/sidecar names derive from this,
+/// mirroring the farm coordinator's shard_file_path()).
+std::string base_of(const std::string& path) {
+  if (path.size() > 4 && path.ends_with(".sfr")) {
+    return path.substr(0, path.size() - 4);
+  }
+  return path;
+}
+
+/// Crude field extraction from a flight-recorder JSONL line. The recorder's
+/// lines are machine-written ({"t_us":N,"ev":"...",...}), so a substring
+/// scan is reliable enough for a postmortem overlay; anything unparsable
+/// degrades to a generic instant, never an error.
+u64 extract_t_us(const std::string& line) {
+  const auto key = line.find("\"t_us\":");
+  if (key == std::string::npos) return 0;
+  u64 v = 0;
+  for (std::size_t i = key + 7; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c < '0' || c > '9') break;
+    v = v * 10 + static_cast<u64>(c - '0');
+  }
+  return v;
+}
+
+std::string extract_ev(const std::string& line) {
+  const auto key = line.find("\"ev\":\"");
+  if (key == std::string::npos) return "event";
+  const auto begin = key + 6;
+  const auto end = line.find('"', begin);
+  if (end == std::string::npos) return "event";
+  return line.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::vector<telemetry::SpanRecord> read_spans(const std::string& path) {
+  std::vector<telemetry::SpanRecord> out;
+  if (!fs::exists(path)) return out;
+  try {
+    StoreReader reader(path, {.tolerate_torn_tail = true});
+    u8 kind = 0;
+    std::vector<u8> payload;
+    while (reader.next_frame(kind, payload)) {
+      if (kind != kSpanFrame) continue;
+      try {
+        out.push_back(decode_span(payload));
+      } catch (const StoreError&) {
+        // A span a newer build wrote with fields we cannot decode: skip it,
+        // keep the rest of the timeline.
+      }
+    }
+  } catch (const StoreError&) {
+    // Unreadable store (bad magic, mid-file corruption): contribute nothing
+    // rather than sink the whole stitch — other shards still have spans.
+  }
+  return out;
+}
+
+std::vector<std::string> discover_trace_inputs(const std::string& store_path) {
+  std::vector<std::string> inputs;
+  std::set<std::string> seen;
+  const auto add = [&](const std::string& p) {
+    if (seen.insert(p).second) inputs.push_back(p);
+  };
+
+  add(store_path);
+  const std::string base = base_of(store_path);
+  add(base + ".trace.sfr");
+
+  // Sibling shard stores (`<base>.w<slot>g<gen>.sfr`), `.hf` fatal-synthesis
+  // stores, and postmortem dumps, discovered by prefix scan so the stitcher
+  // needs no manifest of what the coordinator spawned.
+  const fs::path dir = fs::path(store_path).parent_path().empty()
+                           ? fs::path(".")
+                           : fs::path(store_path).parent_path();
+  const std::string stem = fs::path(base).filename().string() + ".";
+  std::vector<std::string> shards;
+  std::vector<std::string> postmortems;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with(stem)) continue;
+    if (name.ends_with(".sfr")) shards.push_back(entry.path().string());
+    if (name.ends_with(".postmortem.jsonl")) {
+      postmortems.push_back(entry.path().string());
+    }
+  }
+  std::sort(shards.begin(), shards.end());
+  std::sort(postmortems.begin(), postmortems.end());
+  for (const std::string& s : shards) add(s);
+  for (const std::string& p : postmortems) add(p);
+  return inputs;
+}
+
+StitchResult stitch_trace(const std::string& store_path) {
+  StitchResult result;
+  std::vector<telemetry::SpanRecord> spans;
+  std::vector<std::string> postmortems;
+  for (const std::string& input : discover_trace_inputs(store_path)) {
+    if (input.ends_with(".postmortem.jsonl")) {
+      postmortems.push_back(input);
+      continue;
+    }
+    std::vector<telemetry::SpanRecord> got = read_spans(input);
+    if (!got.empty()) ++result.files;
+    spans.insert(spans.end(), std::make_move_iterator(got.begin()),
+                 std::make_move_iterator(got.end()));
+  }
+
+  // Postmortem lines are stamped on the dead process's telemetry steady
+  // clock (no wall anchor survives a SIGKILL), so they get their own row,
+  // shifted to the trace start: relative spacing is real, placement is not.
+  u64 wall_min = ~0ull;
+  for (const telemetry::SpanRecord& s : spans) {
+    wall_min = std::min(wall_min, s.ts_us);
+  }
+  if (wall_min == ~0ull) wall_min = 0;
+  u64 synthetic_pid = u64{1} << 31;  // above any real pid
+  for (const std::string& path : postmortems) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::string line;
+    bool contributed = false;
+    const u64 pid = synthetic_pid++;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      telemetry::SpanRecord s;
+      s.pid = pid;
+      s.ph = 'i';
+      s.ts_us = wall_min + extract_t_us(line);
+      s.process = "postmortem: " + fs::path(path).filename().string();
+      s.name = extract_ev(line);
+      s.cat = "postmortem";
+      spans.push_back(std::move(s));
+      contributed = true;
+    }
+    if (contributed) ++result.files;
+  }
+
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const telemetry::SpanRecord& a,
+                      const telemetry::SpanRecord& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  std::set<u64> pids;
+  for (const telemetry::SpanRecord& s : spans) pids.insert(s.pid);
+  result.spans = spans.size();
+  result.processes = pids.size();
+  result.json = telemetry::spans_to_chrome_json(spans);
+  return result;
+}
+
+}  // namespace sfi::store

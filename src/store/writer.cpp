@@ -79,6 +79,12 @@ void StoreWriter::append_metrics(const MetricsFrame& mf) {
   ++uncommitted_frames_;
 }
 
+void StoreWriter::append_span(const telemetry::SpanRecord& span) {
+  const std::vector<u8> payload = encode_span(span);
+  write_bytes(make_frame(kSpanFrame, payload));
+  ++uncommitted_frames_;
+}
+
 void StoreWriter::flush() {
   if (opts_.commit_markers && uncommitted_frames_ > 0) {
     write_bytes(make_frame(kCommitFrame, std::span<const u8>{}));

@@ -54,6 +54,10 @@ class StoreWriter {
   /// never counted in records_written(), dropped by canonical merge.
   void append_metrics(const MetricsFrame& mf);
 
+  /// Append one distributed-tracing span ('S' frame). Observability-only,
+  /// same contract as 'M': never counted, dropped by canonical merge.
+  void append_span(const telemetry::SpanRecord& span);
+
   /// Push buffered frames to the OS. With commit markers enabled, seals the
   /// window first by appending a kCommitFrame (only if frames are pending —
   /// a redundant flush must not grow the file, or byte-level no-op resume

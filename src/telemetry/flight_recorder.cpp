@@ -56,6 +56,22 @@ void FlightRecorder::dump_fd(int fd) const {
   }
 }
 
+std::vector<std::string> FlightRecorder::snapshot() const {
+  std::vector<std::string> out;
+  const Slot* ring = slots_.load(std::memory_order_acquire);
+  if (ring == nullptr) return out;
+  const u64 head = head_.load(std::memory_order_relaxed);
+  const u64 begin = head > capacity_ ? head - capacity_ : 0;
+  out.reserve(static_cast<std::size_t>(head - begin));
+  for (u64 seq = begin; seq < head; ++seq) {
+    const Slot& slot = ring[seq % capacity_];
+    const u32 n = slot.len.load(std::memory_order_acquire);
+    if (n == 0 || n > kLineBytes) continue;  // empty or mid-overwrite
+    out.emplace_back(slot.text, n);
+  }
+  return out;
+}
+
 std::size_t FlightRecorder::dump(const std::string& path) const {
   const Slot* ring = slots_.load(std::memory_order_acquire);
   if (ring == nullptr) return 0;

@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -64,6 +65,12 @@ class FlightRecorder {
 
   /// Record one line (no trailing newline). No-op while disabled.
   void note(std::string_view line);
+
+  /// Copy the live ring, oldest line first (empty if disabled). The
+  /// non-signal-path sibling of dump(): the farm supervisor converts the
+  /// tail into trace instants when a worker dies, so the stitched trace
+  /// shows what the fleet was doing around the fatality.
+  [[nodiscard]] std::vector<std::string> snapshot() const;
 
   /// Write the live ring, oldest line first, one per line, to `path`
   /// (created/truncated). Returns lines written; 0 if disabled.

@@ -152,6 +152,36 @@ TEST(Metrics, QuantilePinnedValues) {
   EXPECT_DOUBLE_EQ(h.quantile(0.95), 4.0);
 }
 
+TEST(Metrics, QuantileDegenerateShapes) {
+  // No buckets at all (a snapshot from a build with no histograms, or a
+  // truncated 'M' frame): 0, never an out-of-bounds read.
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile({}, {}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile({}, {7}, 0.99), 0.0);
+
+  // Single finite bucket: every quantile interpolates within [0, bound].
+  const std::vector<double> one_bound = {8.0};
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(one_bound, {4, 0}, 0.5),
+                   4.0);
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(one_bound, {4, 0}, 1.0),
+                   8.0);
+
+  // All mass in the overflow bucket: the estimator has no finite upper
+  // edge, so it clamps to the last finite bound instead of inventing one.
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(one_bound, {0, 9}, 0.01),
+                   8.0);
+  EXPECT_DOUBLE_EQ(telemetry::histogram_quantile(one_bound, {0, 9}, 0.99),
+                   8.0);
+
+  // And the same shapes through the snapshot-side helper.
+  telemetry::MetricsSnapshot::Hist empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  telemetry::MetricsSnapshot::Hist overflow_only;
+  overflow_only.bounds = one_bound;
+  overflow_only.buckets = {0, 9};
+  overflow_only.count = 9;
+  EXPECT_DOUBLE_EQ(overflow_only.quantile(0.5), 8.0);
+}
+
 TEST(Metrics, SnapshotMergeAddsAndUnions) {
   telemetry::MetricsRegistry a;
   const auto ca = a.counter("hits");

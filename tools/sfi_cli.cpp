@@ -10,6 +10,8 @@
 //   sfi merge    --out FILE IN...          merge campaign store shards
 //   sfi beam     [options]                 run a simulated beam exposure
 //   sfi trace    --latch NAME [options]    trace one fault cause→effect
+//   sfi trace    STORE.sfr [--out FILE]    stitch a campaign's distributed
+//                                          span plane into Perfetto JSON
 //   sfi mix      [options]                 AVP instruction mix & CPI
 //   sfi derate   [options]                 derating factors & FIT budget
 //   sfi serve    --state-dir DIR           multi-tenant campaign daemon
@@ -63,10 +65,18 @@
 //   --sabotage-wedge-once wedge only on attempt 0 (watchdog drill)
 //   --metrics-every N     workers serialize a cumulative metrics snapshot
 //                         ('M' frame) into their shard store every N
-//                         injections (0 = off); the coordinator folds them
-//                         into its fleet metrics view. Observability-only:
-//                         the canonical merge drops 'M' frames, so the
-//                         merged store is byte-identical either way
+//                         injections (default 32 — same as sfi serve;
+//                         0 = off); the coordinator folds them into its
+//                         fleet metrics view. Observability-only: the
+//                         canonical merge drops 'M' frames, so the merged
+//                         store is byte-identical either way
+//   --trace-spans         distributed trace: every process records spans
+//                         ('S' frames) — dispatch, retries, per-shard
+//                         execution, tail-latency exemplar injections —
+//                         teed into a <out>.trace.sfr sidecar that
+//                         `sfi trace <out>.sfr` stitches into one
+//                         Perfetto timeline. Merge drops 'S' frames, so
+//                         the canonical store stays byte-identical
 //   --postmortem FILE     crash flight recorder: keep recent telemetry
 //                         lines in a fixed in-memory ring and dump them to
 //                         FILE on a fatal signal; in farm mode also dumped
@@ -124,13 +134,18 @@
 //                         tcp:PORT; tcp:0 picks a free port): GET /metrics
 //                         (Prometheus text format: fleet-wide counters,
 //                         histograms with p50/p95/p99, live per-stratum
-//                         early-stop gauges), /healthz and /campaigns (JSON)
+//                         early-stop gauges), /healthz and /campaigns
+//                         (JSON), /trace?campaign=N (live Trace Event JSON
+//                         of the campaign's distributed span plane)
 //   --metrics-every N     farm-worker snapshot cadence for daemon campaigns
 //                         while --http is on (default 32; 0 = off)
 // Top options (`sfi top`; a terminal dashboard over the HTTP plane):
 //   --http ADDR           daemon HTTP address to poll (required)
 //   --interval SECS       refresh period (default 2)
 //   --once                print one table and exit (no screen clearing)
+//   --json                machine-readable: one JSON object per refresh
+//                         (campaigns plus computed rate/ETA; no screen
+//                         control — pipe it to jq or a logger)
 // Client options (`sfi submit` / `status` / `watch` / `shutdown`):
 //   --connect ADDR        daemon address (same grammar as --listen)
 //   --tenant T            fair-share accounting bucket (default "default")
@@ -142,9 +157,11 @@
 //   --wait                submit, then stream events until the campaign ends
 //   --json                status: raw JSON reply instead of the table
 //   --id N                watch: campaign id
-// Trace options:
+// Trace options (single-fault mode):
 //   --latch NAME[:BIT]    latch (by hierarchical name) to flip
 //   --cycle C             injection cycle               (default 30)
+// Trace options (stitch mode: `sfi trace STORE.sfr`):
+//   --out FILE.json       stitched Trace Event JSON     (default trace.json)
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -181,6 +198,7 @@
 #include "sfi/tracer.hpp"
 #include "store/merge.hpp"
 #include "store/reader.hpp"
+#include "store/trace_stitch.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "workload/spec_profiles.hpp"
 
@@ -240,7 +258,7 @@ const std::set<std::string>& flag_options() {
       "raw",       "resume",      "progress",
       "footprint", "footprint-every-cycle",
       "keep-shards", "sabotage-wedge-once",
-      "wait", "json", "stratify-unit", "once"};
+      "wait", "json", "stratify-unit", "once", "trace-spans"};
   return flags;
 }
 
@@ -286,7 +304,9 @@ commands:
                run with --footprint)
   merge       merge store shards: sfi merge --out MERGED.sfr SHARD...
   beam        run a simulated proton-beam exposure
-  trace       trace one injected fault from cause to effect
+  trace       trace one injected fault from cause to effect (--latch), or
+              stitch a campaign's distributed span plane into one Perfetto
+              timeline (sfi trace STORE.sfr [--out trace.json])
   mix         AVP instruction mix and CPI report
   derate      derating factors & chip FIT budget from a campaign
   serve       multi-tenant campaign daemon with adaptive early stop
@@ -498,8 +518,11 @@ TelemetrySinks make_telemetry(const Args& a) {
   // holds lines the telemetry layer emits, so without one the dump would
   // always be empty.
   const bool postmortem = a.str("postmortem").has_value();
+  // --trace-spans needs the facade too: the span plane hangs off
+  // CampaignTelemetry (the farm coordinator enables it there).
+  const bool trace_spans = a.flag("trace-spans");
   if (!s.metrics_out && !s.trace_out && !events_out && !s.progress &&
-      !postmortem) {
+      !postmortem && !trace_spans) {
     return s;
   }
   inject::TelemetryConfig tc;
@@ -629,16 +652,27 @@ int cmd_campaign_farm(const Args& a, const avp::Testcase& tc,
                       const std::string& out, const TelemetrySinks& sinks) {
   farm::FarmConfig fc;
   fc.workers = static_cast<u32>(a.num("workers", 2));
+  // Fleet metrics on by default (cadence 32), matching `sfi serve`: the
+  // coordinator's progress line and any scraper get the same fleet view a
+  // daemon campaign would. 'M' frames are merge-dropped, so the canonical
+  // store is byte-identical either way.
+  fc.metrics_every = static_cast<u32>(a.num("metrics-every", 32));
   if (const auto hosts = a.str("farm")) {
     fc.hosts = farm::parse_hosts_file(*hosts);
     fc.worker_command = worker_command_from_args(a);
+    if (a.opts.count("metrics-every") == 0 && fc.metrics_every > 0) {
+      // The whitelist only forwards flags the user typed; the default
+      // cadence has to reach exec workers explicitly.
+      fc.worker_command.push_back("--metrics-every");
+      fc.worker_command.push_back(std::to_string(fc.metrics_every));
+    }
   }
   fc.shard_size = static_cast<u32>(a.num("shard-size", 64));
   fc.max_strikes = static_cast<u32>(a.num("strikes", 3));
   fc.watchdog_seconds = static_cast<double>(a.num("watchdog", 30));
   fc.sabotage = sabotage_from_args(a);
   fc.keep_shards = a.flag("keep-shards");
-  fc.metrics_every = static_cast<u32>(a.num("metrics-every", 0));
+  fc.trace_spans = a.flag("trace-spans");
   fc.postmortem_path = postmortem_from_args(a);
   install_stop_handler();
   fc.should_stop = [] { return g_stop_requested != 0; };
@@ -677,6 +711,12 @@ int cmd_campaign_farm(const Args& a, const avp::Testcase& tc,
     for (const u32 i : r.harness_fatal) std::cout << " " << i;
     std::cout << "\n";
   }
+  if (fc.trace_spans) {
+    std::string base = out;
+    if (base.size() > 4 && base.ends_with(".sfr")) base.resize(base.size() - 4);
+    std::cout << "trace sidecar: " << base
+              << ".trace.sfr (stitch with `sfi trace " << out << "`)\n";
+  }
   std::cout << "workload: " << r.meta.workload_instructions
             << " instructions / " << r.meta.workload_cycles
             << " cycles; population " << r.meta.population_size
@@ -706,6 +746,7 @@ int cmd_worker(const Args& a) {
   wo.control_fd = 0;  // assignments arrive on stdin
   wo.sabotage = sabotage_from_args(a);
   wo.metrics_every = static_cast<u32>(a.num("metrics-every", 0));
+  wo.trace_spans = a.flag("trace-spans");
   return farm::run_worker(tc, cfg, wo);
 }
 
@@ -1143,9 +1184,41 @@ int cmd_beam(const Args& a) {
   return 0;
 }
 
+/// `sfi trace STORE.sfr [--out trace.json]`: stitch the distributed span
+/// plane of a campaign — the store itself, its `.trace.sfr` sidecar, any
+/// surviving worker shards, and postmortem JSONL dumps — into one Trace
+/// Event JSON file (load it in Perfetto / chrome://tracing). One process
+/// row per OS process; clocks line up because every span is wall-anchored
+/// at its source.
+int cmd_trace_stitch(const Args& a) {
+  const std::string& store_path = a.positional.front();
+  const store::StitchResult r = store::stitch_trace(store_path);
+  const std::string out = a.str("out").value_or("trace.json");
+  {
+    std::ofstream f(out, std::ios::trunc | std::ios::binary);
+    if (!f) throw std::runtime_error("trace: cannot write " + out);
+    f << r.json << "\n";
+  }
+  std::cout << "stitched " << r.spans << " span(s) from " << r.files
+            << " file(s), " << r.processes << " process row(s) -> " << out
+            << " (load in Perfetto / chrome://tracing)\n";
+  if (r.spans == 0) {
+    std::cout << "hint: record spans with `sfi campaign --workers N "
+                 "--trace-spans` or a daemon farm campaign\n";
+  }
+  return 0;
+}
+
 int cmd_trace(const Args& a) {
+  // Positional store argument => stitch mode; --latch => single-fault
+  // cause-to-effect trace (the original verb).
+  if (!a.positional.empty()) return cmd_trace_stitch(a);
   const auto latch = a.str("latch");
-  if (!latch) throw CliError("trace requires --latch NAME[:BIT]");
+  if (!latch) {
+    throw CliError(
+        "trace requires --latch NAME[:BIT] (single-fault trace) or a "
+        "positional STORE.sfr (stitch the campaign's span plane)");
+  }
   std::string name = *latch;
   u32 bit = 0;
   if (const auto colon = name.find(':'); colon != std::string::npos) {
@@ -1246,7 +1319,7 @@ int cmd_serve(const Args& a) {
             << sc.max_active;
   if (d.http_enabled()) {
     std::cout << "; http " << d.http_address().describe()
-              << " (/metrics /healthz /campaigns)";
+              << " (/metrics /healthz /campaigns /trace)";
   }
   std::cout << "\n" << std::flush;
   return d.run();
@@ -1422,6 +1495,7 @@ int cmd_top(const Args& a) {
   const serve::Address addr = serve::parse_address(*spec);
   const double interval = a.fnum("interval", 2.0);
   const bool once = a.flag("once");
+  const bool json = a.flag("json");
   install_stop_handler();
 
   struct Seen {
@@ -1433,6 +1507,63 @@ int cmd_top(const Args& a) {
     const std::string body = http_get(addr, "/campaigns");
     const serve::Json r = serve::Json::parse(body);
     const auto now = std::chrono::steady_clock::now();
+    if (json) {
+      // Machine-readable refresh: one JSON object per line — the daemon's
+      // /campaigns document plus the rates/ETAs this dashboard computes
+      // from successive polls. No screen control, ever.
+      telemetry::JsonWriter w;
+      w.begin_object()
+          .field("endpoint", addr.describe())
+          .field("stopping", r.get_bool("stopping", false));
+      w.key("campaigns").begin_array();
+      if (const serve::Json* cs = r.find("campaigns")) {
+        for (const serve::Json& c : cs->items()) {
+          const u64 id = c.get_u64("id", 0);
+          const u64 done = c.get_u64("done", 0);
+          const u64 n = c.get_u64("n", 0);
+          double rate = 0.0;
+          if (const auto it = last.find(id); it != last.end()) {
+            const double dt =
+                std::chrono::duration<double>(now - it->second.at).count();
+            if (dt > 0.0 && done >= it->second.done) {
+              rate = static_cast<double>(done - it->second.done) / dt;
+            }
+          }
+          last[id] = {done, now};
+          w.begin_object()
+              .field("id", id)
+              .field("tenant", c.get_str("tenant", "?"))
+              .field("state", c.get_str("state", "?"))
+              .field("engine", c.get_str("engine", "?"))
+              .field("done", done)
+              .field("n", n)
+              .field("committed", c.get_u64("committed", 0))
+              .field("rate_per_s", rate)
+              .field("eta_s", rate > 0.0 && n > done
+                                  ? static_cast<double>(n - done) / rate
+                                  : -1.0)
+              .field("widest_half_width",
+                     c.get_num("widest_half_width", -1.0))
+              .field("target_half_width",
+                     c.get_num("target_half_width", 0.0))
+              .field("early_stop", c.get_bool("early_stop", false))
+              .field("workers", c.get_u64("workers", 0))
+              .end_object();
+        }
+      }
+      w.end_array().end_object();
+      std::cout << w.str() << "\n" << std::flush;
+      if (once) return 0;
+      const auto deadline =
+          now +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(interval));
+      while (g_stop_requested == 0 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      continue;
+    }
     if (!once) std::cout << "\x1b[H\x1b[2J";  // cursor home + clear screen
     std::cout << "sfi top — " << addr.describe()
               << (r.get_bool("stopping", false) ? " (stopping)" : "") << "\n";
