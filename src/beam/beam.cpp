@@ -101,6 +101,11 @@ BeamResult run_beam_experiment(const avp::Testcase& tc,
   // Beam observability: the experimenter cannot watch internal state, so
   // the golden-hash early exit is off — classification uses only RAS
   // reporting and the end-of-test compare, like the real irradiation runs.
+  // This is also why beam is pinned to the scalar InjectionRunner rather
+  // than dispatching through sfi::InjectionEngine (DESIGN.md §16): the lane
+  // engine's whole fast path is an internal-state convergence proof against
+  // the reference replay, and beam's array strikes diverge in aux state
+  // (array cells, ECC words) that the latch diff carrier cannot represent.
   inject::RunConfig run_cfg = cfg.run;
   run_cfg.early_exit = false;
 

@@ -1,0 +1,28 @@
+// AuxSig: an order-sensitive running signature of auxiliary-state
+// mutations — everything a machine cycle can change *outside* the latch
+// StateVector (protected-array entries, ECC main-store words and their
+// check bits).
+//
+// The lane engine compares one cycle's signature on two machines to decide
+// whether their auxiliary state stayed equal: starting from equal aux
+// state, identical mutation streams (same call sites, same operands, same
+// order — which equal signatures certify up to hash collision) leave equal
+// aux state. A differing signature only ever forces the conservative slow
+// path, so a false mismatch costs speed, never correctness.
+#pragma once
+
+#include "common/hash.hpp"
+
+namespace sfi {
+
+struct AuxSig {
+  u64 acc = 0;
+
+  /// Fold one mutation event (site tag + operands) into the signature.
+  void mix(u64 tag, u64 a, u64 b) {
+    acc = mix64(acc ^ mix64(tag ^ mix64(a) ^
+                            (b * 0x9E3779B97F4A7C15ULL)));
+  }
+};
+
+}  // namespace sfi

@@ -65,6 +65,15 @@ class Emulator {
 
   [[nodiscard]] Cycle cycle() const { return cycle_; }
   [[nodiscard]] const netlist::StateVector& state() const { return cur_; }
+
+  /// Arm per-cycle access recording on both frame vectors (they swap every
+  /// step, and the model reads cur and reads/writes nxt). Pass nullptr to
+  /// disarm. The caller owns the recorder's begin_cycle() cadence; the lane
+  /// engine clears it immediately before each recorded step.
+  void set_access_recorder(netlist::AccessRecorder* rec) {
+    cur_.set_recorder(rec);
+    nxt_.set_recorder(rec);
+  }
   [[nodiscard]] Model& model() { return model_; }
   [[nodiscard]] const Model& model() const { return model_; }
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "sched/scheduler.hpp"
+#include "sfi/engine.hpp"
 #include "sfi/telemetry.hpp"
 #include "store/writer.hpp"
 #include "telemetry/json.hpp"
@@ -152,7 +153,8 @@ int run_worker(const avp::Testcase& tc, const inject::CampaignConfig& cfg,
   store::StoreWriter writer = store::StoreWriter::create(
       opts.shard_path, meta, {.commit_markers = true});
 
-  inject::CampaignWorker worker(tc, wcfg, plan);
+  const std::unique_ptr<inject::InjectionEngine> engine =
+      inject::make_engine(tc, wcfg, plan);
 
   u64 hb_seq = 0;
   u64 executed = 0;
@@ -185,31 +187,48 @@ int run_worker(const avp::Testcase& tc, const inject::CampaignConfig& cfg,
     writer.append_assignment({opts.worker_id, a.shard, a.attempt,
                               static_cast<u32>(a.indices.size())});
     writer.flush();
-    for (const u32 index : a.indices) {
-      if (index >= plan.faults.size()) return 3;
-      writer.append_heartbeat({opts.worker_id, hb_seq++, index, executed});
-      writer.flush();
-      // Sabotage strikes after the heartbeat commits, like the real failure
-      // it stands in for (the injected flip wedging the harness mid-run) —
-      // so the supervisor can finger this index as the culprit.
-      maybe_sabotage(opts.sabotage, index, a.attempt);
-      store::StoredRecord sr;
-      sr.index = index;
-      std::optional<inject::PropagationRecord> fp;
-      sr.rec = worker.run(plan.faults[index], wt, index, &fp);
-      writer.append(sr);
-      if (fp) writer.append_propagation(*fp);
-      ++executed;
-      if (opts.metrics_every > 0 &&
-          executed - last_snapshot >= opts.metrics_every) {
-        emit_metrics();
-      }
-      // Per-record flush+commit: the coordinator's done-count advances one
-      // committed record at a time, and a crash can only lose the
-      // injection in flight — exactly what the supervisor re-runs.
-      ship_spans(writer);
-      writer.flush();
-    }
+    // Claims pull from the assignment in order; the engine may hold several
+    // in flight (lanes), so the heartbeat names the latest *claimed* index —
+    // the supervisor's blame stays shard-attempt granular either way.
+    bool bad_index = false;
+    std::size_t p = 0;
+    engine->run(
+        [&]() -> std::optional<u32> {
+          if (bad_index || p >= a.indices.size()) return std::nullopt;
+          const u32 index = a.indices[p++];
+          if (index >= plan.faults.size()) {
+            bad_index = true;
+            return std::nullopt;
+          }
+          writer.append_heartbeat({opts.worker_id, hb_seq++, index, executed});
+          writer.flush();
+          // Sabotage strikes after the heartbeat commits, like the real
+          // failure it stands in for (the injected flip wedging the harness
+          // mid-run) — so the supervisor can finger this index as the
+          // culprit.
+          maybe_sabotage(opts.sabotage, index, a.attempt);
+          return index;
+        },
+        [&](u32 index, const inject::InjectionRecord& rec,
+            std::optional<inject::PropagationRecord> fp) {
+          store::StoredRecord sr;
+          sr.index = index;
+          sr.rec = rec;
+          writer.append(sr);
+          if (fp) writer.append_propagation(*fp);
+          ++executed;
+          if (opts.metrics_every > 0 &&
+              executed - last_snapshot >= opts.metrics_every) {
+            emit_metrics();
+          }
+          // Per-record flush+commit: the coordinator's done-count advances
+          // one committed record at a time, and a crash can only lose the
+          // injections in flight — exactly what the supervisor re-runs.
+          ship_spans(writer);
+          writer.flush();
+        },
+        wt);
+    if (bad_index) return 3;
     if (book != nullptr) {
       // The shard slice parents under the coordinator's dispatch span —
       // the cross-process edge the stitched trace hangs together by.

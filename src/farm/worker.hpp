@@ -56,7 +56,10 @@ struct WorkerOptions {
   /// store every N executed injections (0 = off). Observability-only: the
   /// coordinator folds the snapshots into its fleet view; canonical merge
   /// drops the frames, so the merged store is byte-identical either way.
-  u32 metrics_every = 0;
+  /// The default matches the farm coordinator's and daemon's cadence (32):
+  /// a hand-launched `sfi worker` emits the same fleet view as a spawned
+  /// one (tests/test_farm.cpp pins the three defaults together).
+  u32 metrics_every = 32;
   /// Record distributed trace spans ('S' frames) into the shard store:
   /// plan-build and per-assignment shard slices, plus tail-latency exemplar
   /// phase slices per injection. The trace/parent ids arrive with each

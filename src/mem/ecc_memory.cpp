@@ -25,15 +25,18 @@ void EccMemory::verify_word(u32 word) {
     case netlist::EccStatus::Clean:
       return;
     case netlist::EccStatus::CorrectedData:
+      if (aux_sig_ != nullptr) [[unlikely]] aux_sig_->mix(1, word, d.data);
       data_.store_u64(static_cast<u64>(word) * 8, d.data);
       check_[word] = netlist::ecc_encode(d.data);
       ++corrected_pending_;
       return;
     case netlist::EccStatus::CorrectedCheck:
+      if (aux_sig_ != nullptr) [[unlikely]] aux_sig_->mix(2, word, d.data);
       check_[word] = netlist::ecc_encode(d.data);
       ++corrected_pending_;
       return;
     case netlist::EccStatus::Uncorrectable:
+      if (aux_sig_ != nullptr) [[unlikely]] aux_sig_->mix(3, word, raw);
       fatal_pending_ = true;
       return;
   }
@@ -46,6 +49,9 @@ u64 EccMemory::load(u64 addr, u32 size) {
 }
 
 void EccMemory::store(u64 addr, u64 v, u32 size) {
+  if (aux_sig_ != nullptr) [[unlikely]] {
+    aux_sig_->mix(4, addr ^ (static_cast<u64>(size) << 56), v);
+  }
   // Read-modify-write at word granularity: verify first so a partial store
   // never launders a latent error into a "fresh" code word silently.
   verify_word(word_of(addr));
@@ -125,6 +131,7 @@ bool EccMemory::encoded_image_equals(std::span<const u8> image) const {
 
 void EccMemory::flip_storage_bit(u64 bit) {
   require(bit < storage_bits(), "EccMemory flip out of range");
+  if (aux_sig_ != nullptr) [[unlikely]] aux_sig_->mix(5, bit, 0);
   const auto word = static_cast<u32>(bit / 72);
   const auto local = static_cast<u32>(bit % 72);
   if (local < 64) {

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aux_sig.hpp"
 #include "common/types.hpp"
 #include "isa/memory.hpp"
 
@@ -74,6 +75,11 @@ class EccMemory {
   void save(std::vector<u8>& out) const;
   void load_snapshot(std::span<const u8>& in);
 
+  /// Attach a mutation signature (common/aux_sig.hpp). Stores, correcting
+  /// write-backs, fatal-word detections and storage flips fold into it;
+  /// snapshot load/save, program loading and fill_zero do not.
+  void set_aux_sig(AuxSig* sig) { aux_sig_ = sig; }
+
  private:
   [[nodiscard]] u32 num_words() const { return data_.size() / 8; }
   [[nodiscard]] u32 word_of(u64 addr) const {
@@ -89,6 +95,7 @@ class EccMemory {
   bool fatal_pending_ = false;
   u32 scrub_pos_ = 0;
   u32 scrub_timer_ = 0;
+  AuxSig* aux_sig_ = nullptr;
 };
 
 }  // namespace sfi::mem

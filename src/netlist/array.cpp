@@ -30,6 +30,7 @@ ProtectedArray::ProtectedArray(std::string name, Unit unit,
 void ProtectedArray::write(u32 entry, u64 value) {
   require(entry < num_entries_, "array write out of range");
   value &= mask_low(data_width_);
+  if (aux_sig_ != nullptr) [[unlikely]] aux_sig_->mix(aux_salt_, entry, value);
   data_[entry] = value;
   check_[entry] = prot_ == ArrayProtection::Parity
                       ? static_cast<u8>(parity(value, data_width_))
@@ -96,6 +97,7 @@ u8 ProtectedArray::raw_check(u32 entry) const {
 
 void ProtectedArray::flip_storage_bit(u64 bit) {
   require(bit < storage_bits(), "flip_storage_bit out of range");
+  if (aux_sig_ != nullptr) [[unlikely]] aux_sig_->mix(aux_salt_, ~u64{0}, bit);
   const u64 per_entry = data_width_ + check_width_;
   const auto entry = static_cast<u32>(bit / per_entry);
   const auto local = static_cast<u32>(bit % per_entry);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aux_sig.hpp"
 #include "common/types.hpp"
 #include "netlist/ecc.hpp"
 #include "netlist/latch.hpp"
@@ -78,6 +79,15 @@ class ProtectedArray {
   void save(std::vector<u8>& out) const;
   void load(std::span<const u8>& in);
 
+  /// Attach a mutation signature (common/aux_sig.hpp). Every content change
+  /// made through the access API (write, scrub-on-read, flips) folds into
+  /// it; snapshot load/save and fill_zero do not (they are machine
+  /// lifecycle, not cycle behaviour). `salt` distinguishes instances.
+  void set_aux_sig(AuxSig* sig, u64 salt) {
+    aux_sig_ = sig;
+    aux_salt_ = salt;
+  }
+
  private:
   std::string name_;
   Unit unit_;
@@ -87,6 +97,8 @@ class ProtectedArray {
   u32 check_width_;
   std::vector<u64> data_;
   std::vector<u8> check_;
+  AuxSig* aux_sig_ = nullptr;
+  u64 aux_salt_ = 0;
 };
 
 /// Inventory of all protected arrays in a model; the beam simulator draws

@@ -13,11 +13,17 @@ StateVector::StateVector(u32 num_bits)
 
 bool StateVector::get_bit(BitIndex i) const {
   require(i < num_bits_, "StateVector::get_bit out of range");
+  if (recorder_ != nullptr) [[unlikely]] {
+    recorder_->on_read(i / 64, u64{1} << (i % 64));
+  }
   return (words_[i / 64] >> (i % 64)) & 1;
 }
 
 void StateVector::set_bit(BitIndex i, bool v) {
   require(i < num_bits_, "StateVector::set_bit out of range");
+  if (recorder_ != nullptr) [[unlikely]] {
+    recorder_->on_write(i / 64, u64{1} << (i % 64));
+  }
   const u64 m = u64{1} << (i % 64);
   if (v) {
     words_[i / 64] |= m;
@@ -28,6 +34,11 @@ void StateVector::set_bit(BitIndex i, bool v) {
 
 void StateVector::flip_bit(BitIndex i) {
   require(i < num_bits_, "StateVector::flip_bit out of range");
+  if (recorder_ != nullptr) [[unlikely]] {
+    // A flip is a read-modify-write of the bit.
+    recorder_->on_read(i / 64, u64{1} << (i % 64));
+    recorder_->on_write(i / 64, u64{1} << (i % 64));
+  }
   words_[i / 64] ^= u64{1} << (i % 64);
 }
 
@@ -35,6 +46,9 @@ u64 StateVector::read(u32 offset, u32 width) const {
   ensure(offset + width <= num_bits_, "StateVector::read out of range");
   const u32 lsb = offset % 64;
   ensure(lsb + width <= 64, "StateVector::read straddles a word");
+  if (recorder_ != nullptr) [[unlikely]] {
+    recorder_->on_read(offset / 64, mask_low(width) << lsb);
+  }
   return (words_[offset / 64] >> lsb) & mask_low(width);
 }
 
@@ -42,6 +56,11 @@ void StateVector::write(u32 offset, u32 width, u64 v) {
   ensure(offset + width <= num_bits_, "StateVector::write out of range");
   const u32 lsb = offset % 64;
   ensure(lsb + width <= 64, "StateVector::write straddles a word");
+  if (recorder_ != nullptr) [[unlikely]] {
+    // Only the field's own bits count as written: insert() preserves the
+    // rest of the word, which is a carry, not a write.
+    recorder_->on_write(offset / 64, mask_low(width) << lsb);
+  }
   u64& w = words_[offset / 64];
   w = insert(w, lsb, width, v);
 }

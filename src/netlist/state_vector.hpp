@@ -14,10 +14,87 @@
 
 namespace sfi::netlist {
 
+/// Exact per-cycle read/write bit-set recorder for a StateVector.
+///
+/// When armed on a vector (StateVector::set_recorder), every access through
+/// the bit/field API ORs the touched bits into per-word masks. The lane
+/// engine arms this on its reference cursor's frame vectors: a cycle whose
+/// read set is disjoint from a lane's diff is provably identical to the
+/// reference cycle, and the reference's write set erases diff bits that were
+/// overwritten without being read. Reads may be over-approximated safely
+/// (more lane trips, never wrong results); writes are exact because the
+/// field API writes exactly the field's bits.
+///
+/// Touched word indices are kept as dense lists so per-cycle reset is
+/// O(touched), not O(words).
+class AccessRecorder {
+ public:
+  /// Size the masks for a vector of `num_words` words and clear them.
+  void bind(std::size_t num_words) {
+    reads_.assign(num_words, 0);
+    writes_.assign(num_words, 0);
+    read_words_.clear();
+    write_words_.clear();
+  }
+
+  /// Clear only the words touched since the last call (cheap).
+  void begin_cycle() {
+    for (const u32 w : read_words_) reads_[w] = 0;
+    for (const u32 w : write_words_) writes_[w] = 0;
+    read_words_.clear();
+    write_words_.clear();
+  }
+
+  [[nodiscard]] std::span<const u64> reads() const { return reads_; }
+  [[nodiscard]] std::span<const u64> writes() const { return writes_; }
+  [[nodiscard]] std::span<const u32> read_words() const { return read_words_; }
+  [[nodiscard]] std::span<const u32> write_words() const {
+    return write_words_;
+  }
+
+  void on_read(u32 word, u64 mask) {
+    if (reads_[word] == 0) read_words_.push_back(word);
+    reads_[word] |= mask;
+  }
+  void on_write(u32 word, u64 mask) {
+    if (writes_[word] == 0) write_words_.push_back(word);
+    writes_[word] |= mask;
+  }
+
+ private:
+  std::vector<u64> reads_;
+  std::vector<u64> writes_;
+  std::vector<u32> read_words_;
+  std::vector<u32> write_words_;
+};
+
 class StateVector {
  public:
   StateVector() = default;
   explicit StateVector(u32 num_bits);
+
+  // A recorder is a property of the vector *instance* (the cursor's live
+  // frame), never of its value: copies and moves of the value — checkpoint
+  // saves, golden-trace snapshots, nxt = cur frame seeding — must not
+  // propagate the recorder, and assignment into an armed vector must not
+  // disarm it.
+  StateVector(const StateVector& other)
+      : words_(other.words_), num_bits_(other.num_bits_) {}
+  StateVector(StateVector&& other) noexcept
+      : words_(std::move(other.words_)), num_bits_(other.num_bits_) {}
+  StateVector& operator=(const StateVector& other) {
+    words_ = other.words_;
+    num_bits_ = other.num_bits_;
+    return *this;
+  }
+  StateVector& operator=(StateVector&& other) noexcept {
+    words_ = std::move(other.words_);
+    num_bits_ = other.num_bits_;
+    return *this;
+  }
+
+  /// Arm (or with nullptr, disarm) access recording on this vector.
+  void set_recorder(AccessRecorder* rec) { recorder_ = rec; }
 
   [[nodiscard]] u32 num_bits() const { return num_bits_; }
   [[nodiscard]] std::span<const u64> words() const { return words_; }
@@ -64,11 +141,16 @@ class StateVector {
 
   void fill_zero();
 
-  friend bool operator==(const StateVector&, const StateVector&) = default;
+  /// Value equality: words and size only (a recorder is not part of the
+  /// value, see the copy semantics above).
+  friend bool operator==(const StateVector& a, const StateVector& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
 
  private:
   std::vector<u64> words_;
   u32 num_bits_ = 0;
+  AccessRecorder* recorder_ = nullptr;
 };
 
 }  // namespace sfi::netlist

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/hash.hpp"
+#include "sfi/engine.hpp"
 #include "store/writer.hpp"
 #include "telemetry/json.hpp"
 
@@ -45,10 +46,11 @@ u64 campaign_fingerprint(const inject::CampaignConfig& cfg,
   h = mix64(h ^ cfg.core.recovery_threshold);
   h = mix64(h ^ cfg.core.recovery_timeout);
   h = mix64(h ^ (cfg.core.recovery_enabled ? 4u : 0u));
-  // cfg.footprint and cfg.telemetry are deliberately NOT part of the
-  // fingerprint: both are observability-only and never change records, so a
-  // store written with forensics off resumes cleanly with them on (and vice
-  // versa).
+  // cfg.footprint, cfg.telemetry, cfg.engine and cfg.lanes are deliberately
+  // NOT part of the fingerprint: forensics/telemetry are observability-only,
+  // and the engine choice is a speed knob whose records are byte-identical
+  // (gated by the engine A/B CI job) — so a store written under one engine
+  // resumes cleanly under the other.
   return h;
 }
 
@@ -160,7 +162,13 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
     if (!done[i]) pending.push_back(i);
   }
 
-  const u32 shard_size = std::max(1u, sched.shard_size);
+  // The lane engine batches up to cfg.lanes in-flight injections per claim
+  // stream; shards below that would cap its batch size, so they grow to
+  // match. Shard boundaries are progress/telemetry granularity only —
+  // records are identical at any shard size.
+  const u32 shard_size =
+      std::max(std::max(1u, sched.shard_size),
+               cfg.engine == inject::EngineKind::Lanes ? cfg.lanes : 1u);
   const u64 num_shards =
       (pending.size() + shard_size - 1) / shard_size;
   const u64 cap = sched.max_new_injections == 0
@@ -183,7 +191,7 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
   u64 persisted = result.resumed;  // guarded by store_mu
   u64 executed_live = 0;           // guarded by store_mu
 
-  const auto work = [&](inject::CampaignWorker& w, u32 tid) {
+  const auto work = [&](inject::InjectionEngine& eng, u32 tid) {
     inject::WorkerTelemetry* wt =
         tel != nullptr ? &tel->worker(tid) : nullptr;
     std::vector<store::StoredRecord> buf;
@@ -229,38 +237,50 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
           std::min<std::size_t>(begin + shard_size, pending.size());
       if (wt != nullptr) wt->shard_begin(shard, end - begin);
       u64 shard_executed = 0;
-      for (std::size_t p = begin; p < end; ++p) {
-        // Cooperative interruption (SIGINT/SIGTERM): stop claiming work,
-        // fall through to the final flush so every finished record lands.
-        if (sched.should_stop && sched.should_stop()) {
-          stop_observed.store(true, std::memory_order_relaxed);
-          capped = true;
-          break;
-        }
-        // Claim one execution slot; the cap models an interrupted run.
-        if (claimed.fetch_add(1, std::memory_order_relaxed) >= cap) {
-          capped = true;
-          break;
-        }
-        const u32 index = pending[p];
-        store::StoredRecord sr;
-        sr.index = index;
-        std::optional<inject::PropagationRecord> fp;
-        sr.rec = w.run(plan.faults[index], wt, index, &fp);
-        local.add(sr.rec);
-        buf.push_back(sr);
-        if (fp) fp_buf.push_back(std::move(*fp));
-        ++shard_executed;
-        if (buf.size() >= std::max(1u, sched.flush_records)) flush();
-      }
+      // The engine pulls claims one at a time; stop/cap checks live in the
+      // claim callback so an engine holding lanes in flight still stops
+      // claiming the moment either fires (everything already claimed is
+      // finished and emitted — the engine contract).
+      std::size_t p = begin;
+      eng.run(
+          [&]() -> std::optional<u32> {
+            if (p >= end) return std::nullopt;
+            // Cooperative interruption (SIGINT/SIGTERM): stop claiming
+            // work, fall through to the final flush so every finished
+            // record lands.
+            if (sched.should_stop && sched.should_stop()) {
+              stop_observed.store(true, std::memory_order_relaxed);
+              capped = true;
+              return std::nullopt;
+            }
+            // Claim one execution slot; the cap models an interrupted run.
+            if (claimed.fetch_add(1, std::memory_order_relaxed) >= cap) {
+              capped = true;
+              return std::nullopt;
+            }
+            return pending[p++];
+          },
+          [&](u32 index, const inject::InjectionRecord& rec,
+              std::optional<inject::PropagationRecord> fp) {
+            store::StoredRecord sr;
+            sr.index = index;
+            sr.rec = rec;
+            local.add(sr.rec);
+            buf.push_back(sr);
+            if (fp) fp_buf.push_back(std::move(*fp));
+            ++shard_executed;
+            if (buf.size() >= std::max(1u, sched.flush_records)) flush();
+          },
+          wt);
       if (wt != nullptr) wt->shard_end(shard, shard_executed);
     }
     flush();
-    cycles_evaluated.fetch_add(w.cycles_evaluated(),
+    cycles_evaluated.fetch_add(eng.cycles_evaluated(),
                                std::memory_order_relaxed);
-    cycles_fast_forwarded.fetch_add(w.cycles_fast_forwarded(),
+    cycles_fast_forwarded.fetch_add(eng.cycles_fast_forwarded(),
                                     std::memory_order_relaxed);
-    checkpoint_ops.fetch_add(w.checkpoint_ops(), std::memory_order_relaxed);
+    checkpoint_ops.fetch_add(eng.checkpoint_ops(),
+                             std::memory_order_relaxed);
     const std::lock_guard<std::mutex> lock(store_mu);
     result.agg.merge(local);
     result.executed += local.total();
@@ -275,19 +295,18 @@ ScheduledResult run_campaign_to_store(const avp::Testcase& tc,
     const u32 threads = static_cast<u32>(std::min<u64>(want, num_shards));
     if (tel != nullptr) tel->prepare_workers(threads);
     if (threads <= 1) {
-      inject::CampaignWorker w(tc, cfg, plan);
-      work(w, 0);
+      const auto eng = inject::make_engine(tc, cfg, plan);
+      work(*eng, 0);
     } else {
-      std::vector<std::unique_ptr<inject::CampaignWorker>> workers;
-      workers.reserve(threads);
+      std::vector<std::unique_ptr<inject::InjectionEngine>> engines;
+      engines.reserve(threads);
       for (u32 t = 0; t < threads; ++t) {
-        workers.push_back(
-            std::make_unique<inject::CampaignWorker>(tc, cfg, plan));
+        engines.push_back(inject::make_engine(tc, cfg, plan));
       }
       std::vector<std::thread> pool;
       pool.reserve(threads);
       for (u32 t = 0; t < threads; ++t) {
-        pool.emplace_back([&, t] { work(*workers[t], t); });
+        pool.emplace_back([&, t] { work(*engines[t], t); });
       }
       for (auto& th : pool) th.join();
     }

@@ -20,7 +20,9 @@
 //     uninterrupted run (tests/test_store.cpp proves this).
 #pragma once
 
+#include <cmath>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "sfi/campaign.hpp"
@@ -39,6 +41,27 @@ struct Progress {
   /// Monotonic (steady-clock) stamp of this report in microseconds, so
   /// consumers can compute inter-report rates without their own clock.
   u64 steady_us = 0;
+
+  /// Live injection rate, or nullopt until the measurement window is real.
+  /// The first report of a run fires before any injection completes
+  /// (executed == 0, wall ~ 0); a naive executed/wall there is 0, inf or
+  /// nan depending on clock resolution — consumers must render nullopt as
+  /// "—", never divide themselves.
+  [[nodiscard]] std::optional<double> rate_per_s() const {
+    if (executed == 0 || !(wall_seconds > 0.0)) return std::nullopt;
+    const double r = static_cast<double>(executed) / wall_seconds;
+    if (!std::isfinite(r)) return std::nullopt;
+    return r;
+  }
+
+  /// Seconds until done reaches total at rate_per_s(); nullopt whenever the
+  /// rate is (and on a done > total resume overshoot, which a cancelled
+  /// --max-new campaign can produce).
+  [[nodiscard]] std::optional<double> eta_seconds() const {
+    const auto r = rate_per_s();
+    if (!r || done > total) return std::nullopt;
+    return static_cast<double>(total - done) / *r;
+  }
 };
 
 struct SchedulerConfig {

@@ -20,6 +20,7 @@
 #include "farm/farm.hpp"
 #include "farm/process.hpp"
 #include "sched/scheduler.hpp"
+#include "sfi/engine.hpp"
 #include "sfi/telemetry.hpp"
 #include "store/reader.hpp"
 #include "store/writer.hpp"
@@ -270,6 +271,8 @@ void Daemon::write_manifest(const Campaign& c) {
       .field("workers", c.spec.workers)
       .field("shard_size", c.spec.shard_size)
       .field("flush_records", c.spec.flush_records)
+      .field("inj_engine", inject::engine_name(c.spec.engine))
+      .field("lanes", c.spec.lanes)
       .field("early_stop", c.early_stop.load())
       .field("stop_point", c.stop_point)
       .field("records", c.records)
@@ -326,6 +329,12 @@ void Daemon::adopt_state_dir() {
         std::max<u32>(1, static_cast<u32>(m.get_u64("shard_size", 16)));
     c->spec.flush_records =
         std::max<u32>(1, static_cast<u32>(m.get_u64("flush_records", 8)));
+    if (const auto kind =
+            inject::parse_engine(m.get_str("inj_engine", "scalar"))) {
+      c->spec.engine = *kind;
+    }
+    c->spec.lanes =
+        std::max<u32>(1, static_cast<u32>(m.get_u64("lanes", 64)));
     c->manifest_path = path.string();
     c->store_path = m.get_str(
         "store",
@@ -448,6 +457,8 @@ void Daemon::run_one(Campaign& c) {
     inject::CampaignConfig cfg;
     cfg.seed = c.spec.seed;
     cfg.num_injections = c.spec.n;
+    cfg.engine = c.spec.engine;
+    cfg.lanes = c.spec.lanes;
     // Observability only: telemetry never feeds back into execution, so the
     // store bytes are identical with the plane on or off.
     cfg.telemetry = c.tel.get();
@@ -574,7 +585,9 @@ void Daemon::run_one(Campaign& c) {
           "--seed", std::to_string(c.spec.seed),
           "--testcase-seed", std::to_string(c.spec.testcase_seed),
           "--instructions", std::to_string(c.spec.instructions),
-          "--n", std::to_string(c.spec.n)};
+          "--n", std::to_string(c.spec.n),
+          "--engine", inject::engine_name(c.spec.engine),
+          "--lanes", std::to_string(c.spec.lanes)};
       if (http_fd_ >= 0 && cfg_.metrics_every > 0) {
         // Fleet metrics: workers snapshot their registries into the shard
         // stream so /metrics covers every process, not just this one.
@@ -962,8 +975,14 @@ void Daemon::handle_submit(Conn& conn, const Json& req) {
       std::max<u32>(1, static_cast<u32>(req.get_u64("shard_size", 16)));
   spec.flush_records =
       std::max<u32>(1, static_cast<u32>(req.get_u64("flush_records", 8)));
+  const std::string engine = req.get_str("inj_engine", "scalar");
+  if (const auto kind = inject::parse_engine(engine)) spec.engine = *kind;
+  spec.lanes = std::max<u32>(1, static_cast<u32>(req.get_u64("lanes", 64)));
 
   std::string problem;
+  if (!inject::parse_engine(engine)) {
+    problem = "unknown inj_engine '" + engine + "' (scalar|lanes)";
+  }
   if (spec.n == 0) problem = "n must be >= 1";
   if (spec.instructions == 0) problem = "instructions must be >= 1";
   if (!(spec.target.half_width > 0.0)) problem = "half_width must be > 0";

@@ -49,6 +49,7 @@
 
 #include "serve/stop.hpp"
 #include "serve/wire.hpp"
+#include "sfi/campaign.hpp"
 #include "telemetry/events.hpp"
 
 namespace sfi::serve {
@@ -65,6 +66,11 @@ struct CampaignSpec {
   u32 workers = 0;  ///< >0: run on the farm with this many worker processes
   u32 shard_size = 16;
   u32 flush_records = 8;
+  /// Injection engine ("inj_engine" on the wire — "engine" in status rows
+  /// already names the dispatch mode, farm/sched). Outcome-neutral: stores
+  /// resume under either engine, so adoption never has to re-check it.
+  inject::EngineKind engine = inject::EngineKind::Scalar;
+  u32 lanes = 64;  ///< lane-engine batch width (ignored by scalar)
 
   /// Queue price: estimated work before any simulation runs. Injections x
   /// workload instructions is proportional to replayed cycles for a fixed

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "sfi/engine.hpp"
 
 namespace sfi::inject {
 
@@ -121,6 +122,20 @@ InjectionRecord CampaignWorker::run(const FaultSpec& fault,
   return run(fault, telemetry, index, nullptr);
 }
 
+InjectionRecord make_record(const netlist::LatchRegistry& reg,
+                            const FaultSpec& fault, const RunResult& rr) {
+  const netlist::LatchMeta& meta = reg.meta_of_ordinal(fault.index);
+  InjectionRecord rec;
+  rec.fault = fault;
+  rec.outcome = rr.outcome;
+  rec.unit = meta.unit;
+  rec.type = meta.type;
+  rec.end_cycle = rr.end_cycle;
+  rec.early_exited = rr.early_exited;
+  rec.recoveries = rr.recoveries;
+  return rec;
+}
+
 InjectionRecord CampaignWorker::run(
     const FaultSpec& fault, WorkerTelemetry* telemetry, u32 index,
     std::optional<PropagationRecord>* footprint) {
@@ -131,16 +146,7 @@ InjectionRecord CampaignWorker::run(
   const RunResult rr = runner_->run(
       fault, telemetry != nullptr ? telemetry->phase_scratch() : nullptr,
       prefault);
-  const netlist::LatchMeta& meta =
-      model_->registry().meta_of_ordinal(fault.index);
-  InjectionRecord rec;
-  rec.fault = fault;
-  rec.outcome = rr.outcome;
-  rec.unit = meta.unit;
-  rec.type = meta.type;
-  rec.end_cycle = rr.end_cycle;
-  rec.early_exited = rr.early_exited;
-  rec.recoveries = rr.recoveries;
+  InjectionRecord rec = make_record(model_->registry(), fault, rr);
   if (telemetry != nullptr) {
     std::optional<Cycle> latency;
     if (rr.detected_cycle) latency = *rr.detected_cycle - fault.cycle;
@@ -204,38 +210,42 @@ CampaignResult run_campaign(const avp::Testcase& tc,
   std::vector<std::vector<PropagationRecord>> worker_footprints(
       std::max(1u, threads));
 
-  const auto work = [&](CampaignWorker& w, u32 tid) {
+  const auto work = [&](InjectionEngine& eng, u32 tid) {
     WorkerTelemetry* wt = tel != nullptr ? &tel->worker(tid) : nullptr;
     std::vector<PropagationRecord>& fps = worker_footprints[tid];
-    while (true) {
-      const u32 k = next.fetch_add(1, std::memory_order_relaxed);
-      if (k >= cfg.num_injections) break;
-      const u32 i = order[k];
-      std::optional<PropagationRecord> fp;
-      records[i] = w.run(plan.faults[i], wt, i, &fp);
-      if (fp) fps.push_back(std::move(*fp));
-    }
-    cycles_evaluated.fetch_add(w.cycles_evaluated(),
+    eng.run(
+        [&]() -> std::optional<u32> {
+          const u32 k = next.fetch_add(1, std::memory_order_relaxed);
+          if (k >= cfg.num_injections) return std::nullopt;
+          return order[k];
+        },
+        [&](u32 i, const InjectionRecord& rec,
+            std::optional<PropagationRecord> fp) {
+          records[i] = rec;
+          if (fp) fps.push_back(std::move(*fp));
+        },
+        wt);
+    cycles_evaluated.fetch_add(eng.cycles_evaluated(),
                                std::memory_order_relaxed);
-    cycles_fast_forwarded.fetch_add(w.cycles_fast_forwarded(),
+    cycles_fast_forwarded.fetch_add(eng.cycles_fast_forwarded(),
                                     std::memory_order_relaxed);
-    checkpoint_ops.fetch_add(w.checkpoint_ops(),
+    checkpoint_ops.fetch_add(eng.checkpoint_ops(),
                              std::memory_order_relaxed);
   };
 
   if (threads <= 1) {
-    CampaignWorker w(tc, cfg, plan);
-    work(w, 0);
+    const auto eng = make_engine(tc, cfg, plan);
+    work(*eng, 0);
   } else {
-    std::vector<std::unique_ptr<CampaignWorker>> workers;
-    workers.reserve(threads);
+    std::vector<std::unique_ptr<InjectionEngine>> engines;
+    engines.reserve(threads);
     for (u32 t = 0; t < threads; ++t) {
-      workers.push_back(std::make_unique<CampaignWorker>(tc, cfg, plan));
+      engines.push_back(make_engine(tc, cfg, plan));
     }
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (u32 t = 0; t < threads; ++t) {
-      pool.emplace_back([&, t] { work(*workers[t], t); });
+      pool.emplace_back([&, t] { work(*engines[t], t); });
     }
     for (auto& th : pool) th.join();
   }

@@ -27,6 +27,16 @@
 
 namespace sfi::inject {
 
+/// Which execution engine runs a campaign's injections (sfi/engine.hpp).
+/// Like the checkpoint knobs, the choice never affects outcomes: the lane
+/// engine is outcome-byte-identical to the scalar runner (gated by the
+/// engine A/B CI job), so it is excluded from the campaign fingerprint and
+/// stores produced under either engine stay mutually resumable.
+enum class EngineKind : u8 {
+  Scalar,  ///< one in-flight injection per worker (InjectionRunner)
+  Lanes,   ///< N in-flight injections as diff-lanes over one reference replay
+};
+
 struct CampaignConfig {
   u64 seed = 42;
   u32 num_injections = 2000;
@@ -60,6 +70,13 @@ struct CampaignConfig {
   /// records, store bytes and resume behaviour are identical with or
   /// without telemetry attached.
   CampaignTelemetry* telemetry = nullptr;
+  /// Injection engine. Outcome-neutral (see EngineKind): not part of the
+  /// campaign fingerprint.
+  EngineKind engine = EngineKind::Scalar;
+  /// Max in-flight injections per sweep for the lane engine (ignored by the
+  /// scalar engine). More lanes amortize the reference replay over more
+  /// injections; see bench/ablation_lane_engine for the curve.
+  u32 lanes = 64;
 };
 
 /// Everything a campaign derives up-front from (testcase, config) before any
@@ -86,6 +103,12 @@ struct CampaignPlan {
 
 [[nodiscard]] CampaignPlan plan_campaign(const avp::Testcase& testcase,
                                          const CampaignConfig& config);
+
+/// Build the durable injection record for (fault, result). Shared by every
+/// engine so records are field-identical by construction.
+[[nodiscard]] InjectionRecord make_record(const netlist::LatchRegistry& reg,
+                                          const FaultSpec& fault,
+                                          const RunResult& rr);
 
 /// One worker's private simulation environment ("multiple concurrent copies
 /// of the simulation environment", paper §2.2). Not thread-safe; create one

@@ -186,6 +186,13 @@ RunResult InjectionRunner::run(const FaultSpec& fault, RunPhaseTimes* tel,
 
   apply_fault(fault);
 
+  return continue_run(fault, tel);
+}
+
+RunResult InjectionRunner::continue_run(const FaultSpec& fault,
+                                        RunPhaseTimes* tel,
+                                        const std::function<bool()>* eject,
+                                        bool* ejected) {
   const auto& masks = model_.registry().hash_masks();
   const Cycle deadline = trace_.completion_cycle + cfg_.hang_margin;
   const Cycle hard_stop = fault.cycle + cfg_.horizon;
@@ -241,6 +248,17 @@ RunResult InjectionRunner::run(const FaultSpec& fault, RunPhaseTimes* tel,
   while (true) {
     emu_.step();
     const Cycle now = emu_.cycle();
+
+    // Probation poll: one chance, right after the first step, before this
+    // cycle's checks run. See the declaration for the contract.
+    if (eject != nullptr) [[unlikely]] {
+      const bool out = (*eject)();
+      eject = nullptr;
+      if (out) {
+        *ejected = true;
+        return {};
+      }
+    }
 
     const emu::RasStatus ras = model_.ras_status(emu_.state());
     if (!detect && (ras.checkstop || ras.hang_detected ||

@@ -11,6 +11,7 @@
 // with a clean RAS window — is classified Vanished immediately.
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "avp/runner.hpp"
@@ -79,6 +80,30 @@ class InjectionRunner {
   /// Classify the machine's current terminal state (used by run(), exposed
   /// for the tracer which drives the emulator itself).
   [[nodiscard]] RunResult classify_now(bool finished, bool early_exited) const;
+
+  /// Continue `fault`'s experiment from the machine's *current* state: the
+  /// exact per-cycle tail of run() (RAS watch, convergence poll, deadlines,
+  /// classification), entered mid-flight. The caller must have brought the
+  /// machine to some cycle >= fault.cycle with the fault's effects applied
+  /// (run() does seek + apply_fault and then calls this). The lane engine
+  /// materializes a lane's state into the emulator and resumes here, so a
+  /// lane that leaves the fast path is finished by the same code path —
+  /// and therefore produces byte-identical records. `phases` accumulates
+  /// post-fault phase timings only (no reset; run() owns that).
+  ///
+  /// A non-null `eject` is polled exactly once, after the first step but
+  /// before any RAS/convergence check of that cycle. Returning true aborts
+  /// the run with an empty result and sets `*ejected`: the caller has
+  /// decided (by its own evidence) that the machine's future is provably
+  /// identical to a cheaper execution it already owns, so classification
+  /// here would only duplicate work. The runner itself never consults
+  /// machine state for this — an eject can't change what any completed run
+  /// would have returned.
+  [[nodiscard]] RunResult continue_run(const FaultSpec& fault,
+                                       RunPhaseTimes* phases = nullptr,
+                                       const std::function<bool()>* eject =
+                                           nullptr,
+                                       bool* ejected = nullptr);
 
   /// Bring the machine fault-free to `target` without telemetry: the
   /// deferred-replay entry for clients that drive the emulator themselves

@@ -16,6 +16,7 @@
 
 #include "avp/testgen.hpp"
 #include "farm/farm.hpp"
+#include "farm/worker.hpp"
 #include "sched/scheduler.hpp"
 #include "sfi/telemetry.hpp"
 #include "store/merge.hpp"
@@ -327,6 +328,14 @@ TEST(Farm, ResumeRefusesForeignStore) {
   EXPECT_THROW((void)run_farm_campaign(tc, other, out.path(), quick_farm(2),
                                        /*resume=*/true),
                store::StoreError);
+}
+
+TEST(Farm, WorkerMetricsCadenceDefaultIsFleetCadence) {
+  // Regression: `sfi worker` used to default --metrics-every to 0 while the
+  // farm coordinator and daemon defaulted to 32, so a hand-launched worker
+  // silently emitted no 'M' frames. The CLI now takes its default from
+  // WorkerOptions; pin the unified cadence here.
+  EXPECT_EQ(WorkerOptions{}.metrics_every, 32u);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "avp/testgen.hpp"
+#include "farm/worker.hpp"
 #include "sched/scheduler.hpp"
 #include "serve/daemon.hpp"
 #include "serve/stop.hpp"
@@ -640,6 +641,44 @@ TEST(Daemon, WatcherDisconnectDoesNotKillCampaign) {
   EXPECT_EQ(finish->get_str("state", "done"), "done");
 }
 
+TEST(Daemon, LaneEngineCampaignMatchesScalarAndPersistsInManifest) {
+  // The serve dispatch path honours the submitted injection engine: a lanes
+  // campaign produces the same outcome aggregate as the scalar one for the
+  // same (seed, workload), and the manifest records the engine so a
+  // restarted daemon resumes under it.
+  TempDir dir("lanes_ab");
+  DaemonHarness h(dir.path());
+  constexpr const char* kBase =
+      R"("tenant":"t","seed":7,"testcase_seed":11,"instructions":80,)"
+      R"("n":200,"half_width":0.0001)";  // target never met: full fixed-N run
+  const u64 scalar_id = h.submit(std::string(kBase) + R"(,"inj_engine":"scalar")");
+  (void)h.watch(scalar_id);
+  const u64 lanes_id =
+      h.submit(std::string(kBase) + R"(,"inj_engine":"lanes","lanes":32)");
+  (void)h.watch(lanes_id);
+
+  const inject::CampaignAggregate agg_scalar =
+      store::aggregate_store(
+          dir.file("campaign-" + std::to_string(scalar_id) + ".sfr"))
+          .second;
+  const inject::CampaignAggregate agg_lanes =
+      store::aggregate_store(
+          dir.file("campaign-" + std::to_string(lanes_id) + ".sfr"))
+          .second;
+  EXPECT_EQ(agg_scalar.total(), 200u);
+  EXPECT_EQ(agg_lanes.total(), 200u);
+  for (const auto o : inject::kAllOutcomes) {
+    EXPECT_EQ(agg_scalar.counts.of(o), agg_lanes.counts.of(o))
+        << "outcome mix diverged at " << to_string(o);
+  }
+
+  const std::vector<u8> raw =
+      slurp(dir.file("campaign-" + std::to_string(lanes_id) + ".json"));
+  const Json manifest = Json::parse(std::string(raw.begin(), raw.end()));
+  EXPECT_EQ(manifest.get_str("inj_engine", ""), "lanes");
+  EXPECT_EQ(manifest.get_u64("lanes", 0), 32u);
+}
+
 TEST(Daemon, RejectsBadSubmissionsAndUnknownOps) {
   TempDir dir("rejects");
   DaemonHarness h(dir.path());
@@ -649,6 +688,9 @@ TEST(Daemon, RejectsBadSubmissionsAndUnknownOps) {
   const Json bad_conf =
       h.request(R"({"op":"submit","n":10,"confidence":1.5})");
   EXPECT_FALSE(bad_conf.get_bool("ok", true));
+  const Json bad_engine =
+      h.request(R"({"op":"submit","n":10,"inj_engine":"warp"})");
+  EXPECT_FALSE(bad_engine.get_bool("ok", true));
   const Json unknown = h.request(R"({"op":"frobnicate"})");
   EXPECT_FALSE(unknown.get_bool("ok", true));
   const Json bad_watch = h.request(R"({"op":"watch","id":999})");
@@ -780,6 +822,12 @@ TEST(DaemonHttp, DisabledPlaneLeavesNoListener) {
   // protocol works as before.
   EXPECT_FALSE(h.http_addr().tcp);
   EXPECT_TRUE(h.request(R"({"op":"ping"})").get_bool("ok", false));
+}
+
+TEST(Serve, MetricsCadenceMatchesWorkerDefault) {
+  // One fleet cadence everywhere: daemon-spawned and hand-launched workers
+  // snapshot at the same rate (see test_farm's regression pin).
+  EXPECT_EQ(ServeConfig{}.metrics_every, farm::WorkerOptions{}.metrics_every);
 }
 
 }  // namespace

@@ -203,5 +203,61 @@ TEST(SampleSize, BootstrapWhenPoolSmall) {
             500.0);
 }
 
+TEST(SampleSize, CrossoverBetweenExactAndBootstrap) {
+  // flips == pool.size() is the last without-replacement point (k == n:
+  // every sample is the whole pool, so the mean is exact and σ/µ is 0);
+  // flips == pool.size() + 1 is the first bootstrap point. The estimator
+  // is the same on both sides: means match the pool proportions, and the
+  // curve is a pure function of the seed.
+  std::vector<InjectionRecord> pool(1000);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool[i].outcome = i % 5 == 0 ? Outcome::Corrected : Outcome::Vanished;
+  }
+  SampleSizeConfig cfg;
+  cfg.flip_counts = {1000, 1001};
+  cfg.samples_per_point = 16;
+  const auto pts = sample_size_study(pool, cfg);
+  ASSERT_EQ(pts.size(), 2u);
+  const auto van = static_cast<std::size_t>(Outcome::Vanished);
+  const auto cor = static_cast<std::size_t>(Outcome::Corrected);
+  EXPECT_EQ(pts[0].mean_counts[van], 800.0);
+  EXPECT_EQ(pts[0].mean_counts[cor], 200.0);
+  EXPECT_EQ(pts[0].stddev_over_mean[van], 0.0);
+  EXPECT_NEAR(pts[1].mean_counts[van], 800.8, 30.0);
+  EXPECT_NEAR(pts[1].mean_counts[cor], 200.2, 30.0);
+  // Deterministic: same pool + seed reproduces the curve bit-for-bit.
+  const auto again = sample_size_study(pool, cfg);
+  for (std::size_t p = 0; p < pts.size(); ++p) {
+    EXPECT_EQ(pts[p].mean_counts, again[p].mean_counts);
+    EXPECT_EQ(pts[p].stddev_over_mean, again[p].stddev_over_mean);
+  }
+}
+
+TEST(Campaign, FaultIdentityIndependentOfCampaignSize) {
+  // Fault i is derived from (seed, i) alone — never from n — so growing a
+  // campaign (or early-stopping one) keeps every already-run (seed, i)
+  // record valid. This is the identity resume, merge and the engine A/B
+  // gate all lean on.
+  avp::TestcaseConfig tcfg;
+  tcfg.seed = 2026;
+  tcfg.num_instructions = 60;
+  const avp::Testcase tc = avp::generate_testcase(tcfg);
+  CampaignConfig small;
+  small.seed = 9;
+  small.num_injections = 24;
+  CampaignConfig big = small;
+  big.num_injections = 48;
+  const CampaignPlan ps = plan_campaign(tc, small);
+  const CampaignPlan pb = plan_campaign(tc, big);
+  ASSERT_EQ(ps.faults.size(), 24u);
+  ASSERT_EQ(pb.faults.size(), 48u);
+  for (std::size_t i = 0; i < ps.faults.size(); ++i) {
+    EXPECT_EQ(ps.faults[i].cycle, pb.faults[i].cycle);
+    EXPECT_EQ(ps.faults[i].index, pb.faults[i].index);
+    EXPECT_EQ(ps.faults[i].target, pb.faults[i].target);
+    EXPECT_EQ(ps.faults[i].mode, pb.faults[i].mode);
+  }
+}
+
 }  // namespace
 }  // namespace sfi::inject

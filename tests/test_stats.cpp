@@ -255,10 +255,23 @@ TEST(Sampling, WithoutReplacementDense) {
 }
 
 TEST(Sampling, WithoutReplacementFull) {
+  // k == n must yield a permutation of [0, n): every value exactly once.
   Xoshiro256 rng(13);
   const auto s = sample_without_replacement(50, 50, rng);
   std::set<u64> uniq(s.begin(), s.end());
-  EXPECT_EQ(uniq.size(), 50u);
+  ASSERT_EQ(uniq.size(), 50u);
+  EXPECT_EQ(*uniq.begin(), 0u);
+  EXPECT_EQ(*uniq.rbegin(), 49u);
+}
+
+TEST(Sampling, WithoutReplacementKZero) {
+  // k == 0 is a valid request (an empty campaign stratum), not an error —
+  // and it must not consume entropy, so draws after it are unperturbed.
+  Xoshiro256 rng(15);
+  Xoshiro256 ref(15);
+  EXPECT_TRUE(sample_without_replacement(0, 0, rng).empty());
+  EXPECT_TRUE(sample_without_replacement(64, 0, rng).empty());
+  EXPECT_EQ(rng.next(), ref.next());
 }
 
 TEST(Sampling, WithoutReplacementRejectsOversample) {

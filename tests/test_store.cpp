@@ -727,5 +727,39 @@ TEST(Scheduler, WorkloadIdTracksProgram) {
             sched::workload_id(avp::generate_testcase(b)));
 }
 
+TEST(Progress, RateClampsUntilFirstRealSample) {
+  // The first progress report of a run fires before any injection has
+  // completed (executed == 0, wall ~ 0): rate and ETA must be "not yet",
+  // never 0/inf/nan leaking into the live line.
+  sched::Progress p;
+  p.total = 100;
+  EXPECT_FALSE(p.rate_per_s().has_value());
+  EXPECT_FALSE(p.eta_seconds().has_value());
+
+  // Executed work with a zero-width wall window (clock resolution) is still
+  // not a measurable rate.
+  p.executed = 8;
+  p.wall_seconds = 0.0;
+  EXPECT_FALSE(p.rate_per_s().has_value());
+  EXPECT_FALSE(p.eta_seconds().has_value());
+
+  // A denormal window would divide to inf — clamped too.
+  p.wall_seconds = 4.9e-324;
+  EXPECT_FALSE(p.rate_per_s().has_value());
+
+  // First real sample: both become available and consistent.
+  p.done = 8;
+  p.wall_seconds = 2.0;
+  ASSERT_TRUE(p.rate_per_s().has_value());
+  EXPECT_DOUBLE_EQ(*p.rate_per_s(), 4.0);
+  ASSERT_TRUE(p.eta_seconds().has_value());
+  EXPECT_DOUBLE_EQ(*p.eta_seconds(), 23.0);
+
+  // Resume overshoot (done > total, e.g. a re-grown store): no ETA.
+  p.done = 101;
+  EXPECT_TRUE(p.rate_per_s().has_value());
+  EXPECT_FALSE(p.eta_seconds().has_value());
+}
+
 }  // namespace
 }  // namespace sfi::store

@@ -37,6 +37,16 @@
 //                         cycle 0 (0 = off; default: auto from window size
 //                         and the memory budget). Never changes outcomes.
 //   --ckpt-mem MIB        checkpoint memory budget in MiB (default 64)
+//   --engine E            injection engine: scalar (one in-flight injection
+//                         per worker) or lanes (N in-flight injections as
+//                         XOR-diff lanes over one shared reference replay;
+//                         several times faster on checker-on campaigns —
+//                         see bench/ablation_lane_engine). Records are
+//                         byte-identical across engines (CI-gated), so
+//                         stores resume/merge across engine choices freely
+//   --lanes N             max in-flight injections per lane-engine sweep
+//                         (default 64; more lanes amortize the reference
+//                         replay further, diminishing past ~256)
 // Durable campaign options (scheduler + store):
 //   --out FILE.sfr        stream records to a durable campaign store
 //   --resume              continue an interrupted --out campaign; already
@@ -175,6 +185,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -195,6 +206,7 @@
 #include "stats/intervals.hpp"
 #include "sfi/campaign.hpp"
 #include "sfi/derating.hpp"
+#include "sfi/engine.hpp"
 #include "sfi/tracer.hpp"
 #include "store/merge.hpp"
 #include "store/reader.hpp"
@@ -272,6 +284,16 @@ struct Args {
     const auto it = opts.find(key);
     return it == opts.end() ? dflt : parse_u64(key, it->second);
   }
+  /// num() for options that land in a u32 destination: values above 2^32-1
+  /// are a usage error, not a silent wrap (--n 4294967297 used to become 1).
+  [[nodiscard]] u32 num_u32(const std::string& key, u32 dflt) const {
+    const u64 v = num(key, dflt);
+    if (v > std::numeric_limits<u32>::max()) {
+      throw CliError("invalid value for --" + key + ": '" +
+                     opts.at(key) + "' (exceeds the 32-bit range)");
+    }
+    return static_cast<u32>(v);
+  }
   [[nodiscard]] double fnum(const std::string& key, double dflt) const {
     const auto it = opts.find(key);
     return it == opts.end() ? dflt : parse_f64(key, it->second);
@@ -315,7 +337,7 @@ commands:
               Wilson interval is under the submitted half-width target
   submit      submit a campaign to a daemon (--connect ADDR [--tenant T]
               [--n N] [--confidence C] [--half-width W] [--stratify-unit]
-              [--workers N] [--wait])
+              [--workers N] [--engine scalar|lanes] [--lanes N] [--wait])
   status      one-line-per-campaign daemon status (--connect ADDR [--json])
   watch       stream a campaign's JSONL event log (--connect ADDR --id N)
   shutdown    ask a daemon to stop (running campaigns stay resumable)
@@ -354,7 +376,7 @@ Args parse(int argc, char** argv) {
 avp::Testcase make_testcase(const Args& a) {
   avp::TestcaseConfig cfg;
   cfg.seed = a.num("testcase-seed", 2026);
-  cfg.num_instructions = static_cast<u32>(a.num("instructions", 160));
+  cfg.num_instructions = a.num_u32("instructions", 160);
   return avp::generate_testcase(cfg);
 }
 
@@ -513,7 +535,7 @@ TelemetrySinks make_telemetry(const Args& a) {
   const auto events_out = a.str("events-out");
   // Parse before the early return: a malformed value must error even when
   // no sink is enabled.
-  const auto sample = static_cast<u32>(a.num("telemetry-sample", 1));
+  const auto sample = a.num_u32("telemetry-sample", 1);
   // --postmortem implies a telemetry facade: the flight-recorder ring only
   // holds lines the telemetry layer emits, so without one the dump would
   // always be empty.
@@ -534,11 +556,11 @@ TelemetrySinks make_telemetry(const Args& a) {
   return s;
 }
 
-inject::CampaignConfig campaign_config(const Args& a, u64 default_n) {
+inject::CampaignConfig campaign_config(const Args& a, u32 default_n) {
   inject::CampaignConfig cfg;
   cfg.seed = a.num("seed", 42);
-  cfg.num_injections = static_cast<u32>(a.num("n", default_n));
-  cfg.threads = static_cast<u32>(a.num("threads", 0));
+  cfg.num_injections = a.num_u32("n", default_n);
+  cfg.threads = a.num_u32("threads", 0);
   cfg.core.checkers_enabled = !a.flag("raw");
   cfg.ckpt_interval = a.num("ckpt-interval", emu::kCkptAuto);
   cfg.ckpt_memory_budget = a.num("ckpt-mem", 64) << 20;
@@ -549,11 +571,20 @@ inject::CampaignConfig campaign_config(const Args& a, u64 default_n) {
   cfg.footprint.enabled =
       a.flag("footprint") || a.flag("footprint-every-cycle");
   cfg.footprint.vanished_sample =
-      static_cast<u32>(a.num("footprint-sample", 32));
+      a.num_u32("footprint-sample", 32);
   cfg.footprint.max_trace_cycles = a.num("footprint-window", 512);
   if (a.flag("footprint-every-cycle")) {
     cfg.footprint.sampling = inject::FootprintSampling::EveryCycle;
   }
+  if (const auto e = a.str("engine")) {
+    const auto kind = inject::parse_engine(*e);
+    if (!kind) {
+      throw CliError("unknown engine '" + *e + "' (expected scalar or lanes)");
+    }
+    cfg.engine = *kind;
+  }
+  cfg.lanes = a.num_u32("lanes", cfg.lanes);
+  if (cfg.lanes == 0) throw CliError("--lanes must be >= 1");
   if (const auto u = a.str("unit")) {
     const auto unit = parse_unit(*u);
     if (!unit) throw CliError("unknown unit " + *u);
@@ -590,6 +621,21 @@ void install_stop_handler() {
   std::signal(SIGTERM, on_stop_signal);
 }
 
+/// " (N inj/s, ETA Ns)" for live progress lines, from the clamped
+/// sched::Progress accessors: em-dash placeholders until the rate window is
+/// real (the first report of a run fires before any injection completes).
+std::string progress_rate_suffix(const sched::Progress& p) {
+  const auto rate = p.rate_per_s();
+  if (!rate) return " (— inj/s, ETA —)";
+  char buf[64];
+  if (const auto eta = p.eta_seconds()) {
+    std::snprintf(buf, sizeof buf, " (%.0f inj/s, ETA %.0fs)", *rate, *eta);
+  } else {
+    std::snprintf(buf, sizeof buf, " (%.0f inj/s, ETA —)", *rate);
+  }
+  return buf;
+}
+
 void print_resume_hint(const std::string& out) {
   std::cout << "interrupted — committed records are durable; finish with:\n"
             << "  sfi campaign --out " << out
@@ -610,10 +656,10 @@ std::string postmortem_from_args(const Args& a) {
 farm::SabotageConfig sabotage_from_args(const Args& a) {
   farm::SabotageConfig s;
   if (a.opts.count("sabotage-crash") != 0) {
-    s.crash_index = static_cast<u32>(a.num("sabotage-crash", 0));
+    s.crash_index = a.num_u32("sabotage-crash", 0);
   }
   if (a.opts.count("sabotage-wedge") != 0) {
-    s.wedge_index = static_cast<u32>(a.num("sabotage-wedge", 0));
+    s.wedge_index = a.num_u32("sabotage-wedge", 0);
   }
   s.wedge_once = a.flag("sabotage-wedge-once");
   return s;
@@ -630,6 +676,7 @@ std::vector<std::string> worker_command_from_args(const Args& a) {
       "n",             "unit",             "type",
       "sticky",        "ckpt-interval",    "ckpt-mem",
       "footprint-sample", "footprint-window",
+      "engine",        "lanes",
       "sabotage-crash", "sabotage-wedge",  "metrics-every"};
   static const std::set<std::string> keep_flags = {
       "raw", "footprint", "footprint-every-cycle", "sabotage-wedge-once"};
@@ -651,12 +698,12 @@ int cmd_campaign_farm(const Args& a, const avp::Testcase& tc,
                       const inject::CampaignConfig& cfg,
                       const std::string& out, const TelemetrySinks& sinks) {
   farm::FarmConfig fc;
-  fc.workers = static_cast<u32>(a.num("workers", 2));
+  fc.workers = a.num_u32("workers", 2);
   // Fleet metrics on by default (cadence 32), matching `sfi serve`: the
   // coordinator's progress line and any scraper get the same fleet view a
   // daemon campaign would. 'M' frames are merge-dropped, so the canonical
   // store is byte-identical either way.
-  fc.metrics_every = static_cast<u32>(a.num("metrics-every", 32));
+  fc.metrics_every = a.num_u32("metrics-every", 32);
   if (const auto hosts = a.str("farm")) {
     fc.hosts = farm::parse_hosts_file(*hosts);
     fc.worker_command = worker_command_from_args(a);
@@ -667,8 +714,8 @@ int cmd_campaign_farm(const Args& a, const avp::Testcase& tc,
       fc.worker_command.push_back(std::to_string(fc.metrics_every));
     }
   }
-  fc.shard_size = static_cast<u32>(a.num("shard-size", 64));
-  fc.max_strikes = static_cast<u32>(a.num("strikes", 3));
+  fc.shard_size = a.num_u32("shard-size", 64);
+  fc.max_strikes = a.num_u32("strikes", 3);
   fc.watchdog_seconds = static_cast<double>(a.num("watchdog", 30));
   fc.sabotage = sabotage_from_args(a);
   fc.keep_shards = a.flag("keep-shards");
@@ -687,7 +734,8 @@ int cmd_campaign_farm(const Args& a, const avp::Testcase& tc,
   } else {
     fc.on_progress = [](const sched::Progress& p) {
       std::cerr << "\r[farm] " << p.done << "/" << p.total
-                << " injections committed" << std::flush;
+                << " injections committed" << progress_rate_suffix(p)
+                << std::flush;
     };
   }
 
@@ -741,11 +789,15 @@ int cmd_worker(const Args& a) {
   const avp::Testcase tc = make_testcase(a);
   const inject::CampaignConfig cfg = campaign_config(a, 1000);
   farm::WorkerOptions wo;
-  wo.worker_id = static_cast<u32>(a.num("worker-id", 0));
+  wo.worker_id = a.num_u32("worker-id", 0);
   wo.shard_path = *shard;
   wo.control_fd = 0;  // assignments arrive on stdin
   wo.sabotage = sabotage_from_args(a);
-  wo.metrics_every = static_cast<u32>(a.num("metrics-every", 0));
+  // Same default cadence as the farm coordinator and `sfi serve` (32): a
+  // worker launched without the flag used to silently disable snapshots,
+  // starving the coordinator's fleet metrics view of exec-spawned workers.
+  wo.metrics_every =
+      a.num_u32("metrics-every", farm::WorkerOptions{}.metrics_every);
   wo.trace_spans = a.flag("trace-spans");
   return farm::run_worker(tc, cfg, wo);
 }
@@ -756,8 +808,8 @@ int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
                           const std::string& out,
                           const TelemetrySinks& sinks) {
   sched::SchedulerConfig sc;
-  sc.shard_size = static_cast<u32>(a.num("shard-size", 64));
-  sc.flush_records = static_cast<u32>(a.num("flush", 32));
+  sc.shard_size = a.num_u32("shard-size", 64);
+  sc.flush_records = a.num_u32("flush", 32);
   sc.max_new_injections = a.num("max-new", 0);
   (void)postmortem_from_args(a);  // in-process: dump on fatal signal only
   install_stop_handler();
@@ -773,7 +825,8 @@ int cmd_campaign_to_store(const Args& a, const avp::Testcase& tc,
   } else {
     sc.on_progress = [](const sched::Progress& p) {
       std::cerr << "\r[campaign] " << p.done << "/" << p.total
-                << " injections persisted" << std::flush;
+                << " injections persisted" << progress_rate_suffix(p)
+                << std::flush;
     };
   }
 
@@ -1159,11 +1212,28 @@ int cmd_merge(const Args& a) {
 }
 
 int cmd_beam(const Args& a) {
+  // Beam accepts --engine for CLI symmetry but only the scalar engine is
+  // valid: the lane engine's fast path *is* an internal-state observation
+  // (diff-vs-reference convergence), which beam disables by design to model
+  // physical irradiation, and array strikes diverge in aux state the latch
+  // diff carrier can't see. See DESIGN.md §16 and beam.cpp.
+  if (const auto e = a.str("engine")) {
+    const auto kind = inject::parse_engine(*e);
+    if (!kind) {
+      throw CliError("unknown engine '" + *e + "' (expected scalar or lanes)");
+    }
+    if (*kind != inject::EngineKind::Scalar) {
+      throw CliError(
+          "beam supports --engine scalar only: beam classification is "
+          "RAS/end-of-test observable-only (no internal-state convergence "
+          "proof), which is the lane engine's entire fast path");
+    }
+  }
   const avp::Testcase tc = make_testcase(a);
   beam::BeamConfig cfg;
   cfg.seed = a.num("seed", 42);
-  cfg.num_events = static_cast<u32>(a.num("n", 1000));
-  cfg.threads = static_cast<u32>(a.num("threads", 0));
+  cfg.num_events = a.num_u32("n", 1000);
+  cfg.threads = a.num_u32("threads", 0);
   cfg.core.checkers_enabled = !a.flag("raw");
   cfg.ckpt_interval = a.num("ckpt-interval", emu::kCkptAuto);
   cfg.ckpt_memory_budget = a.num("ckpt-mem", 64) << 20;
@@ -1307,10 +1377,10 @@ int cmd_serve(const Args& a) {
   serve::ServeConfig sc;
   sc.state_dir = *state_dir;
   if (const auto l = a.str("listen")) sc.listen = *l;
-  sc.max_active = static_cast<u32>(a.num("max-active", 2));
-  sc.default_threads = static_cast<u32>(a.num("campaign-threads", 1));
+  sc.max_active = a.num_u32("max-active", 2);
+  sc.default_threads = a.num_u32("campaign-threads", 1);
   if (const auto h = a.str("http")) sc.http = *h;
-  sc.metrics_every = static_cast<u32>(a.num("metrics-every", 32));
+  sc.metrics_every = a.num_u32("metrics-every", 32);
   install_stop_handler();
   sc.should_stop = [] { return g_stop_requested != 0; };
   serve::Daemon d(sc);
@@ -1338,6 +1408,14 @@ int cmd_submit(const Args& a) {
   // Build (and strictly parse) the request before touching the socket so a
   // usage error is reported as such even when no daemon is listening.
   const serve::Address addr = client_address(a);
+  // Validate the engine name client-side so a typo is a usage error here,
+  // not a silently-defaulted daemon campaign. ("engine" in status replies
+  // names the dispatch mode, farm/sched — hence "inj_engine" on the wire.)
+  const std::string engine = a.str("engine").value_or("scalar");
+  if (!inject::parse_engine(engine)) {
+    throw CliError("unknown engine '" + engine +
+                   "' (expected scalar or lanes)");
+  }
   telemetry::JsonWriter w;
   w.begin_object()
       .field("op", "submit")
@@ -1353,6 +1431,8 @@ int cmd_submit(const Args& a) {
       .field("workers", a.num("workers", 0))
       .field("shard_size", a.num("shard-size", 16))
       .field("flush_records", a.num("flush", 8))
+      .field("inj_engine", engine)
+      .field("lanes", a.num_u32("lanes", 64))
       .end_object();
   serve::LineChannel ch(serve::connect_to(addr));
   if (!ch.send_line(w.str())) {
